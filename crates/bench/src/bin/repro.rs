@@ -1,0 +1,159 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--quick] [--seed N] [--csv DIR] <experiment>...
+//! repro [--quick] all
+//! repro list
+//! ```
+//!
+//! Experiments: `table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
+//! fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 retention
+//! temperature aging`.
+
+use std::io::Write as _;
+use std::time::Instant;
+use vs_bench::figures::{
+    characterization, mechanisms, noise, power, supporting, tables, Rendered,
+};
+use vs_bench::Scale;
+
+const ALL: &[&str] = &[
+    "table1",
+    "table2",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "retention",
+    "temperature",
+    "aging",
+    "baselines",
+    "tailoring",
+];
+
+fn run_one(name: &str, seed: u64, scale: Scale) -> Option<Rendered> {
+    Some(match name {
+        "table1" => tables::table1(),
+        "table2" => tables::table2(),
+        "fig1" => characterization::fig1(seed, scale),
+        "fig2" => characterization::fig2(seed, scale),
+        "fig3" => characterization::fig3(seed, scale),
+        "fig4" => characterization::fig4(seed, scale),
+        "fig5" => mechanisms::fig5(seed),
+        "fig6" => mechanisms::fig6(),
+        "fig7" => mechanisms::fig7(),
+        "fig8" => mechanisms::fig8(seed),
+        "fig9" => mechanisms::fig9(seed),
+        "fig10" => power::fig10(seed, scale),
+        "fig11" => power::fig11(seed, scale),
+        "fig12" => vs_bench::figures::traces::fig12(seed, scale),
+        "fig13" => power::fig13(seed, scale),
+        "fig14" => vs_bench::figures::traces::fig14(seed, scale),
+        "fig15" => noise::fig15(seed, scale),
+        "fig16" => noise::fig16(seed, scale),
+        "fig17" => power::fig17(seed, scale),
+        "fig18" => power::fig18(seed, scale),
+        "retention" => supporting::retention(seed),
+        "temperature" => supporting::temperature(seed, scale),
+        "aging" => supporting::aging(seed),
+        "baselines" => vs_bench::figures::extensions::baselines(seed, scale),
+        "tailoring" => vs_bench::figures::extensions::tailoring(seed, scale),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut seed = Scale::REFERENCE_SEED;
+    let mut csv_dir: Option<String> = None;
+    let mut targets: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--csv needs a directory")),
+                );
+            }
+            "list" => {
+                for name in ALL {
+                    println!("{name}");
+                }
+                return;
+            }
+            "all" => targets.extend(ALL.iter().map(|s| (*s).to_owned())),
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--quick] [--seed N] [--csv DIR] <experiment>... | all | list"
+                );
+                return;
+            }
+            other => targets.push(other.to_owned()),
+        }
+        i += 1;
+    }
+
+    if targets.is_empty() {
+        die("no experiments given; try `repro list` or `repro all`");
+    }
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("cannot create {dir}: {e}")));
+    }
+
+    println!(
+        "# voltspec reproduction — seed {seed}, scale {:?}\n",
+        scale
+    );
+    for name in &targets {
+        let start = Instant::now();
+        match run_one(name, seed, scale) {
+            Some(rendered) => {
+                print!("{}", rendered.to_text());
+                println!("({} in {:.1}s)\n", rendered.id, start.elapsed().as_secs_f64());
+                if let Some(dir) = &csv_dir {
+                    for (i, table) in rendered.tables.iter().enumerate() {
+                        let path = format!("{dir}/{}_{i}.csv", rendered.id);
+                        let mut f = std::fs::File::create(&path)
+                            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+                        let _ = f.write_all(table.to_csv().as_bytes());
+                    }
+                }
+            }
+            None => eprintln!("unknown experiment `{name}` (try `repro list`)"),
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,35 @@
+//! One module per group of paper tables/figures.
+
+pub mod characterization;
+pub mod extensions;
+pub mod mechanisms;
+pub mod noise;
+pub mod power;
+pub mod supporting;
+pub mod tables;
+pub mod traces;
+
+use crate::report::Table;
+
+/// A rendered experiment: a heading, explanatory note, and data tables.
+#[derive(Debug, Clone)]
+pub struct Rendered {
+    /// Experiment id ("fig1", "table2", ...).
+    pub id: String,
+    /// One-line description of what the paper's counterpart shows.
+    pub note: String,
+    /// The data tables.
+    pub tables: Vec<Table>,
+}
+
+impl Rendered {
+    /// Renders the whole experiment to text.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.id, self.note);
+        for t in &self.tables {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        out
+    }
+}

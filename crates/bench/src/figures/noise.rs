@@ -1,0 +1,105 @@
+//! Figures 15 and 16: voltage-noise sensitivity.
+
+use crate::figures::Rendered;
+use crate::report::{fmt_f, Table};
+use crate::Scale;
+use vs_spec::experiments::noise::{error_rate_vs_vdd, nop_sweep, AuxLoad};
+use vs_types::{CoreId, Millivolts};
+
+/// Figure 15: correctable errors on the main core's self-test vs the NOP
+/// count of the virus on the auxiliary core.
+pub fn fig15(seed: u64, scale: Scale) -> Rendered {
+    let accesses = match scale {
+        Scale::Full => 500_000,
+        Scale::Quick => 60_000,
+    };
+    let nops: Vec<u32> = (0..=20).collect();
+    let points = nop_sweep(seed, CoreId(0), &nops, accesses);
+    let mut t = Table::new(
+        format!("Figure 15: self-test errors vs virus NOP count ({accesses} accesses/point)"),
+        &["NOP count", "errors"],
+    );
+    for p in &points {
+        t.row_owned(vec![p.nop_count.to_string(), p.errors.to_string()]);
+    }
+    let peak = points.iter().max_by_key(|p| p.errors).expect("nonempty");
+    let mut summary = Table::new("Peak", &["NOP count", "errors"]);
+    summary.row_owned(vec![peak.nop_count.to_string(), peak.errors.to_string()]);
+    Rendered {
+        id: "fig15".into(),
+        note: "the error count spikes when the virus oscillates at the package resonance \
+               (paper: NOP-8), despite lower average power than NOP-0"
+            .into(),
+        tables: vec![t, summary],
+    }
+}
+
+/// Figure 16: self-test error rate vs voltage under three auxiliary loads.
+pub fn fig16(seed: u64, scale: Scale) -> Rendered {
+    let accesses = match scale {
+        Scale::Full => 20_000,
+        Scale::Quick => 3_000,
+    };
+    let loads = [
+        AuxLoad::Virus { nops: 8 },
+        AuxLoad::Virus { nops: 0 },
+        AuxLoad::None,
+    ];
+    let curves = error_rate_vs_vdd(seed, CoreId(0), &loads, accesses, Millivolts(5));
+    let mut t = Table::new(
+        "Figure 16: self-test error rate vs Vdd under auxiliary loads",
+        &["Vdd (mV)", "aux NOP-8", "aux NOP-0", "no aux load"],
+    );
+    let mut voltages: Vec<i32> = curves
+        .iter()
+        .flat_map(|c| c.points.iter().map(|(v, _)| *v))
+        .collect();
+    voltages.sort_unstable();
+    voltages.dedup();
+    voltages.reverse();
+    for v in voltages {
+        let mut row = vec![v.to_string()];
+        for c in &curves {
+            let p = c.points.iter().find(|(pv, _)| *pv == v).map(|(_, p)| *p);
+            row.push(p.map_or("-".into(), |p| fmt_f(p, 4)));
+        }
+        t.row_owned(row);
+    }
+    Rendered {
+        id: "fig16".into(),
+        note: "the resonant NOP-8 virus dominates both the idle and the higher-power NOP-0 \
+               cases throughout the voltage range: weak-line errors are a voltage-noise sensor"
+            .into(),
+        tables: vec![t],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig15_quick_peak_near_resonance() {
+        let r = fig15(7, Scale::Quick);
+        let csv = r.tables[1].to_csv();
+        let peak_nop: u32 = csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(
+            (6..=10).contains(&peak_nop),
+            "peak should land near NOP-8, got {peak_nop}"
+        );
+    }
+
+    #[test]
+    fn fig16_quick_three_columns() {
+        let r = fig16(7, Scale::Quick);
+        assert!(r.tables[0].len() > 5);
+    }
+}

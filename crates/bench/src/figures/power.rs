@@ -1,0 +1,218 @@
+//! Figures 10, 11, 13, 17, 18: power, energy, and sensitivity results.
+
+use crate::figures::Rendered;
+use crate::report::{fmt_f, fmt_pct, Table};
+use crate::Scale;
+use vs_spec::experiments::power::{
+    all_suite_power, energy_vs_vdd, hw_vs_sw_energy, SuiteRunOptions,
+};
+use vs_spec::experiments::sensitivity::sensitivity_curves;
+use vs_types::{CoreId, Millivolts, SimTime, VddMode};
+use vs_workload::Suite;
+
+fn run_opts(scale: Scale) -> SuiteRunOptions {
+    match scale {
+        Scale::Full => SuiteRunOptions {
+            per_benchmark: SimTime::from_secs(10),
+            duration: SimTime::from_secs(90),
+        },
+        Scale::Quick => SuiteRunOptions::fast(),
+    }
+}
+
+/// Figure 10: average per-core voltages achieved by speculation for each
+/// suite.
+pub fn fig10(seed: u64, scale: Scale) -> Rendered {
+    let results = all_suite_power(seed, &run_opts(scale));
+    let n_cores = results[0].per_core_vdd_mv.len();
+    let mut headers = vec!["suite".to_owned()];
+    headers.extend((0..n_cores).map(|c| format!("core{c}")));
+    headers.push("avg reduction".to_owned());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Figure 10: average achieved core voltages per suite (mV; nominal 800)",
+        &header_refs,
+    );
+    let nominal = f64::from(VddMode::LowVoltage.nominal_vdd().0);
+    for r in &results {
+        let mut row = vec![r.suite.label().to_owned()];
+        row.extend(r.per_core_vdd_mv.iter().map(|v| fmt_f(*v, 0)));
+        let avg: f64 = r.per_core_vdd_mv.iter().sum::<f64>() / n_cores as f64;
+        row.push(fmt_pct(1.0 - avg / nominal));
+        t.row_owned(row);
+    }
+    Rendered {
+        id: "fig10".into(),
+        note: "speculation lowers each core's rail toward its own weak-line onset; little \
+               variation across suites (the monitor, not the workload, supplies feedback)"
+            .into(),
+        tables: vec![t],
+    }
+}
+
+/// Figure 11: total (core-rail) power relative to the 800 mV reference.
+pub fn fig11(seed: u64, scale: Scale) -> Rendered {
+    let results = all_suite_power(seed, &run_opts(scale));
+    let mut t = Table::new(
+        "Figure 11: core-rail power relative to the fixed-nominal reference",
+        &["suite", "relative power", "savings", "errors", "safe"],
+    );
+    let mut sum = 0.0;
+    for r in &results {
+        t.row_owned(vec![
+            r.suite.label().to_owned(),
+            fmt_f(r.relative_power, 3),
+            fmt_pct(1.0 - r.relative_power),
+            r.correctable.to_string(),
+            r.safe.to_string(),
+        ]);
+        sum += r.relative_power;
+    }
+    let mean = sum / results.len() as f64;
+    t.row_owned(vec![
+        "mean".into(),
+        fmt_f(mean, 3),
+        fmt_pct(1.0 - mean),
+        String::new(),
+        String::new(),
+    ]);
+    Rendered {
+        id: "fig11".into(),
+        note: "paper: ~33% average power reduction with little cross-suite variability".into(),
+        tables: vec![t],
+    }
+}
+
+/// Figure 13: probability of a single-bit error vs supply voltage for four
+/// cores' designated lines.
+pub fn fig13(seed: u64, scale: Scale) -> Rendered {
+    let accesses = match scale {
+        Scale::Full => 20_000,
+        Scale::Quick => 3_000,
+    };
+    let cores = [CoreId(0), CoreId(2), CoreId(4), CoreId(6)];
+    let curves = sensitivity_curves(seed, &cores, accesses, Millivolts(5));
+    let mut t = Table::new(
+        "Figure 13: P(single-bit error) vs Vdd, four cores' weakest L2D lines",
+        &["Vdd (mV)", "core0", "core2", "core4", "core6"],
+    );
+    // Merge the four curves on a shared voltage axis.
+    let mut voltages: Vec<i32> = curves
+        .iter()
+        .flat_map(|c| c.points.iter().map(|(v, _)| *v))
+        .collect();
+    voltages.sort_unstable();
+    voltages.dedup();
+    voltages.reverse();
+    for v in voltages {
+        let mut row = vec![v.to_string()];
+        for c in &curves {
+            let p = c.points.iter().find(|(pv, _)| *pv == v).map(|(_, p)| *p);
+            row.push(p.map_or("-".into(), |p| fmt_f(p, 3)));
+        }
+        t.row_owned(row);
+    }
+    let mut ramps = Table::new("Ramp widths 1%->99% (paper: 20-50 mV)", &["core", "width"]);
+    for c in &curves {
+        ramps.row_owned(vec![
+            c.core.to_string(),
+            c.ramp_width_mv(0.01, 0.99)
+                .map_or("-".into(), |w| format!("{w} mV")),
+        ]);
+    }
+    Rendered {
+        id: "fig13".into(),
+        note: "gradual S-curve onset gives the controller resolution to hold the 1-5% band"
+            .into(),
+        tables: vec![t, ramps],
+    }
+}
+
+/// Figure 17: energy of hardware vs software speculation, per suite,
+/// relative to the fixed-nominal baseline.
+pub fn fig17(seed: u64, scale: Scale) -> Rendered {
+    let opts = run_opts(scale);
+    let mut t = Table::new(
+        "Figure 17: relative energy, hardware vs software speculation",
+        &["suite", "hardware", "software", "hw advantage"],
+    );
+    let mut hw_sum = 0.0;
+    let mut sw_sum = 0.0;
+    for suite in Suite::ALL {
+        let cmp = hw_vs_sw_energy(seed, suite, &opts);
+        t.row_owned(vec![
+            suite.label().to_owned(),
+            fmt_f(cmp.hardware_relative, 3),
+            fmt_f(cmp.software_relative, 3),
+            fmt_pct(cmp.software_relative - cmp.hardware_relative),
+        ]);
+        hw_sum += cmp.hardware_relative;
+        sw_sum += cmp.software_relative;
+    }
+    t.row_owned(vec![
+        "mean".into(),
+        fmt_f(hw_sum / 4.0, 3),
+        fmt_f(sw_sum / 4.0, 3),
+        fmt_pct((sw_sum - hw_sum) / 4.0),
+    ]);
+    Rendered {
+        id: "fig17".into(),
+        note: "paper: software saves ~22% energy, hardware ~11 points more".into(),
+        tables: vec![t],
+    }
+}
+
+/// Figure 18: energy vs supply voltage for both techniques on one core.
+pub fn fig18(seed: u64, scale: Scale) -> Rendered {
+    let (window, step) = match scale {
+        Scale::Full => (SimTime::from_secs(30), Millivolts(5)),
+        Scale::Quick => (SimTime::from_secs(4), Millivolts(20)),
+    };
+    let points = energy_vs_vdd(seed, CoreId(0), window, step);
+    let mut t = Table::new(
+        "Figure 18: core energy vs Vdd, hardware vs software speculation",
+        &["Vdd", "hardware rel. energy", "software rel. energy", "errors", "safe"],
+    );
+    for p in &points {
+        t.row_owned(vec![
+            p.vdd.to_string(),
+            fmt_f(p.hardware_relative, 3),
+            fmt_f(p.software_relative, 3),
+            p.errors.to_string(),
+            p.safe.to_string(),
+        ]);
+    }
+    Rendered {
+        id: "fig18".into(),
+        note: "curves track until the error ramp; firmware handling cost then bends the \
+               software curve back up while hardware keeps falling to the crash point"
+            .into(),
+        tables: vec![t],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_quick_runs_all_suites() {
+        let r = fig10(7, Scale::Quick);
+        assert_eq!(r.tables[0].len(), 4);
+        let text = r.to_text();
+        assert!(text.contains("CoreMark"));
+    }
+
+    #[test]
+    fn fig13_quick_has_four_curves() {
+        let r = fig13(7, Scale::Quick);
+        assert_eq!(r.tables.len(), 2);
+        assert_eq!(r.tables[1].len(), 4);
+    }
+
+    #[test]
+    fn fig18_quick_monotone_hw() {
+        let r = fig18(7, Scale::Quick);
+        assert!(r.tables[0].len() > 3);
+    }
+}

@@ -1,0 +1,155 @@
+//! Supporting experiments: §V-E retention, §III-D temperature and aging.
+
+use crate::figures::Rendered;
+use crate::report::{fmt_f, Table};
+use crate::Scale;
+use vs_spec::experiments::misc::{
+    aging_experiment, fan_experiment, retention_experiment, temperature_experiment,
+};
+use vs_types::CoreId;
+
+/// §V-E: the retention experiment — errors are access-time, not storage.
+pub fn retention(seed: u64) -> Rendered {
+    let r = retention_experiment(seed, CoreId(0), 60);
+    let mut t = Table::new("Retention experiment (paper section V-E)", &["item", "value"]);
+    t.row_owned(vec!["write voltage".into(), r.write_vdd.to_string()]);
+    t.row_owned(vec!["dwell voltage".into(), r.dwell_vdd.to_string()]);
+    t.row_owned(vec!["dwell duration".into(), format!("{} s", r.dwell_secs)]);
+    t.row_owned(vec![
+        "control: errors when reading at dwell voltage".into(),
+        r.errors_at_dwell.to_string(),
+    ]);
+    t.row_owned(vec![
+        "errors on read-back after restoring voltage".into(),
+        r.errors_after_restore.to_string(),
+    ]);
+    Rendered {
+        id: "retention".into(),
+        note: "data written at high voltage survives a low-voltage dwell untouched: the \
+               correctable errors are access-time (timing / read-disturb), not retention"
+            .into(),
+        tables: vec![t],
+    }
+}
+
+/// §III-D: temperature insensitivity check.
+pub fn temperature(seed: u64, scale: Scale) -> Rendered {
+    let accesses = match scale {
+        Scale::Full => 100_000,
+        Scale::Quick => 20_000,
+    };
+    let r = temperature_experiment(seed, CoreId(0), accesses);
+    let mut t = Table::new(
+        "Temperature sensitivity (paper section III-D)",
+        &["temperature", "mid-ramp error rate"],
+    );
+    t.row_owned(vec![r.t_base.to_string(), fmt_f(r.rate_base, 4)]);
+    t.row_owned(vec![r.t_hot.to_string(), fmt_f(r.rate_hot, 4)]);
+    t.row_owned(vec![
+        "relative change".into(),
+        fmt_f(r.relative_change(), 3),
+    ]);
+
+    // The mechanistic version: slow the enclosure fans (the paper's actual
+    // knob) and let the thermal model produce the rise.
+    let fan_accesses = match scale {
+        Scale::Full => 60_000,
+        Scale::Quick => 15_000,
+    };
+    let f = fan_experiment(seed, CoreId(0), fan_accesses);
+    let mut ft = Table::new(
+        "Fan-slowdown variant (thermal model in the loop)",
+        &["fan", "silicon temp", "mid-ramp error rate"],
+    );
+    ft.row_owned(vec![
+        format!("{:.0}%", f.full_fan.0 * 100.0),
+        f.full_fan.1.to_string(),
+        fmt_f(f.rate_full, 4),
+    ]);
+    ft.row_owned(vec![
+        format!("{:.0}%", f.slow_fan.0 * 100.0),
+        f.slow_fan.1.to_string(),
+        fmt_f(f.rate_slow, 4),
+    ]);
+    ft.row_owned(vec![
+        "rise / rel. change".into(),
+        format!("{:+.1} °C", f.temperature_rise()),
+        fmt_f(f.relative_change(), 3),
+    ]);
+    Rendered {
+        id: "temperature".into(),
+        note: "a ~20 C swing (direct, or via the enclosure-fan knob the paper used) does not \
+               measurably move the error distribution"
+            .into(),
+        tables: vec![t, ft],
+    }
+}
+
+/// §III-D: aging and recalibration.
+pub fn aging(seed: u64) -> Rendered {
+    // Drift of one core's designated line across service-life horizons.
+    let mut t = Table::new(
+        "Aging drift, core 0 (paper section III-D)",
+        &["age (hours)", "weakest line", "changed?", "errors on fresh line @ onset"],
+    );
+    for hours in [0.0, 50_000.0, 100_000.0, 200_000.0] {
+        let r = aging_experiment(seed, CoreId(0), hours);
+        t.row_owned(vec![
+            format!("{hours:.0}"),
+            format!("set {} way {}", r.aged_line.0, r.aged_line.1),
+            r.line_changed.to_string(),
+            r.fresh_line_aged_errors.to_string(),
+        ]);
+    }
+
+    // Whether the *ranking* flips is a per-die/per-core lottery (aging
+    // weights are random per line); scan the whole chip at an extreme-life
+    // horizon.
+    let mut per_core = Table::new(
+        "Weak-line ranking at 200k hours, all cores",
+        &["core", "fresh weakest", "aged weakest", "recalibration retargets?"],
+    );
+    for core in 0..8 {
+        let r = aging_experiment(seed, CoreId(core), 200_000.0);
+        per_core.row_owned(vec![
+            format!("core{core}"),
+            format!("set {} way {}", r.fresh_line.0, r.fresh_line.1),
+            format!("set {} way {}", r.aged_line.0, r.aged_line.1),
+            r.line_changed.to_string(),
+        ]);
+    }
+    Rendered {
+        id: "aging".into(),
+        note: "aging drifts critical voltages upward with per-line weights; periodic \
+               recalibration re-targets the monitor when the ranking changes"
+            .into(),
+        tables: vec![t, per_core],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retention_renders_clean_readback() {
+        let text = retention(7).to_text();
+        assert!(text.contains("errors on read-back after restoring voltage"));
+        // The committed behaviour: zero errors after restore.
+        let r = retention_experiment(7, CoreId(0), 60);
+        assert_eq!(r.errors_after_restore, 0);
+    }
+
+    #[test]
+    fn temperature_renders() {
+        let r = temperature(7, Scale::Quick);
+        assert_eq!(r.tables[0].len(), 3);
+    }
+
+    #[test]
+    fn aging_renders_horizons_and_core_scan() {
+        let r = aging(7);
+        assert_eq!(r.tables[0].len(), 4);
+        assert_eq!(r.tables[1].len(), 8);
+    }
+}

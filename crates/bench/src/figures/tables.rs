@@ -1,0 +1,129 @@
+//! Table I (machine configuration) and Table II (benchmark list).
+
+use crate::figures::Rendered;
+use crate::report::Table;
+use vs_cache::CacheGeometry;
+use vs_platform::ChipConfig;
+use vs_types::{CacheKind, VddMode};
+use vs_workload::Suite;
+
+/// Table I: architectural and system details of the simulated platform.
+pub fn table1() -> Rendered {
+    let config = ChipConfig::low_voltage(crate::Scale::REFERENCE_SEED);
+    let mut t = Table::new("Table I: simulated platform configuration", &["item", "value"]);
+    t.row(&["Processor", "simulated Itanium-9560-class CMP"]);
+    t.row_owned(vec!["Cores".into(), format!("{}, in-order", config.num_cores)]);
+    t.row_owned(vec![
+        "Frequency".into(),
+        format!(
+            "{} (high), {} (low)",
+            VddMode::Nominal.frequency(),
+            VddMode::LowVoltage.frequency()
+        ),
+    ]);
+    t.row_owned(vec![
+        "Nominal Vdd".into(),
+        format!(
+            "{} (high), {} (low)",
+            VddMode::Nominal.nominal_vdd(),
+            VddMode::LowVoltage.nominal_vdd()
+        ),
+    ]);
+    let geom = |k: CacheKind| {
+        let g = CacheGeometry::for_kind(k);
+        format!(
+            "{}-way {} KB, {}-cycle",
+            g.ways,
+            g.capacity_bytes() / 1024,
+            g.latency_cycles
+        )
+    };
+    t.row_owned(vec!["L1 data cache".into(), geom(CacheKind::L1Data)]);
+    t.row_owned(vec![
+        "L1 instruction cache".into(),
+        geom(CacheKind::L1Instruction),
+    ]);
+    t.row_owned(vec!["L2 data cache".into(), geom(CacheKind::L2Data)]);
+    t.row_owned(vec![
+        "L2 instruction cache".into(),
+        geom(CacheKind::L2Instruction),
+    ]);
+    let l3 = CacheGeometry::for_kind(CacheKind::L3Unified);
+    t.row_owned(vec![
+        "L3 unified".into(),
+        format!(
+            "{}-way {} MB, {}-cycle",
+            l3.ways,
+            l3.capacity_bytes() / (1024 * 1024),
+            l3.latency_cycles
+        ),
+    ]);
+    t.row_owned(vec![
+        "Voltage domains".into(),
+        format!(
+            "{} core-pair rails (speculated) + uncore rails (fixed)",
+            config.num_domains()
+        ),
+    ]);
+    t.row(&["Max TDP", "170 W (power-model anchor)"]);
+    t.row(&["ECC", "Hsiao SEC-DED (72,64) caches, (39,32) register files"]);
+    t.row_owned(vec![
+        "Control tick".into(),
+        format!("{}", config.tick),
+    ]);
+    Rendered {
+        id: "table1".into(),
+        note: "architectural and system details of the simulated evaluation platform".into(),
+        tables: vec![t],
+    }
+}
+
+/// Table II: applications and benchmarks used in the evaluation.
+pub fn table2() -> Rendered {
+    let mut t = Table::new(
+        "Table II: applications and benchmarks",
+        &["suite", "benchmarks"],
+    );
+    for suite in Suite::ALL {
+        t.row_owned(vec![
+            suite.label().to_owned(),
+            suite.benchmark_names().join(", "),
+        ]);
+    }
+    t.row(&[
+        "Stress test",
+        "CPU-intensive (FP and INT) kernels; cache- and memory-intensive kernels",
+    ]);
+    t.row(&[
+        "Voltage virus",
+        "FMA bursts interleaved with 0-20 NOPs (resonance sweep)",
+    ]);
+    Rendered {
+        id: "table2".into(),
+        note: "benchmark suites used in the evaluation".into(),
+        tables: vec![t],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_core_rows() {
+        let r = table1();
+        let text = r.to_text();
+        assert!(text.contains("2.53 GHz"));
+        assert!(text.contains("340 MHz"));
+        assert!(text.contains("800 mV"));
+        assert!(text.contains("L2 data cache"));
+    }
+
+    #[test]
+    fn table2_lists_all_suites() {
+        let text = table2().to_text();
+        for s in ["CoreMark", "SPECjbb2005", "SPECint", "SPECfp", "mcf", "swim"] {
+            assert!(text.contains(s), "missing {s}");
+        }
+    }
+}

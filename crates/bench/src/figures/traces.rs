@@ -1,0 +1,112 @@
+//! Figures 12 and 14: dynamic-adaptation time traces.
+
+use crate::figures::Rendered;
+use crate::report::{fmt_f, Table};
+use crate::Scale;
+use vs_spec::experiments::traces::{mcf_crafty_trace, stress_kernel_trace, TraceResult};
+use vs_types::SimTime;
+
+fn trace_table(title: &str, r: &TraceResult, max_rows: usize) -> Table {
+    let mut t = Table::new(title, &["t (s)", "set point (mV)", "error rate"]);
+    let series = r.series();
+    let stride = (series.len() / max_rows).max(1);
+    for (i, (time, v, rate)) in series.iter().enumerate() {
+        if i % stride == 0 {
+            t.row_owned(vec![fmt_f(*time, 1), v.to_string(), fmt_f(*rate, 3)]);
+        }
+    }
+    t
+}
+
+/// Figure 12: supply voltage and error rate over time while running `mcf`
+/// then `crafty` back to back on one core.
+pub fn fig12(seed: u64, scale: Scale) -> Rendered {
+    let per_benchmark = match scale {
+        Scale::Full => SimTime::from_secs(30),
+        Scale::Quick => SimTime::from_secs(6),
+    };
+    let r = mcf_crafty_trace(seed, per_benchmark);
+    let t = trace_table(
+        "Figure 12: Vdd + error-rate trace, mcf -> crafty",
+        &r,
+        40,
+    );
+    let mut summary = Table::new("Run summary", &["item", "value"]);
+    summary.row_owned(vec!["safe".into(), r.stats.is_safe().to_string()]);
+    summary.row_owned(vec![
+        "mean Vdd (domain 0)".into(),
+        fmt_f(r.stats.mean_vdd_mv[0], 1),
+    ]);
+    for (label, q) in [("p5", 0.05), ("p50", 0.5), ("p95", 0.95)] {
+        summary.row_owned(vec![
+            format!("Vdd {label} (domain 0)"),
+            r.stats
+                .voltage_percentile(0, q)
+                .map_or("-".into(), |v| fmt_f(v, 0)),
+        ]);
+    }
+    summary.row_owned(vec![
+        "error-rate p50 (domain 0)".into(),
+        r.stats
+            .error_rate_percentile(0, 0.5)
+            .map_or("-".into(), |v| fmt_f(v, 3)),
+    ]);
+    summary.row_owned(vec!["emergencies".into(), r.stats.emergencies.to_string()]);
+    Rendered {
+        id: "fig12".into(),
+        note: "the controller keeps the monitored error rate inside the 1-5% band across the \
+               context switch from mcf to crafty"
+            .into(),
+        tables: vec![t, summary],
+    }
+}
+
+/// Figure 14: adaptation to the 30 s duty-cycled stress kernel on the
+/// auxiliary core, with the main core idle (a) and running SPECfp (b).
+pub fn fig14(seed: u64, scale: Scale) -> Rendered {
+    let duration = match scale {
+        Scale::Full => SimTime::from_secs(120),
+        Scale::Quick => SimTime::from_secs(65),
+    };
+    let idle = stress_kernel_trace(seed, false, duration);
+    let loaded = stress_kernel_trace(seed, true, duration);
+    let ta = trace_table("Figure 14(a): main core idle", &idle, 30);
+    let tb = trace_table("Figure 14(b): main core running SPECfp", &loaded, 30);
+    let mut summary = Table::new("Run summary", &["case", "safe", "mean Vdd (mV)"]);
+    summary.row_owned(vec![
+        "main idle".into(),
+        idle.stats.is_safe().to_string(),
+        fmt_f(idle.stats.mean_vdd_mv[0], 1),
+    ]);
+    summary.row_owned(vec![
+        "main SPECfp".into(),
+        loaded.stats.is_safe().to_string(),
+        fmt_f(loaded.stats.mean_vdd_mv[0], 1),
+    ]);
+    Rendered {
+        id: "fig14".into(),
+        note: "the Vdd pattern follows the kernel's 30 s on/off cycle; the loaded case holds a \
+               (slightly) different operating point, and both stay safe"
+            .into(),
+        tables: vec![ta, tb, summary],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_quick_renders() {
+        let r = fig12(7, Scale::Quick);
+        let text = r.to_text();
+        assert!(text.contains("mcf -> crafty"));
+        assert!(text.contains("safe"));
+    }
+
+    #[test]
+    fn fig14_quick_two_panels() {
+        let r = fig14(7, Scale::Quick);
+        assert_eq!(r.tables.len(), 3);
+    }
+}

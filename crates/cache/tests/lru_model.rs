@@ -1,0 +1,123 @@
+//! Model-based property test: the production `Cache` must agree with a
+//! tiny, obviously-correct reference implementation of set-associative LRU
+//! on arbitrary operation sequences.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use vs_cache::{Cache, CacheGeometry, NoFaults};
+use vs_types::CacheKind;
+
+/// The reference model: a map from set to an LRU-ordered list of (tag,
+/// line data), most recent last.
+struct RefModel {
+    geometry: CacheGeometry,
+    sets: HashMap<usize, Vec<(u64, Vec<u64>)>>,
+}
+
+impl RefModel {
+    fn new(geometry: CacheGeometry) -> RefModel {
+        RefModel {
+            geometry,
+            sets: HashMap::new(),
+        }
+    }
+
+    fn fill(&mut self, addr: u64, data: &[u64]) {
+        let set = self.geometry.set_of(addr);
+        let tag = self.geometry.tag_of(addr);
+        let ways = self.geometry.ways;
+        let entry = self.sets.entry(set).or_default();
+        if let Some(pos) = entry.iter().position(|(t, _)| *t == tag) {
+            entry.remove(pos);
+        } else if entry.len() == ways {
+            entry.remove(0); // evict LRU
+        }
+        entry.push((tag, data.to_vec()));
+    }
+
+    fn read(&mut self, addr: u64) -> Option<Vec<u64>> {
+        let set = self.geometry.set_of(addr);
+        let tag = self.geometry.tag_of(addr);
+        let entry = self.sets.get_mut(&set)?;
+        let pos = entry.iter().position(|(t, _)| *t == tag)?;
+        let line = entry.remove(pos);
+        let data = line.1.clone();
+        entry.push(line); // touch: most recent
+        Some(data)
+    }
+
+    fn write_word(&mut self, addr: u64, word: usize, value: u64) -> bool {
+        let set = self.geometry.set_of(addr);
+        let tag = self.geometry.tag_of(addr);
+        let Some(entry) = self.sets.get_mut(&set) else {
+            return false;
+        };
+        let Some(pos) = entry.iter().position(|(t, _)| *t == tag) else {
+            return false;
+        };
+        let mut line = entry.remove(pos);
+        line.1[word] = value;
+        entry.push(line);
+        true
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Fill(u64, u64),
+    Read(u64),
+    Write(u64, usize, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // A small address universe so sets actually conflict.
+    let addr = (0u64..64).prop_map(|a| a * 64);
+    prop_oneof![
+        (addr.clone(), any::<u64>()).prop_map(|(a, s)| Op::Fill(a, s)),
+        addr.clone().prop_map(Op::Read),
+        (addr, 0usize..8, any::<u64>()).prop_map(|(a, w, v)| Op::Write(a, w, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_matches_reference_lru_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let geometry = CacheGeometry::new(4, 2, 64, 1);
+        let mut cache = Cache::new(CacheKind::L2Data, geometry);
+        let mut model = RefModel::new(geometry);
+
+        for op in ops {
+            match op {
+                Op::Fill(addr, seed) => {
+                    let data: Vec<u64> = (0..8).map(|i| seed.wrapping_add(i)).collect();
+                    cache.fill(addr, &data);
+                    model.fill(addr, &data);
+                }
+                Op::Read(addr) => {
+                    let got = cache.read(addr, &mut NoFaults).map(|r| r.data);
+                    let want = model.read(addr);
+                    prop_assert_eq!(got, want, "read {:#x} diverged", addr);
+                }
+                Op::Write(addr, word, value) => {
+                    let got = cache.write_word(addr, word as u32, value);
+                    let want = model.write_word(addr, word, value);
+                    prop_assert_eq!(got, want, "write hit/miss {:#x} diverged", addr);
+                }
+            }
+        }
+
+        // Final state equivalence: every line the model holds must be
+        // resident with identical contents, and vice versa.
+        for (set, entries) in &model.sets {
+            for (tag, data) in entries {
+                let addr = geometry.address_of(*tag, *set);
+                let got = cache
+                    .read(addr, &mut NoFaults)
+                    .map(|r| r.data);
+                prop_assert_eq!(got.as_deref(), Some(data.as_slice()), "resident line {:#x}", addr);
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the Hsiao SEC-DED codec, including the
+//! guarantees the code does *not* make (triple-bit behaviour).
+
+use proptest::prelude::*;
+use vs_ecc::{DecodeOutcome, SecDed};
+
+proptest! {
+    /// Encode/decode is the identity on clean words for both geometries.
+    #[test]
+    fn roundtrip_72_64(data: u64) {
+        let code = SecDed::hsiao_72_64();
+        prop_assert_eq!(code.decode(code.encode(data)), DecodeOutcome::Clean { data });
+    }
+
+    #[test]
+    fn roundtrip_39_32(data in 0u64..(1 << 32)) {
+        let code = SecDed::hsiao_39_32();
+        prop_assert_eq!(code.decode(code.encode(data)), DecodeOutcome::Clean { data });
+    }
+
+    /// The syndrome of a clean codeword is always zero, and nonzero for
+    /// any single corruption.
+    #[test]
+    fn syndrome_zero_iff_clean(data: u64, bit in 0u32..72) {
+        let code = SecDed::hsiao_72_64();
+        let word = code.encode(data);
+        prop_assert_eq!(code.syndrome(word), 0);
+        prop_assert_ne!(code.syndrome(code.inject(word, &[bit])), 0);
+    }
+
+    /// Check-bit errors are corrected without touching the data.
+    #[test]
+    fn check_bit_errors_leave_data_intact(data: u64, check_bit in 64u32..72) {
+        let code = SecDed::hsiao_72_64();
+        let word = code.encode(data);
+        match code.decode(code.inject(word, &[check_bit])) {
+            DecodeOutcome::Corrected { data: d, bit, .. } => {
+                prop_assert_eq!(d, data);
+                prop_assert_eq!(bit, check_bit);
+            }
+            other => prop_assert!(false, "got {:?}", other),
+        }
+    }
+
+    /// Triple-bit errors are OUTSIDE the code's guarantee: they may decode
+    /// as anything except a silent clean result equal to a *wrong* value
+    /// with zero syndrome... in fact an odd number of flips always yields
+    /// a nonzero syndrome for an odd-weight-column code, so a triple flip
+    /// is never reported Clean.
+    #[test]
+    fn triple_flips_never_decode_clean(
+        data: u64,
+        a in 0u32..72,
+        b in 0u32..72,
+        c in 0u32..72,
+    ) {
+        prop_assume!(a != b && b != c && a != c);
+        let code = SecDed::hsiao_72_64();
+        let word = code.encode(data);
+        let outcome = code.decode(code.inject(word, &[a, b, c]));
+        let clean = matches!(outcome, DecodeOutcome::Clean { .. });
+        prop_assert!(!clean, "triple flip decoded clean: {:?}", outcome);
+    }
+
+    /// Correction is idempotent: decoding the corrected word again is
+    /// clean.
+    #[test]
+    fn correction_is_idempotent(data: u64, bit in 0u32..72) {
+        let code = SecDed::hsiao_72_64();
+        let corrupted = code.inject(code.encode(data), &[bit]);
+        if let DecodeOutcome::Corrected { data: d, .. } = code.decode(corrupted) {
+            prop_assert_eq!(code.decode(code.encode(d)), DecodeOutcome::Clean { data: d });
+        } else {
+            prop_assert!(false, "single flip must correct");
+        }
+    }
+
+    /// Custom geometries keep the SEC-DED guarantees as long as enough
+    /// odd-weight columns exist.
+    #[test]
+    fn custom_geometry_sec_ded(data in 0u64..(1 << 16), a in 0u32..22, b in 0u32..22) {
+        let code = SecDed::new(16, 6);
+        prop_assert_eq!(code.codeword_bits(), 22);
+        let word = code.encode(data);
+        // Single: corrected.
+        let got = code.decode(code.inject(word, &[a]));
+        let corrected = matches!(got, DecodeOutcome::Corrected { data: d, .. } if d == data);
+        prop_assert!(corrected);
+        // Double: detected.
+        prop_assume!(a != b);
+        let got = code.decode(code.inject(word, &[a, b]));
+        prop_assert!(got.is_uncorrectable());
+    }
+}

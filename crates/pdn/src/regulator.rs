@@ -1,0 +1,198 @@
+//! Per-domain voltage regulator.
+
+use serde::{Deserialize, Serialize};
+use vs_types::Millivolts;
+
+/// A voltage regulator with a discrete step grid and a bounded range.
+///
+/// The paper's control system adjusts supply voltage in 5 mV increments
+/// (§III-B); the regulator model enforces that grid, clamps requests into
+/// its supported range, and applies changes on the next [`tick`] (regulator
+/// slew is far faster than the 1 ms control tick, so one tick of latency is
+/// the right granularity).
+///
+/// [`tick`]: VoltageRegulator::tick
+///
+/// # Examples
+///
+/// ```
+/// use vs_pdn::VoltageRegulator;
+/// use vs_types::Millivolts;
+///
+/// let mut vr = VoltageRegulator::new(Millivolts(800), Millivolts(500), Millivolts(1200));
+/// vr.request(Millivolts(737)); // snapped to the 5 mV grid
+/// assert_eq!(vr.output(), Millivolts(800), "takes effect on the next tick");
+/// vr.tick();
+/// assert_eq!(vr.output(), Millivolts(735));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VoltageRegulator {
+    output: Millivolts,
+    pending: Millivolts,
+    min: Millivolts,
+    max: Millivolts,
+    step: Millivolts,
+    adjustments: u64,
+}
+
+impl VoltageRegulator {
+    /// The default adjustment step: 5 mV.
+    pub const DEFAULT_STEP: Millivolts = Millivolts(5);
+
+    /// Creates a regulator initialized (and settled) at `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or `initial` lies outside it.
+    pub fn new(initial: Millivolts, min: Millivolts, max: Millivolts) -> VoltageRegulator {
+        assert!(min < max, "regulator range must be non-empty");
+        assert!(
+            (min..=max).contains(&initial),
+            "initial voltage {initial} outside [{min}, {max}]"
+        );
+        VoltageRegulator {
+            output: initial,
+            pending: initial,
+            min,
+            max,
+            step: Self::DEFAULT_STEP,
+            adjustments: 0,
+        }
+    }
+
+    /// The voltage currently being delivered.
+    pub fn output(&self) -> Millivolts {
+        self.output
+    }
+
+    /// The set point that will be delivered after the next tick.
+    pub fn pending(&self) -> Millivolts {
+        self.pending
+    }
+
+    /// The adjustment grid.
+    pub fn step(&self) -> Millivolts {
+        self.step
+    }
+
+    /// The supported range.
+    pub fn range(&self) -> (Millivolts, Millivolts) {
+        (self.min, self.max)
+    }
+
+    /// Number of set-point changes that actually moved the output.
+    pub fn adjustment_count(&self) -> u64 {
+        self.adjustments
+    }
+
+    /// Requests a new set point; it is snapped *down* to the step grid and
+    /// clamped into range, and takes effect on the next tick.
+    pub fn request(&mut self, target: Millivolts) {
+        let snapped = Millivolts((target.0.div_euclid(self.step.0)) * self.step.0);
+        self.pending = snapped.clamp(self.min, self.max);
+    }
+
+    /// Requests one step down from the pending set point.
+    pub fn step_down(&mut self) {
+        self.request(self.pending - self.step);
+    }
+
+    /// Requests one step up from the pending set point.
+    pub fn step_up(&mut self) {
+        self.request(self.pending + self.step);
+    }
+
+    /// Requests `n` steps up at once (the emergency path uses a larger
+    /// increment, §III-B).
+    pub fn step_up_by(&mut self, n: u32) {
+        self.request(self.pending + Millivolts(self.step.0 * n as i32));
+    }
+
+    /// Applies the pending set point. Returns `true` if the output moved.
+    pub fn tick(&mut self) -> bool {
+        if self.pending != self.output {
+            self.output = self.pending;
+            self.adjustments += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vr() -> VoltageRegulator {
+        VoltageRegulator::new(Millivolts(800), Millivolts(500), Millivolts(1200))
+    }
+
+    #[test]
+    fn request_snaps_to_grid_and_applies_next_tick() {
+        let mut r = vr();
+        r.request(Millivolts(733));
+        assert_eq!(r.output(), Millivolts(800));
+        assert_eq!(r.pending(), Millivolts(730));
+        assert!(r.tick());
+        assert_eq!(r.output(), Millivolts(730));
+        assert!(!r.tick(), "no further movement without a new request");
+    }
+
+    #[test]
+    fn request_clamps_to_range() {
+        let mut r = vr();
+        r.request(Millivolts(300));
+        r.tick();
+        assert_eq!(r.output(), Millivolts(500));
+        r.request(Millivolts(2000));
+        r.tick();
+        assert_eq!(r.output(), Millivolts(1200));
+    }
+
+    #[test]
+    fn step_up_down() {
+        let mut r = vr();
+        r.step_down();
+        r.tick();
+        assert_eq!(r.output(), Millivolts(795));
+        r.step_up();
+        r.step_up();
+        r.tick();
+        assert_eq!(r.output(), Millivolts(805));
+    }
+
+    #[test]
+    fn emergency_multi_step() {
+        let mut r = vr();
+        r.step_up_by(5);
+        r.tick();
+        assert_eq!(r.output(), Millivolts(825));
+    }
+
+    #[test]
+    fn pending_steps_compound_within_a_tick() {
+        let mut r = vr();
+        r.step_down();
+        r.step_down();
+        r.tick();
+        assert_eq!(r.output(), Millivolts(790));
+    }
+
+    #[test]
+    fn adjustment_counter() {
+        let mut r = vr();
+        r.step_down();
+        r.tick();
+        r.step_down();
+        r.tick();
+        r.tick();
+        assert_eq!(r.adjustment_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn initial_out_of_range_panics() {
+        VoltageRegulator::new(Millivolts(400), Millivolts(500), Millivolts(1200));
+    }
+}

@@ -1,0 +1,1035 @@
+//! The chip: cores, domains, and the discrete-time simulation engine.
+
+use crate::config::ChipConfig;
+use crate::weakline::{WeakLine, WeakLineTable};
+use std::collections::HashMap;
+use std::fmt;
+use vs_cache::hierarchy::CoreCaches;
+use vs_cache::{CacheGeometry, FaultInjector};
+use vs_ecc::{CorrectableError, EccEventLog, SecDed, UncorrectableError};
+use vs_pdn::{DomainSupply, LoadCurrent, Pdn, VoltageRegulator};
+use vs_power::{EnergyMeter, FanSpeed, PowerModel, ThermalParams, ThermalState};
+use vs_sram::ChipVariation;
+use vs_types::rng::CounterRng;
+use vs_types::{
+    CacheKind, CoreId, DomainId, LineAddress, Millivolts, SetWay, SimTime, VddMode, Watts,
+};
+use vs_workload::{Demand, Workload};
+
+/// Why a core stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashReason {
+    /// Effective voltage fell below the core's logic floor.
+    LogicFloor,
+    /// An uncorrectable (multi-bit) ECC error was consumed.
+    UncorrectableError,
+}
+
+/// Details of a core crash.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashInfo {
+    /// When the crash happened.
+    pub at: SimTime,
+    /// Why.
+    pub reason: CrashReason,
+    /// Effective voltage at the moment of the crash, in millivolts.
+    pub v_eff_mv: f64,
+}
+
+/// What one [`Chip::tick`] observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickReport {
+    /// Simulation time at the *start* of the tick.
+    pub at: SimTime,
+    /// Effective voltage per domain during the tick, in millivolts.
+    pub domain_v_eff_mv: Vec<f64>,
+    /// Correctable errors raised this tick.
+    pub correctable: u64,
+    /// Cores that crashed this tick.
+    pub crashes: Vec<(CoreId, CrashInfo)>,
+    /// Total chip power this tick.
+    pub power: Watts,
+}
+
+/// Counters from one ECC-monitor probe burst (see [`Chip::monitor_probe`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProbeOutcome {
+    /// Reads issued.
+    pub accesses: u64,
+    /// Reads that raised a correctable error.
+    pub correctable: u64,
+    /// Reads that raised an uncorrectable error.
+    pub uncorrectable: u64,
+}
+
+impl ProbeOutcome {
+    /// The observed correctable-error rate (errors per access); zero when
+    /// no accesses were made.
+    pub fn error_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.correctable as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Per-core simulation state.
+struct CoreState {
+    caches: CoreCaches,
+    workload: Option<Box<dyn Workload + Send + Sync>>,
+    workload_started: SimTime,
+    rng: CounterRng,
+    crash: Option<CrashInfo>,
+    last_activity: f64,
+    /// Lines currently owned by an ECC monitor (excluded from workload
+    /// traffic).
+    monitor_lines: Vec<(CacheKind, SetWay)>,
+}
+
+impl fmt::Debug for CoreState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CoreState")
+            .field("workload", &self.workload.as_ref().map(|w| w.name().to_owned()))
+            .field("crash", &self.crash)
+            .finish()
+    }
+}
+
+/// The simulated chip multiprocessor.
+pub struct Chip {
+    config: ChipConfig,
+    variation: ChipVariation,
+    power: PowerModel,
+    domains: Vec<DomainSupply>,
+    domain_v_eff_mv: Vec<f64>,
+    cores: Vec<CoreState>,
+    weak_tables: HashMap<(CoreId, CacheKind), WeakLineTable>,
+    log: EccEventLog,
+    now: SimTime,
+    energy: EnergyMeter,
+    core_rail_energy: EnergyMeter,
+    last_core_power_w: Vec<f64>,
+    /// Accumulated operational aging applied to every cell access (hours).
+    age_hours: f64,
+    /// Dynamic enclosure thermal state; `None` keeps the configured static
+    /// temperature (the default, for exact reproducibility of the
+    /// temperature-independent experiments).
+    thermal: Option<ThermalState>,
+}
+
+impl fmt::Debug for Chip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Chip")
+            .field("mode", &self.config.mode)
+            .field("cores", &self.cores.len())
+            .field("now", &self.now)
+            .field("correctable", &self.log.correctable_count())
+            .finish()
+    }
+}
+
+impl Chip {
+    /// Builds a chip from a validated configuration.
+    pub fn new(config: ChipConfig) -> Chip {
+        config.validate();
+        let variation = ChipVariation::new(config.seed, config.sram.clone());
+        let (lo, hi) = config.regulator_range();
+        let nominal = config.mode.nominal_vdd();
+        let domains = (0..config.num_domains())
+            .map(|_| {
+                DomainSupply::new(
+                    VoltageRegulator::new(nominal, lo, hi),
+                    Pdn::new(config.pdn),
+                )
+            })
+            .collect::<Vec<_>>();
+        let cores = (0..config.num_cores)
+            .map(|i| CoreState {
+                caches: CoreCaches::new(),
+                workload: None,
+                workload_started: SimTime::ZERO,
+                rng: CounterRng::from_key(config.seed, &[0xACC, i as u64]),
+                crash: None,
+                last_activity: 0.0,
+                monitor_lines: Vec::new(),
+            })
+            .collect();
+        let n_domains = config.num_domains();
+        let nominal_mv = f64::from(nominal.0);
+        Chip {
+            last_core_power_w: vec![0.0; config.num_cores],
+            cores,
+            domains,
+            domain_v_eff_mv: vec![nominal_mv; n_domains],
+            weak_tables: HashMap::new(),
+            log: EccEventLog::new(),
+            now: SimTime::ZERO,
+            energy: EnergyMeter::new(),
+            core_rail_energy: EnergyMeter::new(),
+            power: PowerModel::new(config.power),
+            variation,
+            config,
+            age_hours: 0.0,
+            thermal: None,
+        }
+    }
+
+    /// Enables the dynamic enclosure thermal model: silicon temperature
+    /// follows dissipated power and fan speed instead of staying at the
+    /// configured constant.
+    pub fn enable_thermal(&mut self, params: ThermalParams) {
+        let idle = self.power.uncore_power(self.config.mode);
+        self.thermal = Some(ThermalState::new(params, idle));
+    }
+
+    /// Sets the enclosure fan speed (no-op unless the thermal model is
+    /// enabled).
+    pub fn set_fan(&mut self, fan: FanSpeed) {
+        if let Some(t) = &mut self.thermal {
+            t.set_fan(fan);
+        }
+    }
+
+    /// The silicon temperature the arrays currently see.
+    pub fn temperature(&self) -> vs_types::Celsius {
+        self.thermal
+            .as_ref()
+            .map_or(self.config.temperature, |t| t.temperature())
+    }
+
+    /// Overrides the static silicon temperature (used when an *external*
+    /// thermal model — e.g. a shared blade enclosure — drives it). Has no
+    /// effect while the chip's own thermal model is enabled.
+    pub fn set_static_temperature(&mut self, temperature: vs_types::Celsius) {
+        self.config.temperature = temperature;
+    }
+
+    /// Sets the accumulated silicon age. Aging raises cell critical
+    /// voltages with per-line random weights (see
+    /// [`ChipVariation::aging_shift_mv`]), so both monitor probes and
+    /// workload traffic observe it.
+    pub fn set_age_hours(&mut self, hours: f64) {
+        assert!(hours >= 0.0, "age cannot be negative");
+        self.age_hours = hours;
+    }
+
+    /// The accumulated silicon age, in hours.
+    pub fn age_hours(&self) -> f64 {
+        self.age_hours
+    }
+
+    /// The aging-induced critical-voltage shift of one line at the current
+    /// age, in millivolts. Shifting every cell of a line up by `s` is
+    /// equivalent to reading it at `v_eff − s`, which is how the analytic
+    /// paths apply it.
+    pub fn line_aging_shift_mv(&self, core: CoreId, kind: CacheKind, location: SetWay) -> f64 {
+        self.variation
+            .aging_shift_mv(core, kind, location, self.age_hours)
+    }
+
+    // ----- topology and state accessors -------------------------------
+
+    /// The configuration.
+    pub fn config(&self) -> &ChipConfig {
+        &self.config
+    }
+
+    /// The operating mode.
+    pub fn mode(&self) -> VddMode {
+        self.config.mode
+    }
+
+    /// The variation map (the "silicon").
+    pub fn variation(&self) -> &ChipVariation {
+        &self.variation
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The chip-wide ECC event log.
+    pub fn log(&self) -> &EccEventLog {
+        &self.log
+    }
+
+    /// Total socket energy so far.
+    pub fn energy(&self) -> &EnergyMeter {
+        &self.energy
+    }
+
+    /// Energy of the speculated core rails only (excludes uncore).
+    pub fn core_rail_energy(&self) -> &EnergyMeter {
+        &self.core_rail_energy
+    }
+
+    /// Power drawn by one core during the last tick, in watts.
+    pub fn core_power_w(&self, core: CoreId) -> f64 {
+        self.last_core_power_w[core.0]
+    }
+
+    /// The logic floor of a core at the current mode.
+    pub fn logic_floor(&self, core: CoreId) -> Millivolts {
+        self.variation.logic_floor(core, self.config.mode)
+    }
+
+    /// Whether a core has crashed, and how.
+    pub fn crash_info(&self, core: CoreId) -> Option<CrashInfo> {
+        self.cores[core.0].crash
+    }
+
+    /// True if any core has crashed.
+    pub fn any_crashed(&self) -> bool {
+        self.cores.iter().any(|c| c.crash.is_some())
+    }
+
+    // ----- voltage control --------------------------------------------
+
+    /// The regulator of a domain (the voltage controller's handle).
+    pub fn domain_regulator_mut(&mut self, domain: DomainId) -> &mut VoltageRegulator {
+        self.domains[domain.0].regulator_mut()
+    }
+
+    /// The regulator's current output for a domain.
+    pub fn domain_set_point(&self, domain: DomainId) -> Millivolts {
+        self.domains[domain.0].regulator().output()
+    }
+
+    /// Requests a new set point for a domain (applied next tick).
+    pub fn request_domain_voltage(&mut self, domain: DomainId, target: Millivolts) {
+        self.domains[domain.0].regulator_mut().request(target);
+    }
+
+    /// Effective voltage a domain saw during the last tick, in millivolts.
+    pub fn domain_v_eff_mv(&self, domain: DomainId) -> f64 {
+        self.domain_v_eff_mv[domain.0]
+    }
+
+    // ----- workloads ----------------------------------------------------
+
+    /// Assigns a workload to a core, starting it at the current time.
+    pub fn set_workload(&mut self, core: CoreId, workload: Box<dyn Workload + Send + Sync>) {
+        let state = &mut self.cores[core.0];
+        state.workload = Some(workload);
+        state.workload_started = self.now;
+    }
+
+    /// Removes a core's workload (the core idles in firmware).
+    pub fn clear_workload(&mut self, core: CoreId) {
+        self.cores[core.0].workload = None;
+    }
+
+    /// The name of a core's workload, if any.
+    pub fn workload_name(&self, core: CoreId) -> Option<String> {
+        self.cores[core.0]
+            .workload
+            .as_ref()
+            .map(|w| w.name().to_owned())
+    }
+
+    fn demand_of(&self, core: usize) -> Demand {
+        let state = &self.cores[core];
+        if state.crash.is_some() {
+            return Demand::idle();
+        }
+        match &state.workload {
+            Some(w) => w.demand(self.now.saturating_sub(state.workload_started)),
+            None => Demand::idle(),
+        }
+    }
+
+    // ----- weak-line tables ---------------------------------------------
+
+    /// The weak-line table of one structure (built lazily, cached).
+    pub fn weak_table(&mut self, core: CoreId, kind: CacheKind) -> &WeakLineTable {
+        let key = (core, kind);
+        if !self.weak_tables.contains_key(&key) {
+            let geometry = CacheGeometry::for_kind(kind);
+            let table = WeakLineTable::build(
+                &self.variation,
+                core,
+                kind,
+                &geometry,
+                self.config.mode,
+                self.config.weak_lines_tracked,
+            );
+            self.weak_tables.insert(key, table);
+        }
+        &self.weak_tables[&key]
+    }
+
+    // ----- ECC monitor support ------------------------------------------
+
+    /// Designates a line for exclusive ECC-monitor use: it is de-configured
+    /// from normal allocation and preloaded with the monitor's test
+    /// pattern (§III-C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not an L2 structure.
+    pub fn designate_monitor_line(&mut self, core: CoreId, kind: CacheKind, location: SetWay) {
+        assert!(kind.is_l2(), "monitors target L2 lines, got {kind}");
+        let state = &mut self.cores[core.0];
+        let cache = match kind {
+            CacheKind::L2Data => &mut state.caches.l2d,
+            CacheKind::L2Instruction => &mut state.caches.l2i,
+            _ => unreachable!(),
+        };
+        cache.disable_line(location);
+        let words = cache.geometry().words_per_line();
+        cache.store_at(location, u64::MAX, &monitor_pattern(words));
+        if !state.monitor_lines.contains(&(kind, location)) {
+            state.monitor_lines.push((kind, location));
+        }
+    }
+
+    /// Releases a previously designated monitor line back to normal use.
+    pub fn release_monitor_line(&mut self, core: CoreId, kind: CacheKind, location: SetWay) {
+        let state = &mut self.cores[core.0];
+        let cache = match kind {
+            CacheKind::L2Data => &mut state.caches.l2d,
+            CacheKind::L2Instruction => &mut state.caches.l2i,
+            _ => return,
+        };
+        cache.enable_line(location);
+        state.monitor_lines.retain(|e| *e != (kind, location));
+    }
+
+    /// Performs one monitor probe burst against a designated line:
+    /// `accesses` write-then-read cycles at the domain's current effective
+    /// voltage.
+    ///
+    /// The first few reads go through the real encoded data path (pattern
+    /// storage, fault injection, Hsiao decode); the remainder are sampled
+    /// from the identical analytic distribution. Correctable and
+    /// uncorrectable counts land both in the returned [`ProbeOutcome`] and
+    /// in the chip log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line was not designated via
+    /// [`Chip::designate_monitor_line`].
+    pub fn monitor_probe(
+        &mut self,
+        core: CoreId,
+        kind: CacheKind,
+        location: SetWay,
+        accesses: u64,
+    ) -> ProbeOutcome {
+        let mode = self.config.mode;
+        let temperature = self.temperature();
+        let v_eff = self.domain_v_eff_mv[self.config.domain_of(core).0];
+        let state = &mut self.cores[core.0];
+        assert!(
+            state.monitor_lines.contains(&(kind, location)),
+            "line {location} of {kind} is not designated for monitoring"
+        );
+        if state.crash.is_some() {
+            return ProbeOutcome::default();
+        }
+        let cache = match kind {
+            CacheKind::L2Data => &mut state.caches.l2d,
+            CacheKind::L2Instruction => &mut state.caches.l2i,
+            _ => unreachable!("designation enforces L2"),
+        };
+
+        let mut outcome = ProbeOutcome::default();
+        let n_real = accesses.min(self.config.monitor_real_reads);
+
+        // Real data-path reads.
+        let age_hours = self.age_hours;
+        for _ in 0..n_real {
+            let mut injector =
+                FaultInjector::new(&self.variation, core, mode, v_eff, &mut state.rng)
+                    .with_temperature(temperature)
+                    .with_aging_hours(age_hours);
+            let read = cache
+                .read_at(location, &mut injector)
+                .expect("designated line is always resident");
+            outcome.accesses += 1;
+            outcome.correctable += read.correctable_count() as u64;
+            if read.has_uncorrectable() {
+                outcome.uncorrectable += 1;
+            }
+            for event in &read.events {
+                let line = LineAddress::new(core, kind, location);
+                match event.outcome {
+                    vs_ecc::DecodeOutcome::Corrected { bit, syndrome, .. } => {
+                        self.log.record_correctable(CorrectableError {
+                            at: self.now,
+                            line,
+                            word: event.word,
+                            bit,
+                            syndrome,
+                        });
+                    }
+                    vs_ecc::DecodeOutcome::Uncorrectable { syndrome } => {
+                        self.log.record_uncorrectable(UncorrectableError {
+                            at: self.now,
+                            line,
+                            word: event.word,
+                            syndrome,
+                        });
+                    }
+                    vs_ecc::DecodeOutcome::Clean { .. } => {}
+                }
+            }
+        }
+
+        // Analytic remainder, sampled from the same distribution.
+        let n_analytic = accesses - n_real;
+        if n_analytic > 0 {
+            let line = self.monitor_weak_line(core, kind, location);
+            let aging = self.line_aging_shift_mv(core, kind, location);
+            let (_, p_ce, p_ue) = line.read_probabilities(v_eff - aging, temperature);
+            let state = &mut self.cores[core.0];
+            let ce = state.rng.binomial(n_analytic, p_ce);
+            let ue = state.rng.binomial(n_analytic, p_ue);
+            outcome.accesses += n_analytic;
+            outcome.correctable += ce;
+            outcome.uncorrectable += ue;
+            if ce > 0 {
+                let (word, cells) = line.weakest_word();
+                let bit = cells.weakest().bit;
+                let syndrome = single_bit_syndrome(bit);
+                // Record a representative subsample (one log entry per
+                // probe burst at most) to keep the log bounded; counters
+                // carry the full totals.
+                self.log.record_correctable(CorrectableError {
+                    at: self.now,
+                    line: LineAddress::new(core, kind, location),
+                    word,
+                    bit,
+                    syndrome,
+                });
+            }
+        }
+
+        if outcome.uncorrectable > 0 {
+            self.crash_core(core, CrashReason::UncorrectableError, v_eff);
+        }
+        outcome
+    }
+
+    /// The weak-line record backing a monitor line (from the table if it is
+    /// tracked there, else built fresh).
+    fn monitor_weak_line(&mut self, core: CoreId, kind: CacheKind, location: SetWay) -> WeakLine {
+        if let Some(found) = self
+            .weak_table(core, kind)
+            .lines()
+            .iter()
+            .find(|l| l.location == location)
+        {
+            return found.clone();
+        }
+        let geometry = CacheGeometry::for_kind(kind);
+        let words = (0..geometry.words_per_line() as u32)
+            .map(|w| {
+                self.variation
+                    .word_cells(core, kind, location, w, self.config.mode)
+            })
+            .collect::<Vec<_>>();
+        let weakest_vc_mv = words
+            .iter()
+            .map(|w| w.weakest().vc_mv)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let base = self
+            .variation
+            .params()
+            .structure(kind, self.config.mode)
+            .read_noise_mv;
+        WeakLine {
+            location,
+            words,
+            weakest_vc_mv,
+            read_noise_mv: base * self.variation.line_noise_factor(core, kind, location),
+            temp_coeff_mv_per_c: self.variation.params().temp_coeff_mv_per_c,
+        }
+    }
+
+    /// Direct access to a core's cache hierarchy (used by calibration
+    /// sweeps, which walk the caches exactly as the firmware prototype
+    /// does).
+    pub fn core_caches_mut(&mut self, core: CoreId) -> &mut CoreCaches {
+        &mut self.cores[core.0].caches
+    }
+
+    /// Builds a fault injector for calibration-time cache walks at a given
+    /// override voltage. Returns the pieces the caller needs because the
+    /// injector borrows both the variation map and the core's RNG.
+    pub fn injector_parts(&mut self, core: CoreId) -> (&ChipVariation, &mut CoreCaches, &mut CounterRng) {
+        let state = &mut self.cores[core.0];
+        (&self.variation, &mut state.caches, &mut state.rng)
+    }
+
+    // ----- the tick -----------------------------------------------------
+
+    /// Advances the simulation by one tick.
+    pub fn tick(&mut self) -> TickReport {
+        let tick = self.config.tick;
+        let tick_ms = tick.as_secs_f64() * 1.0e3;
+        let mode = self.config.mode;
+        let at = self.now;
+
+        // 1. Regulator set points take effect.
+        for d in &mut self.domains {
+            d.tick();
+        }
+
+        // 2. Demands, currents, and effective voltages.
+        let demands: Vec<Demand> = (0..self.cores.len()).map(|i| self.demand_of(i)).collect();
+        let mut loads: Vec<LoadCurrent> = vec![LoadCurrent::default(); self.domains.len()];
+        let mut core_powers = vec![0.0f64; self.cores.len()];
+        for (i, demand) in demands.iter().enumerate() {
+            let domain = self.config.domain_of(CoreId(i));
+            let v_set = self.domains[domain.0].regulator().output();
+            let p = self.power.core_power(v_set, mode, demand.activity);
+            core_powers[i] = p.0;
+            let i_dc = p.0 / v_set.as_volts();
+            // Oscillating and transient components, converted via the
+            // dynamic-power sensitivity dP/dactivity.
+            let p_per_activity = self.power.core_dynamic(v_set, mode, 1.0).0
+                - self.power.core_dynamic(v_set, mode, 0.0).0;
+            let detected_step = (demand.activity - self.cores[i].last_activity).abs();
+            let step_activity = demand
+                .activity_transient_step
+                .max(if detected_step > 0.3 { detected_step } else { 0.0 });
+            let load = LoadCurrent {
+                i_dc_amps: i_dc,
+                i_ac_amps: p_per_activity * demand.activity_osc_amplitude / v_set.as_volts(),
+                f_osc_hz: demand.osc_freq_hz,
+                transient_step_amps: p_per_activity * step_activity / v_set.as_volts(),
+            };
+            loads[domain.0] = loads[domain.0].combine(load);
+            self.cores[i].last_activity = demand.activity;
+        }
+        for (d, load) in loads.iter().enumerate() {
+            self.domain_v_eff_mv[d] = self.domains[d].effective_voltage_mv(load);
+        }
+
+        // 3. Crash checks and workload-induced ECC events.
+        let mut crashes = Vec::new();
+        let mut correctable = 0u64;
+        for i in 0..self.cores.len() {
+            if self.cores[i].crash.is_some() {
+                continue;
+            }
+            let core = CoreId(i);
+            let v_eff = self.domain_v_eff_mv[self.config.domain_of(core).0];
+            if v_eff < f64::from(self.logic_floor(core).0) {
+                let info = self.crash_core(core, CrashReason::LogicFloor, v_eff);
+                crashes.push((core, info));
+                continue;
+            }
+            let (ce, ue) = self.sample_workload_errors(core, &demands[i], v_eff, tick_ms);
+            correctable += ce;
+            if ue {
+                let info = self.crash_core(core, CrashReason::UncorrectableError, v_eff);
+                crashes.push((core, info));
+            }
+        }
+
+        // 4. Energy accounting and thermal relaxation.
+        let core_rail_power = Watts(core_powers.iter().sum());
+        let total = core_rail_power + self.power.uncore_power(mode);
+        self.energy.add(total, tick);
+        self.core_rail_energy.add(core_rail_power, tick);
+        self.last_core_power_w = core_powers;
+        if let Some(t) = &mut self.thermal {
+            t.advance(total, tick);
+        }
+
+        self.now += tick;
+        TickReport {
+            at,
+            domain_v_eff_mv: self.domain_v_eff_mv.clone(),
+            correctable,
+            crashes,
+            power: total,
+        }
+    }
+
+    /// Runs `n` ticks, returning the number of crashes observed.
+    pub fn run_ticks(&mut self, n: u64) -> u64 {
+        let mut crashes = 0;
+        for _ in 0..n {
+            crashes += self.tick().crashes.len() as u64;
+        }
+        crashes
+    }
+
+    fn crash_core(&mut self, core: CoreId, reason: CrashReason, v_eff_mv: f64) -> CrashInfo {
+        let info = CrashInfo {
+            at: self.now,
+            reason,
+            v_eff_mv,
+        };
+        self.cores[core.0].crash.get_or_insert(info);
+        info
+    }
+
+    /// Samples the ECC events a workload's own traffic produces during one
+    /// tick. Returns `(correctable_count, any_uncorrectable)`.
+    fn sample_workload_errors(
+        &mut self,
+        core: CoreId,
+        demand: &Demand,
+        v_eff: f64,
+        tick_ms: f64,
+    ) -> (u64, bool) {
+        let mode = self.config.mode;
+        let temperature = self.temperature();
+        let reuse = self.config.uniform_reuse_fraction;
+        let rf_rate = self.config.rf_weak_access_per_ms;
+        let phase = self.now.as_millis() / 2000;
+
+        let mut kinds: Vec<(CacheKind, f64, f64)> = vec![
+            (
+                CacheKind::L2Data,
+                demand.l2_accesses_per_ms * (1.0 - demand.instruction_fraction),
+                demand.footprint_fraction,
+            ),
+            (
+                CacheKind::L2Instruction,
+                demand.l2_accesses_per_ms * demand.instruction_fraction,
+                demand.footprint_fraction,
+            ),
+        ];
+        // Register files only matter at the nominal (timing-limited)
+        // point; their "footprint" is the whole array.
+        if mode == VddMode::Nominal && demand.activity > 0.0 {
+            kinds.push((CacheKind::RegisterFileInt, 0.0, 1.0));
+            kinds.push((CacheKind::RegisterFileFp, 0.0, 1.0));
+        }
+
+        let mut total_ce = 0u64;
+        let mut any_ue = false;
+        for (kind, rate_per_ms, footprint) in kinds {
+            // Ensure the table exists, then snapshot what we need.
+            let total_lines = self.weak_table(core, kind).total_lines();
+            let n_lines = self.weak_table(core, kind).lines().len();
+            for li in 0..n_lines {
+                let table = &self.weak_tables[&(core, kind)];
+                let line = &table.lines()[li];
+                let location = line.location;
+                if self.cores[core.0]
+                    .monitor_lines
+                    .contains(&(kind, location))
+                {
+                    continue; // monitor-owned: holds no workload data
+                }
+                // Expected accesses this line receives this tick.
+                let expected = if kind.is_l2() {
+                    rate_per_ms * tick_ms * reuse / total_lines as f64
+                } else {
+                    demand.activity * rf_rate * tick_ms
+                };
+                if expected <= 0.0 {
+                    continue;
+                }
+                // Is the line in the current working-set phase?
+                let mut phase_rng = CounterRng::from_key(
+                    self.config.seed,
+                    &[
+                        0xF007,
+                        core.0 as u64,
+                        kind.stream_id(),
+                        location.set as u64,
+                        location.way as u64,
+                        phase,
+                    ],
+                );
+                if !phase_rng.bernoulli(footprint) {
+                    continue;
+                }
+                let aging = if self.age_hours > 0.0 {
+                    self.line_aging_shift_mv(core, kind, location)
+                } else {
+                    0.0
+                };
+                let table = &self.weak_tables[&(core, kind)];
+                let line = &table.lines()[li];
+                let (_, p_ce, p_ue) = line.read_probabilities(v_eff - aging, temperature);
+                if p_ce <= 0.0 && p_ue <= 0.0 {
+                    // Table is sorted weakest-first: nothing below errs
+                    // either (give a generous slack for noise-factor
+                    // variation before breaking).
+                    if line.weakest_vc_mv < v_eff - 60.0 {
+                        break;
+                    }
+                    continue;
+                }
+                // Number of accesses: integer part plus Bernoulli remainder.
+                let state = &mut self.cores[core.0];
+                let n = expected.floor() as u64
+                    + u64::from(state.rng.bernoulli(expected.fract()));
+                if n == 0 {
+                    continue;
+                }
+                let ce = state.rng.binomial(n, p_ce);
+                let ue = state.rng.binomial(n, p_ue);
+                if ce > 0 {
+                    total_ce += ce;
+                    let (word, cells) = line.weakest_word();
+                    let bit = cells.weakest().bit;
+                    let line_addr = LineAddress::new(core, kind, location);
+                    let event = CorrectableError {
+                        at: self.now,
+                        line: line_addr,
+                        word,
+                        bit,
+                        syndrome: single_bit_syndrome(bit),
+                    };
+                    // Record each error (counts in Figures 3/4 come from
+                    // these logs).
+                    for _ in 0..ce {
+                        self.log.record_correctable(event);
+                    }
+                }
+                if ue > 0 {
+                    any_ue = true;
+                    let (word, _) = line.weakest_word();
+                    self.log.record_uncorrectable(UncorrectableError {
+                        at: self.now,
+                        line: LineAddress::new(core, kind, location),
+                        word,
+                        syndrome: 0b11,
+                    });
+                }
+            }
+        }
+        (total_ce, any_ue)
+    }
+
+    /// Resets time, logs, crashes, caches, and regulators to power-on
+    /// state, keeping the (expensive) weak-line tables. Used between
+    /// characterization runs on the same silicon.
+    pub fn reset(&mut self) {
+        let nominal = self.config.mode.nominal_vdd();
+        for d in &mut self.domains {
+            d.regulator_mut().request(nominal);
+            d.settle();
+        }
+        let nominal_mv = f64::from(nominal.0);
+        for v in &mut self.domain_v_eff_mv {
+            *v = nominal_mv;
+        }
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            core.caches = CoreCaches::new();
+            core.workload = None;
+            core.crash = None;
+            core.last_activity = 0.0;
+            core.monitor_lines.clear();
+            core.rng = CounterRng::from_key(self.config.seed, &[0xACC, i as u64]);
+        }
+        self.log.clear();
+        self.now = SimTime::ZERO;
+        self.energy = EnergyMeter::new();
+        self.core_rail_energy = EnergyMeter::new();
+    }
+}
+
+/// The deterministic test pattern the monitor writes before each read
+/// burst: alternating-stress patterns exercising both cell polarities.
+pub(crate) fn monitor_pattern(words: usize) -> Vec<u64> {
+    (0..words)
+        .map(|w| {
+            if w % 2 == 0 {
+                0x5555_5555_5555_5555
+            } else {
+                0xAAAA_AAAA_AAAA_AAAA
+            }
+        })
+        .collect()
+}
+
+/// The Hsiao (72,64) syndrome a single flip of `bit` produces.
+fn single_bit_syndrome(bit: u32) -> u32 {
+    let code = SecDed::hsiao_72_64();
+    match code.decode(code.inject(code.encode(0), &[bit])) {
+        vs_ecc::DecodeOutcome::Corrected { syndrome, .. } => syndrome,
+        _ => unreachable!("single flips are always correctable"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_workload::{Idle, StressTest};
+
+    /// A small config so unit tests stay fast: two cores on one domain.
+    fn small_config(seed: u64) -> ChipConfig {
+        ChipConfig {
+            num_cores: 2,
+            weak_lines_tracked: 8,
+            ..ChipConfig::low_voltage(seed)
+        }
+    }
+
+    #[test]
+    fn construction_and_defaults() {
+        let chip = Chip::new(small_config(5));
+        assert_eq!(chip.mode(), VddMode::LowVoltage);
+        assert_eq!(chip.domain_set_point(DomainId(0)), Millivolts(800));
+        assert_eq!(chip.now(), SimTime::ZERO);
+        assert!(!chip.any_crashed());
+    }
+
+    #[test]
+    fn idle_tick_is_safe_and_accounts_energy() {
+        let mut chip = Chip::new(small_config(5));
+        let report = chip.tick();
+        assert!(report.crashes.is_empty());
+        assert_eq!(report.correctable, 0);
+        assert!(report.power.0 > 0.0, "idle still burns leakage + uncore");
+        assert_eq!(chip.now(), SimTime::from_millis(1));
+        assert!(chip.energy().total().0 > 0.0);
+    }
+
+    #[test]
+    fn voltage_request_applies_next_tick() {
+        let mut chip = Chip::new(small_config(5));
+        chip.request_domain_voltage(DomainId(0), Millivolts(740));
+        assert_eq!(chip.domain_set_point(DomainId(0)), Millivolts(800));
+        chip.tick();
+        assert_eq!(chip.domain_set_point(DomainId(0)), Millivolts(740));
+    }
+
+    #[test]
+    fn effective_voltage_reflects_load() {
+        let mut chip = Chip::new(small_config(5));
+        chip.tick();
+        let idle_v = chip.domain_v_eff_mv(DomainId(0));
+        chip.set_workload(CoreId(0), Box::new(StressTest::default()));
+        chip.set_workload(CoreId(1), Box::new(StressTest::default()));
+        chip.tick();
+        let busy_v = chip.domain_v_eff_mv(DomainId(0));
+        assert!(busy_v < idle_v, "load must depress the rail ({busy_v} vs {idle_v})");
+        assert!(idle_v <= 800.0);
+    }
+
+    #[test]
+    fn low_voltage_below_floor_crashes() {
+        let mut chip = Chip::new(small_config(5));
+        let floor = chip.logic_floor(CoreId(0));
+        chip.request_domain_voltage(DomainId(0), floor - Millivolts(20));
+        let mut crashes = Vec::new();
+        for _ in 0..2 {
+            crashes.extend(chip.tick().crashes);
+        }
+        assert!(
+            crashes
+                .iter()
+                .any(|(c, i)| *c == CoreId(0) && i.reason == CrashReason::LogicFloor),
+            "expected a logic-floor crash, got {crashes:?}"
+        );
+        assert!(chip.crash_info(CoreId(0)).is_some());
+        // Crashed cores stop producing demand; ticks continue fine.
+        chip.tick();
+    }
+
+    #[test]
+    fn reset_restores_power_on_state() {
+        let mut chip = Chip::new(small_config(5));
+        chip.set_workload(CoreId(0), Box::new(StressTest::default()));
+        chip.request_domain_voltage(DomainId(0), Millivolts(540));
+        chip.run_ticks(5);
+        chip.reset();
+        assert_eq!(chip.now(), SimTime::ZERO);
+        assert_eq!(chip.domain_set_point(DomainId(0)), Millivolts(800));
+        assert!(!chip.any_crashed());
+        assert_eq!(chip.log().correctable_count(), 0);
+        assert!(chip.workload_name(CoreId(0)).is_none());
+    }
+
+    #[test]
+    fn weak_tables_cached() {
+        let mut chip = Chip::new(small_config(5));
+        let first = chip.weak_table(CoreId(0), CacheKind::L2Data).weakest().location;
+        let second = chip.weak_table(CoreId(0), CacheKind::L2Data).weakest().location;
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn monitor_probe_counts_and_rates() {
+        let mut chip = Chip::new(small_config(5));
+        let weakest = chip.weak_table(CoreId(0), CacheKind::L2Data).weakest().clone();
+        chip.designate_monitor_line(CoreId(0), CacheKind::L2Data, weakest.location);
+        chip.tick();
+
+        // At the 800 mV nominal the monitor sees nothing.
+        let clean = chip.monitor_probe(CoreId(0), CacheKind::L2Data, weakest.location, 2000);
+        assert_eq!(clean.accesses, 2000);
+        assert_eq!(clean.correctable, 0);
+
+        // Parked right at the weak cell's Vc, roughly half the reads err.
+        let target = Millivolts(weakest.weakest_vc_mv.round() as i32 + 9);
+        chip.request_domain_voltage(DomainId(0), target);
+        chip.tick();
+        let noisy = chip.monitor_probe(CoreId(0), CacheKind::L2Data, weakest.location, 4000);
+        let rate = noisy.error_rate();
+        assert!(
+            (0.02..0.98).contains(&rate),
+            "expected a mid-ramp error rate near Vc, got {rate}"
+        );
+        assert!(chip.log().correctable_count() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not designated")]
+    fn probe_requires_designation() {
+        let mut chip = Chip::new(small_config(5));
+        chip.tick();
+        chip.monitor_probe(CoreId(0), CacheKind::L2Data, SetWay::new(0, 0), 10);
+    }
+
+    #[test]
+    fn stress_at_low_voltage_produces_correctable_errors() {
+        let mut chip = Chip::new(small_config(5));
+        let first_error_v = chip
+            .weak_table(CoreId(0), CacheKind::L2Data)
+            .first_error_voltage_mv()
+            .max(chip.weak_table(CoreId(0), CacheKind::L2Instruction).first_error_voltage_mv());
+        chip.set_workload(CoreId(0), Box::new(StressTest::default()));
+        chip.set_workload(CoreId(1), Box::new(Idle));
+        // Park 25 mV below the first-error voltage: errors, no crash.
+        chip.request_domain_voltage(DomainId(0), Millivolts(first_error_v as i32 - 25));
+        // A couple of simulated minutes at 1 ms ticks.
+        let mut crashed = 0;
+        for _ in 0..120_000 {
+            crashed += chip.tick().crashes.len();
+        }
+        assert_eq!(crashed, 0, "25 mV below first error must be safe");
+        assert!(
+            chip.log().correctable_count() > 0,
+            "the stress workload must trip the weak lines"
+        );
+        // Errors come from the weak lines only.
+        let (top, _) = chip.log().hottest_line().unwrap();
+        let table = chip.weak_table(top.core, top.cache);
+        assert!(table.lines().iter().any(|l| l.location == top.location));
+    }
+
+    #[test]
+    fn monitor_line_excluded_from_workload_errors() {
+        let mut chip = Chip::new(small_config(5));
+        let weakest = chip.weak_table(CoreId(0), CacheKind::L2Data).weakest().location;
+        chip.designate_monitor_line(CoreId(0), CacheKind::L2Data, weakest);
+        chip.set_workload(CoreId(0), Box::new(StressTest::default()));
+        let v = chip.weak_table(CoreId(0), CacheKind::L2Data).first_error_voltage_mv();
+        chip.request_domain_voltage(DomainId(0), Millivolts(v as i32 - 10));
+        for _ in 0..50_000 {
+            chip.tick();
+        }
+        // No workload-attributed event may come from the designated line.
+        let from_monitor_line = chip
+            .log()
+            .correctable()
+            .iter()
+            .filter(|e| e.line.location == weakest && e.line.cache == CacheKind::L2Data)
+            .count();
+        assert_eq!(from_monitor_line, 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Experiment drivers that regenerate the paper's evaluation figures.
+//!
+//! Each submodule produces the data series of one or more figures; the
+//! `vs-bench` crate's `repro` binary formats them as the tables/plots the
+//! paper reports. Everything is deterministic in the chip seed.
+//!
+//! | Module | Figures |
+//! |---|---|
+//! | [`power`] | Fig. 10 (achieved Vdd), Fig. 11 (relative power), Fig. 17 (HW vs SW energy), Fig. 18 (energy vs Vdd) |
+//! | [`traces`] | Fig. 12 (mcf→crafty trace), Fig. 14 (stress-kernel adaptation) |
+//! | [`sensitivity`] | Fig. 13 (per-line error-probability S-curves) |
+//! | [`noise`] | Fig. 15 (NOP sweep), Fig. 16 (error rate vs Vdd under viruses) |
+//! | [`misc`] | §V-E retention experiment, §III-D temperature and aging |
+//! | [`comparison`] | extensions: guidance-mechanism comparison (§VI) and §V-C band tailoring |
+
+pub mod comparison;
+pub mod misc;
+pub mod noise;
+pub mod power;
+pub mod sensitivity;
+pub mod traces;

@@ -1,0 +1,491 @@
+//! The assembled speculation system (§III, Figure 5).
+
+use crate::calibrate::{calibrate_all, CalibrationOutcome, CalibrationPlan};
+use crate::controller::{ControllerConfig, DomainController};
+use crate::monitor::EccMonitor;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use vs_platform::{Chip, ChipConfig};
+use vs_types::{CoreId, DomainId, Millivolts, SimTime, Watts};
+use vs_workload::{Suite, Workload};
+
+/// One sample of the system's time traces (voltage / error-rate figures).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// When the sample was taken.
+    pub at: SimTime,
+    /// Regulator set point per domain.
+    pub set_point_mv: Vec<i32>,
+    /// Effective voltage per domain, in millivolts.
+    pub v_eff_mv: Vec<f64>,
+    /// Last control-period error-rate reading per domain.
+    pub error_rate: Vec<f64>,
+    /// Total chip power.
+    pub power_w: f64,
+}
+
+/// What one [`SpeculationSystem::step`] observed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepReport {
+    /// Simulation time at the start of the tick.
+    pub at: SimTime,
+    /// Total chip power during the tick.
+    pub power: Watts,
+    /// Emergency interrupts fired during the tick.
+    pub emergencies: u64,
+    /// Cores that crashed during the tick.
+    pub crashes: u64,
+}
+
+/// Statistics of one speculation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Wall-clock (simulated) duration of the run.
+    pub duration: SimTime,
+    /// Mean regulator set point per domain over the run, in millivolts.
+    pub mean_vdd_mv: Vec<f64>,
+    /// Mean chip power over the run.
+    pub mean_power_w: f64,
+    /// Total socket energy.
+    pub energy_j: f64,
+    /// Energy of the speculated core rails only.
+    pub core_rail_energy_j: f64,
+    /// Correctable errors observed (monitor + workload).
+    pub correctable: u64,
+    /// Emergency interrupts fired.
+    pub emergencies: u64,
+    /// Cores that crashed (must stay empty in a healthy run).
+    pub crashed_cores: Vec<usize>,
+    /// Periodic trace samples.
+    pub trace: Vec<TracePoint>,
+}
+
+impl RunStats {
+    /// Mean set point across domains, in millivolts.
+    pub fn average_domain_vdd(&self) -> f64 {
+        self.mean_vdd_mv.iter().sum::<f64>() / self.mean_vdd_mv.len() as f64
+    }
+
+    /// True if the run completed without crashes or data corruption.
+    pub fn is_safe(&self) -> bool {
+        self.crashed_cores.is_empty()
+    }
+
+    /// The `q`-quantile of one domain's traced set points, in millivolts
+    /// (`None` when the trace is empty or the domain index is out of
+    /// range).
+    pub fn voltage_percentile(&self, domain: usize, q: f64) -> Option<f64> {
+        let series: Vec<f64> = self
+            .trace
+            .iter()
+            .filter_map(|p| p.set_point_mv.get(domain).map(|v| f64::from(*v)))
+            .collect();
+        vs_types::stats::percentile(&series, q)
+    }
+
+    /// The `q`-quantile of one domain's traced error-rate readings.
+    pub fn error_rate_percentile(&self, domain: usize, q: f64) -> Option<f64> {
+        let series: Vec<f64> = self
+            .trace
+            .iter()
+            .filter_map(|p| p.error_rate.get(domain).copied())
+            .collect();
+        vs_types::stats::percentile(&series, q)
+    }
+}
+
+/// The complete ECC-guided voltage-speculation system: a chip plus one
+/// active monitor and controller per voltage domain.
+pub struct SpeculationSystem {
+    chip: Chip,
+    controllers: Vec<DomainController>,
+    config: ControllerConfig,
+    calibration: Vec<CalibrationOutcome>,
+    trace_spacing: SimTime,
+    /// Ticks executed under control (drives control-period scheduling for
+    /// the step-wise API).
+    ticks_run: u64,
+}
+
+impl fmt::Debug for SpeculationSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpeculationSystem")
+            .field("chip", &self.chip)
+            .field("controllers", &self.controllers.len())
+            .field("calibrated", &!self.calibration.is_empty())
+            .finish()
+    }
+}
+
+impl SpeculationSystem {
+    /// Builds the system around a fresh chip. Call one of the calibration
+    /// methods before [`SpeculationSystem::run`].
+    pub fn new(chip_config: ChipConfig, config: ControllerConfig) -> SpeculationSystem {
+        config.validate();
+        SpeculationSystem {
+            chip: Chip::new(chip_config),
+            controllers: Vec::new(),
+            config,
+            calibration: Vec::new(),
+            trace_spacing: SimTime::from_millis(100),
+            ticks_run: 0,
+        }
+    }
+
+    /// The chip under control.
+    pub fn chip(&self) -> &Chip {
+        &self.chip
+    }
+
+    /// Mutable chip access (workload assignment, inspection).
+    pub fn chip_mut(&mut self) -> &mut Chip {
+        &mut self.chip
+    }
+
+    /// The per-domain controllers (empty before calibration).
+    pub fn controllers(&self) -> &[DomainController] {
+        &self.controllers
+    }
+
+    /// Mutable controller access (used by recalibration to retarget
+    /// monitors).
+    pub fn controllers_mut(&mut self) -> &mut [DomainController] {
+        &mut self.controllers
+    }
+
+    /// Replaces one calibration record (used by recalibration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the outcome's domain does not
+    /// match the slot.
+    pub fn set_calibration_entry(&mut self, index: usize, outcome: CalibrationOutcome) {
+        assert!(index < self.calibration.len(), "calibration slot out of range");
+        assert_eq!(
+            outcome.domain.0, index,
+            "outcome domain must match its slot"
+        );
+        self.calibration[index] = outcome;
+    }
+
+    /// The calibration outcomes (empty before calibration).
+    pub fn calibration(&self) -> &[CalibrationOutcome] {
+        &self.calibration
+    }
+
+    /// Sets the spacing of trace samples (default 100 ms).
+    pub fn set_trace_spacing(&mut self, spacing: SimTime) {
+        self.trace_spacing = spacing;
+    }
+
+    /// Calibrates with an explicit plan, then activates one monitor per
+    /// domain.
+    pub fn calibrate_with(&mut self, plan: &CalibrationPlan) -> &[CalibrationOutcome] {
+        // Release any previously designated lines.
+        for ctrl in &mut self.controllers {
+            ctrl.monitor_mut().deactivate(&mut self.chip);
+        }
+        self.controllers.clear();
+        self.calibration = calibrate_all(&mut self.chip, plan);
+        for outcome in &self.calibration {
+            let mut monitor = EccMonitor::new(outcome.core, outcome.kind, outcome.line);
+            monitor.activate(&mut self.chip);
+            self.controllers
+                .push(DomainController::new(outcome.domain, monitor, self.config));
+        }
+        &self.calibration
+    }
+
+    /// Calibrates via the faithful voltage-stepped cache sweep.
+    pub fn calibrate(&mut self) -> &[CalibrationOutcome] {
+        self.calibrate_with(&CalibrationPlan::default())
+    }
+
+    /// Calibrates via the weak-line-table oracle (fast path for
+    /// experiments; finds the same lines).
+    pub fn calibrate_fast(&mut self) -> &[CalibrationOutcome] {
+        self.calibrate_with(&CalibrationPlan::fast())
+    }
+
+    /// Assigns one benchmark suite to every core, running back to back
+    /// with `per_benchmark` per entry (§IV-C runs a full suite instance on
+    /// each core).
+    pub fn assign_suite(&mut self, suite: Suite, per_benchmark: SimTime) {
+        for i in 0..self.chip.config().num_cores {
+            self.chip
+                .set_workload(CoreId(i), Box::new(suite.back_to_back(per_benchmark)));
+        }
+    }
+
+    /// Assigns a workload to one core.
+    pub fn assign_workload(&mut self, core: CoreId, workload: Box<dyn Workload + Send + Sync>) {
+        self.chip.set_workload(core, workload);
+    }
+
+    /// Advances the system by exactly one tick under closed-loop control:
+    /// chip physics, per-domain monitor probes (with the emergency path),
+    /// and — on control-period boundaries — the ±5 mV control law.
+    ///
+    /// This is the primitive [`SpeculationSystem::run`] is built on;
+    /// multi-socket compositions (see [`crate::blade`]) interleave sockets
+    /// by calling it directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has not been calibrated.
+    pub fn step(&mut self) -> StepReport {
+        assert!(
+            !self.controllers.is_empty(),
+            "calibrate the system before running it"
+        );
+        let tick = self.chip.config().tick;
+        let period_ticks = (self.config.control_period.as_micros() / tick.as_micros()).max(1);
+        let report = self.chip.tick();
+        self.ticks_run += 1;
+        let mut emergencies = 0;
+        for ctrl in &mut self.controllers {
+            if ctrl.on_tick(&mut self.chip) {
+                emergencies += 1;
+            }
+            if self.ticks_run % period_ticks == 0 {
+                ctrl.on_control_period(&mut self.chip);
+            }
+        }
+        StepReport {
+            at: report.at,
+            power: report.power,
+            emergencies,
+            crashes: report.crashes.len() as u64,
+        }
+    }
+
+    /// Runs the system for `duration`, applying the control law, and
+    /// returns run statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has not been calibrated.
+    pub fn run(&mut self, duration: SimTime) -> RunStats {
+        assert!(
+            !self.controllers.is_empty(),
+            "calibrate the system before running it"
+        );
+        let tick = self.chip.config().tick;
+        let ticks = (duration.as_micros() / tick.as_micros()).max(1);
+
+        let n_domains = self.controllers.len();
+        let mut vdd_sums = vec![0.0f64; n_domains];
+        let mut power_sum = 0.0f64;
+        let mut emergencies = 0u64;
+        let mut trace = Vec::new();
+        let mut last_trace = None::<SimTime>;
+        let energy_before = self.chip.energy().total();
+        let rail_energy_before = self.chip.core_rail_energy().total();
+        let ce_before = self.chip.log().correctable_count();
+
+        for _ in 0..ticks {
+            let report = self.step();
+            power_sum += report.power.0;
+            for (d, sum) in vdd_sums.iter_mut().enumerate() {
+                *sum += f64::from(self.chip.domain_set_point(DomainId(d)).0);
+            }
+            emergencies += report.emergencies;
+            let now = self.chip.now();
+            let due = last_trace.map_or(true, |prev| {
+                now.saturating_sub(prev) >= self.trace_spacing
+            });
+            if due {
+                last_trace = Some(now);
+                trace.push(TracePoint {
+                    at: now,
+                    set_point_mv: (0..n_domains)
+                        .map(|d| self.chip.domain_set_point(DomainId(d)).0)
+                        .collect(),
+                    v_eff_mv: (0..n_domains)
+                        .map(|d| self.chip.domain_v_eff_mv(DomainId(d)))
+                        .collect(),
+                    error_rate: self.controllers.iter().map(|c| c.last_reading()).collect(),
+                    power_w: report.power.0,
+                });
+            }
+        }
+
+        let crashed_cores = (0..self.chip.config().num_cores)
+            .filter(|i| self.chip.crash_info(CoreId(*i)).is_some())
+            .collect();
+        RunStats {
+            duration,
+            mean_vdd_mv: vdd_sums.iter().map(|s| s / ticks as f64).collect(),
+            mean_power_w: power_sum / ticks as f64,
+            energy_j: (self.chip.energy().total() - energy_before).0,
+            core_rail_energy_j: (self.chip.core_rail_energy().total() - rail_energy_before).0,
+            correctable: self.chip.log().correctable_count() - ce_before,
+            emergencies,
+            crashed_cores,
+            trace,
+        }
+    }
+
+    /// Runs the chip at fixed nominal voltage with NO speculation for
+    /// `duration` (the baseline the power figures normalize against).
+    pub fn run_baseline(&mut self, duration: SimTime) -> RunStats {
+        let tick = self.chip.config().tick;
+        let ticks = (duration.as_micros() / tick.as_micros()).max(1);
+        let nominal = self.chip.mode().nominal_vdd();
+        for d in 0..self.chip.config().num_domains() {
+            self.chip.request_domain_voltage(DomainId(d), nominal);
+        }
+        let mut power_sum = 0.0;
+        let energy_before = self.chip.energy().total();
+        let rail_before = self.chip.core_rail_energy().total();
+        let ce_before = self.chip.log().correctable_count();
+        for _ in 0..ticks {
+            power_sum += self.chip.tick().power.0;
+        }
+        let n_domains = self.chip.config().num_domains();
+        RunStats {
+            duration,
+            mean_vdd_mv: vec![f64::from(nominal.0); n_domains],
+            mean_power_w: power_sum / ticks as f64,
+            energy_j: (self.chip.energy().total() - energy_before).0,
+            core_rail_energy_j: (self.chip.core_rail_energy().total() - rail_before).0,
+            correctable: self.chip.log().correctable_count() - ce_before,
+            emergencies: 0,
+            crashed_cores: (0..self.chip.config().num_cores)
+                .filter(|i| self.chip.crash_info(CoreId(*i)).is_some())
+                .collect(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// Mean power over a window at the current instant (diagnostic).
+    pub fn instantaneous_power(&self) -> Watts {
+        Watts(
+            (0..self.chip.config().num_cores)
+                .map(|i| self.chip.core_power_w(CoreId(i)))
+                .sum(),
+        )
+    }
+
+    /// The achieved voltage reduction per domain relative to nominal, as a
+    /// fraction (e.g. 0.08 for the paper's headline 8 %).
+    pub fn voltage_reduction(stats: &RunStats, nominal: Millivolts) -> Vec<f64> {
+        stats
+            .mean_vdd_mv
+            .iter()
+            .map(|v| 1.0 - v / f64::from(nominal.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_workload::StressTest;
+
+    fn small_system(seed: u64) -> SpeculationSystem {
+        let chip_config = ChipConfig {
+            num_cores: 2,
+            weak_lines_tracked: 8,
+            ..ChipConfig::low_voltage(seed)
+        };
+        SpeculationSystem::new(chip_config, ControllerConfig::default())
+    }
+
+    #[test]
+    #[should_panic(expected = "calibrate the system")]
+    fn run_requires_calibration() {
+        small_system(3).run(SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn calibration_builds_one_controller_per_domain() {
+        let mut sys = small_system(3);
+        let outcomes = sys.calibrate_fast().to_vec();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(sys.controllers().len(), 1);
+        assert!(sys.controllers()[0].monitor().is_active());
+    }
+
+    #[test]
+    fn idle_run_reduces_voltage_and_stays_safe() {
+        let mut sys = small_system(3);
+        sys.calibrate_fast();
+        let stats = sys.run(SimTime::from_secs(30));
+        assert!(stats.is_safe(), "crashed cores: {:?}", stats.crashed_cores);
+        let avg = stats.average_domain_vdd();
+        assert!(
+            avg < 780.0,
+            "controller should speculate below nominal, got {avg}"
+        );
+        assert!(stats.correctable > 0, "the monitor generates the feedback");
+        assert!(!stats.trace.is_empty());
+        assert!(stats.energy_j > 0.0);
+    }
+
+    #[test]
+    fn loaded_run_settles_above_weak_line_vc() {
+        let mut sys = small_system(3);
+        sys.calibrate_fast();
+        let onset = f64::from(sys.calibration()[0].onset_vdd.0);
+        sys.assign_workload(CoreId(0), Box::new(StressTest::default()));
+        let stats = sys.run(SimTime::from_secs(30));
+        assert!(stats.is_safe());
+        let avg = stats.average_domain_vdd();
+        // Steady state sits a little above the weak cell's Vc (the error
+        // band), never below the logic floor.
+        assert!(
+            avg > onset - 20.0 && avg < onset + 60.0,
+            "settled at {avg} vs onset {onset}"
+        );
+    }
+
+    #[test]
+    fn baseline_burns_more_power_than_speculation() {
+        let mut sys = small_system(3);
+        sys.calibrate_fast();
+        sys.assign_workload(CoreId(0), Box::new(StressTest::default()));
+        sys.assign_workload(CoreId(1), Box::new(StressTest::default()));
+        let spec = sys.run(SimTime::from_secs(20));
+
+        let mut base_sys = small_system(3);
+        base_sys.assign_workload(CoreId(0), Box::new(StressTest::default()));
+        base_sys.assign_workload(CoreId(1), Box::new(StressTest::default()));
+        let base = base_sys.run_baseline(SimTime::from_secs(20));
+
+        assert!(
+            spec.core_rail_energy_j < base.core_rail_energy_j,
+            "speculation must save energy: {} vs {}",
+            spec.core_rail_energy_j,
+            base.core_rail_energy_j
+        );
+    }
+
+    #[test]
+    fn trace_spacing_respected() {
+        let mut sys = small_system(3);
+        sys.calibrate_fast();
+        sys.set_trace_spacing(SimTime::from_millis(500));
+        let stats = sys.run(SimTime::from_secs(5));
+        assert!(stats.trace.len() <= 11, "got {} samples", stats.trace.len());
+        assert!(stats.trace.len() >= 9);
+    }
+
+    #[test]
+    fn voltage_reduction_helper() {
+        let stats = RunStats {
+            duration: SimTime::from_secs(1),
+            mean_vdd_mv: vec![736.0, 800.0],
+            mean_power_w: 0.0,
+            energy_j: 0.0,
+            core_rail_energy_j: 0.0,
+            correctable: 0,
+            emergencies: 0,
+            crashed_cores: vec![],
+            trace: vec![],
+        };
+        let red = SpeculationSystem::voltage_reduction(&stats, Millivolts(800));
+        assert!((red[0] - 0.08).abs() < 1e-12);
+        assert_eq!(red[1], 0.0);
+    }
+}

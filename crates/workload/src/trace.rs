@@ -1,0 +1,277 @@
+//! Trace-driven workloads: replay a recorded demand time series.
+//!
+//! The built-in benchmark profiles are synthetic; a downstream user who
+//! has real telemetry (per-interval activity, cache traffic, working-set
+//! estimates from performance counters) can replay it directly. Samples
+//! are held step-wise between timestamps, and demand transitions report
+//! activity transients exactly like the native workloads do.
+
+use crate::demand::{Demand, Workload};
+use serde::{Deserialize, Serialize};
+use vs_types::SimTime;
+
+/// A workload that replays `(timestamp, demand)` samples, step-held.
+///
+/// # Examples
+///
+/// ```
+/// use vs_workload::{Demand, TraceWorkload, Workload};
+/// use vs_types::SimTime;
+///
+/// let trace = TraceWorkload::from_samples(
+///     "recorded",
+///     vec![
+///         (SimTime::ZERO, Demand { activity: 0.3, ..Demand::idle() }),
+///         (SimTime::from_secs(5), Demand { activity: 0.9, ..Demand::idle() }),
+///     ],
+/// );
+/// assert_eq!(trace.demand(SimTime::from_secs(1)).activity, 0.3);
+/// assert_eq!(trace.demand(SimTime::from_secs(6)).activity, 0.9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceWorkload {
+    name: String,
+    /// Samples sorted ascending by time; the first must be at time zero.
+    samples: Vec<(SimTime, Demand)>,
+    /// Whether to loop the trace when it runs out (else the last sample
+    /// holds).
+    looping: bool,
+}
+
+impl TraceWorkload {
+    /// Builds a trace from samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty, not sorted strictly ascending, does
+    /// not start at time zero, or contains an invalid demand.
+    pub fn from_samples(name: impl Into<String>, samples: Vec<(SimTime, Demand)>) -> TraceWorkload {
+        assert!(!samples.is_empty(), "a trace needs at least one sample");
+        assert_eq!(samples[0].0, SimTime::ZERO, "traces must start at time zero");
+        assert!(
+            samples.windows(2).all(|w| w[0].0 < w[1].0),
+            "sample timestamps must be strictly ascending"
+        );
+        assert!(
+            samples.iter().all(|(_, d)| d.is_valid()),
+            "every demand sample must be valid"
+        );
+        TraceWorkload {
+            name: name.into(),
+            samples,
+            looping: false,
+        }
+    }
+
+    /// Parses a simple CSV trace: one sample per line,
+    /// `seconds,activity,l2_accesses_per_ms,instruction_fraction,footprint_fraction`.
+    /// Lines starting with `#` are comments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn parse_csv(name: impl Into<String>, csv: &str) -> Result<TraceWorkload, String> {
+        let mut samples = Vec::new();
+        for (i, line) in csv.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+            if fields.len() != 5 {
+                return Err(format!("line {}: expected 5 fields, got {}", i + 1, fields.len()));
+            }
+            let parse = |j: usize| -> Result<f64, String> {
+                fields[j]
+                    .parse::<f64>()
+                    .map_err(|e| format!("line {}: field {}: {e}", i + 1, j + 1))
+            };
+            let at = SimTime::from_secs_f64(parse(0)?);
+            let demand = Demand {
+                activity: parse(1)?,
+                activity_osc_amplitude: 0.0,
+                osc_freq_hz: 0.0,
+                activity_transient_step: 0.0,
+                l2_accesses_per_ms: parse(2)?,
+                instruction_fraction: parse(3)?,
+                footprint_fraction: parse(4)?,
+            };
+            if !demand.is_valid() {
+                return Err(format!("line {}: invalid demand values", i + 1));
+            }
+            samples.push((at, demand));
+        }
+        if samples.is_empty() {
+            return Err("trace contains no samples".to_owned());
+        }
+        if samples[0].0 != SimTime::ZERO {
+            return Err("traces must start at time zero".to_owned());
+        }
+        if !samples.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err("sample timestamps must be strictly ascending".to_owned());
+        }
+        Ok(TraceWorkload {
+            name: name.into(),
+            samples,
+            looping: false,
+        })
+    }
+
+    /// Makes the trace loop instead of holding its last sample.
+    pub fn looping(mut self) -> TraceWorkload {
+        self.looping = true;
+        self
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if the trace holds no samples (impossible by construction, but
+    /// part of the conventional pair with [`TraceWorkload::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total span of the recorded samples (time of the last sample).
+    pub fn span(&self) -> SimTime {
+        self.samples.last().expect("non-empty").0
+    }
+
+    fn index_at(&self, t: SimTime) -> usize {
+        match self.samples.binary_search_by(|(at, _)| at.cmp(&t)) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        }
+    }
+}
+
+impl Workload for TraceWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn demand(&self, t: SimTime) -> Demand {
+        let t = if self.looping && self.span() > SimTime::ZERO {
+            SimTime::from_micros(t.as_micros() % (self.span().as_micros() + 1))
+        } else {
+            t
+        };
+        let i = self.index_at(t);
+        let mut d = self.samples[i].1;
+        // Report the step from the previous sample within the first
+        // millisecond after a transition, as native workloads do.
+        if i > 0 && t.saturating_sub(self.samples[i].0) < SimTime::from_millis(1) {
+            d.activity_transient_step =
+                (d.activity - self.samples[i - 1].1.activity).abs();
+        }
+        d
+    }
+
+    fn duration(&self) -> Option<SimTime> {
+        if self.looping {
+            None
+        } else {
+            Some(self.span())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(activity: f64) -> Demand {
+        Demand {
+            activity,
+            ..Demand::idle()
+        }
+    }
+
+    fn three_step() -> TraceWorkload {
+        TraceWorkload::from_samples(
+            "t",
+            vec![
+                (SimTime::ZERO, sample(0.2)),
+                (SimTime::from_secs(10), sample(0.8)),
+                (SimTime::from_secs(20), sample(0.4)),
+            ],
+        )
+    }
+
+    #[test]
+    fn step_hold_semantics() {
+        let t = three_step();
+        assert_eq!(t.demand(SimTime::from_secs(0)).activity, 0.2);
+        assert_eq!(t.demand(SimTime::from_secs(9)).activity, 0.2);
+        assert_eq!(t.demand(SimTime::from_secs(10)).activity, 0.8);
+        assert_eq!(t.demand(SimTime::from_secs(19)).activity, 0.8);
+        assert_eq!(t.demand(SimTime::from_secs(25)).activity, 0.4);
+        assert_eq!(t.demand(SimTime::from_secs(500)).activity, 0.4, "holds last");
+        assert_eq!(t.duration(), Some(SimTime::from_secs(20)));
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn transition_reports_transient() {
+        let t = three_step();
+        let at_switch = t.demand(SimTime::from_secs(10));
+        assert!((at_switch.activity_transient_step - 0.6).abs() < 1e-12);
+        let later = t.demand(SimTime::from_secs(10) + SimTime::from_millis(5));
+        assert_eq!(later.activity_transient_step, 0.0);
+    }
+
+    #[test]
+    fn looping_wraps_time() {
+        let t = three_step().looping();
+        assert_eq!(t.duration(), None);
+        assert_eq!(t.demand(SimTime::from_secs(21)).activity, 0.2, "wrapped");
+    }
+
+    #[test]
+    fn csv_parsing_roundtrip() {
+        let csv = "\
+# t, activity, l2/ms, ifrac, footprint
+0, 0.3, 1000, 0.2, 0.1
+5, 0.9, 2500, 0.3, 0.4
+";
+        let t = TraceWorkload::parse_csv("from-csv", csv).expect("valid");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.demand(SimTime::from_secs(1)).activity, 0.3);
+        assert_eq!(t.demand(SimTime::from_secs(6)).l2_accesses_per_ms, 2500.0);
+    }
+
+    #[test]
+    fn csv_errors_name_the_line() {
+        let err = TraceWorkload::parse_csv("bad", "0,0.3,10,0.2").unwrap_err();
+        assert!(err.contains("line 1"));
+        let err = TraceWorkload::parse_csv("bad", "0,0.3,10,0.2,nope").unwrap_err();
+        assert!(err.contains("field 5"));
+        let err = TraceWorkload::parse_csv("bad", "1,0.3,10,0.2,0.1").unwrap_err();
+        assert!(err.contains("time zero"));
+        let err = TraceWorkload::parse_csv("bad", "").unwrap_err();
+        assert!(err.contains("no samples"));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_samples_rejected() {
+        TraceWorkload::from_samples(
+            "t",
+            vec![
+                (SimTime::ZERO, sample(0.1)),
+                (SimTime::from_secs(5), sample(0.2)),
+                (SimTime::from_secs(5), sample(0.3)),
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "time zero")]
+    fn must_start_at_zero() {
+        TraceWorkload::from_samples("t", vec![(SimTime::from_secs(1), sample(0.1))]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Dual-socket blade: the evaluation platform of Table I, end to end.
+//!
+//! Two different dies share one enclosure. Each socket's speculation
+//! system rides its own silicon's weak lines; the enclosure's thermal
+//! model couples them (both feel the blade's total dissipation), and the
+//! fan knob reproduces the paper's §III-D temperature experiment at
+//! system level.
+//!
+//! ```text
+//! cargo run --release --example blade_server
+//! ```
+
+use voltspec::power::FanSpeed;
+use voltspec::spec::BladeServer;
+use voltspec::types::SimTime;
+use voltspec::workload::Suite;
+
+fn main() {
+    let mut blade = BladeServer::bl860c_i4(42);
+    blade.calibrate_fast();
+    blade.assign_suite(Suite::SpecInt2000, SimTime::from_secs(10));
+
+    println!("== BL860c-i4-style blade: two dies, one enclosure ==\n");
+
+    // Phase 1: full fans.
+    let full = blade.run(SimTime::from_secs(45));
+    assert!(full.is_safe());
+    println!("full fans:");
+    for (i, s) in full.sockets.iter().enumerate() {
+        println!(
+            "  socket {i}: mean Vdd {:.0} mV, {} correctable errors, safe={}",
+            s.average_domain_vdd(),
+            s.correctable,
+            s.is_safe()
+        );
+    }
+    println!(
+        "  blade: {:.1} W, silicon {:.1}",
+        full.mean_power_w, full.temperature
+    );
+
+    // Phase 2: slow the fans (the paper's temperature experiment).
+    blade.set_fan(FanSpeed::new(0.55));
+    let slow = blade.run(SimTime::from_secs(45));
+    assert!(slow.is_safe());
+    println!("\nfans at 55%:");
+    for (i, s) in slow.sockets.iter().enumerate() {
+        println!(
+            "  socket {i}: mean Vdd {:.0} mV, {} correctable errors, safe={}",
+            s.average_domain_vdd(),
+            s.correctable,
+            s.is_safe()
+        );
+    }
+    println!(
+        "  blade: {:.1} W, silicon {:.1}  (+{:.1} °C)",
+        slow.mean_power_w,
+        slow.temperature,
+        slow.temperature.0 - full.temperature.0
+    );
+
+    let dv: f64 = slow
+        .sockets
+        .iter()
+        .zip(&full.sockets)
+        .map(|(a, b)| (a.average_domain_vdd() - b.average_domain_vdd()).abs())
+        .fold(0.0, f64::max);
+    println!(
+        "\nlargest per-socket voltage shift across the ~20 °C swing: {dv:.1} mV — the error\n\
+         distribution barely moves with temperature (paper §III-D), so the operating points\n\
+         barely move either."
+    );
+}

@@ -1,0 +1,67 @@
+//! Silicon bring-up: characterize a die's voltage margins.
+//!
+//! This is the tool a bring-up engineer would run on first silicon: sweep
+//! each core's rail down under stress, find where correctable errors begin
+//! and where the core stops being safe, and print the per-core speculation
+//! budget (the data behind the paper's Figures 1 and 2).
+//!
+//! ```text
+//! cargo run --release --example characterize_chip [seed]
+//! ```
+
+use voltspec::platform::characterize::{all_core_margins, CharacterizeOptions};
+use voltspec::platform::{Chip, ChipConfig};
+use voltspec::types::{Millivolts, SimTime, VddMode};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    println!("== characterizing die {seed} ==");
+
+    let opts = CharacterizeOptions {
+        window: SimTime::from_secs(10),
+        step: Millivolts(5),
+    };
+
+    for mode in [VddMode::Nominal, VddMode::LowVoltage] {
+        let mut config = match mode {
+            VddMode::Nominal => ChipConfig::nominal(seed),
+            VddMode::LowVoltage => ChipConfig::low_voltage(seed),
+        };
+        config.tick = SimTime::from_millis(10);
+        let mut chip = Chip::new(config);
+        let nominal = mode.nominal_vdd();
+        println!("\n-- {mode}: nominal {nominal} --");
+        println!(
+            "{:<7} {:>13} {:>11} {:>12} {:>12}",
+            "core", "first error", "min safe", "error band", "vs nominal"
+        );
+        let margins = all_core_margins(&mut chip, &opts);
+        for m in &margins {
+            println!(
+                "{:<7} {:>13} {:>11} {:>9} mV {:>11.1}%",
+                m.core.to_string(),
+                m.first_error_vdd.to_string(),
+                m.min_safe_vdd.to_string(),
+                m.error_band().0,
+                (1.0 - m.min_safe_vdd.relative_to(nominal)) * 100.0
+            );
+        }
+        let spread = margins.iter().map(|m| m.min_safe_vdd.0).max().unwrap()
+            - margins.iter().map(|m| m.min_safe_vdd.0).min().unwrap();
+        let mean_band: f64 = margins
+            .iter()
+            .map(|m| f64::from(m.error_band().0))
+            .sum::<f64>()
+            / margins.len() as f64;
+        println!("core-to-core min-safe spread: {spread} mV; mean error band: {mean_band:.0} mV");
+    }
+
+    println!(
+        "\nthe low-voltage point shows the paper's signature: a much wider correctable-error\n\
+         band and much larger core-to-core variation — the opportunity ECC-guided speculation\n\
+         converts into power savings."
+    );
+}

@@ -1,0 +1,66 @@
+//! Quickstart: bring up one simulated die, calibrate, run a benchmark
+//! suite under closed-loop ECC-guided voltage speculation, and report the
+//! savings.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use voltspec::platform::ChipConfig;
+use voltspec::spec::{ControllerConfig, SpeculationSystem};
+use voltspec::types::{Millivolts, SimTime};
+use voltspec::workload::Suite;
+
+fn main() {
+    // The seed is the silicon: every weak cell, logic floor, and core-to-
+    // core offset follows deterministically from it.
+    let seed = 42;
+    println!("== voltspec quickstart (die seed {seed}) ==\n");
+
+    let mut system = SpeculationSystem::new(
+        ChipConfig::low_voltage(seed),
+        ControllerConfig::default(),
+    );
+
+    // Boot-time calibration: locate the weakest ECC-protected line of each
+    // voltage domain and hand it to that domain's hardware monitor.
+    println!("calibrating (weak-line discovery per voltage domain)...");
+    for outcome in system.calibrate_fast() {
+        println!(
+            "  {}: monitor on {}/{} at {}, first errors near {}",
+            outcome.domain, outcome.core, outcome.kind, outcome.line, outcome.onset_vdd
+        );
+    }
+
+    // Run CoreMark on all eight cores with the controller live.
+    println!("\nrunning CoreMark under speculation (60 simulated seconds)...");
+    system.assign_suite(Suite::CoreMark, SimTime::from_secs(15));
+    let spec = system.run(SimTime::from_secs(60));
+
+    // And the same workload on identical silicon at a fixed nominal rail.
+    let mut baseline_system = SpeculationSystem::new(
+        ChipConfig::low_voltage(seed),
+        ControllerConfig::default(),
+    );
+    baseline_system.assign_suite(Suite::CoreMark, SimTime::from_secs(15));
+    let base = baseline_system.run_baseline(SimTime::from_secs(60));
+
+    let nominal = Millivolts(800);
+    println!("\n== results ==");
+    println!("safe run:                {}", spec.is_safe());
+    println!("correctable errors:      {} (all corrected by ECC)", spec.correctable);
+    println!("emergency interrupts:    {}", spec.emergencies);
+    for (d, v) in spec.mean_vdd_mv.iter().enumerate() {
+        println!(
+            "domain {d}: mean Vdd {v:.0} mV  ({:.1}% below the {nominal} nominal)",
+            (1.0 - v / f64::from(nominal.0)) * 100.0
+        );
+    }
+    let savings = 1.0 - spec.core_rail_energy_j / base.core_rail_energy_j;
+    println!(
+        "core-rail energy: {:.1} J vs {:.1} J baseline  ->  {:.1}% saved",
+        spec.core_rail_energy_j,
+        base.core_rail_energy_j,
+        savings * 100.0
+    );
+}
