@@ -1,10 +1,9 @@
 //! Ablation benchmarks for the design choices DESIGN.md calls out:
-//! control-period, floor/ceiling band, emergency step size, and
-//! probes-per-tick. Each reports the achieved mean voltage (as a
-//! `Throughput`-style summary, lower is better) while Criterion measures
-//! the control loop's cost at that setting.
+//! control-period, floor/ceiling band, and probes-per-tick. Each times
+//! the control loop's cost at that setting (the achieved mean voltage is
+//! what `repro` reports; here only the loop cost matters).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use vs_bench::timing::{black_box, Runner};
 use vs_platform::ChipConfig;
 use vs_spec::{CalibrationPlan, ControllerConfig, SpeculationSystem};
 use vs_types::SimTime;
@@ -22,66 +21,40 @@ fn system_with(config: ControllerConfig) -> SpeculationSystem {
     sys
 }
 
-fn ablate_control_period(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_control_period");
-    group.sample_size(10);
+fn main() {
+    let mut r = Runner::from_args();
+
     for period_ms in [5u64, 10, 50, 100] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{period_ms}ms")),
-            &period_ms,
-            |b, &period_ms| {
-                let cfg = ControllerConfig {
-                    control_period: SimTime::from_millis(period_ms),
-                    ..ControllerConfig::default()
-                };
-                let mut sys = system_with(cfg);
-                b.iter(|| black_box(sys.run(SimTime::from_millis(500)).average_domain_vdd()))
-            },
-        );
+        let cfg = ControllerConfig {
+            control_period: SimTime::from_millis(period_ms),
+            ..ControllerConfig::default()
+        };
+        let mut sys = system_with(cfg);
+        r.bench(&format!("ablation_control_period/{period_ms}ms"), || {
+            black_box(sys.run(SimTime::from_millis(500)).average_domain_vdd())
+        });
     }
-    group.finish();
-}
 
-fn ablate_error_band(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_error_band");
-    group.sample_size(10);
     for (floor, ceiling) in [(0.005, 0.02), (0.01, 0.05), (0.05, 0.15)] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{floor}-{ceiling}")),
-            &(floor, ceiling),
-            |b, &(floor, ceiling)| {
-                let cfg = ControllerConfig {
-                    floor,
-                    ceiling,
-                    ..ControllerConfig::default()
-                };
-                let mut sys = system_with(cfg);
-                b.iter(|| black_box(sys.run(SimTime::from_millis(500)).average_domain_vdd()))
-            },
-        );
+        let cfg = ControllerConfig {
+            floor,
+            ceiling,
+            ..ControllerConfig::default()
+        };
+        let mut sys = system_with(cfg);
+        r.bench(&format!("ablation_error_band/{floor}-{ceiling}"), || {
+            black_box(sys.run(SimTime::from_millis(500)).average_domain_vdd())
+        });
     }
-    group.finish();
-}
 
-fn ablate_probe_rate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_probes_per_tick");
-    group.sample_size(10);
     for probes in [50u64, 250, 1000] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(probes),
-            &probes,
-            |b, &probes| {
-                let cfg = ControllerConfig {
-                    probes_per_tick: probes,
-                    ..ControllerConfig::default()
-                };
-                let mut sys = system_with(cfg);
-                b.iter(|| black_box(sys.run(SimTime::from_millis(500)).average_domain_vdd()))
-            },
-        );
+        let cfg = ControllerConfig {
+            probes_per_tick: probes,
+            ..ControllerConfig::default()
+        };
+        let mut sys = system_with(cfg);
+        r.bench(&format!("ablation_probes_per_tick/{probes}"), || {
+            black_box(sys.run(SimTime::from_millis(500)).average_domain_vdd())
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, ablate_control_period, ablate_error_band, ablate_probe_rate);
-criterion_main!(benches);

@@ -1,65 +1,60 @@
-//! Criterion benchmarks for the cache hierarchy and the targeted-test path.
+//! Micro-benchmarks for the cache hierarchy and the targeted-test path.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use vs_bench::timing::{black_box, Runner};
 use vs_cache::hierarchy::{CoreCaches, Side};
 use vs_cache::{Cache, FaultInjector, NoFaults};
 use vs_sram::{ChipVariation, SramParams};
 use vs_types::rng::CounterRng;
 use vs_types::{CacheKind, CoreId, VddMode};
 
-fn bench_fill_read(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache_fill_read");
-    group.throughput(Throughput::Bytes(128));
-    group.bench_function("l2d_fill", |b| {
+fn main() {
+    let mut r = Runner::from_args();
+
+    {
         let mut cache = Cache::with_default_geometry(CacheKind::L2Data);
         let data: Vec<u64> = (0..16).collect();
         let mut addr = 0u64;
-        b.iter(|| {
+        r.bench("cache_fill_read/l2d_fill", || {
             addr = addr.wrapping_add(128);
             black_box(cache.fill(black_box(addr % (1 << 24)), &data))
-        })
-    });
-    group.bench_function("l2d_read_hit", |b| {
+        });
+    }
+
+    {
         let mut cache = Cache::with_default_geometry(CacheKind::L2Data);
         let data: Vec<u64> = (0..16).collect();
         cache.fill(0x4000, &data);
-        b.iter(|| black_box(cache.read(black_box(0x4000), &mut NoFaults)))
-    });
-    group.finish();
-}
+        r.bench("cache_fill_read/l2d_read_hit", || {
+            black_box(cache.read(black_box(0x4000), &mut NoFaults))
+        });
+    }
 
-fn bench_read_with_faults(c: &mut Criterion) {
-    // The read path with the full physical fault model attached — what a
-    // monitor probe's "real reads" cost.
-    let chip = ChipVariation::new(2014, SramParams::default());
-    let mut cache = Cache::with_default_geometry(CacheKind::L2Data);
-    let data: Vec<u64> = (0..16).collect();
-    cache.fill(0x4000, &data);
-    let mut rng = CounterRng::from_key(1, &[]);
-    c.bench_function("cache_read_with_fault_model", |b| {
-        b.iter(|| {
+    {
+        // The read path with the full physical fault model attached — what
+        // a monitor probe's "real reads" cost.
+        let chip = ChipVariation::new(2014, SramParams::default());
+        let mut cache = Cache::with_default_geometry(CacheKind::L2Data);
+        let data: Vec<u64> = (0..16).collect();
+        cache.fill(0x4000, &data);
+        let mut rng = CounterRng::from_key(1, &[]);
+        r.bench("cache_read_with_fault_model", || {
             let mut injector =
                 FaultInjector::new(&chip, CoreId(0), VddMode::LowVoltage, 700.0, &mut rng);
             black_box(cache.read(black_box(0x4000), &mut injector))
-        })
-    });
-}
+        });
+    }
 
-fn bench_targeted_test(c: &mut Criterion) {
     // The full Figure 7 three-step procedure against one L2 set.
-    let mut group = c.benchmark_group("targeted_line_test");
-    group.bench_function("data_side", |b| {
+    {
         let mut caches = CoreCaches::new();
-        b.iter(|| black_box(caches.targeted_line_test(Side::Data, black_box(17), &mut NoFaults)))
-    });
-    group.bench_function("instruction_side", |b| {
+        r.bench("targeted_line_test/data_side", || {
+            black_box(caches.targeted_line_test(Side::Data, black_box(17), &mut NoFaults))
+        });
+    }
+    {
         let mut caches = CoreCaches::new();
-        b.iter(|| {
+        r.bench("targeted_line_test/instruction_side", || {
             black_box(caches.targeted_line_test(Side::Instruction, black_box(17), &mut NoFaults))
-        })
-    });
-    group.finish();
+        });
+    }
 }
-
-criterion_group!(benches, bench_fill_read, bench_read_with_faults, bench_targeted_test);
-criterion_main!(benches);

@@ -1,68 +1,48 @@
-//! Criterion micro-benchmarks for the Hsiao SEC-DED codec — the unit every
-//! cache read in the simulator pays for.
+//! Micro-benchmarks for the Hsiao SEC-DED codec — the unit every cache
+//! read in the simulator pays for.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use vs_bench::timing::{black_box, Runner};
 use vs_ecc::SecDed;
 
-fn bench_encode(c: &mut Criterion) {
-    let code = SecDed::hsiao_72_64();
-    let mut group = c.benchmark_group("ecc_encode");
-    group.throughput(Throughput::Bytes(8));
-    group.bench_function("hsiao_72_64", |b| {
-        let mut x = 0xDEAD_BEEF_0BAD_F00Du64;
-        b.iter(|| {
-            x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            black_box(code.encode(black_box(x)))
-        })
-    });
-    let code32 = SecDed::hsiao_39_32();
-    group.throughput(Throughput::Bytes(4));
-    group.bench_function("hsiao_39_32", |b| {
-        let mut x = 0x0BAD_F00Du64 & 0xFFFF_FFFF;
-        b.iter(|| {
-            x = (x.wrapping_mul(2654435761)) & 0xFFFF_FFFF;
-            black_box(code32.encode(black_box(x)))
-        })
-    });
-    group.finish();
-}
+fn main() {
+    let mut r = Runner::from_args();
 
-fn bench_decode(c: &mut Criterion) {
     let code = SecDed::hsiao_72_64();
+    let mut x = 0xDEAD_BEEF_0BAD_F00Du64;
+    r.bench("ecc_encode/hsiao_72_64", || {
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        black_box(code.encode(black_box(x)))
+    });
+
+    let code32 = SecDed::hsiao_39_32();
+    let mut y = 0x0BAD_F00Du64 & 0xFFFF_FFFF;
+    r.bench("ecc_encode/hsiao_39_32", || {
+        y = (y.wrapping_mul(2654435761)) & 0xFFFF_FFFF;
+        black_box(code32.encode(black_box(y)))
+    });
+
     let clean = code.encode(0xA5A5_5A5A_0123_4567);
     let flipped = code.inject(clean, &[17]);
     let double = code.inject(clean, &[3, 40]);
-    let mut group = c.benchmark_group("ecc_decode");
-    group.throughput(Throughput::Bytes(8));
-    group.bench_function("clean", |b| b.iter(|| black_box(code.decode(black_box(clean)))));
-    group.bench_function("correct_single", |b| {
-        b.iter(|| black_box(code.decode(black_box(flipped))))
+    r.bench("ecc_decode/clean", || {
+        black_box(code.decode(black_box(clean)))
     });
-    group.bench_function("detect_double", |b| {
-        b.iter(|| black_box(code.decode(black_box(double))))
+    r.bench("ecc_decode/correct_single", || {
+        black_box(code.decode(black_box(flipped)))
     });
-    group.finish();
-}
+    r.bench("ecc_decode/detect_double", || {
+        black_box(code.decode(black_box(double)))
+    });
 
-fn bench_line(c: &mut Criterion) {
     // A whole 128-byte cache line: 16 encoded words, as every L2 read does.
-    let code = SecDed::hsiao_72_64();
     let words: Vec<u128> = (0..16u64).map(|w| code.encode(w * 0x0123_4567)).collect();
-    let mut group = c.benchmark_group("ecc_line");
-    group.throughput(Throughput::Bytes(128));
-    group.bench_function("decode_16_words", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &w in &words {
-                if let Some(d) = code.decode(black_box(w)).data() {
-                    acc = acc.wrapping_add(d);
-                }
+    r.bench("ecc_line/decode_16_words", || {
+        let mut acc = 0u64;
+        for &w in &words {
+            if let Some(d) = code.decode(black_box(w)).data() {
+                acc = acc.wrapping_add(d);
             }
-            black_box(acc)
-        })
+        }
+        black_box(acc)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_encode, bench_decode, bench_line);
-criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Fleet throughput benchmark: chips/second as a function of worker
+//! count.
+//!
+//! Chips are independent pure jobs claimed dynamically off an atomic
+//! counter, so fleet throughput should scale near-linearly with physical
+//! cores: on a 4-core machine the 4-worker sweep is expected to run >2×
+//! the 1-worker rate. On a single-core machine (including some CI runners)
+//! every worker count collapses to the same rate — the table below still
+//! reports the measured scaling so the regression is visible wherever the
+//! cores exist. Determinism is *not* at stake either way: all worker
+//! counts produce bit-identical summaries (asserted here and in
+//! `tests/determinism.rs`).
+
+use std::time::Instant;
+use vs_fleet::{FleetConfig, FleetRunner};
+use vs_types::{FleetSeed, SimTime};
+
+fn sweep_config(num_chips: u64) -> FleetConfig {
+    let mut config = FleetConfig::small(FleetSeed(2014), num_chips);
+    config.run_duration = SimTime::from_millis(250);
+    config
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let num_chips: u64 = if quick { 8 } else { 32 };
+    let worker_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+
+    println!("fleet throughput — {num_chips}-chip sweep, 250 ms/chip runs");
+    println!("(available parallelism: {})", available_cores());
+    println!(
+        "{:>8} {:>12} {:>12} {:>9}",
+        "workers", "wall (s)", "chips/s", "speedup"
+    );
+
+    let mut baseline_rate = None;
+    let mut reference = None;
+    for &workers in worker_counts {
+        let runner = FleetRunner::new(sweep_config(num_chips), workers);
+        let start = Instant::now();
+        let result = runner.run().expect("fleet run failed");
+        let wall = start.elapsed().as_secs_f64();
+        let rate = num_chips as f64 / wall;
+        let speedup = baseline_rate.map_or(1.0, |base: f64| rate / base);
+        if baseline_rate.is_none() {
+            baseline_rate = Some(rate);
+        }
+        println!("{workers:>8} {wall:>12.2} {rate:>12.1} {speedup:>8.2}x");
+
+        // Scaling must never come at the cost of determinism.
+        match &reference {
+            None => reference = Some(result.summaries),
+            Some(expected) => assert_eq!(
+                expected, &result.summaries,
+                "worker count {workers} changed fleet results"
+            ),
+        }
+    }
+}
+
+fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

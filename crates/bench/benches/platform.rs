@@ -1,17 +1,17 @@
-//! Criterion benchmarks for the platform simulation engine: tick
-//! throughput and weak-line table construction.
+//! Micro-benchmarks for the platform simulation engine: tick throughput
+//! and weak-line table construction.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use vs_bench::timing::{black_box, Runner};
 use vs_cache::CacheGeometry;
 use vs_platform::{Chip, ChipConfig, WeakLineTable};
 use vs_sram::{ChipVariation, SramParams};
 use vs_types::{CacheKind, CoreId, DomainId, Millivolts, VddMode};
 use vs_workload::StressTest;
 
-fn bench_tick(c: &mut Criterion) {
-    let mut group = c.benchmark_group("chip_tick");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("idle_8_cores", |b| {
+fn main() {
+    let mut r = Runner::from_args();
+
+    {
         let mut chip = Chip::new(ChipConfig::low_voltage(2014));
         // Pre-build the lazily-constructed weak-line tables and settle the
         // regulators so calibration-phase ticks are representative.
@@ -23,9 +23,10 @@ fn bench_tick(c: &mut Criterion) {
         for _ in 0..100 {
             chip.tick();
         }
-        b.iter(|| black_box(chip.tick()))
-    });
-    group.bench_function("stress_8_cores_error_band", |b| {
+        r.bench("chip_tick/idle_8_cores", || black_box(chip.tick()));
+    }
+
+    {
         let mut chip = Chip::new(ChipConfig::low_voltage(2014));
         for i in 0..8 {
             chip.set_workload(CoreId(i), Box::new(StressTest::default()));
@@ -36,7 +37,10 @@ fn bench_tick(c: &mut Criterion) {
             let cores = chip.config().cores_in_domain(DomainId(d));
             let mut vc = f64::NEG_INFINITY;
             for core in cores {
-                vc = vc.max(chip.weak_table(core, CacheKind::L2Data).first_error_voltage_mv());
+                vc = vc.max(
+                    chip.weak_table(core, CacheKind::L2Data)
+                        .first_error_voltage_mv(),
+                );
             }
             chip.request_domain_voltage(DomainId(d), Millivolts(vc as i32 - 10));
         }
@@ -46,17 +50,14 @@ fn bench_tick(c: &mut Criterion) {
         for _ in 0..100 {
             chip.tick();
         }
-        b.iter(|| black_box(chip.tick()))
-    });
-    group.finish();
-}
+        r.bench("chip_tick/stress_8_cores_error_band", || {
+            black_box(chip.tick())
+        });
+    }
 
-fn bench_weak_table(c: &mut Criterion) {
-    let variation = ChipVariation::new(2014, SramParams::default());
-    let mut group = c.benchmark_group("weak_line_table_build");
-    group.sample_size(10);
-    group.bench_function("l2d_2048_lines", |b| {
-        b.iter(|| {
+    {
+        let variation = ChipVariation::new(2014, SramParams::default());
+        r.bench("weak_line_table_build/l2d_2048_lines", || {
             black_box(WeakLineTable::build(
                 &variation,
                 CoreId(0),
@@ -65,26 +66,20 @@ fn bench_weak_table(c: &mut Criterion) {
                 VddMode::LowVoltage,
                 24,
             ))
-        })
-    });
-    group.finish();
-}
+        });
+    }
 
-fn bench_monitor_probe(c: &mut Criterion) {
-    let mut chip = Chip::new(ChipConfig::low_voltage(2014));
-    let weak = chip.weak_table(CoreId(0), CacheKind::L2Data).weakest().clone();
-    chip.designate_monitor_line(CoreId(0), CacheKind::L2Data, weak.location);
-    chip.request_domain_voltage(DomainId(0), Millivolts(weak.weakest_vc_mv as i32 + 10));
-    chip.tick();
-    let mut group = c.benchmark_group("monitor_probe");
-    group.throughput(Throughput::Elements(250));
-    group.bench_function("burst_250", |b| {
-        b.iter(|| {
+    {
+        let mut chip = Chip::new(ChipConfig::low_voltage(2014));
+        let weak = chip
+            .weak_table(CoreId(0), CacheKind::L2Data)
+            .weakest()
+            .clone();
+        chip.designate_monitor_line(CoreId(0), CacheKind::L2Data, weak.location);
+        chip.request_domain_voltage(DomainId(0), Millivolts(weak.weakest_vc_mv as i32 + 10));
+        chip.tick();
+        r.bench("monitor_probe/burst_250", || {
             black_box(chip.monitor_probe(CoreId(0), CacheKind::L2Data, weak.location, 250))
-        })
-    });
-    group.finish();
+        });
+    }
 }
-
-criterion_group!(benches, bench_tick, bench_weak_table, bench_monitor_probe);
-criterion_main!(benches);

@@ -1,51 +1,40 @@
-//! Criterion benchmarks for the speculation system: calibration and the
-//! full control loop.
+//! Benchmarks for the speculation system: calibration and the full
+//! control loop.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use vs_bench::timing::{black_box, Runner};
 use vs_platform::ChipConfig;
 use vs_spec::{CalibrationPlan, ControllerConfig, SpeculationSystem};
 use vs_types::SimTime;
 use vs_workload::Suite;
 
-fn bench_calibration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("calibration");
-    group.sample_size(10);
-    group.bench_function("table_lookup_4_domains", |b| {
-        b.iter(|| {
-            let mut sys = SpeculationSystem::new(
-                ChipConfig::low_voltage(2014),
-                ControllerConfig::default(),
-            );
-            black_box(sys.calibrate_with(&CalibrationPlan::fast()).len())
-        })
+fn main() {
+    let mut r = Runner::from_args();
+
+    r.bench("calibration/table_lookup_4_domains", || {
+        let mut sys =
+            SpeculationSystem::new(ChipConfig::low_voltage(2014), ControllerConfig::default());
+        black_box(sys.calibrate_with(&CalibrationPlan::fast()).len())
     });
-    group.bench_function("cache_sweep_1_domain", |b| {
+
+    {
         let config = ChipConfig {
             num_cores: 2,
             weak_lines_tracked: 8,
             ..ChipConfig::low_voltage(2014)
         };
-        b.iter(|| {
+        r.bench("calibration/cache_sweep_1_domain", || {
             let mut sys = SpeculationSystem::new(config.clone(), ControllerConfig::default());
             black_box(sys.calibrate().len())
-        })
-    });
-    group.finish();
-}
+        });
+    }
 
-fn bench_control_loop(c: &mut Criterion) {
-    let mut group = c.benchmark_group("speculation_run");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(1000)); // ticks per iteration
-    group.bench_function("one_second_coremark", |b| {
+    {
         let mut sys =
             SpeculationSystem::new(ChipConfig::low_voltage(2014), ControllerConfig::default());
         sys.calibrate_with(&CalibrationPlan::fast());
         sys.assign_suite(Suite::CoreMark, SimTime::from_secs(10));
-        b.iter(|| black_box(sys.run(SimTime::from_secs(1)).correctable))
-    });
-    group.finish();
+        r.bench("speculation_run/one_second_coremark", || {
+            black_box(sys.run(SimTime::from_secs(1)).correctable)
+        });
+    }
 }
-
-criterion_group!(benches, bench_calibration, bench_control_loop);
-criterion_main!(benches);

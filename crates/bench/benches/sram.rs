@@ -1,30 +1,27 @@
-//! Criterion benchmarks for the SRAM variation model — the inner loop of
+//! Micro-benchmarks for the SRAM variation model — the inner loop of
 //! weak-line table construction and the analytic error path.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vs_bench::timing::{black_box, Runner};
 use vs_sram::{line_read_probabilities, AccessContext, ChipVariation, SramParams};
 use vs_types::rng::CounterRng;
 use vs_types::{CacheKind, Celsius, CoreId, SetWay, VddMode};
 
-fn bench_word_cells(c: &mut Criterion) {
+fn main() {
+    let mut r = Runner::from_args();
     let chip = ChipVariation::new(2014, SramParams::default());
-    let mut set = 0usize;
-    c.bench_function("sram_word_cells", |b| {
-        b.iter(|| {
-            set = (set + 1) % 256;
-            black_box(chip.word_cells(
-                CoreId(0),
-                CacheKind::L2Data,
-                SetWay::new(black_box(set), 3),
-                0,
-                VddMode::LowVoltage,
-            ))
-        })
-    });
-}
 
-fn bench_line_probabilities(c: &mut Criterion) {
-    let chip = ChipVariation::new(2014, SramParams::default());
+    let mut set = 0usize;
+    r.bench("sram_word_cells", || {
+        set = (set + 1) % 256;
+        black_box(chip.word_cells(
+            CoreId(0),
+            CacheKind::L2Data,
+            SetWay::new(black_box(set), 3),
+            0,
+            VddMode::LowVoltage,
+        ))
+    });
+
     let words: Vec<_> = (0..16)
         .map(|w| {
             chip.word_cells(
@@ -37,13 +34,10 @@ fn bench_line_probabilities(c: &mut Criterion) {
         })
         .collect();
     let ctx = AccessContext::new(700.0, 3.2);
-    c.bench_function("sram_line_read_probabilities", |b| {
-        b.iter(|| black_box(line_read_probabilities(black_box(&words), &ctx)))
+    r.bench("sram_line_read_probabilities", || {
+        black_box(line_read_probabilities(black_box(&words), &ctx))
     });
-}
 
-fn bench_sample_word_read(c: &mut Criterion) {
-    let chip = ChipVariation::new(2014, SramParams::default());
     let cells = chip.word_cells(
         CoreId(0),
         CacheKind::L2Data,
@@ -58,15 +52,7 @@ fn bench_sample_word_read(c: &mut Criterion) {
         temp_coeff_mv_per_c: 0.04,
     };
     let mut rng = CounterRng::from_key(7, &[]);
-    c.bench_function("sram_sample_word_read_at_vc", |b| {
-        b.iter(|| black_box(ctx.sample_word_read(black_box(&cells), &mut rng)))
+    r.bench("sram_sample_word_read_at_vc", || {
+        black_box(ctx.sample_word_read(black_box(&cells), &mut rng))
     });
 }
-
-criterion_group!(
-    benches,
-    bench_word_cells,
-    bench_line_probabilities,
-    bench_sample_word_read
-);
-criterion_main!(benches);

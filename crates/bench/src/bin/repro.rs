@@ -6,18 +6,25 @@
 //! repro [--quick] [--seed N] [--csv DIR] <experiment>...
 //! repro [--quick] all
 //! repro list
+//! repro --fleet N [--workers W] [--variant hw|sw|baseline] \
+//!       [--checkpoint FILE] [--seed S] [--quick]
 //! ```
 //!
 //! Experiments: `table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //! fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 retention
 //! temperature aging`.
+//!
+//! `--fleet N` switches to population mode: simulate an `N`-chip fleet in
+//! parallel across `W` worker threads and print population statistics
+//! (Vmin spread, Vdd-reduction and energy-savings distributions). Results
+//! are bit-identical for any `--workers` value.
 
 use std::io::Write as _;
 use std::time::Instant;
-use vs_bench::figures::{
-    characterization, mechanisms, noise, power, supporting, tables, Rendered,
-};
+use vs_bench::figures::{characterization, mechanisms, noise, power, supporting, tables, Rendered};
 use vs_bench::Scale;
+use vs_fleet::{ControllerVariant, FleetConfig, FleetRunner};
+use vs_types::{FleetSeed, SimTime};
 
 const ALL: &[&str] = &[
     "table1",
@@ -84,6 +91,10 @@ fn main() {
     let mut seed = Scale::REFERENCE_SEED;
     let mut csv_dir: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
+    let mut fleet_chips: Option<u64> = None;
+    let mut workers: usize = 1;
+    let mut variant = ControllerVariant::Hardware;
+    let mut checkpoint: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -104,6 +115,36 @@ fn main() {
                         .unwrap_or_else(|| die("--csv needs a directory")),
                 );
             }
+            "--fleet" => {
+                i += 1;
+                fleet_chips = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--fleet needs a chip count")),
+                );
+            }
+            "--workers" => {
+                i += 1;
+                workers = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--workers needs an integer"));
+            }
+            "--variant" => {
+                i += 1;
+                variant = args
+                    .get(i)
+                    .and_then(|s| ControllerVariant::parse(s))
+                    .unwrap_or_else(|| die("--variant must be hw, sw, or baseline"));
+            }
+            "--checkpoint" => {
+                i += 1;
+                checkpoint = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--checkpoint needs a file path")),
+                );
+            }
             "list" => {
                 for name in ALL {
                     println!("{name}");
@@ -113,13 +154,20 @@ fn main() {
             "all" => targets.extend(ALL.iter().map(|s| (*s).to_owned())),
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--seed N] [--csv DIR] <experiment>... | all | list"
+                    "usage: repro [--quick] [--seed N] [--csv DIR] <experiment>... | all | list\n\
+                            repro --fleet N [--workers W] [--variant hw|sw|baseline] \
+                     [--checkpoint FILE]"
                 );
                 return;
             }
             other => targets.push(other.to_owned()),
         }
         i += 1;
+    }
+
+    if let Some(num_chips) = fleet_chips {
+        run_fleet(num_chips, workers, variant, seed, scale, checkpoint);
+        return;
     }
 
     if targets.is_empty() {
@@ -129,16 +177,17 @@ fn main() {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("cannot create {dir}: {e}")));
     }
 
-    println!(
-        "# voltspec reproduction — seed {seed}, scale {:?}\n",
-        scale
-    );
+    println!("# voltspec reproduction — seed {seed}, scale {:?}\n", scale);
     for name in &targets {
         let start = Instant::now();
         match run_one(name, seed, scale) {
             Some(rendered) => {
                 print!("{}", rendered.to_text());
-                println!("({} in {:.1}s)\n", rendered.id, start.elapsed().as_secs_f64());
+                println!(
+                    "({} in {:.1}s)\n",
+                    rendered.id,
+                    start.elapsed().as_secs_f64()
+                );
                 if let Some(dir) = &csv_dir {
                     for (i, table) in rendered.tables.iter().enumerate() {
                         let path = format!("{dir}/{}_{i}.csv", rendered.id);
@@ -151,6 +200,66 @@ fn main() {
             None => eprintln!("unknown experiment `{name}` (try `repro list`)"),
         }
     }
+}
+
+/// Population mode: simulate a fleet of chips and print its statistics.
+fn run_fleet(
+    num_chips: u64,
+    workers: usize,
+    variant: ControllerVariant,
+    seed: u64,
+    scale: Scale,
+    checkpoint: Option<String>,
+) {
+    let mut config = match scale {
+        // Paper-faithful 8-core dies.
+        Scale::Full => FleetConfig::new(FleetSeed(seed), num_chips),
+        // 2-core dies with short runs: smoke-test scale.
+        Scale::Quick => FleetConfig::small(FleetSeed(seed), num_chips),
+    };
+    config.variant = variant;
+    if scale == Scale::Quick {
+        config.run_duration = SimTime::from_millis(500);
+    }
+
+    let mut runner = FleetRunner::new(config.clone(), workers);
+    if let Some(path) = checkpoint {
+        runner = runner.with_checkpoint(path.into());
+    }
+
+    println!(
+        "# voltspec fleet — {} chips, {} workers, variant {}, seed {seed}, scale {scale:?}\n",
+        num_chips,
+        workers.max(1),
+        variant.label()
+    );
+    let start = Instant::now();
+    let mut completed = 0u64;
+    let result = runner
+        .run_streaming(|_| {
+            completed += 1;
+            if completed.is_multiple_of(16) {
+                eprintln!(
+                    "  {completed} chips done ({:.1} chips/s)",
+                    completed as f64 / start.elapsed().as_secs_f64()
+                );
+            }
+        })
+        .unwrap_or_else(|e| die(&format!("fleet run failed: {e}")));
+    let wall = start.elapsed().as_secs_f64();
+
+    let stats = result.stats(&config);
+    print!("{}", stats.report(config.base_chip.mode.nominal_vdd()));
+    if result.resumed > 0 {
+        println!(
+            "({} simulated + {} resumed from checkpoint)",
+            result.simulated, result.resumed
+        );
+    }
+    println!(
+        "({num_chips} chips in {wall:.1}s — {:.1} chips/s)",
+        result.simulated as f64 / wall
+    );
 }
 
 fn die(msg: &str) -> ! {

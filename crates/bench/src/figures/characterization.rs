@@ -35,7 +35,13 @@ fn opts_for(scale: Scale) -> CharacterizeOptions {
 pub fn fig1(seed: u64, scale: Scale) -> Rendered {
     let mut t = Table::new(
         "Figure 1: lowest safe Vdd per core (relative to nominal)",
-        &["core", "2.53GHz min safe", "rel.", "340MHz min safe", "rel."],
+        &[
+            "core",
+            "2.53GHz min safe",
+            "rel.",
+            "340MHz min safe",
+            "rel.",
+        ],
     );
     let opts = opts_for(scale);
     let mut nominal_rows = Vec::new();
@@ -54,7 +60,8 @@ pub fn fig1(seed: u64, scale: Scale) -> Rendered {
             ),
             format!("{}", l.min_safe_vdd),
             fmt_f(
-                l.min_safe_vdd.relative_to(VddMode::LowVoltage.nominal_vdd()),
+                l.min_safe_vdd
+                    .relative_to(VddMode::LowVoltage.nominal_vdd()),
                 3,
             ),
         ]);

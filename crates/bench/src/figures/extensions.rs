@@ -23,7 +23,13 @@ pub fn baselines(seed: u64, scale: Scale) -> Rendered {
         .energy_j;
     let mut t = Table::new(
         "Extension: voltage-guidance mechanisms compared (CoreMark)",
-        &["mechanism", "mean Vdd (mV)", "rel. energy", "savings", "safe"],
+        &[
+            "mechanism",
+            "mean Vdd (mV)",
+            "rel. energy",
+            "savings",
+            "safe",
+        ],
     );
     for r in &results {
         t.row_owned(vec![

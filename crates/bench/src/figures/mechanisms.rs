@@ -17,11 +17,18 @@ use vs_workload::{VoltageVirus, Workload};
 /// Figure 5: the speculation system as integrated into the CMP — domains,
 /// cores, and which ECC monitors ended up active after calibration.
 pub fn fig5(seed: u64) -> Rendered {
-    let mut sys = SpeculationSystem::new(ChipConfig::low_voltage(seed), ControllerConfig::default());
+    let mut sys =
+        SpeculationSystem::new(ChipConfig::low_voltage(seed), ControllerConfig::default());
     sys.calibrate_with(&CalibrationPlan::fast());
     let mut t = Table::new(
         "Figure 5: system topology and active ECC monitors",
-        &["domain", "cores", "active monitor", "designated line", "onset"],
+        &[
+            "domain",
+            "cores",
+            "active monitor",
+            "designated line",
+            "onset",
+        ],
     );
     for outcome in sys.calibration() {
         let cores = sys
@@ -107,7 +114,11 @@ pub fn fig7() -> Rendered {
     }
     t.row_owned(vec![
         "1: load L2 (fill 8 ways)".into(),
-        format!("{} lines, stride {:#x}", plan.load_l2.len(), plan.load_l2[1] - plan.load_l2[0]),
+        format!(
+            "{} lines, stride {:#x}",
+            plan.load_l2.len(),
+            plan.load_l2[1] - plan.load_l2[0]
+        ),
         format!("{levels:?}"),
     ]);
     // Step 2.
@@ -151,7 +162,8 @@ pub fn fig7() -> Rendered {
 /// Figure 8: the ECC monitor framework — one probe cycle with live
 /// counters.
 pub fn fig8(seed: u64) -> Rendered {
-    let mut sys = SpeculationSystem::new(ChipConfig::low_voltage(seed), ControllerConfig::default());
+    let mut sys =
+        SpeculationSystem::new(ChipConfig::low_voltage(seed), ControllerConfig::default());
     sys.calibrate_with(&CalibrationPlan::fast());
     let onset = sys.calibration()[0].onset_vdd;
     let domain = DomainId(0);

@@ -122,8 +122,7 @@ pub fn fig13(seed: u64, scale: Scale) -> Rendered {
     }
     Rendered {
         id: "fig13".into(),
-        note: "gradual S-curve onset gives the controller resolution to hold the 1-5% band"
-            .into(),
+        note: "gradual S-curve onset gives the controller resolution to hold the 1-5% band".into(),
         tables: vec![t, ramps],
     }
 }
@@ -171,7 +170,13 @@ pub fn fig18(seed: u64, scale: Scale) -> Rendered {
     let points = energy_vs_vdd(seed, CoreId(0), window, step);
     let mut t = Table::new(
         "Figure 18: core energy vs Vdd, hardware vs software speculation",
-        &["Vdd", "hardware rel. energy", "software rel. energy", "errors", "safe"],
+        &[
+            "Vdd",
+            "hardware rel. energy",
+            "software rel. energy",
+            "errors",
+            "safe",
+        ],
     );
     for p in &points {
         t.row_owned(vec![

@@ -11,7 +11,10 @@ use vs_types::CoreId;
 /// §V-E: the retention experiment — errors are access-time, not storage.
 pub fn retention(seed: u64) -> Rendered {
     let r = retention_experiment(seed, CoreId(0), 60);
-    let mut t = Table::new("Retention experiment (paper section V-E)", &["item", "value"]);
+    let mut t = Table::new(
+        "Retention experiment (paper section V-E)",
+        &["item", "value"],
+    );
     t.row_owned(vec!["write voltage".into(), r.write_vdd.to_string()]);
     t.row_owned(vec!["dwell voltage".into(), r.dwell_vdd.to_string()]);
     t.row_owned(vec!["dwell duration".into(), format!("{} s", r.dwell_secs)]);
@@ -90,7 +93,12 @@ pub fn aging(seed: u64) -> Rendered {
     // Drift of one core's designated line across service-life horizons.
     let mut t = Table::new(
         "Aging drift, core 0 (paper section III-D)",
-        &["age (hours)", "weakest line", "changed?", "errors on fresh line @ onset"],
+        &[
+            "age (hours)",
+            "weakest line",
+            "changed?",
+            "errors on fresh line @ onset",
+        ],
     );
     for hours in [0.0, 50_000.0, 100_000.0, 200_000.0] {
         let r = aging_experiment(seed, CoreId(0), hours);
@@ -107,7 +115,12 @@ pub fn aging(seed: u64) -> Rendered {
     // horizon.
     let mut per_core = Table::new(
         "Weak-line ranking at 200k hours, all cores",
-        &["core", "fresh weakest", "aged weakest", "recalibration retargets?"],
+        &[
+            "core",
+            "fresh weakest",
+            "aged weakest",
+            "recalibration retargets?",
+        ],
     );
     for core in 0..8 {
         let r = aging_experiment(seed, CoreId(core), 200_000.0);

@@ -10,9 +10,15 @@ use vs_workload::Suite;
 /// Table I: architectural and system details of the simulated platform.
 pub fn table1() -> Rendered {
     let config = ChipConfig::low_voltage(crate::Scale::REFERENCE_SEED);
-    let mut t = Table::new("Table I: simulated platform configuration", &["item", "value"]);
+    let mut t = Table::new(
+        "Table I: simulated platform configuration",
+        &["item", "value"],
+    );
     t.row(&["Processor", "simulated Itanium-9560-class CMP"]);
-    t.row_owned(vec!["Cores".into(), format!("{}, in-order", config.num_cores)]);
+    t.row_owned(vec![
+        "Cores".into(),
+        format!("{}, in-order", config.num_cores),
+    ]);
     t.row_owned(vec![
         "Frequency".into(),
         format!(
@@ -66,11 +72,11 @@ pub fn table1() -> Rendered {
         ),
     ]);
     t.row(&["Max TDP", "170 W (power-model anchor)"]);
-    t.row(&["ECC", "Hsiao SEC-DED (72,64) caches, (39,32) register files"]);
-    t.row_owned(vec![
-        "Control tick".into(),
-        format!("{}", config.tick),
+    t.row(&[
+        "ECC",
+        "Hsiao SEC-DED (72,64) caches, (39,32) register files",
     ]);
+    t.row_owned(vec!["Control tick".into(), format!("{}", config.tick)]);
     Rendered {
         id: "table1".into(),
         note: "architectural and system details of the simulated evaluation platform".into(),
@@ -122,7 +128,14 @@ mod tests {
     #[test]
     fn table2_lists_all_suites() {
         let text = table2().to_text();
-        for s in ["CoreMark", "SPECjbb2005", "SPECint", "SPECfp", "mcf", "swim"] {
+        for s in [
+            "CoreMark",
+            "SPECjbb2005",
+            "SPECint",
+            "SPECfp",
+            "mcf",
+            "swim",
+        ] {
             assert!(text.contains(s), "missing {s}");
         }
     }

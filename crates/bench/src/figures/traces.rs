@@ -26,11 +26,7 @@ pub fn fig12(seed: u64, scale: Scale) -> Rendered {
         Scale::Quick => SimTime::from_secs(6),
     };
     let r = mcf_crafty_trace(seed, per_benchmark);
-    let t = trace_table(
-        "Figure 12: Vdd + error-rate trace, mcf -> crafty",
-        &r,
-        40,
-    );
+    let t = trace_table("Figure 12: Vdd + error-rate trace, mcf -> crafty", &r, 40);
     let mut summary = Table::new("Run summary", &["item", "value"]);
     summary.row_owned(vec!["safe".into(), r.stats.is_safe().to_string()]);
     summary.row_owned(vec![

@@ -11,6 +11,7 @@
 
 pub mod figures;
 pub mod report;
+pub mod timing;
 
 /// How big to run the experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -2,13 +2,12 @@
 
 use crate::fault::Injector;
 use crate::geometry::CacheGeometry;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use vs_ecc::{DecodeOutcome, SecDed};
 use vs_types::{CacheKind, SetWay};
 
 /// What the ECC logic observed while reading one word of a line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WordEvent {
     /// Word index within the line.
     pub word: u32,
@@ -17,7 +16,7 @@ pub struct WordEvent {
 }
 
 /// The result of reading a full line through the ECC data path.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LineReadResult {
     /// The location the line was read from.
     pub location: SetWay,
@@ -45,7 +44,7 @@ impl LineReadResult {
 }
 
 /// One resident line: tag plus encoded payload.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct LineState {
     tag: u64,
     /// Hsiao (72,64) codewords.
@@ -60,7 +59,7 @@ struct LineState {
 /// replacement, line disable) and the *data path* (encode on fill/write,
 /// decode with fault injection on read), which is what the reproduced
 /// experiments depend on.
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct Cache {
     kind: CacheKind,
     geometry: CacheGeometry,
@@ -84,7 +83,10 @@ impl fmt::Debug for Cache {
         f.debug_struct("Cache")
             .field("kind", &self.kind)
             .field("geometry", &self.geometry)
-            .field("resident", &self.slots.iter().filter(|s| s.is_some()).count())
+            .field(
+                "resident",
+                &self.slots.iter().filter(|s| s.is_some()).count(),
+            )
             .field("disabled", &self.disabled)
             .finish()
     }
@@ -216,7 +218,7 @@ impl Cache {
                         break;
                     }
                     Some(line) => {
-                        if victim.map_or(true, |(_, lru)| line.lru < lru) {
+                        if victim.is_none_or(|(_, lru)| line.lru < lru) {
                             victim = Some((loc, line.lru));
                         }
                     }
@@ -303,7 +305,7 @@ impl Cache {
                 DecodeOutcome::Uncorrectable { .. } => {
                     // Surface the true stored value for the caller's
                     // correctness checks, but mark the word poisoned.
-                    data.push((stored as u64) & u64::MAX);
+                    data.push(stored as u64);
                     events.push(WordEvent {
                         word: w as u32,
                         outcome,

@@ -158,7 +158,8 @@ mod tests {
         let mut inj = FaultInjector::new(&chip, CoreId(0), VddMode::LowVoltage, 800.0, &mut rng);
         for set in 0..32 {
             assert!(
-                inj.flips(CacheKind::L2Data, SetWay::new(set, 0), 0).is_empty(),
+                inj.flips(CacheKind::L2Data, SetWay::new(set, 0), 0)
+                    .is_empty(),
                 "no flips expected at nominal voltage"
             );
         }
@@ -208,8 +209,12 @@ mod tests {
         let chip = ChipVariation::new(7, SramParams::default());
         let mut rng = CounterRng::from_key(5, &[]);
         let inj = FaultInjector::new(&chip, CoreId(0), VddMode::LowVoltage, 700.0, &mut rng);
-        let a = inj.context(CacheKind::L2Data, SetWay::new(1, 0)).read_noise_mv;
-        let b = inj.context(CacheKind::L2Data, SetWay::new(2, 0)).read_noise_mv;
+        let a = inj
+            .context(CacheKind::L2Data, SetWay::new(1, 0))
+            .read_noise_mv;
+        let b = inj
+            .context(CacheKind::L2Data, SetWay::new(2, 0))
+            .read_noise_mv;
         assert_ne!(a, b, "per-line noise factors must differ");
     }
 }

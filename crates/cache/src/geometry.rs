@@ -1,6 +1,5 @@
 //! Cache geometry and physical-address mapping.
 
-use serde::{Deserialize, Serialize};
 use vs_types::{CacheKind, SetWay};
 
 /// The shape of one set-associative structure and the address arithmetic
@@ -17,7 +16,7 @@ use vs_types::{CacheKind, SetWay};
 /// assert_eq!(l2d.sets * l2d.ways * l2d.line_bytes, 256 * 1024);
 /// assert_eq!(l2d.words_per_line(), 16);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheGeometry {
     /// Number of sets.
     pub sets: usize,
@@ -37,10 +36,19 @@ impl CacheGeometry {
     /// Panics if any dimension is zero, if `sets` or `line_bytes` is not a
     /// power of two, or if `line_bytes` is not a multiple of 8.
     pub fn new(sets: usize, ways: usize, line_bytes: usize, latency_cycles: u32) -> CacheGeometry {
-        assert!(sets > 0 && ways > 0 && line_bytes > 0, "dimensions must be positive");
+        assert!(
+            sets > 0 && ways > 0 && line_bytes > 0,
+            "dimensions must be positive"
+        );
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!(line_bytes % 8 == 0, "line size must hold whole 64-bit words");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            line_bytes.is_multiple_of(8),
+            "line size must hold whole 64-bit words"
+        );
         CacheGeometry {
             sets,
             ways,
@@ -148,7 +156,10 @@ mod tests {
         assert_eq!(CacheGeometry::l1_instruction().capacity_bytes(), 16 * 1024);
         assert_eq!(CacheGeometry::l2_data().capacity_bytes(), 256 * 1024);
         assert_eq!(CacheGeometry::l2_instruction().capacity_bytes(), 512 * 1024);
-        assert_eq!(CacheGeometry::l3_unified().capacity_bytes(), 32 * 1024 * 1024);
+        assert_eq!(
+            CacheGeometry::l3_unified().capacity_bytes(),
+            32 * 1024 * 1024
+        );
     }
 
     #[test]

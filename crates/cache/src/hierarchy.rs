@@ -16,11 +16,10 @@
 
 use crate::cache::{Cache, LineReadResult};
 use crate::fault::Injector;
-use serde::{Deserialize, Serialize};
 use vs_types::CacheKind;
 
 /// Which side of the split hierarchy an access goes to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Side {
     /// Instruction fetch path (L1I → L2I).
     Instruction,
@@ -29,7 +28,7 @@ pub enum Side {
 }
 
 /// Where an access was satisfied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HitLevel {
     /// Satisfied by the L1.
     L1,
@@ -41,7 +40,7 @@ pub enum HitLevel {
 }
 
 /// The outcome of one access through the hierarchy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AccessOutcome {
     /// Where the access hit.
     pub level: HitLevel,
@@ -138,8 +137,7 @@ impl CoreCaches {
             // Fill the L1 with the (corrected) data.
             let l1_words = l1.geometry().words_per_line();
             let l1_base = l1.geometry().line_base(addr);
-            let offset_words =
-                ((l1_base - l2.geometry().line_base(addr)) / 8) as usize;
+            let offset_words = ((l1_base - l2.geometry().line_base(addr)) / 8) as usize;
             let slice: Vec<u64> = read.data[offset_words..offset_words + l1_words].to_vec();
             l1.fill(l1_base, &slice);
             return AccessOutcome {
@@ -185,7 +183,7 @@ impl CoreCaches {
         let mut k = 1u64;
         while evict_l1.len() < l1_geom.ways {
             let addr = base + k * l1_geom.same_set_stride();
-            if addr % l2_geom.same_set_stride() != 0 || l2_geom.set_of(addr) != set {
+            if !addr.is_multiple_of(l2_geom.same_set_stride()) || l2_geom.set_of(addr) != set {
                 evict_l1.push(addr);
             }
             k += 1;
@@ -229,7 +227,7 @@ impl CoreCaches {
 
 /// The address plan for one targeted test (exposed for the Figure 7 trace
 /// report and for tests).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TargetedTestPlan {
     /// Which side of the hierarchy is tested.
     pub side: Side,
@@ -269,7 +267,7 @@ mod tests {
         let mut evicted = 0;
         let mut k = 1u64;
         while evicted < cc.l1d.geometry().ways {
-            let conflict = addr + k as u64 * l1_stride;
+            let conflict = addr + k * l1_stride;
             if conflict % l2_stride != addr % l2_stride {
                 cc.access(Side::Data, conflict, &mut NoFaults);
                 evicted += 1;

@@ -17,11 +17,10 @@
 
 use crate::fault::Injector;
 use crate::hierarchy::{CoreCaches, Side};
-use serde::{Deserialize, Serialize};
 use vs_types::SetWay;
 
 /// The result of sweeping one structure at one voltage.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepReport {
     /// Which side was swept.
     pub side: Side,

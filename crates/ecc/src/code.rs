@@ -7,12 +7,11 @@
 //! error produces a nonzero *even*-weight syndrome, which can never be
 //! mistaken for a correctable single-bit error.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::OnceLock;
 
 /// Result of decoding one codeword.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DecodeOutcome {
     /// Syndrome zero: the stored word was read back intact.
     Clean {
@@ -285,7 +284,13 @@ mod tests {
     #[test]
     fn clean_roundtrip() {
         let code = SecDed::hsiao_72_64();
-        for data in [0u64, 1, u64::MAX, 0xDEAD_BEEF_0BAD_F00D, 0x5555_5555_5555_5555] {
+        for data in [
+            0u64,
+            1,
+            u64::MAX,
+            0xDEAD_BEEF_0BAD_F00D,
+            0x5555_5555_5555_5555,
+        ] {
             let word = code.encode(data);
             assert_eq!(code.decode(word), DecodeOutcome::Clean { data });
             assert_eq!(code.syndrome(word), 0);

@@ -5,13 +5,12 @@
 //! logs used both for characterization (which lines are weak?) and to drive
 //! the speculation algorithm. [`EccEventLog`] plays that role here.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use vs_types::{CacheKind, CoreId, LineAddress, SimTime};
 
 /// A single-bit error that the ECC hardware corrected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CorrectableError {
     /// When the event was raised.
     pub at: SimTime,
@@ -40,7 +39,7 @@ impl fmt::Display for CorrectableError {
 /// In the real system this is a machine-check condition; in the simulator it
 /// marks a run as unsafe (the speculation system must never reach it in
 /// steady state).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct UncorrectableError {
     /// When the event was raised.
     pub at: SimTime,
@@ -63,7 +62,7 @@ impl fmt::Display for UncorrectableError {
 }
 
 /// Either kind of ECC event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EccEvent {
     /// A corrected single-bit error.
     Correctable(CorrectableError),
@@ -109,7 +108,7 @@ impl EccEvent {
 /// assert_eq!(log.correctable_count(), 1);
 /// assert_eq!(log.count_for_core(CoreId(0), CacheKind::L2Data), 1);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct EccEventLog {
     correctable: Vec<CorrectableError>,
     uncorrectable: Vec<UncorrectableError>,

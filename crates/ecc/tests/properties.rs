@@ -1,94 +1,149 @@
 //! Property-based tests for the Hsiao SEC-DED codec, including the
 //! guarantees the code does *not* make (triple-bit behaviour).
+//!
+//! These are hand-rolled property loops driven by the workspace's own
+//! deterministic [`CounterRng`] rather than an external fuzzing crate, so
+//! the suite builds fully offline and every failure is reproducible from
+//! the printed case index.
 
-use proptest::prelude::*;
 use vs_ecc::{DecodeOutcome, SecDed};
+use vs_types::rng::CounterRng;
 
-proptest! {
-    /// Encode/decode is the identity on clean words for both geometries.
-    #[test]
-    fn roundtrip_72_64(data: u64) {
-        let code = SecDed::hsiao_72_64();
-        prop_assert_eq!(code.decode(code.encode(data)), DecodeOutcome::Clean { data });
+const CASES: usize = 256;
+
+/// Encode/decode is the identity on clean words for both geometries.
+#[test]
+fn roundtrip_72_64() {
+    let mut rng = CounterRng::from_key(0xECC0, &[1]);
+    let code = SecDed::hsiao_72_64();
+    for case in 0..CASES {
+        let data = rng.next_u64();
+        assert_eq!(
+            code.decode(code.encode(data)),
+            DecodeOutcome::Clean { data },
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn roundtrip_39_32(data in 0u64..(1 << 32)) {
-        let code = SecDed::hsiao_39_32();
-        prop_assert_eq!(code.decode(code.encode(data)), DecodeOutcome::Clean { data });
+#[test]
+fn roundtrip_39_32() {
+    let mut rng = CounterRng::from_key(0xECC0, &[2]);
+    let code = SecDed::hsiao_39_32();
+    for case in 0..CASES {
+        let data = rng.next_u64() & 0xFFFF_FFFF;
+        assert_eq!(
+            code.decode(code.encode(data)),
+            DecodeOutcome::Clean { data },
+            "case {case}"
+        );
     }
+}
 
-    /// The syndrome of a clean codeword is always zero, and nonzero for
-    /// any single corruption.
-    #[test]
-    fn syndrome_zero_iff_clean(data: u64, bit in 0u32..72) {
-        let code = SecDed::hsiao_72_64();
+/// The syndrome of a clean codeword is always zero, and nonzero for any
+/// single corruption.
+#[test]
+fn syndrome_zero_iff_clean() {
+    let mut rng = CounterRng::from_key(0xECC0, &[3]);
+    let code = SecDed::hsiao_72_64();
+    for case in 0..CASES {
+        let data = rng.next_u64();
+        let bit = rng.next_below(72) as u32;
         let word = code.encode(data);
-        prop_assert_eq!(code.syndrome(word), 0);
-        prop_assert_ne!(code.syndrome(code.inject(word, &[bit])), 0);
+        assert_eq!(code.syndrome(word), 0, "case {case}");
+        assert_ne!(code.syndrome(code.inject(word, &[bit])), 0, "case {case}");
     }
+}
 
-    /// Check-bit errors are corrected without touching the data.
-    #[test]
-    fn check_bit_errors_leave_data_intact(data: u64, check_bit in 64u32..72) {
-        let code = SecDed::hsiao_72_64();
+/// Check-bit errors are corrected without touching the data.
+#[test]
+fn check_bit_errors_leave_data_intact() {
+    let mut rng = CounterRng::from_key(0xECC0, &[4]);
+    let code = SecDed::hsiao_72_64();
+    for case in 0..CASES {
+        let data = rng.next_u64();
+        let check_bit = 64 + rng.next_below(8) as u32;
         let word = code.encode(data);
         match code.decode(code.inject(word, &[check_bit])) {
             DecodeOutcome::Corrected { data: d, bit, .. } => {
-                prop_assert_eq!(d, data);
-                prop_assert_eq!(bit, check_bit);
+                assert_eq!(d, data, "case {case}");
+                assert_eq!(bit, check_bit, "case {case}");
             }
-            other => prop_assert!(false, "got {:?}", other),
+            other => panic!("case {case}: got {other:?}"),
         }
     }
+}
 
-    /// Triple-bit errors are OUTSIDE the code's guarantee: they may decode
-    /// as anything except a silent clean result equal to a *wrong* value
-    /// with zero syndrome... in fact an odd number of flips always yields
-    /// a nonzero syndrome for an odd-weight-column code, so a triple flip
-    /// is never reported Clean.
-    #[test]
-    fn triple_flips_never_decode_clean(
-        data: u64,
-        a in 0u32..72,
-        b in 0u32..72,
-        c in 0u32..72,
-    ) {
-        prop_assume!(a != b && b != c && a != c);
-        let code = SecDed::hsiao_72_64();
+/// Triple-bit errors are OUTSIDE the code's guarantee: they may decode as
+/// anything except a silent clean result — an odd number of flips always
+/// yields a nonzero syndrome for an odd-weight-column code, so a triple
+/// flip is never reported Clean.
+#[test]
+fn triple_flips_never_decode_clean() {
+    let mut rng = CounterRng::from_key(0xECC0, &[5]);
+    let code = SecDed::hsiao_72_64();
+    let mut tried = 0;
+    while tried < CASES {
+        let data = rng.next_u64();
+        let a = rng.next_below(72) as u32;
+        let b = rng.next_below(72) as u32;
+        let c = rng.next_below(72) as u32;
+        if a == b || b == c || a == c {
+            continue;
+        }
+        tried += 1;
         let word = code.encode(data);
         let outcome = code.decode(code.inject(word, &[a, b, c]));
-        let clean = matches!(outcome, DecodeOutcome::Clean { .. });
-        prop_assert!(!clean, "triple flip decoded clean: {:?}", outcome);
+        assert!(
+            !matches!(outcome, DecodeOutcome::Clean { .. }),
+            "triple flip ({a},{b},{c}) decoded clean: {outcome:?}"
+        );
     }
+}
 
-    /// Correction is idempotent: decoding the corrected word again is
-    /// clean.
-    #[test]
-    fn correction_is_idempotent(data: u64, bit in 0u32..72) {
-        let code = SecDed::hsiao_72_64();
+/// Correction is idempotent: decoding the corrected word again is clean.
+#[test]
+fn correction_is_idempotent() {
+    let mut rng = CounterRng::from_key(0xECC0, &[6]);
+    let code = SecDed::hsiao_72_64();
+    for case in 0..CASES {
+        let data = rng.next_u64();
+        let bit = rng.next_below(72) as u32;
         let corrupted = code.inject(code.encode(data), &[bit]);
         if let DecodeOutcome::Corrected { data: d, .. } = code.decode(corrupted) {
-            prop_assert_eq!(code.decode(code.encode(d)), DecodeOutcome::Clean { data: d });
+            assert_eq!(
+                code.decode(code.encode(d)),
+                DecodeOutcome::Clean { data: d },
+                "case {case}"
+            );
         } else {
-            prop_assert!(false, "single flip must correct");
+            panic!("case {case}: single flip must correct");
         }
     }
+}
 
-    /// Custom geometries keep the SEC-DED guarantees as long as enough
-    /// odd-weight columns exist.
-    #[test]
-    fn custom_geometry_sec_ded(data in 0u64..(1 << 16), a in 0u32..22, b in 0u32..22) {
-        let code = SecDed::new(16, 6);
-        prop_assert_eq!(code.codeword_bits(), 22);
+/// Custom geometries keep the SEC-DED guarantees as long as enough
+/// odd-weight columns exist.
+#[test]
+fn custom_geometry_sec_ded() {
+    let mut rng = CounterRng::from_key(0xECC0, &[7]);
+    let code = SecDed::new(16, 6);
+    assert_eq!(code.codeword_bits(), 22);
+    for case in 0..CASES {
+        let data = rng.next_u64() & 0xFFFF;
+        let a = rng.next_below(22) as u32;
+        let b = rng.next_below(22) as u32;
         let word = code.encode(data);
         // Single: corrected.
         let got = code.decode(code.inject(word, &[a]));
-        let corrected = matches!(got, DecodeOutcome::Corrected { data: d, .. } if d == data);
-        prop_assert!(corrected);
+        assert!(
+            matches!(got, DecodeOutcome::Corrected { data: d, .. } if d == data),
+            "case {case}: {got:?}"
+        );
         // Double: detected.
-        prop_assume!(a != b);
-        let got = code.decode(code.inject(word, &[a, b]));
-        prop_assert!(got.is_uncorrectable());
+        if a != b {
+            let got = code.decode(code.inject(word, &[a, b]));
+            assert!(got.is_uncorrectable(), "case {case}: {got:?}");
+        }
     }
 }

@@ -1,0 +1,372 @@
+//! Checkpoint/resume for long fleet sweeps.
+//!
+//! The checkpoint is a line-oriented text file: a header binding the file
+//! to a [`FleetConfig::fingerprint`](crate::FleetConfig::fingerprint),
+//! then one line per completed chip. Floating-point fields are stored as
+//! their exact IEEE-754 bit patterns (16 hex digits), so a resumed fleet
+//! aggregates to *bit-identical* statistics — text round-tripping loses
+//! nothing.
+//!
+//! Saves are atomic (write to a sibling temp file, then rename), so a
+//! sweep killed mid-save leaves the previous checkpoint intact. Loading
+//! tolerates a truncated final line for the same reason.
+
+use crate::summary::{ChipSummary, CoreMarginSummary};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+use vs_types::ChipId;
+
+/// File-format magic: first line of every checkpoint.
+const MAGIC: &str = "voltspec-fleet-checkpoint v1";
+
+/// Why a checkpoint could not be loaded.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The file is not a v1 fleet checkpoint, or a record is malformed.
+    Format(String),
+    /// The checkpoint belongs to a different fleet configuration.
+    FingerprintMismatch {
+        /// Fingerprint of the config attempting to resume.
+        expected: u64,
+        /// Fingerprint recorded in the file.
+        found: u64,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Format(msg) => write!(f, "malformed checkpoint: {msg}"),
+            CheckpointError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different fleet config \
+                 (expected fingerprint {expected:016x}, file has {found:016x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> CheckpointError {
+        CheckpointError::Io(e)
+    }
+}
+
+fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn parse_f64_hex(s: &str) -> Result<f64, CheckpointError> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| CheckpointError::Format(format!("bad f64 bit pattern {s:?}")))
+}
+
+fn parse_u64(s: &str) -> Result<u64, CheckpointError> {
+    s.parse()
+        .map_err(|_| CheckpointError::Format(format!("bad integer {s:?}")))
+}
+
+fn parse_i32(s: &str) -> Result<i32, CheckpointError> {
+    s.parse()
+        .map_err(|_| CheckpointError::Format(format!("bad integer {s:?}")))
+}
+
+/// Renders one chip record as a single checkpoint line.
+fn encode_chip(s: &ChipSummary) -> String {
+    let margins = s
+        .margins
+        .iter()
+        .map(|m| format!("{}:{}:{}", m.core, m.first_error_mv, m.min_safe_mv))
+        .collect::<Vec<_>>()
+        .join(";");
+    let join_hex = |v: &[f64]| v.iter().map(|x| f64_hex(*x)).collect::<Vec<_>>().join(",");
+    format!(
+        "chip {} seed={:016x} margins={} vdd={} red={} es={} ce={} em={} cr={} sw={}",
+        s.chip.0,
+        s.die_seed,
+        margins,
+        join_hex(&s.mean_vdd_mv),
+        join_hex(&s.vdd_reduction),
+        f64_hex(s.energy_savings),
+        s.correctable,
+        s.emergencies,
+        s.crashes,
+        f64_hex(s.sw_overhead),
+    )
+}
+
+/// Parses one chip record line. Returns `Ok(None)` for an incomplete
+/// (truncated) line so partial final writes do not poison a resume.
+fn decode_chip(line: &str) -> Result<Option<ChipSummary>, CheckpointError> {
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some("chip") {
+        return Err(CheckpointError::Format(format!(
+            "expected a chip record, got {line:?}"
+        )));
+    }
+    let chip = match parts.next() {
+        Some(id) => ChipId(parse_u64(id)?),
+        None => return Ok(None),
+    };
+    let mut die_seed = None;
+    let mut margins = None;
+    let mut mean_vdd_mv = None;
+    let mut vdd_reduction = None;
+    let mut energy_savings = None;
+    let mut correctable = None;
+    let mut emergencies = None;
+    let mut crashes = None;
+    let mut sw_overhead = None;
+    for field in parts {
+        let (key, value) = field
+            .split_once('=')
+            .ok_or_else(|| CheckpointError::Format(format!("field {field:?} is not key=value")))?;
+        match key {
+            "seed" => {
+                die_seed = Some(
+                    u64::from_str_radix(value, 16)
+                        .map_err(|_| CheckpointError::Format(format!("bad seed {value:?}")))?,
+                )
+            }
+            "margins" => {
+                let mut list = Vec::new();
+                for entry in value.split(';').filter(|e| !e.is_empty()) {
+                    let mut nums = entry.split(':');
+                    let core = nums
+                        .next()
+                        .ok_or_else(|| CheckpointError::Format("empty margin entry".into()))?;
+                    let fe = nums.next().ok_or_else(|| {
+                        CheckpointError::Format(format!("margin entry {entry:?} truncated"))
+                    })?;
+                    let ms = nums.next().ok_or_else(|| {
+                        CheckpointError::Format(format!("margin entry {entry:?} truncated"))
+                    })?;
+                    list.push(CoreMarginSummary {
+                        core: parse_u64(core)? as usize,
+                        first_error_mv: parse_i32(fe)?,
+                        min_safe_mv: parse_i32(ms)?,
+                    });
+                }
+                margins = Some(list);
+            }
+            "vdd" | "red" => {
+                let list = value
+                    .split(',')
+                    .filter(|e| !e.is_empty())
+                    .map(parse_f64_hex)
+                    .collect::<Result<Vec<f64>, _>>()?;
+                if key == "vdd" {
+                    mean_vdd_mv = Some(list);
+                } else {
+                    vdd_reduction = Some(list);
+                }
+            }
+            "es" => energy_savings = Some(parse_f64_hex(value)?),
+            "ce" => correctable = Some(parse_u64(value)?),
+            "em" => emergencies = Some(parse_u64(value)?),
+            "cr" => crashes = Some(parse_u64(value)?),
+            "sw" => sw_overhead = Some(parse_f64_hex(value)?),
+            other => {
+                return Err(CheckpointError::Format(format!(
+                    "unknown field {other:?} in chip record"
+                )))
+            }
+        }
+    }
+    // A record missing trailing fields is a truncated final write.
+    match (
+        die_seed,
+        margins,
+        mean_vdd_mv,
+        vdd_reduction,
+        energy_savings,
+        correctable,
+        emergencies,
+        crashes,
+        sw_overhead,
+    ) {
+        (
+            Some(die_seed),
+            Some(margins),
+            Some(mean_vdd_mv),
+            Some(vdd_reduction),
+            Some(energy_savings),
+            Some(correctable),
+            Some(emergencies),
+            Some(crashes),
+            Some(sw_overhead),
+        ) => Ok(Some(ChipSummary {
+            chip,
+            die_seed,
+            margins,
+            mean_vdd_mv,
+            vdd_reduction,
+            energy_savings,
+            correctable,
+            emergencies,
+            crashes,
+            sw_overhead,
+        })),
+        _ => Ok(None),
+    }
+}
+
+/// Atomically writes a checkpoint: header, then one line per summary in
+/// chip-id order.
+pub fn save(
+    path: &Path,
+    fingerprint: u64,
+    summaries: &[ChipSummary],
+) -> Result<(), CheckpointError> {
+    let mut sorted: Vec<&ChipSummary> = summaries.iter().collect();
+    sorted.sort_by_key(|s| s.chip);
+    let mut text = String::new();
+    text.push_str(MAGIC);
+    text.push('\n');
+    text.push_str(&format!("fingerprint {fingerprint:016x}\n"));
+    for s in sorted {
+        text.push_str(&encode_chip(s));
+        text.push('\n');
+    }
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, text)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads a checkpoint, verifying it belongs to the config with
+/// `fingerprint`. Returns the completed summaries (chip-id order).
+///
+/// A truncated final record (e.g. the process died mid-write without the
+/// atomic rename, or the file was hand-edited) is skipped, not fatal.
+pub fn load(path: &Path, fingerprint: u64) -> Result<Vec<ChipSummary>, CheckpointError> {
+    let text = fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(MAGIC) => {}
+        other => {
+            return Err(CheckpointError::Format(format!(
+                "bad header {other:?} (expected {MAGIC:?})"
+            )))
+        }
+    }
+    let found = match lines.next().and_then(|l| l.strip_prefix("fingerprint ")) {
+        Some(hex) => u64::from_str_radix(hex, 16)
+            .map_err(|_| CheckpointError::Format(format!("bad fingerprint {hex:?}")))?,
+        None => return Err(CheckpointError::Format("missing fingerprint line".into())),
+    };
+    if found != fingerprint {
+        return Err(CheckpointError::FingerprintMismatch {
+            expected: fingerprint,
+            found,
+        });
+    }
+    let mut summaries = Vec::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(summary) = decode_chip(line)? {
+            summaries.push(summary);
+        }
+    }
+    summaries.sort_by_key(|s| s.chip);
+    Ok(summaries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("vs-fleet-checkpoint-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn summary(id: u64) -> ChipSummary {
+        ChipSummary {
+            chip: ChipId(id),
+            die_seed: 0xDEAD_BEEF ^ id,
+            margins: vec![
+                CoreMarginSummary {
+                    core: 0,
+                    first_error_mv: 735,
+                    min_safe_mv: 640,
+                },
+                CoreMarginSummary {
+                    core: 1,
+                    first_error_mv: 720,
+                    min_safe_mv: 655,
+                },
+            ],
+            // Deliberately awkward values: round-tripping must be exact.
+            mean_vdd_mv: vec![743.333_333_333_1, 760.000_000_000_2],
+            vdd_reduction: vec![0.1 + 0.2 - 0.3 + 0.07, f64::MIN_POSITIVE],
+            energy_savings: 1.0 / 3.0,
+            correctable: 12345,
+            emergencies: 2,
+            crashes: 0,
+            sw_overhead: 0.0123456789,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let path = scratch("roundtrip.ckpt");
+        let originals: Vec<ChipSummary> = (0..5).map(summary).collect();
+        save(&path, 0xABCD, &originals).unwrap();
+        let loaded = load(&path, 0xABCD).unwrap();
+        assert_eq!(originals, loaded);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_refused() {
+        let path = scratch("fingerprint.ckpt");
+        save(&path, 1, &[summary(0)]).unwrap();
+        match load(&path, 2) {
+            Err(CheckpointError::FingerprintMismatch { expected, found }) => {
+                assert_eq!(expected, 2);
+                assert_eq!(found, 1);
+            }
+            other => panic!("expected fingerprint mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_final_record_is_skipped() {
+        let path = scratch("truncated.ckpt");
+        save(&path, 7, &[summary(0), summary(1)]).unwrap();
+        let mut text = fs::read_to_string(&path).unwrap();
+        // Chop the last record mid-field.
+        let cut = text.rfind("es=").unwrap();
+        text.truncate(cut);
+        fs::write(&path, text).unwrap();
+        let loaded = load(&path, 7).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].chip, ChipId(0));
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        let path = scratch("garbage.ckpt");
+        fs::write(&path, "not a checkpoint\n").unwrap();
+        assert!(matches!(load(&path, 0), Err(CheckpointError::Format(_))));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let path = scratch("does-not-exist.ckpt");
+        let _ = fs::remove_file(&path);
+        assert!(matches!(load(&path, 0), Err(CheckpointError::Io(_))));
+    }
+}

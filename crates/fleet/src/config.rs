@@ -1,0 +1,272 @@
+//! Fleet configuration: what population to simulate and how.
+
+use vs_platform::characterize::CharacterizeOptions;
+use vs_platform::ChipConfig;
+use vs_spec::{ControllerConfig, SoftwareConfig};
+use vs_types::rng::splitmix64;
+use vs_types::{ChipId, FleetSeed, SimTime};
+use vs_workload::AssignmentPolicy;
+
+/// Which speculation mechanism every chip of the fleet runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControllerVariant {
+    /// The paper's hardware ECC-monitor controller (§III).
+    Hardware,
+    /// The firmware/software speculation baseline (prior work, §V-F).
+    Software,
+    /// No speculation: fixed nominal voltage (the energy denominator).
+    Baseline,
+}
+
+impl ControllerVariant {
+    /// Short label used in reports and checkpoints.
+    pub fn label(self) -> &'static str {
+        match self {
+            ControllerVariant::Hardware => "hw",
+            ControllerVariant::Software => "sw",
+            ControllerVariant::Baseline => "baseline",
+        }
+    }
+
+    /// Parses a label produced by [`ControllerVariant::label`].
+    pub fn parse(s: &str) -> Option<ControllerVariant> {
+        match s {
+            "hw" => Some(ControllerVariant::Hardware),
+            "sw" => Some(ControllerVariant::Software),
+            "baseline" => Some(ControllerVariant::Baseline),
+            _ => None,
+        }
+    }
+}
+
+/// How per-core voltage margins are characterized for each die.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MarginsMode {
+    /// Oracle margins straight from the silicon model
+    /// ([`vs_platform::characterize::analytic_core_margins`]) —
+    /// milliseconds per die; the fleet default.
+    Analytic,
+    /// Measured margins via the faithful voltage-stepped stress sweeps
+    /// (seconds per core — reserve for small fleets).
+    Measured(CharacterizeOptions),
+}
+
+/// Full description of one fleet experiment.
+///
+/// A fleet is `num_chips` independent dies. Die `i`'s silicon is derived
+/// purely from `(seed, wafer, i)`; its workloads purely from the
+/// assignment policy and the same key. Nothing depends on worker count or
+/// scheduling, which is what makes fleet results bit-identical under any
+/// sharding (asserted by `tests/determinism.rs`).
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Master seed: one number determines the whole population.
+    pub seed: FleetSeed,
+    /// Number of chips to simulate.
+    pub num_chips: u64,
+    /// Process-variation re-draw generation. Bumping this re-draws every
+    /// die's variation map (a fresh wafer) while keeping chip ids, counts
+    /// and workload policy fixed — the knob population-robustness
+    /// experiments turn.
+    pub wafer: u64,
+    /// Template chip configuration; the per-die `seed` field is
+    /// overwritten for each chip.
+    pub base_chip: ChipConfig,
+    /// Which speculation mechanism the fleet runs.
+    pub variant: ControllerVariant,
+    /// Hardware-controller tunables (used by the `Hardware` variant).
+    pub controller: ControllerConfig,
+    /// Firmware-baseline tunables (used by the `Software` variant).
+    pub software: SoftwareConfig,
+    /// How workloads are assigned to cores across the population.
+    pub assignment: AssignmentPolicy,
+    /// Simulated duration of each chip's speculation run.
+    pub run_duration: SimTime,
+    /// How margins are characterized.
+    pub margins: MarginsMode,
+    /// Ticks per resumable-run slice (granularity of progress reporting;
+    /// does not affect results).
+    pub slice_ticks: u64,
+}
+
+impl FleetConfig {
+    /// A fleet of `num_chips` reference dies with paper-faithful defaults:
+    /// 8-core chips, hardware controller, suites split round-robin across
+    /// the population, analytic margins.
+    pub fn new(seed: FleetSeed, num_chips: u64) -> FleetConfig {
+        FleetConfig {
+            seed,
+            num_chips,
+            wafer: 0,
+            base_chip: ChipConfig::low_voltage(0),
+            variant: ControllerVariant::Hardware,
+            controller: ControllerConfig::default(),
+            software: SoftwareConfig::default(),
+            assignment: AssignmentPolicy::RoundRobinSuites {
+                per_benchmark: SimTime::from_secs(1),
+            },
+            run_duration: SimTime::from_secs(4),
+            margins: MarginsMode::Analytic,
+            slice_ticks: 1000,
+        }
+    }
+
+    /// A reduced-cost fleet for tests: 2-core dies, short runs.
+    pub fn small(seed: FleetSeed, num_chips: u64) -> FleetConfig {
+        let mut config = FleetConfig::new(seed, num_chips);
+        config.base_chip.num_cores = 2;
+        config.base_chip.weak_lines_tracked = 8;
+        config.run_duration = SimTime::from_secs(2);
+        config
+    }
+
+    /// The seed the population is actually drawn from: the master seed
+    /// re-keyed by the wafer generation (generation 0 is the master seed
+    /// itself).
+    pub fn effective_seed(&self) -> FleetSeed {
+        if self.wafer == 0 {
+            self.seed
+        } else {
+            FleetSeed(splitmix64(
+                self.seed.0 ^ splitmix64(0x57AF_E800 ^ self.wafer),
+            ))
+        }
+    }
+
+    /// The die seed of one chip.
+    pub fn die_seed(&self, chip: ChipId) -> u64 {
+        self.effective_seed().chip_seed(chip)
+    }
+
+    /// The full chip configuration of one die.
+    pub fn chip_config(&self, chip: ChipId) -> ChipConfig {
+        ChipConfig {
+            seed: self.die_seed(chip),
+            ..self.base_chip.clone()
+        }
+    }
+
+    /// A stable fingerprint of everything that determines per-chip
+    /// results. Checkpoints record it; resuming under a config with a
+    /// different fingerprint is refused (the saved summaries would be
+    /// silently wrong).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = splitmix64(0xF1EE_F1EE ^ self.seed.0);
+        let mut mix = |v: u64| h = splitmix64(h ^ v);
+        mix(self.wafer);
+        mix(self.base_chip.seed); // template seed is ignored per-die
+        mix(self.base_chip.num_cores as u64);
+        mix(self.base_chip.cores_per_domain as u64);
+        mix(self.base_chip.weak_lines_tracked as u64);
+        mix(self.base_chip.tick.as_micros());
+        mix(match self.base_chip.mode {
+            vs_types::VddMode::LowVoltage => 1,
+            vs_types::VddMode::Nominal => 2,
+        });
+        mix(self
+            .variant
+            .label()
+            .bytes()
+            .fold(0u64, |a, b| splitmix64(a ^ u64::from(b))));
+        mix(self.run_duration.as_micros());
+        mix(match self.margins {
+            MarginsMode::Analytic => 1,
+            MarginsMode::Measured(opts) => {
+                splitmix64(2 ^ opts.window.as_micros() ^ (opts.step.0 as u64) << 32)
+            }
+        });
+        mix(self
+            .assignment
+            .label()
+            .bytes()
+            .fold(0u64, |a, b| splitmix64(a ^ u64::from(b))));
+        h
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated constraint.
+    pub fn validate(&self) {
+        assert!(self.num_chips > 0, "a fleet needs at least one chip");
+        assert!(self.slice_ticks > 0, "slice_ticks must be positive");
+        assert!(
+            self.run_duration > SimTime::ZERO,
+            "run_duration must be positive"
+        );
+        self.base_chip.validate();
+        self.controller.validate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        FleetConfig::new(FleetSeed(1), 16).validate();
+        FleetConfig::small(FleetSeed(1), 4).validate();
+    }
+
+    #[test]
+    fn die_seeds_are_distinct_and_stable() {
+        let cfg = FleetConfig::new(FleetSeed(5), 8);
+        let again = FleetConfig::new(FleetSeed(5), 8);
+        for i in 0..8 {
+            assert_eq!(cfg.die_seed(ChipId(i)), again.die_seed(ChipId(i)));
+            for j in (i + 1)..8 {
+                assert_ne!(cfg.die_seed(ChipId(i)), cfg.die_seed(ChipId(j)));
+            }
+        }
+    }
+
+    #[test]
+    fn wafer_redraw_changes_every_die_but_generation_zero_is_master() {
+        let base = FleetConfig::new(FleetSeed(5), 8);
+        let redrawn = FleetConfig {
+            wafer: 1,
+            ..FleetConfig::new(FleetSeed(5), 8)
+        };
+        assert_eq!(base.effective_seed(), FleetSeed(5));
+        for i in 0..8 {
+            assert_ne!(base.die_seed(ChipId(i)), redrawn.die_seed(ChipId(i)));
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_result_relevant_fields() {
+        let a = FleetConfig::new(FleetSeed(5), 8);
+        let same = FleetConfig::new(FleetSeed(5), 8);
+        assert_eq!(a.fingerprint(), same.fingerprint());
+        let other_seed = FleetConfig::new(FleetSeed(6), 8);
+        assert_ne!(a.fingerprint(), other_seed.fingerprint());
+        let other_wafer = FleetConfig {
+            wafer: 3,
+            ..FleetConfig::new(FleetSeed(5), 8)
+        };
+        assert_ne!(a.fingerprint(), other_wafer.fingerprint());
+        let other_variant = FleetConfig {
+            variant: ControllerVariant::Software,
+            ..FleetConfig::new(FleetSeed(5), 8)
+        };
+        assert_ne!(a.fingerprint(), other_variant.fingerprint());
+        // Chip count is deliberately NOT in the fingerprint: growing a
+        // fleet resumes cleanly from a smaller run's checkpoint.
+        let more_chips = FleetConfig::new(FleetSeed(5), 32);
+        assert_eq!(a.fingerprint(), more_chips.fingerprint());
+    }
+
+    #[test]
+    fn variant_labels_round_trip() {
+        for v in [
+            ControllerVariant::Hardware,
+            ControllerVariant::Software,
+            ControllerVariant::Baseline,
+        ] {
+            assert_eq!(ControllerVariant::parse(v.label()), Some(v));
+        }
+        assert_eq!(ControllerVariant::parse("nope"), None);
+    }
+}

@@ -1,0 +1,273 @@
+//! The per-chip unit of work: simulate one die of the fleet end to end.
+//!
+//! [`simulate_chip`] is a pure function of `(FleetConfig, ChipId)` — it
+//! derives the die, its margins, its workloads, runs the configured
+//! controller variant against a fixed-nominal baseline, and returns one
+//! [`ChipSummary`]. Nothing in here reads shared state, so any worker can
+//! run any chip in any order and the fleet's aggregate is unchanged.
+
+use crate::config::{ControllerVariant, FleetConfig, MarginsMode};
+use crate::summary::{ChipSummary, CoreMarginSummary};
+use vs_platform::characterize::{all_analytic_core_margins, all_core_margins};
+use vs_platform::{Chip, ChipConfig};
+use vs_spec::{SoftwareSpeculation, SpecRun, SpeculationSystem};
+use vs_types::rng::CounterRng;
+use vs_types::{CacheKind, ChipId, CoreId, Millivolts};
+
+/// Stream id of the per-chip workload-assignment RNG (domain-separated
+/// from every other [`FleetSeed::chip_rng`](vs_types::FleetSeed::chip_rng)
+/// consumer).
+const ASSIGN_STREAM: u64 = 0xA551_6E00;
+
+/// Simulates one chip of the fleet and returns its summary.
+pub fn simulate_chip(config: &FleetConfig, chip: ChipId) -> ChipSummary {
+    let chip_config = config.chip_config(chip);
+    let die_seed = chip_config.seed;
+    let margins = characterize(config, &chip_config);
+
+    let (
+        mean_vdd_mv,
+        vdd_reduction,
+        energy_savings,
+        correctable,
+        emergencies,
+        crashes,
+        sw_overhead,
+    ) = match config.variant {
+        ControllerVariant::Hardware => run_hardware(config, chip, &chip_config),
+        ControllerVariant::Software => run_software(config, chip, &chip_config),
+        ControllerVariant::Baseline => run_baseline_only(config, chip, &chip_config),
+    };
+
+    ChipSummary {
+        chip,
+        die_seed,
+        margins,
+        mean_vdd_mv,
+        vdd_reduction,
+        energy_savings,
+        correctable,
+        emergencies,
+        crashes,
+        sw_overhead,
+    }
+}
+
+/// Characterizes the die's per-core margins on a scratch chip (stress
+/// sweeps perturb chip state, so the run below starts from fresh silicon).
+fn characterize(config: &FleetConfig, chip_config: &ChipConfig) -> Vec<CoreMarginSummary> {
+    let mut scratch = Chip::new(chip_config.clone());
+    let measured = match &config.margins {
+        MarginsMode::Analytic => all_analytic_core_margins(&mut scratch),
+        MarginsMode::Measured(opts) => all_core_margins(&mut scratch, opts),
+    };
+    measured
+        .into_iter()
+        .map(|m| CoreMarginSummary {
+            core: m.core.0,
+            first_error_mv: m.first_error_vdd.0,
+            min_safe_mv: m.min_safe_vdd.0,
+        })
+        .collect()
+}
+
+/// The chip's workload-assignment RNG. Recreating it from the key yields
+/// the same draws, which is how the speculation run and its baseline get
+/// identical workloads without sharing state.
+fn assignment_rng(config: &FleetConfig, chip: ChipId) -> CounterRng {
+    config.effective_seed().chip_rng(chip, ASSIGN_STREAM)
+}
+
+/// Assigns the policy's workloads to every core of a chip.
+fn assign_workloads(config: &FleetConfig, chip: ChipId, target: &mut Chip) {
+    let mut rng = assignment_rng(config, chip);
+    for core in 0..target.config().num_cores {
+        let workload = config.assignment.workload_for(chip.0, core, &mut rng);
+        target.set_workload(CoreId(core), workload);
+    }
+}
+
+type RunOutcome = (Vec<f64>, Vec<f64>, f64, u64, u64, u64, f64);
+
+/// Runs the fixed-nominal baseline on fresh silicon with the same
+/// workloads; returns its core-rail energy (the savings denominator).
+fn baseline_rail_energy(config: &FleetConfig, chip: ChipId, chip_config: &ChipConfig) -> f64 {
+    let mut sys = SpeculationSystem::new(chip_config.clone(), config.controller);
+    assign_workloads(config, chip, sys.chip_mut());
+    let base = sys.run_baseline(config.run_duration);
+    base.core_rail_energy_j
+}
+
+/// The paper's hardware controller (§III), normalized against the
+/// fixed-nominal baseline.
+fn run_hardware(config: &FleetConfig, chip: ChipId, chip_config: &ChipConfig) -> RunOutcome {
+    let mut sys = SpeculationSystem::new(chip_config.clone(), config.controller);
+    sys.calibrate_fast();
+    assign_workloads(config, chip, sys.chip_mut());
+    let mut session = SpecRun::new(&sys, config.run_duration);
+    while session.advance(&mut sys, config.slice_ticks) > 0 {}
+    let stats = session.finish(&sys);
+
+    let nominal = sys.chip().mode().nominal_vdd();
+    let reduction = SpeculationSystem::voltage_reduction(&stats, nominal);
+    let base_energy = baseline_rail_energy(config, chip, chip_config);
+    let savings = if base_energy > 0.0 {
+        1.0 - stats.core_rail_energy_j / base_energy
+    } else {
+        0.0
+    };
+    (
+        stats.mean_vdd_mv,
+        reduction,
+        savings,
+        stats.correctable,
+        stats.emergencies,
+        stats.crashed_cores.len() as u64,
+        0.0,
+    )
+}
+
+/// The firmware-speculation baseline (§V-F): workload-triggered errors
+/// only, guard margin above the off-line onsets, per-error handling stall.
+fn run_software(config: &FleetConfig, chip: ChipId, chip_config: &ChipConfig) -> RunOutcome {
+    let mut die = Chip::new(chip_config.clone());
+    assign_workloads(config, chip, &mut die);
+
+    // The off-line calibration the prior-work system ran at boot: the
+    // highest weak-line critical voltage per domain (oracle form).
+    let n_domains = chip_config.num_domains();
+    let mut onsets = vec![f64::NEG_INFINITY; n_domains];
+    for core in 0..chip_config.num_cores {
+        let d = chip_config.domain_of(CoreId(core)).0;
+        for kind in [CacheKind::L2Data, CacheKind::L2Instruction] {
+            onsets[d] = onsets[d].max(die.weak_table(CoreId(core), kind).first_error_voltage_mv());
+        }
+    }
+    let onsets: Vec<Millivolts> = onsets
+        .into_iter()
+        .map(|v| Millivolts(v.ceil() as i32))
+        .collect();
+
+    let rail_before = die.core_rail_energy().total().0;
+    let mut sw = SoftwareSpeculation::new(config.software, &onsets);
+    let (mean_vdd_mv, _) = sw.run(&mut die, config.run_duration);
+    let rail_energy = die.core_rail_energy().total().0 - rail_before;
+    let overhead = sw.overhead_fraction(config.run_duration);
+
+    let nominal = f64::from(die.mode().nominal_vdd().0);
+    let reduction: Vec<f64> = mean_vdd_mv.iter().map(|v| 1.0 - v / nominal).collect();
+
+    // Firmware stall burns energy at the run's mean rail power: the
+    // effective energy is the measured rail energy scaled by the stall
+    // fraction (the software_energy_j model applied to the whole rail).
+    let effective = rail_energy * (1.0 + overhead);
+    let base_energy = baseline_rail_energy(config, chip, chip_config);
+    let savings = if base_energy > 0.0 {
+        1.0 - effective / base_energy
+    } else {
+        0.0
+    };
+
+    let crashes = (0..chip_config.num_cores)
+        .filter(|i| die.crash_info(CoreId(*i)).is_some())
+        .count() as u64;
+    let correctable = die.log().correctable_count();
+    (
+        mean_vdd_mv,
+        reduction,
+        savings,
+        correctable,
+        0,
+        crashes,
+        overhead,
+    )
+}
+
+/// No speculation at all: the fleet-wide energy/Vdd denominator.
+fn run_baseline_only(config: &FleetConfig, chip: ChipId, chip_config: &ChipConfig) -> RunOutcome {
+    let mut sys = SpeculationSystem::new(chip_config.clone(), config.controller);
+    assign_workloads(config, chip, sys.chip_mut());
+    let stats = sys.run_baseline(config.run_duration);
+    let n_domains = chip_config.num_domains();
+    (
+        stats.mean_vdd_mv,
+        vec![0.0; n_domains],
+        0.0,
+        stats.correctable,
+        stats.emergencies,
+        stats.crashed_cores.len() as u64,
+        0.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_types::FleetSeed;
+
+    fn small(variant: ControllerVariant) -> FleetConfig {
+        let mut config = FleetConfig::small(FleetSeed(2014), 4);
+        config.variant = variant;
+        config.run_duration = vs_types::SimTime::from_secs(2);
+        config
+    }
+
+    #[test]
+    fn hardware_chip_is_pure_and_reproducible() {
+        let config = small(ControllerVariant::Hardware);
+        let a = simulate_chip(&config, ChipId(1));
+        let b = simulate_chip(&config, ChipId(1));
+        assert_eq!(a, b, "simulate_chip must be a pure function");
+        assert_eq!(a.chip, ChipId(1));
+        assert_eq!(a.die_seed, config.die_seed(ChipId(1)));
+        assert_eq!(a.margins.len(), 2);
+        assert!(a.is_healthy());
+        assert!(a.mean_reduction() > 0.0, "hardware must speculate down");
+        assert!(a.energy_savings > 0.0, "speculation must save energy");
+    }
+
+    #[test]
+    fn distinct_chips_are_distinct_silicon() {
+        let config = small(ControllerVariant::Hardware);
+        let a = simulate_chip(&config, ChipId(0));
+        let b = simulate_chip(&config, ChipId(1));
+        assert_ne!(a.die_seed, b.die_seed);
+        assert_ne!(
+            (a.margins.clone(), a.mean_vdd_mv.clone()),
+            (b.margins.clone(), b.mean_vdd_mv.clone()),
+            "different dies should land on different operating points"
+        );
+    }
+
+    #[test]
+    fn software_variant_reports_overhead_and_saves_less_than_hardware() {
+        let hw = simulate_chip(&small(ControllerVariant::Hardware), ChipId(0));
+        let sw = simulate_chip(&small(ControllerVariant::Software), ChipId(0));
+        assert_eq!(hw.die_seed, sw.die_seed, "same silicon under both variants");
+        assert!(sw.sw_overhead >= 0.0);
+        assert!(
+            sw.mean_reduction() < hw.mean_reduction(),
+            "firmware is structurally more conservative: sw {} vs hw {}",
+            sw.mean_reduction(),
+            hw.mean_reduction()
+        );
+    }
+
+    #[test]
+    fn baseline_variant_never_speculates() {
+        let base = simulate_chip(&small(ControllerVariant::Baseline), ChipId(0));
+        assert!(base.vdd_reduction.iter().all(|r| *r == 0.0));
+        assert_eq!(base.energy_savings, 0.0);
+        assert_eq!(base.emergencies, 0);
+    }
+
+    #[test]
+    fn assignment_rng_is_stable_across_calls() {
+        let config = small(ControllerVariant::Hardware);
+        let mut a = assignment_rng(&config, ChipId(3));
+        let mut b = assignment_rng(&config, ChipId(3));
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! The fleet execution engine: shard a chip population across worker
+//! threads, stream summaries as chips complete, checkpoint progress.
+//!
+//! # Determinism under any sharding
+//!
+//! Workers claim chips dynamically from a shared atomic counter (natural
+//! load balancing — die-to-die variation makes chip runtimes uneven), and
+//! each chip is simulated by the pure function
+//! [`simulate_chip`](crate::simulate_chip). Completion *order* therefore
+//! varies run to run, but completion *content* cannot; the aggregate is
+//! computed over chip-id-sorted summaries, so fleet results are
+//! bit-identical for any worker count. `tests/determinism.rs` asserts
+//! this end to end.
+
+use crate::aggregate::PopulationStats;
+use crate::checkpoint::{self, CheckpointError};
+use crate::config::FleetConfig;
+use crate::job::simulate_chip;
+use crate::summary::ChipSummary;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use vs_types::ChipId;
+
+/// The completed fleet: every chip's summary in chip-id order, plus how
+/// the run was produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetResult {
+    /// One summary per chip, sorted by chip id.
+    pub summaries: Vec<ChipSummary>,
+    /// Chips simulated by this run (the rest came from a checkpoint).
+    pub simulated: u64,
+    /// Chips restored from the checkpoint.
+    pub resumed: u64,
+}
+
+impl FleetResult {
+    /// Aggregates the fleet into population statistics.
+    pub fn stats(&self, config: &FleetConfig) -> PopulationStats {
+        PopulationStats::from_summaries(&self.summaries, config.base_chip.mode.nominal_vdd())
+    }
+}
+
+/// Drives a fleet of chips across a pool of worker threads.
+#[derive(Debug, Clone)]
+pub struct FleetRunner {
+    config: FleetConfig,
+    workers: usize,
+    checkpoint: Option<PathBuf>,
+    /// Completed chips between checkpoint saves.
+    checkpoint_every: u64,
+}
+
+impl FleetRunner {
+    /// A runner over `config` with `workers` threads (0 is treated as 1).
+    pub fn new(config: FleetConfig, workers: usize) -> FleetRunner {
+        config.validate();
+        FleetRunner {
+            config,
+            workers: workers.max(1),
+            checkpoint: None,
+            checkpoint_every: 32,
+        }
+    }
+
+    /// Enables checkpoint/resume at `path`: existing progress there is
+    /// restored (refusing files from a different config), and progress is
+    /// saved periodically and at completion.
+    pub fn with_checkpoint(mut self, path: PathBuf) -> FleetRunner {
+        self.checkpoint = Some(path);
+        self
+    }
+
+    /// Sets how many chip completions elapse between checkpoint saves.
+    pub fn with_checkpoint_every(mut self, chips: u64) -> FleetRunner {
+        self.checkpoint_every = chips.max(1);
+        self
+    }
+
+    /// The runner's configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Runs the whole fleet to completion.
+    pub fn run(&self) -> Result<FleetResult, CheckpointError> {
+        self.run_streaming(|_| {})
+    }
+
+    /// Runs the fleet, invoking `on_chip` (on the calling thread) for each
+    /// newly simulated chip as it completes. Completion order is
+    /// scheduling-dependent; summary *contents* are not.
+    pub fn run_streaming(
+        &self,
+        mut on_chip: impl FnMut(&ChipSummary),
+    ) -> Result<FleetResult, CheckpointError> {
+        let fingerprint = self.config.fingerprint();
+
+        // Restore prior progress, dropping chips beyond the current fleet
+        // size (a shrunk re-run) — the fingerprint pins everything else.
+        let mut done: Vec<ChipSummary> = match &self.checkpoint {
+            Some(path) if path.exists() => checkpoint::load(path, fingerprint)?
+                .into_iter()
+                .filter(|s| s.chip.0 < self.config.num_chips)
+                .collect(),
+            _ => Vec::new(),
+        };
+        let resumed = done.len() as u64;
+        let todo: Vec<ChipId> = {
+            let have: std::collections::HashSet<u64> = done.iter().map(|s| s.chip.0).collect();
+            (0..self.config.num_chips)
+                .filter(|i| !have.contains(i))
+                .map(ChipId)
+                .collect()
+        };
+
+        let simulated = todo.len() as u64;
+        let next = AtomicU64::new(0);
+        let (tx, rx) = mpsc::channel::<ChipSummary>();
+        let config = &self.config;
+        let todo_ref = &todo;
+
+        std::thread::scope(|scope| -> Result<(), CheckpointError> {
+            for _ in 0..self.workers.min(todo_ref.len().max(1)) {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed) as usize;
+                    let Some(&chip) = todo_ref.get(idx) else {
+                        break;
+                    };
+                    // A send can only fail if the receiver hung up, which
+                    // only happens when the collector bailed on an I/O
+                    // error; the remaining work is moot either way.
+                    if tx.send(simulate_chip(config, chip)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+
+            let mut since_save = 0u64;
+            for summary in rx {
+                on_chip(&summary);
+                done.push(summary);
+                since_save += 1;
+                if since_save >= self.checkpoint_every {
+                    since_save = 0;
+                    self.save(fingerprint, &done)?;
+                }
+            }
+            Ok(())
+        })?;
+
+        done.sort_by_key(|s| s.chip);
+        if simulated > 0 {
+            self.save(fingerprint, &done)?;
+        }
+        Ok(FleetResult {
+            summaries: done,
+            simulated,
+            resumed,
+        })
+    }
+
+    fn save(&self, fingerprint: u64, done: &[ChipSummary]) -> Result<(), CheckpointError> {
+        match &self.checkpoint {
+            Some(path) => checkpoint::save(path, fingerprint, done),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_types::FleetSeed;
+
+    fn tiny_config() -> FleetConfig {
+        let mut config = FleetConfig::small(FleetSeed(77), 6);
+        config.run_duration = vs_types::SimTime::from_millis(500);
+        config
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("vs-fleet-runner-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let one = FleetRunner::new(tiny_config(), 1).run().unwrap();
+        let four = FleetRunner::new(tiny_config(), 4).run().unwrap();
+        assert_eq!(one.summaries, four.summaries);
+        assert_eq!(one.summaries.len(), 6);
+        assert!(one.summaries.windows(2).all(|w| w[0].chip < w[1].chip));
+    }
+
+    #[test]
+    fn streaming_sees_every_chip_exactly_once() {
+        let mut seen = Vec::new();
+        let result = FleetRunner::new(tiny_config(), 2)
+            .run_streaming(|s| seen.push(s.chip))
+            .unwrap();
+        assert_eq!(seen.len(), 6);
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 6);
+        assert_eq!(result.simulated, 6);
+        assert_eq!(result.resumed, 0);
+    }
+
+    #[test]
+    fn checkpoint_resume_skips_completed_chips_and_matches_fresh_run() {
+        let path = scratch("resume.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        // Run the first half and checkpoint it.
+        let mut half = tiny_config();
+        half.num_chips = 3;
+        FleetRunner::new(half, 2)
+            .with_checkpoint(path.clone())
+            .run()
+            .unwrap();
+
+        // Resume into the full fleet: only the second half is simulated.
+        let resumed = FleetRunner::new(tiny_config(), 2)
+            .with_checkpoint(path.clone())
+            .run()
+            .unwrap();
+        assert_eq!(resumed.resumed, 3);
+        assert_eq!(resumed.simulated, 3);
+
+        let fresh = FleetRunner::new(tiny_config(), 2).run().unwrap();
+        assert_eq!(
+            resumed.summaries, fresh.summaries,
+            "a resumed fleet must be bit-identical to a fresh one"
+        );
+    }
+
+    #[test]
+    fn checkpoint_from_other_config_is_refused() {
+        let path = scratch("mismatch.ckpt");
+        let _ = std::fs::remove_file(&path);
+        FleetRunner::new(tiny_config(), 1)
+            .with_checkpoint(path.clone())
+            .run()
+            .unwrap();
+        let other = FleetConfig {
+            seed: FleetSeed(78),
+            ..tiny_config()
+        };
+        let err = FleetRunner::new(other, 1)
+            .with_checkpoint(path.clone())
+            .run();
+        assert!(matches!(
+            err,
+            Err(CheckpointError::FingerprintMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_shortcut_aggregates() {
+        let config = tiny_config();
+        let result = FleetRunner::new(config.clone(), 2).run().unwrap();
+        let stats = result.stats(&config);
+        assert_eq!(stats.num_chips, 6);
+        assert_eq!(stats.healthy_chips, 6);
+    }
+}

@@ -1,9 +1,7 @@
 //! The passive power-delivery network.
 
-use serde::{Deserialize, Serialize};
-
 /// Electrical parameters of one domain's delivery network.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PdnParams {
     /// Residual static (DC) resistance from regulator to array, in
     /// milliohms. Small because the regulator's remote sensing compensates
@@ -39,7 +37,7 @@ impl Default for PdnParams {
 }
 
 /// The passive network: converts load currents into voltage drops.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Pdn {
     params: PdnParams,
 }
@@ -57,11 +55,17 @@ impl Pdn {
     ///
     /// Panics if any parameter is non-positive.
     pub fn new(params: PdnParams) -> Pdn {
-        assert!(params.r_static_mohm > 0.0, "static resistance must be positive");
+        assert!(
+            params.r_static_mohm > 0.0,
+            "static resistance must be positive"
+        );
         assert!(params.resonance_hz > 0.0, "resonance must be positive");
         assert!(params.q_factor > 0.0, "Q must be positive");
         assert!(params.z_peak_mohm > 0.0, "peak impedance must be positive");
-        assert!(params.z_transient_mohm > 0.0, "transient impedance must be positive");
+        assert!(
+            params.z_transient_mohm > 0.0,
+            "transient impedance must be positive"
+        );
         Pdn { params }
     }
 

@@ -1,6 +1,5 @@
 //! Per-domain voltage regulator.
 
-use serde::{Deserialize, Serialize};
 use vs_types::Millivolts;
 
 /// A voltage regulator with a discrete step grid and a bounded range.
@@ -25,7 +24,7 @@ use vs_types::Millivolts;
 /// vr.tick();
 /// assert_eq!(vr.output(), Millivolts(735));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VoltageRegulator {
     output: Millivolts,
     pending: Millivolts,

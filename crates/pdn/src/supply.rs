@@ -2,11 +2,10 @@
 
 use crate::network::{Pdn, PdnParams};
 use crate::regulator::VoltageRegulator;
-use serde::{Deserialize, Serialize};
 use vs_types::Millivolts;
 
 /// The load a domain presents to its supply during one control tick.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct LoadCurrent {
     /// Average (DC) current, in amperes.
     pub i_dc_amps: f64,
@@ -59,7 +58,7 @@ impl LoadCurrent {
 
 /// One voltage domain's supply path: a regulator feeding the arrays through
 /// the passive network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DomainSupply {
     regulator: VoltageRegulator,
     pdn: Pdn,

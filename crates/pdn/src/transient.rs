@@ -19,10 +19,9 @@
 //! with `dv/dt = (i_L − i_load)/C` and `di_L/dt = (Vreg − v − R·i_L)/L`.
 
 use crate::network::PdnParams;
-use serde::{Deserialize, Serialize};
 
 /// Second-order circuit element values derived from [`PdnParams`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CircuitValues {
     /// Series resistance, in ohms.
     pub r_ohm: f64,
@@ -58,7 +57,7 @@ impl CircuitValues {
 }
 
 /// A time-domain droop simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransientSim {
     values: CircuitValues,
     /// Regulator voltage, in volts.
@@ -179,7 +178,10 @@ mod tests {
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
             .copied()
             .expect("nonempty");
-        assert_eq!(at_res, 1.0, "deepest droop must be at resonance: {droops:?}");
+        assert_eq!(
+            at_res, 1.0,
+            "deepest droop must be at resonance: {droops:?}"
+        );
         assert!(deepest > 0.0);
     }
 
@@ -192,8 +194,7 @@ mod tests {
         let pdn = Pdn::new(params);
         let i_ac = 1.0; // square wave between 1 A and 3 A => amplitude 1 A
         let fundamental = 4.0 / std::f64::consts::PI * i_ac;
-        let predicted_mv = pdn.ac_droop_mv(fundamental, params.resonance_hz)
-            + pdn.ir_drop_mv(2.0);
+        let predicted_mv = pdn.ac_droop_mv(fundamental, params.resonance_hz) + pdn.ir_drop_mv(2.0);
         let mut sim = TransientSim::new(values(), 0.8, 1.0);
         let worst = sim.worst_droop_under_square_wave(1.0, 3.0, params.resonance_hz, 80);
         let measured_mv = (0.8 - worst) * 1000.0;

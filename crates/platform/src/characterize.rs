@@ -8,12 +8,11 @@
 //! All routines are deterministic for a given chip seed.
 
 use crate::chip::Chip;
-use serde::{Deserialize, Serialize};
 use vs_types::{CacheKind, CoreId, Millivolts, SimTime};
 use vs_workload::StressTest;
 
 /// The voltage landmarks of one core (paper Figures 1 and 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoreMargins {
     /// The core.
     pub core: CoreId,
@@ -33,7 +32,7 @@ impl CoreMargins {
 }
 
 /// Options controlling characterization cost/fidelity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CharacterizeOptions {
     /// Stress window simulated at each voltage step.
     pub window: SimTime,
@@ -69,7 +68,12 @@ fn ticks_in(chip: &Chip, window: SimTime) -> u64 {
 ///
 /// The sibling core idles in a firmware spin-loop, as in the paper's
 /// single-core sensitivity experiments (§IV-A4).
-pub fn stress_window(chip: &mut Chip, core: CoreId, vdd: Millivolts, window: SimTime) -> (u64, bool) {
+pub fn stress_window(
+    chip: &mut Chip,
+    core: CoreId,
+    vdd: Millivolts,
+    window: SimTime,
+) -> (u64, bool) {
     chip.reset();
     chip.set_workload(core, Box::new(StressTest::default()));
     let domain = chip.config().domain_of(core);
@@ -128,8 +132,51 @@ pub fn all_core_margins(chip: &mut Chip, opts: &CharacterizeOptions) -> Vec<Core
         .collect()
 }
 
+/// Snaps a raw voltage up to the next point of the 5 mV regulator grid.
+fn snap_up_to_grid(v_mv: f64) -> Millivolts {
+    Millivolts((v_mv / 5.0).ceil() as i32 * 5)
+}
+
+/// Oracle counterpart of [`core_margins`]: reads the core's landmarks
+/// straight from the silicon model instead of measuring them with stress
+/// sweeps.
+///
+/// * `first_error_vdd` — the highest critical voltage among the core's L2
+///   weak lines (where the sweep would first see a correctable error),
+///   snapped up to the regulator grid;
+/// * `min_safe_vdd` — the core's logic floor (where the sweep would first
+///   crash), snapped up to the grid.
+///
+/// The sweep and the oracle describe the same silicon — this is the same
+/// oracle/measured duality as calibration's `TableLookup` vs `CacheSweep`
+/// (see `vs-spec`). Fleet-scale population sweeps default to the oracle so
+/// that characterizing hundreds of dies costs milliseconds, not hours;
+/// `tests/` assert the two agree on reference dies.
+pub fn analytic_core_margins(chip: &mut Chip, core: CoreId) -> CoreMargins {
+    let first_error = [CacheKind::L2Data, CacheKind::L2Instruction]
+        .into_iter()
+        .map(|kind| chip.weak_table(core, kind).first_error_voltage_mv())
+        .fold(f64::NEG_INFINITY, f64::max);
+    let floor = chip.logic_floor(core);
+    CoreMargins {
+        core,
+        first_error_vdd: snap_up_to_grid(first_error),
+        // The grid point at or above the floor is the lowest *settable*
+        // safe voltage.
+        min_safe_vdd: snap_up_to_grid(f64::from(floor.0)),
+    }
+}
+
+/// Analytic margins for every core (the fleet-scale Figure 1 / Figure 2
+/// data set).
+pub fn all_analytic_core_margins(chip: &mut Chip) -> Vec<CoreMargins> {
+    (0..chip.config().num_cores)
+        .map(|i| analytic_core_margins(chip, CoreId(i)))
+        .collect()
+}
+
 /// One point of the error-rate-vs-voltage sweep (Figure 3).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ErrorRatePoint {
     /// Millivolts below the mode's nominal voltage.
     pub below_nominal: Millivolts,
@@ -150,10 +197,7 @@ pub fn error_rate_sweep(
     let cores: Vec<CoreId> = (0..chip.config().num_cores).map(CoreId).collect();
     // Establish each core's crash point first so the sweep only averages
     // over "still active" cores, like the paper does.
-    let margins: Vec<CoreMargins> = cores
-        .iter()
-        .map(|c| core_margins(chip, *c, opts))
-        .collect();
+    let margins: Vec<CoreMargins> = cores.iter().map(|c| core_margins(chip, *c, opts)).collect();
 
     let mut points = Vec::new();
     let mut below = Millivolts(0);
@@ -186,7 +230,7 @@ pub fn error_rate_sweep(
 
 /// Per-core instruction/data error split at the core's minimum safe
 /// voltage (Figure 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ErrorBreakdown {
     /// The core.
     pub core: CoreId,
@@ -268,7 +312,12 @@ mod tests {
         let mut chip = small_chip(VddMode::LowVoltage);
         let m = core_margins(&mut chip, CoreId(0), &CharacterizeOptions::fast());
         let window = SimTime::from_secs(4);
-        let (high_errs, _) = stress_window(&mut chip, CoreId(0), m.first_error_vdd + Millivolts(30), window);
+        let (high_errs, _) = stress_window(
+            &mut chip,
+            CoreId(0),
+            m.first_error_vdd + Millivolts(30),
+            window,
+        );
         let (low_errs, crashed) =
             stress_window(&mut chip, CoreId(0), m.min_safe_vdd + Millivolts(5), window);
         assert_eq!(high_errs, 0, "well above onset: silent");
@@ -279,17 +328,53 @@ mod tests {
     #[test]
     fn sweep_produces_monotone_style_curve() {
         let mut chip = small_chip(VddMode::LowVoltage);
-        let points = error_rate_sweep(
-            &mut chip,
-            &CharacterizeOptions::fast(),
-            Millivolts(160),
-        );
+        let points = error_rate_sweep(&mut chip, &CharacterizeOptions::fast(), Millivolts(160));
         assert!(!points.is_empty());
         // The curve must start silent at nominal and grow overall.
         assert_eq!(points[0].avg_errors, 0.0);
         let last = points.last().unwrap();
         assert!(last.avg_errors > 0.0, "sweep must reach the error band");
         assert!(points.iter().all(|p| p.active_cores >= 1));
+    }
+
+    #[test]
+    fn analytic_margins_agree_with_measured() {
+        let mut chip = small_chip(VddMode::LowVoltage);
+        let analytic = analytic_core_margins(&mut chip, CoreId(0));
+        let measured = core_margins(&mut chip, CoreId(0), &CharacterizeOptions::fast());
+        // Onset: the oracle reports where error probability becomes
+        // nonzero (the weakest cell's Vc); the sweep reports where errors
+        // become *observable* in a finite stress window, which is at or
+        // below that — workload traffic touches the weakest line rarely
+        // (uniform_reuse_fraction ~6e-4), so detection lags onset by a few
+        // noise widths. Bound the lag rather than demanding equality.
+        let dv = (analytic.first_error_vdd - measured.first_error_vdd).0;
+        assert!(
+            (-5..=40).contains(&dv),
+            "onset mismatch: oracle {} vs sweep {}",
+            analytic.first_error_vdd,
+            measured.first_error_vdd
+        );
+        // Floor: the sweep stops a step above the crash point, so the
+        // oracle's floor is never above the sweep's by more than a step.
+        let df = (measured.min_safe_vdd - analytic.min_safe_vdd).0;
+        assert!(
+            (0..=15).contains(&df),
+            "floor mismatch: oracle {} vs sweep {}",
+            analytic.min_safe_vdd,
+            measured.min_safe_vdd
+        );
+        assert!(analytic.error_band().0 > 0, "a die has a usable band");
+    }
+
+    #[test]
+    fn analytic_margins_cover_all_cores_deterministically() {
+        let mut a = small_chip(VddMode::LowVoltage);
+        let mut b = small_chip(VddMode::LowVoltage);
+        let ma = all_analytic_core_margins(&mut a);
+        let mb = all_analytic_core_margins(&mut b);
+        assert_eq!(ma, mb);
+        assert_eq!(ma.len(), 2);
     }
 
     #[test]

@@ -51,6 +51,26 @@ pub struct TickReport {
     pub power: Watts,
 }
 
+/// Aggregate observations from one bounded slice of ticks (see
+/// [`Chip::run_slice`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SliceReport {
+    /// Simulation time when the slice started.
+    pub from: SimTime,
+    /// Simulation time when the slice ended.
+    pub to: SimTime,
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Mean chip power over the slice.
+    pub mean_power_w: f64,
+    /// Energy consumed during the slice.
+    pub energy_j: f64,
+    /// Correctable errors raised during the slice.
+    pub correctable: u64,
+    /// Core crashes observed during the slice.
+    pub crashes: u64,
+}
+
 /// Counters from one ECC-monitor probe burst (see [`Chip::monitor_probe`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ProbeOutcome {
@@ -90,7 +110,10 @@ struct CoreState {
 impl fmt::Debug for CoreState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CoreState")
-            .field("workload", &self.workload.as_ref().map(|w| w.name().to_owned()))
+            .field(
+                "workload",
+                &self.workload.as_ref().map(|w| w.name().to_owned()),
+            )
             .field("crash", &self.crash)
             .finish()
     }
@@ -138,10 +161,7 @@ impl Chip {
         let nominal = config.mode.nominal_vdd();
         let domains = (0..config.num_domains())
             .map(|_| {
-                DomainSupply::new(
-                    VoltageRegulator::new(nominal, lo, hi),
-                    Pdn::new(config.pdn),
-                )
+                DomainSupply::new(VoltageRegulator::new(nominal, lo, hi), Pdn::new(config.pdn))
             })
             .collect::<Vec<_>>();
         let cores = (0..config.num_cores)
@@ -559,7 +579,10 @@ impl Chip {
     /// Builds a fault injector for calibration-time cache walks at a given
     /// override voltage. Returns the pieces the caller needs because the
     /// injector borrows both the variation map and the core's RNG.
-    pub fn injector_parts(&mut self, core: CoreId) -> (&ChipVariation, &mut CoreCaches, &mut CounterRng) {
+    pub fn injector_parts(
+        &mut self,
+        core: CoreId,
+    ) -> (&ChipVariation, &mut CoreCaches, &mut CounterRng) {
         let state = &mut self.cores[core.0];
         (&self.variation, &mut state.caches, &mut state.rng)
     }
@@ -593,9 +616,11 @@ impl Chip {
             let p_per_activity = self.power.core_dynamic(v_set, mode, 1.0).0
                 - self.power.core_dynamic(v_set, mode, 0.0).0;
             let detected_step = (demand.activity - self.cores[i].last_activity).abs();
-            let step_activity = demand
-                .activity_transient_step
-                .max(if detected_step > 0.3 { detected_step } else { 0.0 });
+            let step_activity = demand.activity_transient_step.max(if detected_step > 0.3 {
+                detected_step
+            } else {
+                0.0
+            });
             let load = LoadCurrent {
                 i_dc_amps: i_dc,
                 i_ac_amps: p_per_activity * demand.activity_osc_amplitude / v_set.as_volts(),
@@ -612,7 +637,7 @@ impl Chip {
         // 3. Crash checks and workload-induced ECC events.
         let mut crashes = Vec::new();
         let mut correctable = 0u64;
-        for i in 0..self.cores.len() {
+        for (i, demand) in demands.iter().enumerate().take(self.cores.len()) {
             if self.cores[i].crash.is_some() {
                 continue;
             }
@@ -623,7 +648,7 @@ impl Chip {
                 crashes.push((core, info));
                 continue;
             }
-            let (ce, ue) = self.sample_workload_errors(core, &demands[i], v_eff, tick_ms);
+            let (ce, ue) = self.sample_workload_errors(core, demand, v_eff, tick_ms);
             correctable += ce;
             if ue {
                 let info = self.crash_core(core, CrashReason::UncorrectableError, v_eff);
@@ -658,6 +683,36 @@ impl Chip {
             crashes += self.tick().crashes.len() as u64;
         }
         crashes
+    }
+
+    /// Runs a bounded slice of `n` ticks and returns aggregate observations
+    /// for the slice.
+    ///
+    /// This is the engine's steppable bulk-run primitive: long experiments
+    /// (fleet sweeps, checkpointed runs) advance a chip in slices, persist
+    /// progress between slices, and resume without replaying completed
+    /// work. Slicing is semantically free — `run_slice(a)` then
+    /// `run_slice(b)` leaves the chip bit-identical to `run_slice(a + b)`.
+    pub fn run_slice(&mut self, n: u64) -> SliceReport {
+        let start = self.now;
+        let energy_before = self.energy().total();
+        let ce_before = self.log().correctable_count();
+        let mut power_sum = 0.0;
+        let mut crashes = 0;
+        for _ in 0..n {
+            let report = self.tick();
+            power_sum += report.power.0;
+            crashes += report.crashes.len() as u64;
+        }
+        SliceReport {
+            from: start,
+            to: self.now,
+            ticks: n,
+            mean_power_w: if n > 0 { power_sum / n as f64 } else { 0.0 },
+            energy_j: (self.energy().total() - energy_before).0,
+            correctable: self.log().correctable_count() - ce_before,
+            crashes,
+        }
     }
 
     fn crash_core(&mut self, core: CoreId, reason: CrashReason, v_eff_mv: f64) -> CrashInfo {
@@ -714,10 +769,7 @@ impl Chip {
                 let table = &self.weak_tables[&(core, kind)];
                 let line = &table.lines()[li];
                 let location = line.location;
-                if self.cores[core.0]
-                    .monitor_lines
-                    .contains(&(kind, location))
-                {
+                if self.cores[core.0].monitor_lines.contains(&(kind, location)) {
                     continue; // monitor-owned: holds no workload data
                 }
                 // Expected accesses this line receives this tick.
@@ -763,8 +815,7 @@ impl Chip {
                 }
                 // Number of accesses: integer part plus Bernoulli remainder.
                 let state = &mut self.cores[core.0];
-                let n = expected.floor() as u64
-                    + u64::from(state.rng.bernoulli(expected.fract()));
+                let n = expected.floor() as u64 + u64::from(state.rng.bernoulli(expected.fract()));
                 if n == 0 {
                     continue;
                 }
@@ -906,7 +957,10 @@ mod tests {
         chip.set_workload(CoreId(1), Box::new(StressTest::default()));
         chip.tick();
         let busy_v = chip.domain_v_eff_mv(DomainId(0));
-        assert!(busy_v < idle_v, "load must depress the rail ({busy_v} vs {idle_v})");
+        assert!(
+            busy_v < idle_v,
+            "load must depress the rail ({busy_v} vs {idle_v})"
+        );
         assert!(idle_v <= 800.0);
     }
 
@@ -947,15 +1001,24 @@ mod tests {
     #[test]
     fn weak_tables_cached() {
         let mut chip = Chip::new(small_config(5));
-        let first = chip.weak_table(CoreId(0), CacheKind::L2Data).weakest().location;
-        let second = chip.weak_table(CoreId(0), CacheKind::L2Data).weakest().location;
+        let first = chip
+            .weak_table(CoreId(0), CacheKind::L2Data)
+            .weakest()
+            .location;
+        let second = chip
+            .weak_table(CoreId(0), CacheKind::L2Data)
+            .weakest()
+            .location;
         assert_eq!(first, second);
     }
 
     #[test]
     fn monitor_probe_counts_and_rates() {
         let mut chip = Chip::new(small_config(5));
-        let weakest = chip.weak_table(CoreId(0), CacheKind::L2Data).weakest().clone();
+        let weakest = chip
+            .weak_table(CoreId(0), CacheKind::L2Data)
+            .weakest()
+            .clone();
         chip.designate_monitor_line(CoreId(0), CacheKind::L2Data, weakest.location);
         chip.tick();
 
@@ -991,7 +1054,10 @@ mod tests {
         let first_error_v = chip
             .weak_table(CoreId(0), CacheKind::L2Data)
             .first_error_voltage_mv()
-            .max(chip.weak_table(CoreId(0), CacheKind::L2Instruction).first_error_voltage_mv());
+            .max(
+                chip.weak_table(CoreId(0), CacheKind::L2Instruction)
+                    .first_error_voltage_mv(),
+            );
         chip.set_workload(CoreId(0), Box::new(StressTest::default()));
         chip.set_workload(CoreId(1), Box::new(Idle));
         // Park 25 mV below the first-error voltage: errors, no crash.
@@ -1015,10 +1081,15 @@ mod tests {
     #[test]
     fn monitor_line_excluded_from_workload_errors() {
         let mut chip = Chip::new(small_config(5));
-        let weakest = chip.weak_table(CoreId(0), CacheKind::L2Data).weakest().location;
+        let weakest = chip
+            .weak_table(CoreId(0), CacheKind::L2Data)
+            .weakest()
+            .location;
         chip.designate_monitor_line(CoreId(0), CacheKind::L2Data, weakest);
         chip.set_workload(CoreId(0), Box::new(StressTest::default()));
-        let v = chip.weak_table(CoreId(0), CacheKind::L2Data).first_error_voltage_mv();
+        let v = chip
+            .weak_table(CoreId(0), CacheKind::L2Data)
+            .first_error_voltage_mv();
         chip.request_domain_voltage(DomainId(0), Millivolts(v as i32 - 10));
         for _ in 0..50_000 {
             chip.tick();
@@ -1031,5 +1102,33 @@ mod tests {
             .filter(|e| e.line.location == weakest && e.line.cache == CacheKind::L2Data)
             .count();
         assert_eq!(from_monitor_line, 0);
+    }
+
+    #[test]
+    fn sliced_run_is_identical_to_one_shot() {
+        let make = || {
+            let mut chip = Chip::new(small_config(6));
+            chip.set_workload(CoreId(0), Box::new(StressTest::default()));
+            chip.request_domain_voltage(DomainId(0), Millivolts(700));
+            chip
+        };
+        let mut whole = make();
+        let full = whole.run_slice(400);
+
+        let mut sliced = make();
+        let a = sliced.run_slice(150);
+        let b = sliced.run_slice(250);
+        assert_eq!(a.ticks + b.ticks, full.ticks);
+        assert_eq!(a.to, b.from, "slices abut in simulated time");
+        assert_eq!(b.to, full.to);
+        assert_eq!(a.correctable + b.correctable, full.correctable);
+        assert_eq!(a.crashes + b.crashes, full.crashes);
+        assert!((a.energy_j + b.energy_j - full.energy_j).abs() < 1e-12);
+        // And the chips themselves end in the same state.
+        assert_eq!(whole.now(), sliced.now());
+        assert_eq!(
+            whole.log().correctable_count(),
+            sliced.log().correctable_count()
+        );
     }
 }

@@ -1,6 +1,5 @@
 //! Chip configuration.
 
-use serde::{Deserialize, Serialize};
 use vs_pdn::PdnParams;
 use vs_power::PowerParams;
 use vs_sram::SramParams;
@@ -10,7 +9,7 @@ use vs_types::{Celsius, CoreId, DomainId, Millivolts, SimTime, VddMode};
 ///
 /// The defaults mirror the evaluation platform (Table I): eight cores, two
 /// cores per speculated voltage domain, 1 ms control/logging tick.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChipConfig {
     /// Per-die seed: determines the entire variation map (weak lines,
     /// logic floors). Two chips with the same seed are the same silicon.
@@ -101,7 +100,10 @@ impl ChipConfig {
     ///
     /// Panics if `domain` is out of range.
     pub fn cores_in_domain(&self, domain: DomainId) -> Vec<CoreId> {
-        assert!(domain.0 < self.num_domains(), "domain {domain} out of range");
+        assert!(
+            domain.0 < self.num_domains(),
+            "domain {domain} out of range"
+        );
         (0..self.num_cores)
             .map(CoreId)
             .filter(|c| self.domain_of(*c) == domain)
@@ -136,7 +138,10 @@ impl ChipConfig {
             "cores_per_domain must be in 1..=num_cores"
         );
         assert!(self.tick > SimTime::ZERO, "tick must be positive");
-        assert!(self.weak_lines_tracked > 0, "must track at least one weak line");
+        assert!(
+            self.weak_lines_tracked > 0,
+            "must track at least one weak line"
+        );
         assert!(
             (0.0..=1.0).contains(&self.uniform_reuse_fraction),
             "uniform_reuse_fraction must be a fraction"

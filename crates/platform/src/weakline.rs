@@ -10,13 +10,12 @@
 //! The scan is a pure function of the chip seed, so the table — like the
 //! silicon it models — never changes between runs (§II-D determinism).
 
-use serde::{Deserialize, Serialize};
 use vs_cache::CacheGeometry;
 use vs_sram::{line_read_probabilities, AccessContext, ChipVariation, WordCells};
 use vs_types::{CacheKind, Celsius, CoreId, SetWay, VddMode};
 
 /// One weak line with everything needed to evaluate its error behaviour.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WeakLine {
     /// Where the line lives.
     pub location: SetWay,
@@ -77,7 +76,7 @@ impl WeakLine {
 }
 
 /// The `k` weakest lines of one structure, strongest signal first.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WeakLineTable {
     core: CoreId,
     kind: CacheKind,
@@ -268,8 +267,22 @@ mod tests {
     fn tables_differ_between_cores() {
         let variation = ChipVariation::new(77, SramParams::default());
         let g = small_geometry();
-        let a = WeakLineTable::build(&variation, CoreId(0), CacheKind::L2Data, &g, VddMode::LowVoltage, 4);
-        let b = WeakLineTable::build(&variation, CoreId(1), CacheKind::L2Data, &g, VddMode::LowVoltage, 4);
+        let a = WeakLineTable::build(
+            &variation,
+            CoreId(0),
+            CacheKind::L2Data,
+            &g,
+            VddMode::LowVoltage,
+            4,
+        );
+        let b = WeakLineTable::build(
+            &variation,
+            CoreId(1),
+            CacheKind::L2Data,
+            &g,
+            VddMode::LowVoltage,
+            4,
+        );
         assert_ne!(
             a.weakest().location,
             b.weakest().location,

@@ -5,7 +5,7 @@
 
 use vs_cache::FaultInjector;
 use vs_platform::{Chip, ChipConfig};
-use vs_types::{CacheKind, CoreId, DomainId, Millivolts, SetWay};
+use vs_types::{CacheKind, CoreId, DomainId, Millivolts};
 
 fn small_chip(seed: u64) -> Chip {
     Chip::new(ChipConfig {
@@ -20,7 +20,10 @@ fn small_chip(seed: u64) -> Chip {
 #[test]
 fn real_reads_match_analytic_probabilities() {
     let mut chip = small_chip(77);
-    let weak = chip.weak_table(CoreId(0), CacheKind::L2Data).weakest().clone();
+    let weak = chip
+        .weak_table(CoreId(0), CacheKind::L2Data)
+        .weakest()
+        .clone();
     let temperature = chip.config().temperature;
 
     for dv in [-8.0, 0.0, 8.0] {
@@ -32,7 +35,7 @@ fn real_reads_match_analytic_probabilities() {
         let mut errors = 0u64;
         let mode = chip.mode();
         let (variation, caches, rng) = chip.injector_parts(CoreId(0));
-        caches.l2d.store_at(weak.location, u64::MAX, &vec![0u64; 16]);
+        caches.l2d.store_at(weak.location, u64::MAX, &[0u64; 16]);
         for _ in 0..trials {
             let mut injector = FaultInjector::new(variation, CoreId(0), mode, v, rng);
             let read = caches
@@ -64,12 +67,12 @@ fn probe_rate_insensitive_to_real_read_count() {
         };
         config.monitor_real_reads = real;
         let mut chip = Chip::new(config);
-        let weak = chip.weak_table(CoreId(0), CacheKind::L2Data).weakest().clone();
+        let weak = chip
+            .weak_table(CoreId(0), CacheKind::L2Data)
+            .weakest()
+            .clone();
         chip.designate_monitor_line(CoreId(0), CacheKind::L2Data, weak.location);
-        chip.request_domain_voltage(
-            DomainId(0),
-            Millivolts(weak.weakest_vc_mv.round() as i32),
-        );
+        chip.request_domain_voltage(DomainId(0), Millivolts(weak.weakest_vc_mv.round() as i32));
         chip.tick();
         let outcome = chip.monitor_probe(CoreId(0), CacheKind::L2Data, weak.location, 40_000);
         outcome.error_rate()
@@ -91,7 +94,10 @@ fn probe_rate_insensitive_to_real_read_count() {
 #[test]
 fn table_onset_agrees_with_data_path() {
     let mut chip = small_chip(78);
-    let weak = chip.weak_table(CoreId(0), CacheKind::L2Instruction).weakest().clone();
+    let weak = chip
+        .weak_table(CoreId(0), CacheKind::L2Instruction)
+        .weakest()
+        .clone();
     chip.designate_monitor_line(CoreId(0), CacheKind::L2Instruction, weak.location);
 
     let rate_at = |chip: &mut Chip, v: f64| -> f64 {
@@ -111,7 +117,10 @@ fn table_onset_agrees_with_data_path() {
 #[test]
 fn crashed_core_probes_are_inert() {
     let mut chip = small_chip(79);
-    let weak = chip.weak_table(CoreId(0), CacheKind::L2Data).weakest().clone();
+    let weak = chip
+        .weak_table(CoreId(0), CacheKind::L2Data)
+        .weakest()
+        .clone();
     chip.designate_monitor_line(CoreId(0), CacheKind::L2Data, weak.location);
     // Crash core 0 via the logic floor.
     let floor = chip.logic_floor(CoreId(0));

@@ -1,12 +1,11 @@
 //! Energy integration and power-trace recording.
 
-use serde::{Deserialize, Serialize};
 use vs_types::{Joules, SimTime, Watts};
 
 /// One power sample, as collected by the platform's 1 ms logging loop
 /// (mirroring the reference platform's register-sampling data collection,
 /// §IV-A4).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerSample {
     /// Sample timestamp.
     pub at: SimTime,
@@ -28,7 +27,7 @@ pub struct PowerSample {
 /// assert_eq!(meter.total(), Joules(15.0));
 /// assert!((meter.average_power().unwrap().0 - 15.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyMeter {
     total: Joules,
     elapsed: SimTime,
@@ -69,7 +68,7 @@ impl EnergyMeter {
 
 /// A bounded-rate recording of power over a run, for the time-trace
 /// figures.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PowerTrace {
     samples: Vec<PowerSample>,
     /// Minimum spacing between retained samples.

@@ -1,10 +1,9 @@
 //! The per-core power model.
 
-use serde::{Deserialize, Serialize};
 use vs_types::{Millivolts, VddMode, Watts};
 
 /// Calibration constants for the power model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerParams {
     /// Effective switched capacitance per core at full activity, in farads.
     /// Calibrated so a fully active core at 1.1 V / 2.53 GHz dissipates
@@ -47,7 +46,7 @@ impl Default for PowerParams {
 }
 
 /// Converts operating conditions into power and current.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PowerModel {
     params: PowerParams,
 }
@@ -61,11 +60,26 @@ impl PowerModel {
     /// which may be zero).
     pub fn new(params: PowerParams) -> PowerModel {
         assert!(params.c_eff_farads > 0.0, "capacitance must be positive");
-        assert!(params.leak_low_anchor_w > 0.0, "leakage anchors must be positive");
-        assert!(params.leak_nominal_anchor_w > 0.0, "leakage anchors must be positive");
-        assert!(params.leak_slope_low_mv > 0.0, "leakage slopes must be positive");
-        assert!(params.leak_slope_nominal_mv > 0.0, "leakage slopes must be positive");
-        assert!(params.idle_activity >= 0.0, "idle activity cannot be negative");
+        assert!(
+            params.leak_low_anchor_w > 0.0,
+            "leakage anchors must be positive"
+        );
+        assert!(
+            params.leak_nominal_anchor_w > 0.0,
+            "leakage anchors must be positive"
+        );
+        assert!(
+            params.leak_slope_low_mv > 0.0,
+            "leakage slopes must be positive"
+        );
+        assert!(
+            params.leak_slope_nominal_mv > 0.0,
+            "leakage slopes must be positive"
+        );
+        assert!(
+            params.idle_activity >= 0.0,
+            "idle activity cannot be negative"
+        );
         PowerModel { params }
     }
 

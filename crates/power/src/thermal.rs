@@ -8,11 +8,10 @@
 //! power through a first-order RC response whose thermal resistance
 //! depends on fan speed.
 
-use serde::{Deserialize, Serialize};
 use vs_types::{Celsius, SimTime, Watts};
 
 /// Enclosure fan setting, as a fraction of full speed.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct FanSpeed(pub f64);
 
 impl FanSpeed {
@@ -33,7 +32,7 @@ impl Default for FanSpeed {
 }
 
 /// Parameters of the thermal path from junction to inlet air.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalParams {
     /// Inlet-air (ambient) temperature.
     pub ambient: Celsius,
@@ -59,7 +58,7 @@ impl Default for ThermalParams {
 }
 
 /// First-order thermal state of one socket.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalState {
     params: ThermalParams,
     fan: FanSpeed,

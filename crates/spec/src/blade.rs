@@ -62,9 +62,7 @@ impl BladeServer {
     ) -> BladeServer {
         assert!(sockets > 0, "a blade needs at least one socket");
         let systems: Vec<SpeculationSystem> = (0..sockets as u64)
-            .map(|i| {
-                SpeculationSystem::new(ChipConfig::low_voltage(base_seed + i), controller)
-            })
+            .map(|i| SpeculationSystem::new(ChipConfig::low_voltage(base_seed + i), controller))
             .collect();
         BladeServer {
             sockets: systems,
@@ -127,9 +125,7 @@ impl BladeServer {
     pub fn run(&mut self, duration: SimTime) -> BladeRunStats {
         let tick = self.sockets[0].chip().config().tick;
         assert!(
-            self.sockets
-                .iter()
-                .all(|s| s.chip().config().tick == tick),
+            self.sockets.iter().all(|s| s.chip().config().tick == tick),
             "sockets must share a tick length"
         );
         let ticks = (duration.as_micros() / tick.as_micros()).max(1);
@@ -165,12 +161,7 @@ impl BladeServer {
                 blade_power += report.power.0;
                 emergencies[i] += report.emergencies;
                 for (d, sum) in vdd_sums[i].iter_mut().enumerate() {
-                    *sum += f64::from(
-                        socket
-                            .chip()
-                            .domain_set_point(vs_types::DomainId(d))
-                            .0,
-                    );
+                    *sum += f64::from(socket.chip().domain_set_point(vs_types::DomainId(d)).0);
                 }
             }
             power_sum += blade_power;

@@ -17,14 +17,13 @@
 //!   assert the sweep lands inside the table's top entries. Experiments
 //!   default to the oracle for speed.
 
-use serde::{Deserialize, Serialize};
 use vs_cache::hierarchy::Side;
 use vs_cache::{sweep, FaultInjector};
 use vs_platform::Chip;
 use vs_types::{CacheKind, CoreId, DomainId, Millivolts, SetWay};
 
 /// How calibration locates weak lines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CalibrationMethod {
     /// Real voltage-stepped cache sweeps (expensive, faithful).
     CacheSweep,
@@ -33,7 +32,7 @@ pub enum CalibrationMethod {
 }
 
 /// Parameters for the sweep-based calibration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CalibrationPlan {
     /// Method to use.
     pub method: CalibrationMethod,
@@ -71,7 +70,7 @@ impl CalibrationPlan {
 }
 
 /// The designated weak line of one domain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CalibrationOutcome {
     /// The calibrated domain.
     pub domain: DomainId,
@@ -114,7 +113,7 @@ fn calibrate_by_table(chip: &mut Chip, domain: DomainId) -> CalibrationOutcome {
         for kind in [CacheKind::L2Data, CacheKind::L2Instruction] {
             let table = chip.weak_table(core, kind);
             let line = table.weakest();
-            if best.map_or(true, |(.., vc)| line.weakest_vc_mv > vc) {
+            if best.is_none_or(|(.., vc)| line.weakest_vc_mv > vc) {
                 best = Some((core, kind, line.location, line.weakest_vc_mv));
             }
         }
@@ -150,7 +149,7 @@ fn sweep_domain_at(
                 Side::Instruction => CacheKind::L2Instruction,
             };
             for (line, count) in report.erring_lines {
-                if best.map_or(true, |(.., c)| count > c) {
+                if best.is_none_or(|(.., c)| count > c) {
                     best = Some((core, kind, line, count));
                 }
             }
@@ -255,10 +254,18 @@ mod tests {
             .iter()
             .position(|l| l.location == swept.line)
             .expect("swept line must be a tracked weak line");
-        assert!(rank < 3, "sweep found rank-{rank} line instead of the extreme");
+        assert!(
+            rank < 3,
+            "sweep found rank-{rank} line instead of the extreme"
+        );
         // And the onset voltages must agree to within the coarse bracket.
         let dv = (oracle.onset_vdd - swept.onset_vdd).0.abs();
-        assert!(dv <= 25, "onset mismatch: {} vs {}", oracle.onset_vdd, swept.onset_vdd);
+        assert!(
+            dv <= 25,
+            "onset mismatch: {} vs {}",
+            oracle.onset_vdd,
+            swept.onset_vdd
+        );
     }
 
     #[test]

@@ -1,12 +1,11 @@
 //! The per-domain voltage control law (§III-B).
 
 use crate::monitor::EccMonitor;
-use serde::{Deserialize, Serialize};
 use vs_platform::Chip;
 use vs_types::{DomainId, SimTime};
 
 /// Tunables of the voltage-control system.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ControllerConfig {
     /// Error-rate floor: below it the voltage is lowered one step (1 % in
     /// the paper's implementation).
@@ -66,7 +65,7 @@ impl ControllerConfig {
 }
 
 /// What the controller did at a control-period boundary.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ControlAction {
     /// Error rate below the floor: stepped the domain down.
     SteppedDown {
@@ -107,7 +106,11 @@ pub struct DomainController {
 
 impl DomainController {
     /// Creates a controller for `domain` around an *active* monitor.
-    pub fn new(domain: DomainId, monitor: EccMonitor, config: ControllerConfig) -> DomainController {
+    pub fn new(
+        domain: DomainId,
+        monitor: EccMonitor,
+        config: ControllerConfig,
+    ) -> DomainController {
         config.validate();
         DomainController {
             domain,
@@ -225,7 +228,10 @@ mod tests {
             ..ChipConfig::low_voltage(9)
         };
         let mut chip = Chip::new(config);
-        let weak = chip.weak_table(CoreId(0), CacheKind::L2Data).weakest().location;
+        let weak = chip
+            .weak_table(CoreId(0), CacheKind::L2Data)
+            .weakest()
+            .location;
         let mut monitor = EccMonitor::new(CoreId(0), CacheKind::L2Data, weak);
         monitor.activate(&mut chip);
         (chip, monitor)
@@ -298,7 +304,10 @@ mod tests {
                 }
             }
         }
-        assert!(!chip.any_crashed(), "the controller must never crash a core");
+        assert!(
+            !chip.any_crashed(),
+            "the controller must never crash a core"
+        );
         let v = chip.domain_set_point(DomainId(0));
         assert!(
             v < Millivolts(790),

@@ -23,13 +23,12 @@
 //! systems, while ECC feedback rides directly on the structure that fails
 //! first.
 
-use serde::{Deserialize, Serialize};
 use vs_platform::Chip;
 use vs_types::rng::CounterRng;
 use vs_types::{DomainId, Millivolts, SimTime};
 
 /// Tunables of the CPM baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpmConfig {
     /// Target timing margin above the (sensed) logic floor, in millivolts.
     pub margin_setpoint_mv: f64,
@@ -63,7 +62,7 @@ impl Default for CpmConfig {
 }
 
 /// Per-domain CPM state.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct DomainCpm {
     /// Sensor bias for this domain (fixed at manufacturing), in millivolts.
     bias_mv: f64,
@@ -75,7 +74,7 @@ struct DomainCpm {
 }
 
 /// The CPM-guided voltage-speculation baseline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpmSpeculation {
     config: CpmConfig,
     domains: Vec<DomainCpm>,
@@ -85,11 +84,15 @@ impl CpmSpeculation {
     /// Builds the baseline for a chip: reads each domain's logic floors
     /// and the off-line SRAM onsets (`offline_onsets`, one per domain, as
     /// for the software baseline), and draws the per-domain sensor biases.
-    pub fn new(config: CpmConfig, chip: &mut Chip, offline_onsets: &[Millivolts]) -> CpmSpeculation {
+    pub fn new(
+        config: CpmConfig,
+        chip: &mut Chip,
+        offline_onsets: &[Millivolts],
+    ) -> CpmSpeculation {
         let n = chip.config().num_domains();
         assert_eq!(offline_onsets.len(), n, "one onset per domain");
         let mut domains = Vec::with_capacity(n);
-        for d in 0..n {
+        for (d, onset) in offline_onsets.iter().enumerate() {
             let cores = chip.config().cores_in_domain(DomainId(d));
             let floor_mv = cores
                 .iter()
@@ -99,7 +102,7 @@ impl CpmSpeculation {
             domains.push(DomainCpm {
                 bias_mv: rng.next_gaussian() * config.sensor_sigma_mv,
                 floor_mv,
-                sram_floor: offline_onsets[d] + config.sram_guard_mv,
+                sram_floor: *onset + config.sram_guard_mv,
             });
         }
         CpmSpeculation { config, domains }
@@ -115,7 +118,9 @@ impl CpmSpeculation {
     pub fn domain_floor(&self, domain: DomainId) -> Millivolts {
         let d = &self.domains[domain.0];
         let timing = d.floor_mv + self.config.margin_setpoint_mv;
-        Millivolts(timing.ceil() as i32).clamp(d.sram_floor, Millivolts(i32::MAX)).max(d.sram_floor)
+        Millivolts(timing.ceil() as i32)
+            .clamp(d.sram_floor, Millivolts(i32::MAX))
+            .max(d.sram_floor)
     }
 
     /// The margin the sensor reports for a domain at effective voltage

@@ -12,13 +12,12 @@ use crate::software::{SoftwareConfig, SoftwareSpeculation};
 use crate::system::SpeculationSystem;
 use crate::tuning::{measure_line_response, tailor_band};
 use crate::ControllerConfig;
-use serde::{Deserialize, Serialize};
 use vs_platform::{Chip, ChipConfig};
 use vs_types::{CoreId, SimTime};
 use vs_workload::Suite;
 
 /// Results of one guidance mechanism on one workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MechanismResult {
     /// Label ("ecc-hw", "software", "cpm", "static").
     pub mechanism: String,
@@ -123,7 +122,7 @@ pub fn mechanism_comparison(
 }
 
 /// One domain's fixed-band vs tailored-band comparison.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TailoringResult {
     /// The domain.
     pub domain: usize,

@@ -2,7 +2,6 @@
 //! temperature check, and the §III-D aging-recalibration scenario.
 
 use crate::monitor::EccMonitor;
-use serde::{Deserialize, Serialize};
 use vs_cache::{FaultInjector, NoFaults};
 use vs_platform::{Chip, ChipConfig};
 use vs_types::{CacheKind, Celsius, CoreId, Millivolts};
@@ -15,7 +14,7 @@ use vs_types::{CacheKind, Celsius, CoreId, Millivolts};
 /// there for a minute **without accessing the line**; raise the rail back
 /// and read. If the errors were retention failures the data would come
 /// back corrupted; access-time failures leave it intact.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetentionResult {
     /// Voltage the data was written at.
     pub write_vdd: Millivolts,
@@ -76,7 +75,7 @@ pub fn retention_experiment(seed: u64, core: CoreId, dwell_secs: u64) -> Retenti
 }
 
 /// Outcome of the §III-D temperature-sensitivity check.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TemperatureResult {
     /// Baseline temperature.
     pub t_base: Celsius,
@@ -133,7 +132,7 @@ pub fn temperature_experiment(seed: u64, core: CoreId, accesses: u64) -> Tempera
 /// Outcome of the fan-slowdown experiment: the §III-D procedure done the
 /// way the authors did it, by slowing the enclosure fans and letting the
 /// thermal model raise the silicon temperature.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FanResult {
     /// Fan fraction and resulting silicon temperature for the baseline.
     pub full_fan: (f64, Celsius),
@@ -201,7 +200,7 @@ pub fn fan_experiment(seed: u64, core: CoreId, accesses: u64) -> FanResult {
 }
 
 /// Outcome of the aging-recalibration scenario (§III-D).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AgingResult {
     /// Hours of simulated aging applied.
     pub age_hours: f64,
@@ -243,11 +242,9 @@ pub fn aging_experiment(seed: u64, core: CoreId, age_hours: f64) -> AgingResult 
         let mode = chip.mode();
         let v = weak.weakest_vc_mv;
         let (variation, caches, rng) = chip.injector_parts(core);
-        let mut injector = FaultInjector::new(variation, core, mode, v, rng)
-            .with_aging_hours(age_hours);
-        caches
-            .l2d
-            .store_at(weak.location, u64::MAX, &vec![0u64; 16]);
+        let mut injector =
+            FaultInjector::new(variation, core, mode, v, rng).with_aging_hours(age_hours);
+        caches.l2d.store_at(weak.location, u64::MAX, &[0u64; 16]);
         let mut errors = 0;
         for _ in 0..64 {
             let read = caches
@@ -293,7 +290,11 @@ mod tests {
     #[test]
     fn temperature_effect_unmeasurable() {
         let r = temperature_experiment(5, CoreId(0), 20_000);
-        assert!(r.rate_base > 0.05, "mid-ramp rate expected, got {}", r.rate_base);
+        assert!(
+            r.rate_base > 0.05,
+            "mid-ramp rate expected, got {}",
+            r.rate_base
+        );
         assert!(
             r.relative_change() < 0.25,
             "a 20C swing must not measurably move the distribution: {} -> {}",
@@ -310,7 +311,11 @@ mod tests {
             (12.0..30.0).contains(&rise),
             "slowed fans should raise silicon ~20 C, got {rise:.1}"
         );
-        assert!(r.rate_full > 0.02, "mid-ramp rate expected, got {}", r.rate_full);
+        assert!(
+            r.rate_full > 0.02,
+            "mid-ramp rate expected, got {}",
+            r.rate_full
+        );
         assert!(
             r.relative_change() < 0.30,
             "the error distribution must not measurably move: {} -> {}",

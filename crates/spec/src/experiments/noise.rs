@@ -8,13 +8,12 @@
 //! though the virus's average power is *lower* than a NOP-free loop.
 
 use crate::monitor::EccMonitor;
-use serde::{Deserialize, Serialize};
 use vs_platform::{Chip, ChipConfig};
 use vs_types::{CacheKind, CoreId, Millivolts};
 use vs_workload::{Idle, VoltageVirus};
 
 /// One point of the Figure 15 NOP sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NopSweepPoint {
     /// NOP count of the virus variant.
     pub nop_count: u32,
@@ -25,7 +24,7 @@ pub struct NopSweepPoint {
 }
 
 /// The auxiliary-core load used in the Figure 16 comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AuxLoad {
     /// Auxiliary core idle.
     None,
@@ -64,12 +63,7 @@ fn setup_probe_chip(seed: u64, main: CoreId) -> (Chip, EccMonitor, CoreId) {
 ///
 /// `accesses` is the number of weak-line reads per NOP point (the paper
 /// uses 500k).
-pub fn nop_sweep(
-    seed: u64,
-    main: CoreId,
-    nop_counts: &[u32],
-    accesses: u64,
-) -> Vec<NopSweepPoint> {
+pub fn nop_sweep(seed: u64, main: CoreId, nop_counts: &[u32], accesses: u64) -> Vec<NopSweepPoint> {
     let mut points = Vec::new();
     for &nops in nop_counts {
         let (mut chip, mut monitor, aux) = setup_probe_chip(seed, main);
@@ -108,7 +102,7 @@ pub fn nop_sweep(
 
 /// One curve of the Figure 16 comparison: self-test error rate vs set
 /// point under a given auxiliary load.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ErrorRateCurve {
     /// The auxiliary load.
     pub load: AuxLoad,
@@ -205,10 +199,13 @@ mod tests {
         let nop0 = find(&AuxLoad::Virus { nops: 0 });
         let idle = find(&AuxLoad::None);
         // Compare cumulative rates over the shared voltage range.
-        let sum = |c: &ErrorRateCurve, n: usize| -> f64 {
-            c.points.iter().take(n).map(|(_, r)| r).sum()
-        };
-        let n = nop8.points.len().min(nop0.points.len()).min(idle.points.len());
+        let sum =
+            |c: &ErrorRateCurve, n: usize| -> f64 { c.points.iter().take(n).map(|(_, r)| r).sum() };
+        let n = nop8
+            .points
+            .len()
+            .min(nop0.points.len())
+            .min(idle.points.len());
         assert!(sum(nop8, n) > sum(nop0, n), "NOP-8 must dominate NOP-0");
         assert!(sum(nop0, n) >= sum(idle, n) - 0.05, "any load >= idle");
     }

@@ -4,13 +4,12 @@ use crate::calibrate::CalibrationPlan;
 use crate::software::{software_energy_j, SoftwareConfig, SoftwareSpeculation};
 use crate::system::SpeculationSystem;
 use crate::ControllerConfig;
-use serde::{Deserialize, Serialize};
 use vs_platform::{Chip, ChipConfig};
 use vs_types::{CoreId, DomainId, Millivolts, SimTime};
 use vs_workload::{StressTest, Suite};
 
 /// Result of one suite run under hardware speculation (Figures 10/11).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SuitePowerResult {
     /// The suite.
     pub suite: Suite,
@@ -31,7 +30,7 @@ pub struct SuitePowerResult {
 }
 
 /// Options for the suite power experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SuiteRunOptions {
     /// Simulated time per benchmark in the suite.
     pub per_benchmark: SimTime,
@@ -62,7 +61,8 @@ impl SuiteRunOptions {
 /// baseline, returning the comparison (one bar group of Figures 10/11).
 pub fn suite_power(seed: u64, suite: Suite, opts: &SuiteRunOptions) -> SuitePowerResult {
     // Speculated run.
-    let mut sys = SpeculationSystem::new(ChipConfig::low_voltage(seed), ControllerConfig::default());
+    let mut sys =
+        SpeculationSystem::new(ChipConfig::low_voltage(seed), ControllerConfig::default());
     sys.calibrate_with(&CalibrationPlan::fast());
     sys.assign_suite(suite, opts.per_benchmark);
     let spec = sys.run(opts.duration);
@@ -99,7 +99,7 @@ pub fn all_suite_power(seed: u64, opts: &SuiteRunOptions) -> Vec<SuitePowerResul
 }
 
 /// One suite's hardware-vs-software energy comparison (Figure 17).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyComparison {
     /// The suite.
     pub suite: Suite,
@@ -157,7 +157,7 @@ pub fn hw_vs_sw_energy(seed: u64, suite: Suite, opts: &SuiteRunOptions) -> Energ
 }
 
 /// One point of the Figure 18 energy-vs-Vdd sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyVsVddPoint {
     /// The fixed set point.
     pub vdd: Millivolts,

@@ -7,12 +7,11 @@
 //! on the line.
 
 use crate::monitor::EccMonitor;
-use serde::{Deserialize, Serialize};
 use vs_platform::{Chip, ChipConfig};
 use vs_types::{CacheKind, CoreId, Millivolts};
 
 /// One core's measured S-curve.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SensitivityCurve {
     /// The core whose designated line was tested.
     pub core: CoreId,

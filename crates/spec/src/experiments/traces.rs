@@ -3,14 +3,13 @@
 use crate::calibrate::CalibrationPlan;
 use crate::system::{RunStats, SpeculationSystem};
 use crate::ControllerConfig;
-use serde::{Deserialize, Serialize};
 use vs_platform::ChipConfig;
 use vs_types::{CoreId, SimTime};
 use vs_workload::{benchmark, BackToBack, Idle, StressKernel, Suite, Workload};
 
 /// A trace run: the system's behaviour over time under a given workload
 /// scenario.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceResult {
     /// Scenario label.
     pub scenario: String,

@@ -57,5 +57,5 @@ pub use cpm::{CpmConfig, CpmSpeculation};
 pub use monitor::EccMonitor;
 pub use recalibrate::{recalibrate, RecalibrationOutcome};
 pub use software::{SoftwareConfig, SoftwareSpeculation};
-pub use system::{RunStats, SpeculationSystem, StepReport, TracePoint};
+pub use system::{RunStats, SpecRun, SpeculationSystem, StepReport, TracePoint};
 pub use tuning::{fit_logistic, measure_line_response, tailor_band, LineResponse};

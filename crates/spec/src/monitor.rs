@@ -1,6 +1,5 @@
 //! The hardware ECC monitor (§III-A).
 
-use serde::{Deserialize, Serialize};
 use vs_platform::Chip;
 use vs_types::{CacheKind, CoreId, SetWay};
 
@@ -19,7 +18,7 @@ use vs_types::{CacheKind, CoreId, SetWay};
 /// upsets and reports them, incrementing the error counter. The counters
 /// are reset each control period; their ratio is the correctable-error
 /// rate the voltage controller servos on.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EccMonitor {
     core: CoreId,
     kind: CacheKind,
@@ -172,7 +171,10 @@ mod tests {
     #[test]
     fn monitor_lifecycle() {
         let mut chip = small_chip();
-        let weak = chip.weak_table(CoreId(0), CacheKind::L2Data).weakest().location;
+        let weak = chip
+            .weak_table(CoreId(0), CacheKind::L2Data)
+            .weakest()
+            .location;
         let mut m = EccMonitor::new(CoreId(0), CacheKind::L2Data, weak);
         assert!(!m.is_active());
         m.activate(&mut chip);
@@ -192,7 +194,10 @@ mod tests {
     #[test]
     fn monitor_sees_errors_near_vc() {
         let mut chip = small_chip();
-        let weak = chip.weak_table(CoreId(0), CacheKind::L2Data).weakest().clone();
+        let weak = chip
+            .weak_table(CoreId(0), CacheKind::L2Data)
+            .weakest()
+            .clone();
         let mut m = EccMonitor::new(CoreId(0), CacheKind::L2Data, weak.location);
         m.activate(&mut chip);
         chip.request_domain_voltage(DomainId(0), Millivolts(weak.weakest_vc_mv as i32 + 8));
@@ -221,7 +226,10 @@ mod tests {
     #[should_panic(expected = "deactivate before retargeting")]
     fn retarget_while_active_panics() {
         let mut chip = small_chip();
-        let weak = chip.weak_table(CoreId(0), CacheKind::L2Data).weakest().location;
+        let weak = chip
+            .weak_table(CoreId(0), CacheKind::L2Data)
+            .weakest()
+            .location;
         let mut m = EccMonitor::new(CoreId(0), CacheKind::L2Data, weak);
         m.activate(&mut chip);
         m.retarget(CacheKind::L2Data, SetWay::new(0, 0));

@@ -10,11 +10,10 @@
 use crate::calibrate::CalibrationOutcome;
 use crate::monitor::EccMonitor;
 use crate::system::SpeculationSystem;
-use serde::{Deserialize, Serialize};
 use vs_types::{CacheKind, CoreId, DomainId, Millivolts, SetWay};
 
 /// What one domain's recalibration decided.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RecalibrationOutcome {
     /// The domain.
     pub domain: DomainId,
@@ -65,7 +64,7 @@ pub fn recalibrate(system: &mut SpeculationSystem) -> Vec<RecalibrationOutcome> 
                     .collect();
                 for (location, vc) in entries {
                     let aged = vc + system.chip().line_aging_shift_mv(core, kind, location);
-                    if best.map_or(true, |(.., b)| aged > b) {
+                    if best.is_none_or(|(.., b)| aged > b) {
                         best = Some((core, kind, location, aged));
                     }
                 }
@@ -78,7 +77,9 @@ pub fn recalibrate(system: &mut SpeculationSystem) -> Vec<RecalibrationOutcome> 
         if changed {
             // Release the old line and retarget the domain's monitor.
             let (p_core, p_kind, p_line) = previous;
-            system.chip_mut().release_monitor_line(p_core, p_kind, p_line);
+            system
+                .chip_mut()
+                .release_monitor_line(p_core, p_kind, p_line);
             let mut monitor = EccMonitor::new(core, kind, location);
             monitor.activate(system.chip_mut());
             *system.controllers_mut()[d].monitor_mut() = monitor;

@@ -16,12 +16,11 @@
 //!    overhead grows until it overtakes the savings — the energy
 //!    turn-around of Figure 18.
 
-use serde::{Deserialize, Serialize};
 use vs_platform::Chip;
 use vs_types::{DomainId, Millivolts, SimTime};
 
 /// Tunables of the software baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SoftwareConfig {
     /// Control period (firmware runs far less often than the hardware
     /// monitor's per-tick probing).
@@ -54,7 +53,7 @@ impl Default for SoftwareConfig {
 }
 
 /// Per-domain state of the software baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct DomainState {
     /// Lowest set point firmware will try (off-line onset + margin).
     floor: Millivolts,
@@ -65,7 +64,7 @@ struct DomainState {
 }
 
 /// The firmware-based voltage-speculation baseline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SoftwareSpeculation {
     config: SoftwareConfig,
     domains: Vec<DomainState>,
@@ -125,9 +124,8 @@ impl SoftwareSpeculation {
             let state = &mut self.domains[d];
             state.seen += new_count;
             self.handled += new_count;
-            self.overhead += SimTime::from_micros(
-                self.config.handling_cost.as_micros() * new_count,
-            );
+            self.overhead +=
+                SimTime::from_micros(self.config.handling_cost.as_micros() * new_count);
             let domain = DomainId(d);
             let current = chip.domain_set_point(domain);
             if *new_count > 0 {

@@ -3,14 +3,13 @@
 use crate::calibrate::{calibrate_all, CalibrationOutcome, CalibrationPlan};
 use crate::controller::{ControllerConfig, DomainController};
 use crate::monitor::EccMonitor;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use vs_platform::{Chip, ChipConfig};
 use vs_types::{CoreId, DomainId, Millivolts, SimTime, Watts};
 use vs_workload::{Suite, Workload};
 
 /// One sample of the system's time traces (voltage / error-rate figures).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TracePoint {
     /// When the sample was taken.
     pub at: SimTime,
@@ -25,7 +24,7 @@ pub struct TracePoint {
 }
 
 /// What one [`SpeculationSystem::step`] observed.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepReport {
     /// Simulation time at the start of the tick.
     pub at: SimTime,
@@ -38,7 +37,7 @@ pub struct StepReport {
 }
 
 /// Statistics of one speculation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
     /// Wall-clock (simulated) duration of the run.
     pub duration: SimTime,
@@ -91,6 +90,148 @@ impl RunStats {
             .filter_map(|p| p.error_rate.get(domain).copied())
             .collect();
         vs_types::stats::percentile(&series, q)
+    }
+}
+
+/// A resumable closed-loop run: the accumulation state of
+/// [`SpeculationSystem::run`] reified so the run can be advanced in
+/// bounded slices, paused between them, and finished at any point.
+///
+/// This is the engine API long experiments build on: a fleet sweep
+/// advances each chip's run a slice at a time (checkpointing between
+/// slices), and a monitoring UI can sample [`SpecRun::progress`] without
+/// waiting for the whole run. Slicing is semantically free: any
+/// partitioning of the run into `advance` calls produces bit-identical
+/// statistics.
+///
+/// ```no_run
+/// use vs_platform::ChipConfig;
+/// use vs_spec::{ControllerConfig, SpecRun, SpeculationSystem};
+/// use vs_types::SimTime;
+///
+/// let mut sys = SpeculationSystem::new(ChipConfig::low_voltage(1), ControllerConfig::default());
+/// sys.calibrate_fast();
+/// let mut run = SpecRun::new(&sys, SimTime::from_secs(30));
+/// while !run.is_done() {
+///     run.advance(&mut sys, 1000); // one-second slices (1 ms tick)
+///     let (done, total) = run.progress();
+///     eprintln!("{done}/{total} ticks");
+/// }
+/// let stats = run.finish(&sys);
+/// assert!(stats.is_safe());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpecRun {
+    duration: SimTime,
+    ticks_total: u64,
+    ticks_done: u64,
+    vdd_sums: Vec<f64>,
+    power_sum: f64,
+    emergencies: u64,
+    trace: Vec<TracePoint>,
+    last_trace: Option<SimTime>,
+    energy_before: f64,
+    rail_energy_before: f64,
+    ce_before: u64,
+}
+
+impl SpecRun {
+    /// Starts a resumable run of `duration` on a calibrated system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has not been calibrated.
+    pub fn new(sys: &SpeculationSystem, duration: SimTime) -> SpecRun {
+        assert!(
+            !sys.controllers.is_empty(),
+            "calibrate the system before running it"
+        );
+        let tick = sys.chip.config().tick;
+        SpecRun {
+            duration,
+            ticks_total: (duration.as_micros() / tick.as_micros()).max(1),
+            ticks_done: 0,
+            vdd_sums: vec![0.0; sys.controllers.len()],
+            power_sum: 0.0,
+            emergencies: 0,
+            trace: Vec::new(),
+            last_trace: None,
+            energy_before: sys.chip.energy().total().0,
+            rail_energy_before: sys.chip.core_rail_energy().total().0,
+            ce_before: sys.chip.log().correctable_count(),
+        }
+    }
+
+    /// Advances the run by up to `max_ticks` ticks (clamped to the ticks
+    /// remaining); returns the number executed. A zero return means the
+    /// run is complete.
+    pub fn advance(&mut self, sys: &mut SpeculationSystem, max_ticks: u64) -> u64 {
+        let n_domains = self.vdd_sums.len();
+        let budget = max_ticks.min(self.ticks_total - self.ticks_done);
+        for _ in 0..budget {
+            let report = sys.step();
+            self.power_sum += report.power.0;
+            for (d, sum) in self.vdd_sums.iter_mut().enumerate() {
+                *sum += f64::from(sys.chip.domain_set_point(DomainId(d)).0);
+            }
+            self.emergencies += report.emergencies;
+            let now = sys.chip.now();
+            let due = self
+                .last_trace
+                .is_none_or(|prev| now.saturating_sub(prev) >= sys.trace_spacing);
+            if due {
+                self.last_trace = Some(now);
+                self.trace.push(TracePoint {
+                    at: now,
+                    set_point_mv: (0..n_domains)
+                        .map(|d| sys.chip.domain_set_point(DomainId(d)).0)
+                        .collect(),
+                    v_eff_mv: (0..n_domains)
+                        .map(|d| sys.chip.domain_v_eff_mv(DomainId(d)))
+                        .collect(),
+                    error_rate: sys.controllers.iter().map(|c| c.last_reading()).collect(),
+                    power_w: report.power.0,
+                });
+            }
+        }
+        self.ticks_done += budget;
+        budget
+    }
+
+    /// True once every tick of the requested duration has executed.
+    pub fn is_done(&self) -> bool {
+        self.ticks_done == self.ticks_total
+    }
+
+    /// `(ticks_done, ticks_total)`.
+    pub fn progress(&self) -> (u64, u64) {
+        (self.ticks_done, self.ticks_total)
+    }
+
+    /// Closes the run and produces its statistics. May be called before
+    /// the run is complete; means are then over the ticks actually
+    /// executed and `duration` reflects the simulated time covered.
+    pub fn finish(self, sys: &SpeculationSystem) -> RunStats {
+        let ticks = self.ticks_done.max(1);
+        let duration = if self.is_done() {
+            self.duration
+        } else {
+            SimTime::from_micros(self.ticks_done * sys.chip.config().tick.as_micros())
+        };
+        let crashed_cores = (0..sys.chip.config().num_cores)
+            .filter(|i| sys.chip.crash_info(CoreId(*i)).is_some())
+            .collect();
+        RunStats {
+            duration,
+            mean_vdd_mv: self.vdd_sums.iter().map(|s| s / ticks as f64).collect(),
+            mean_power_w: self.power_sum / ticks as f64,
+            energy_j: sys.chip.energy().total().0 - self.energy_before,
+            core_rail_energy_j: sys.chip.core_rail_energy().total().0 - self.rail_energy_before,
+            correctable: sys.chip.log().correctable_count() - self.ce_before,
+            emergencies: self.emergencies,
+            crashed_cores,
+            trace: self.trace,
+        }
     }
 }
 
@@ -160,7 +301,10 @@ impl SpeculationSystem {
     /// Panics if `index` is out of range or the outcome's domain does not
     /// match the slot.
     pub fn set_calibration_entry(&mut self, index: usize, outcome: CalibrationOutcome) {
-        assert!(index < self.calibration.len(), "calibration slot out of range");
+        assert!(
+            index < self.calibration.len(),
+            "calibration slot out of range"
+        );
         assert_eq!(
             outcome.domain.0, index,
             "outcome domain must match its slot"
@@ -247,7 +391,7 @@ impl SpeculationSystem {
             if ctrl.on_tick(&mut self.chip) {
                 emergencies += 1;
             }
-            if self.ticks_run % period_ticks == 0 {
+            if self.ticks_run.is_multiple_of(period_ticks) {
                 ctrl.on_control_period(&mut self.chip);
             }
         }
@@ -262,68 +406,17 @@ impl SpeculationSystem {
     /// Runs the system for `duration`, applying the control law, and
     /// returns run statistics.
     ///
+    /// Equivalent to starting a [`SpecRun`] and advancing it to completion
+    /// in one slice; long experiments that need to pause, stream progress,
+    /// or checkpoint should drive a [`SpecRun`] directly.
+    ///
     /// # Panics
     ///
     /// Panics if the system has not been calibrated.
     pub fn run(&mut self, duration: SimTime) -> RunStats {
-        assert!(
-            !self.controllers.is_empty(),
-            "calibrate the system before running it"
-        );
-        let tick = self.chip.config().tick;
-        let ticks = (duration.as_micros() / tick.as_micros()).max(1);
-
-        let n_domains = self.controllers.len();
-        let mut vdd_sums = vec![0.0f64; n_domains];
-        let mut power_sum = 0.0f64;
-        let mut emergencies = 0u64;
-        let mut trace = Vec::new();
-        let mut last_trace = None::<SimTime>;
-        let energy_before = self.chip.energy().total();
-        let rail_energy_before = self.chip.core_rail_energy().total();
-        let ce_before = self.chip.log().correctable_count();
-
-        for _ in 0..ticks {
-            let report = self.step();
-            power_sum += report.power.0;
-            for (d, sum) in vdd_sums.iter_mut().enumerate() {
-                *sum += f64::from(self.chip.domain_set_point(DomainId(d)).0);
-            }
-            emergencies += report.emergencies;
-            let now = self.chip.now();
-            let due = last_trace.map_or(true, |prev| {
-                now.saturating_sub(prev) >= self.trace_spacing
-            });
-            if due {
-                last_trace = Some(now);
-                trace.push(TracePoint {
-                    at: now,
-                    set_point_mv: (0..n_domains)
-                        .map(|d| self.chip.domain_set_point(DomainId(d)).0)
-                        .collect(),
-                    v_eff_mv: (0..n_domains)
-                        .map(|d| self.chip.domain_v_eff_mv(DomainId(d)))
-                        .collect(),
-                    error_rate: self.controllers.iter().map(|c| c.last_reading()).collect(),
-                    power_w: report.power.0,
-                });
-            }
-        }
-
-        let crashed_cores = (0..self.chip.config().num_cores)
-            .filter(|i| self.chip.crash_info(CoreId(*i)).is_some())
-            .collect();
-        RunStats {
-            duration,
-            mean_vdd_mv: vdd_sums.iter().map(|s| s / ticks as f64).collect(),
-            mean_power_w: power_sum / ticks as f64,
-            energy_j: (self.chip.energy().total() - energy_before).0,
-            core_rail_energy_j: (self.chip.core_rail_energy().total() - rail_energy_before).0,
-            correctable: self.chip.log().correctable_count() - ce_before,
-            emergencies,
-            crashed_cores,
-            trace,
-        }
+        let mut session = SpecRun::new(self, duration);
+        session.advance(self, u64::MAX);
+        session.finish(self)
     }
 
     /// Runs the chip at fixed nominal voltage with NO speculation for
@@ -469,6 +562,45 @@ mod tests {
         let stats = sys.run(SimTime::from_secs(5));
         assert!(stats.trace.len() <= 11, "got {} samples", stats.trace.len());
         assert!(stats.trace.len() >= 9);
+    }
+
+    #[test]
+    fn sliced_spec_run_matches_one_shot() {
+        let run_whole = || {
+            let mut sys = small_system(3);
+            sys.calibrate_fast();
+            sys.assign_workload(CoreId(0), Box::new(StressTest::default()));
+            sys.run(SimTime::from_secs(10))
+        };
+        let run_sliced = |slice: u64| {
+            let mut sys = small_system(3);
+            sys.calibrate_fast();
+            sys.assign_workload(CoreId(0), Box::new(StressTest::default()));
+            let mut session = SpecRun::new(&sys, SimTime::from_secs(10));
+            while session.advance(&mut sys, slice) > 0 {}
+            assert!(session.is_done());
+            session.finish(&sys)
+        };
+        let whole = run_whole();
+        for slice in [1, 7, 1000] {
+            let sliced = run_sliced(slice);
+            assert_eq!(whole, sliced, "slice size {slice} changed the run");
+        }
+    }
+
+    #[test]
+    fn early_finish_reports_partial_duration() {
+        let mut sys = small_system(3);
+        sys.calibrate_fast();
+        let mut session = SpecRun::new(&sys, SimTime::from_secs(10));
+        session.advance(&mut sys, 500);
+        let (done, total) = session.progress();
+        assert_eq!(done, 500);
+        assert_eq!(total, 10_000);
+        assert!(!session.is_done());
+        let stats = session.finish(&sys);
+        assert_eq!(stats.duration, SimTime::from_millis(500));
+        assert_eq!(stats.trace.len(), 5);
     }
 
     #[test]

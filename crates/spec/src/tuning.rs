@@ -25,12 +25,11 @@
 
 use crate::calibrate::CalibrationOutcome;
 use crate::controller::ControllerConfig;
-use serde::{Deserialize, Serialize};
 use vs_platform::Chip;
 use vs_types::Millivolts;
 
 /// The measured response of one designated line.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LineResponse {
     /// Estimated critical voltage (the 50 %-error point), in millivolts.
     pub vc_mv: f64,
@@ -50,7 +49,10 @@ impl LineResponse {
     ///
     /// Panics if `rate` is not strictly inside `(0, 1)`.
     pub fn voltage_at(&self, rate: f64) -> f64 {
-        assert!(rate > 0.0 && rate < 1.0, "rate must be in (0,1), got {rate}");
+        assert!(
+            rate > 0.0 && rate < 1.0,
+            "rate must be in (0,1), got {rate}"
+        );
         self.vc_mv - self.slope_mv * (rate / (1.0 - rate)).ln()
     }
 }
@@ -75,7 +77,8 @@ pub fn measure_line_response(
     loop {
         chip.request_domain_voltage(domain, v);
         chip.tick();
-        let probe = chip.monitor_probe(outcome.core, outcome.kind, outcome.line, accesses_per_point);
+        let probe =
+            chip.monitor_probe(outcome.core, outcome.kind, outcome.line, accesses_per_point);
         let rate = probe.error_rate();
         if rate > 0.002 && rate < 0.998 {
             // Keep only informative mid-ramp points.
@@ -180,7 +183,11 @@ mod tests {
             .collect();
         let fit = fit_logistic(&samples);
         assert!((fit.vc_mv - truth.vc_mv).abs() < 0.5, "vc {}", fit.vc_mv);
-        assert!((fit.slope_mv - truth.slope_mv).abs() < 0.3, "s {}", fit.slope_mv);
+        assert!(
+            (fit.slope_mv - truth.slope_mv).abs() < 0.3,
+            "s {}",
+            fit.slope_mv
+        );
     }
 
     #[test]

@@ -55,8 +55,7 @@ impl AccessContext {
     /// `vc_mv`.
     #[inline]
     pub fn flip_probability(&self, vc_mv: f64) -> f64 {
-        let temp_shift =
-            self.temp_coeff_mv_per_c * (self.temperature.0 - Self::REFERENCE_TEMP.0);
+        let temp_shift = self.temp_coeff_mv_per_c * (self.temperature.0 - Self::REFERENCE_TEMP.0);
         logistic((vc_mv + temp_shift - self.v_eff_mv) / self.read_noise_mv)
     }
 
@@ -112,10 +111,7 @@ pub fn word_failure_probabilities(cells: &WordCells, ctx: &AccessContext) -> (f6
 /// A word with two or more flipped bits is uncorrectable under SEC-DED; a
 /// line read reports "correctable" if every erring word had exactly one
 /// flip.
-pub fn line_read_probabilities(
-    words: &[WordCells],
-    ctx: &AccessContext,
-) -> (f64, f64, f64) {
+pub fn line_read_probabilities(words: &[WordCells], ctx: &AccessContext) -> (f64, f64, f64) {
     let mut p_all_clean = 1.0;
     let mut p_no_uncorrectable = 1.0;
     for cells in words {
@@ -233,9 +229,7 @@ mod tests {
 
     #[test]
     fn line_probabilities_consistent() {
-        let words: Vec<WordCells> = (0..16)
-            .map(|i| word(&[690.0 - i as f64, 660.0]))
-            .collect();
+        let words: Vec<WordCells> = (0..16).map(|i| word(&[690.0 - i as f64, 660.0])).collect();
         let ctx = AccessContext::new(690.0, 4.5);
         let (pc, pe, pu) = line_read_probabilities(&words, &ctx);
         assert!((pc + pe + pu - 1.0).abs() < 1e-9);

@@ -27,13 +27,12 @@
 //! the register files at the *nominal* (timing-limited) point, where the
 //! paper observed a mix of cache and register-file errors.
 
-use serde::{Deserialize, Serialize};
 use vs_types::{CacheKind, VddMode};
 
 /// Variation parameters for one SRAM structure kind at one operating point.
 ///
 /// All voltages are in millivolts.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StructureParams {
     /// Mean critical voltage of a single cell of this structure.
     pub mu_vc_mv: f64,
@@ -60,7 +59,7 @@ impl StructureParams {
 }
 
 /// Full parameter set for the chip's SRAM model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SramParams {
     /// Core-to-core systematic sigma at the low-voltage point. The paper
     /// finds ~4× more core-to-core Vmin variability at low voltage.
@@ -125,7 +124,10 @@ impl SramParams {
     /// Mean and sigma of the per-core logic floor for a mode.
     pub fn logic_floor_mv(&self, mode: VddMode) -> (f64, f64) {
         match mode {
-            VddMode::Nominal => (self.logic_floor_nominal_mv, self.logic_floor_sigma_nominal_mv),
+            VddMode::Nominal => (
+                self.logic_floor_nominal_mv,
+                self.logic_floor_sigma_nominal_mv,
+            ),
             VddMode::LowVoltage => (self.logic_floor_low_mv, self.logic_floor_sigma_low_mv),
         }
     }
@@ -252,11 +254,20 @@ mod tests {
         let rf =
             p.extreme_vc_estimate_mv(CacheKind::RegisterFileInt, VddMode::LowVoltage, RF_CELLS);
         let (floor, _) = p.logic_floor_mv(VddMode::LowVoltage);
-        assert!(l1 < floor, "L1 weakest cell ({l1}) must hide below the logic floor");
-        assert!(rf < floor, "RF weakest cell ({rf}) must hide below the logic floor");
+        assert!(
+            l1 < floor,
+            "L1 weakest cell ({l1}) must hide below the logic floor"
+        );
+        assert!(
+            rf < floor,
+            "RF weakest cell ({rf}) must hide below the logic floor"
+        );
         // The L3 runs on the fixed 800 mV uncore rail: its weakest cell must
         // stay below that rail's worst-case effective voltage.
-        assert!(l3 < 760.0, "L3 weakest cell ({l3}) must be safe at the uncore rail");
+        assert!(
+            l3 < 760.0,
+            "L3 weakest cell ({l3}) must be safe at the uncore rail"
+        );
     }
 
     #[test]
@@ -269,11 +280,20 @@ mod tests {
         let rf = p.extreme_vc_estimate_mv(CacheKind::RegisterFileInt, VddMode::Nominal, RF_CELLS);
         let (floor, _) = p.logic_floor_mv(VddMode::Nominal);
         assert!((985.0..1020.0).contains(&l2), "L2 nominal onset, got {l2}");
-        assert!(rf > floor, "RF errors must appear above the crash floor, got {rf}");
-        assert!((l2 - rf).abs() < 30.0, "RF and L2 onsets must be comparable");
+        assert!(
+            rf > floor,
+            "RF errors must appear above the crash floor, got {rf}"
+        );
+        assert!(
+            (l2 - rf).abs() < 30.0,
+            "RF and L2 onsets must be comparable"
+        );
         // L1s stay silent even at nominal.
         let l1 = p.extreme_vc_estimate_mv(CacheKind::L1Data, VddMode::Nominal, L1_CELLS);
-        assert!(l1 < floor, "L1 weakest cell ({l1}) must hide below the floor");
+        assert!(
+            l1 < floor,
+            "L1 weakest cell ({l1}) must hide below the floor"
+        );
     }
 
     #[test]
@@ -282,8 +302,12 @@ mod tests {
         // and the ~100th-weakest cell (where multi-bit trouble starts),
         // which scales with sigma_cell.
         let p = SramParams::default();
-        let low = p.structure(CacheKind::L2Data, VddMode::LowVoltage).sigma_cell_mv;
-        let nom = p.structure(CacheKind::L2Data, VddMode::Nominal).sigma_cell_mv;
+        let low = p
+            .structure(CacheKind::L2Data, VddMode::LowVoltage)
+            .sigma_cell_mv;
+        let nom = p
+            .structure(CacheKind::L2Data, VddMode::Nominal)
+            .sigma_cell_mv;
         let ratio = low / nom;
         assert!((3.0..6.0).contains(&ratio), "expected ~4x, got {ratio}");
     }

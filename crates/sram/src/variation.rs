@@ -6,7 +6,6 @@
 //! paper's "deterministic error distribution" (§II-D) by construction.
 
 use crate::params::SramParams;
-use serde::{Deserialize, Serialize};
 use vs_types::rng::CounterRng;
 use vs_types::stats::normal_quantile;
 use vs_types::{CacheKind, CoreId, Millivolts, SetWay, VddMode};
@@ -16,7 +15,7 @@ use vs_types::{CacheKind, CoreId, Millivolts, SetWay, VddMode};
 pub const BITS_PER_WORD: u64 = 72;
 
 /// One tracked weak cell of a word.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WeakCell {
     /// Codeword bit position (0..72).
     pub bit: u32,
@@ -28,7 +27,7 @@ pub struct WeakCell {
 /// The tracked weakest cells of one ECC word, strongest-first ordering is
 /// *descending* critical voltage (index 0 is the weakest cell — the one
 /// that fails at the highest voltage).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WordCells {
     cells: Vec<WeakCell>,
 }
@@ -62,7 +61,7 @@ impl WordCells {
 /// The full variation map of one simulated chip.
 ///
 /// Cloning is cheap; the struct holds only the seed and parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChipVariation {
     seed: u64,
     params: SramParams,
@@ -450,7 +449,10 @@ mod tests {
         assert!(factors.iter().all(|&f| f > 0.2 && f < 4.0));
         let below = factors.iter().filter(|&&f| f < 1.0).count();
         // Median should be near 1.0: roughly half below.
-        assert!((800..1200).contains(&below), "median off: {below}/2000 below 1.0");
+        assert!(
+            (800..1200).contains(&below),
+            "median off: {below}/2000 below 1.0"
+        );
         // Deterministic.
         assert_eq!(
             c.line_noise_factor(CoreId(1), CacheKind::L2Data, SetWay::new(3, 2)),

@@ -1,7 +1,6 @@
 //! Hardware identifiers: cores, voltage domains, caches, and cache-line
 //! coordinates.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies one core of the simulated chip multiprocessor.
@@ -14,9 +13,7 @@ use std::fmt;
 /// let c = CoreId(3);
 /// assert_eq!(c.to_string(), "core3");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CoreId(pub usize);
 
 impl fmt::Display for CoreId {
@@ -30,9 +27,7 @@ impl fmt::Display for CoreId {
 /// On the reference platform each pair of cores shares a power-delivery line,
 /// with separate lines for the uncore; the chip exposes six independently
 /// adjustable domains (Table I).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct DomainId(pub usize);
 
 impl fmt::Display for DomainId {
@@ -47,7 +42,7 @@ impl fmt::Display for DomainId {
 /// caches produce correctable errors, while at nominal voltage register files
 /// also contribute (§II-C). The simulator models all of the SRAM structures
 /// so that distinction emerges rather than being hard-coded.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CacheKind {
     /// Level-1 instruction cache (4-way, 16 KB on the reference platform).
     L1Instruction,
@@ -136,9 +131,7 @@ impl fmt::Display for CacheKind {
 ///
 /// Correctable-error reports carry the set and way of the failing line
 /// (§IV-A4); calibration records them to designate the weakest line.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SetWay {
     /// Set index within the structure.
     pub set: usize,
@@ -161,7 +154,7 @@ impl fmt::Display for SetWay {
 
 /// Fully qualified location of a cache line on the chip: which core's
 /// structure, and where inside it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LineAddress {
     /// The core owning the structure (for the shared L3 this is the core
     /// from whose controller the access was issued).

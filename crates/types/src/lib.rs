@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fleet;
 pub mod ids;
 pub mod mode;
 pub mod rng;
@@ -43,6 +44,7 @@ pub mod stats;
 pub mod time;
 pub mod units;
 
+pub use fleet::{ChipId, FleetSeed};
 pub use ids::{CacheKind, CoreId, DomainId, LineAddress, SetWay};
 pub use mode::VddMode;
 pub use rng::CounterRng;

@@ -7,7 +7,6 @@
 //! voltage of the first correctable error at that frequency).
 
 use crate::units::{Hertz, Millivolts};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One of the two characterized operating points of the chip.
@@ -19,9 +18,7 @@ use std::fmt;
 /// assert_eq!(VddMode::LowVoltage.nominal_vdd().0, 800);
 /// assert!(VddMode::Nominal.frequency() > VddMode::LowVoltage.frequency());
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum VddMode {
     /// 2.53 GHz at a nominal 1.1 V supply.
     Nominal,

@@ -275,7 +275,10 @@ mod tests {
             total += rng.binomial(100_000, 0.4);
         }
         let mean = total as f64 / trials as f64;
-        assert!((mean - 40_000.0).abs() < 100.0, "large-path mean was {mean}");
+        assert!(
+            (mean - 40_000.0).abs() < 100.0,
+            "large-path mean was {mean}"
+        );
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub fn normal_quantile(p: f64) -> f64 {
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];
@@ -143,7 +143,10 @@ pub fn expected_extreme(n: u64) -> f64 {
 ///
 /// Panics if `q` is outside `[0, 1]` or any value is NaN.
 pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0,1], got {q}"
+    );
     if xs.is_empty() {
         return None;
     }

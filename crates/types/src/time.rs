@@ -5,7 +5,6 @@
 //! [`SimTime`] is a microsecond-resolution monotonic counter so that tick
 //! arithmetic is exact.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -18,9 +17,7 @@ use std::ops::{Add, AddAssign, Sub};
 /// assert_eq!(t.as_secs_f64(), 1.5);
 /// assert_eq!(t + SimTime::from_millis(500), SimTime::from_secs(2));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime {
     micros: u64,
 }
@@ -86,7 +83,7 @@ impl SimTime {
     /// Panics if `period` is zero.
     pub fn is_multiple_of(self, period: SimTime) -> bool {
         assert!(period.micros > 0, "period must be positive");
-        self.micros % period.micros == 0
+        self.micros.is_multiple_of(period.micros)
     }
 }
 

@@ -5,7 +5,6 @@
 //! discrete 5 mV steps (paper §III-B). Analog quantities that arise from the
 //! physics models (power, energy, temperature) use `f64` newtypes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
@@ -27,9 +26,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 /// assert_eq!(nominal - guardband, Millivolts(1000));
 /// assert_eq!(Millivolts(800).as_volts(), 0.8);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Millivolts(pub i32);
 
 impl Millivolts {
@@ -135,7 +132,7 @@ impl Mul<i32> for Millivolts {
 /// assert!(high > low);
 /// assert_eq!(low.as_mhz(), 340.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Hertz(pub f64);
 
 impl Hertz {
@@ -188,7 +185,7 @@ impl fmt::Display for Hertz {
 }
 
 /// Power in watts.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Watts(pub f64);
 
 impl Watts {
@@ -249,7 +246,7 @@ impl Sum for Watts {
 }
 
 /// Energy in joules.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Joules(pub f64);
 
 impl Joules {
@@ -301,7 +298,7 @@ impl Sum for Joules {
 /// The paper reports that enclosure-fan-induced variation of up to 20 °C has
 /// no measurable effect on error distribution (§III-D); the SRAM model keeps
 /// a small temperature coefficient so that experiment can be reproduced.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Celsius(pub f64);
 
 impl fmt::Display for Celsius {

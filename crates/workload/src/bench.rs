@@ -7,12 +7,11 @@
 //! benchmarks never share a phase pattern.
 
 use crate::demand::{BackToBack, Demand, Workload};
-use serde::{Deserialize, Serialize};
 use vs_types::rng::{hash_key, CounterRng};
 use vs_types::SimTime;
 
 /// The benchmark suites used in the evaluation (Table II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// CoreMark kernels: list processing, matrix manipulation, state
     /// machine, CRC.
@@ -56,8 +55,8 @@ impl Suite {
             ],
             Suite::SpecJbb2005 => &["specjbb2005"],
             Suite::SpecInt2000 => &[
-                "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon", "perlbmk", "gap",
-                "vortex", "bzip2", "twolf",
+                "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon", "perlbmk", "gap", "vortex",
+                "bzip2", "twolf",
             ],
             Suite::SpecFp2000 => &[
                 "swim", "mgrid", "applu", "mesa", "galgel", "art", "equake", "facerec", "ammp",
@@ -79,14 +78,19 @@ impl Suite {
         let segments = self
             .benchmarks()
             .into_iter()
-            .map(|b| (Box::new(b) as Box<dyn Workload + Send + Sync>, per_benchmark))
+            .map(|b| {
+                (
+                    Box::new(b) as Box<dyn Workload + Send + Sync>,
+                    per_benchmark,
+                )
+            })
             .collect();
         BackToBack::new(self.label(), segments)
     }
 }
 
 /// Base character of one benchmark, before phase modulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct BaseCharacter {
     activity: f64,
     l2_accesses_per_ms: f64,
@@ -166,10 +170,9 @@ fn bc(
 }
 
 fn name_hash(name: &str) -> u64 {
-    name.bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
-        })
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+    })
 }
 
 /// Convenience namespace grouping suite lookups, mirroring the paper's
@@ -188,7 +191,7 @@ pub mod suites {
 /// Phases last 1–4 s; within a phase the demand is constant, so the
 /// voltage controller sees realistic multi-second workload shifts (the
 /// dynamics of the paper's Figure 12).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchmarkProfile {
     name: String,
     base: BaseCharacter,
@@ -274,7 +277,10 @@ mod tests {
         let a = benchmark("mcf").unwrap();
         let b = benchmark("mcf").unwrap();
         for s in [0u64, 3, 17, 120] {
-            assert_eq!(a.demand(SimTime::from_secs(s)), b.demand(SimTime::from_secs(s)));
+            assert_eq!(
+                a.demand(SimTime::from_secs(s)),
+                b.demand(SimTime::from_secs(s))
+            );
         }
     }
 
@@ -328,7 +334,10 @@ mod tests {
     fn suite_back_to_back_runs_each_benchmark() {
         let seq = Suite::CoreMark.back_to_back(SimTime::from_secs(10));
         assert_eq!(seq.duration(), Some(SimTime::from_secs(40)));
-        assert_eq!(seq.active_segment_name(SimTime::from_secs(5)), "list_processing");
+        assert_eq!(
+            seq.active_segment_name(SimTime::from_secs(5)),
+            "list_processing"
+        );
         assert_eq!(seq.active_segment_name(SimTime::from_secs(35)), "crc");
     }
 

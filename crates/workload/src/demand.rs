@@ -1,6 +1,5 @@
 //! The `Workload` trait and composition helpers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use vs_types::SimTime;
 
@@ -8,7 +7,7 @@ use vs_types::SimTime;
 ///
 /// These are the only quantities the speculation system can observe: the
 /// rest of the workload's behaviour is irrelevant to voltage control.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Demand {
     /// Mean switching activity (scales dynamic power; 1.0 is a fully busy
     /// core, power-virus kernels may exceed it).
@@ -125,7 +124,10 @@ impl BackToBack {
         name: impl Into<String>,
         segments: Vec<(Box<dyn Workload + Send + Sync>, SimTime)>,
     ) -> BackToBack {
-        assert!(!segments.is_empty(), "a sequence needs at least one segment");
+        assert!(
+            !segments.is_empty(),
+            "a sequence needs at least one segment"
+        );
         assert!(
             segments.iter().all(|(_, d)| *d > SimTime::ZERO),
             "segments must have positive duration"

@@ -1,7 +1,6 @@
 //! Stress workloads used for characterization and robustness testing.
 
 use crate::demand::{Demand, Workload};
-use serde::{Deserialize, Serialize};
 use vs_types::rng::CounterRng;
 use vs_types::SimTime;
 
@@ -13,7 +12,7 @@ use vs_types::SimTime;
 /// few hundred milliseconds so that both the power rails and the caches see
 /// sustained pressure; its large footprint touches most L2 lines, which is
 /// what makes it suitable for finding the minimum safe voltage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StressTest {
     seed: u64,
 }
@@ -70,7 +69,7 @@ impl Workload for StressTest {
 /// (§V-D1): runs flat out for `period_on`, then is throttled into a
 /// firmware spin-loop for `period_off`, with abrupt transitions that
 /// produce load-step droops.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StressKernel {
     period_on: SimTime,
     period_off: SimTime,
@@ -181,7 +180,10 @@ mod tests {
         let k = StressKernel::default();
         assert!(k.demand(SimTime::from_secs(30)).activity_transient_step > 0.0);
         assert!(k.demand(SimTime::from_secs(60)).activity_transient_step > 0.0);
-        assert_eq!(k.demand(SimTime::from_secs(45)).activity_transient_step, 0.0);
+        assert_eq!(
+            k.demand(SimTime::from_secs(45)).activity_transient_step,
+            0.0
+        );
     }
 
     #[test]

@@ -7,7 +7,6 @@
 //! activity transients exactly like the native workloads do.
 
 use crate::demand::{Demand, Workload};
-use serde::{Deserialize, Serialize};
 use vs_types::SimTime;
 
 /// A workload that replays `(timestamp, demand)` samples, step-held.
@@ -28,7 +27,7 @@ use vs_types::SimTime;
 /// assert_eq!(trace.demand(SimTime::from_secs(1)).activity, 0.3);
 /// assert_eq!(trace.demand(SimTime::from_secs(6)).activity, 0.9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceWorkload {
     name: String,
     /// Samples sorted ascending by time; the first must be at time zero.
@@ -47,7 +46,11 @@ impl TraceWorkload {
     /// not start at time zero, or contains an invalid demand.
     pub fn from_samples(name: impl Into<String>, samples: Vec<(SimTime, Demand)>) -> TraceWorkload {
         assert!(!samples.is_empty(), "a trace needs at least one sample");
-        assert_eq!(samples[0].0, SimTime::ZERO, "traces must start at time zero");
+        assert_eq!(
+            samples[0].0,
+            SimTime::ZERO,
+            "traces must start at time zero"
+        );
         assert!(
             samples.windows(2).all(|w| w[0].0 < w[1].0),
             "sample timestamps must be strictly ascending"
@@ -79,7 +82,11 @@ impl TraceWorkload {
             }
             let fields: Vec<&str> = line.split(',').map(str::trim).collect();
             if fields.len() != 5 {
-                return Err(format!("line {}: expected 5 fields, got {}", i + 1, fields.len()));
+                return Err(format!(
+                    "line {}: expected 5 fields, got {}",
+                    i + 1,
+                    fields.len()
+                ));
             }
             let parse = |j: usize| -> Result<f64, String> {
                 fields[j]
@@ -164,8 +171,7 @@ impl Workload for TraceWorkload {
         // Report the step from the previous sample within the first
         // millisecond after a transition, as native workloads do.
         if i > 0 && t.saturating_sub(self.samples[i].0) < SimTime::from_millis(1) {
-            d.activity_transient_step =
-                (d.activity - self.samples[i - 1].1.activity).abs();
+            d.activity_transient_step = (d.activity - self.samples[i - 1].1.activity).abs();
         }
         d
     }
@@ -209,7 +215,11 @@ mod tests {
         assert_eq!(t.demand(SimTime::from_secs(10)).activity, 0.8);
         assert_eq!(t.demand(SimTime::from_secs(19)).activity, 0.8);
         assert_eq!(t.demand(SimTime::from_secs(25)).activity, 0.4);
-        assert_eq!(t.demand(SimTime::from_secs(500)).activity, 0.4, "holds last");
+        assert_eq!(
+            t.demand(SimTime::from_secs(500)).activity,
+            0.4,
+            "holds last"
+        );
         assert_eq!(t.duration(), Some(SimTime::from_secs(20)));
         assert_eq!(t.len(), 3);
         assert!(!t.is_empty());

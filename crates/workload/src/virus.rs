@@ -9,7 +9,6 @@
 //! noise (Figures 15 and 16).
 
 use crate::demand::{Demand, Workload};
-use serde::{Deserialize, Serialize};
 use vs_types::{Hertz, SimTime};
 
 /// The FMA/NOP voltage virus, parameterized by NOP count.
@@ -29,7 +28,7 @@ use vs_types::{Hertz, SimTime};
 /// assert!(flat.demand(SimTime::ZERO).activity_osc_amplitude < 1e-12);
 /// assert!(resonant.demand(SimTime::ZERO).activity_osc_amplitude > 0.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VoltageVirus {
     nop_count: u32,
     clock: Hertz,
@@ -37,7 +36,7 @@ pub struct VoltageVirus {
 }
 
 /// A stack-allocated name buffer so `Workload::name` can return a slice.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct VirusName {
     buf: [u8; 24],
     len: usize,
@@ -104,7 +103,8 @@ impl VoltageVirus {
     /// for NOP-0 (no low phase) and shrinks as NOPs dominate.
     pub fn oscillation_amplitude(&self) -> f64 {
         let d = self.duty_cycle();
-        (ACTIVITY_HIGH - ACTIVITY_LOW) * (std::f64::consts::PI * d).sin()
+        (ACTIVITY_HIGH - ACTIVITY_LOW)
+            * (std::f64::consts::PI * d).sin()
             * (2.0 / std::f64::consts::PI)
     }
 }

@@ -19,7 +19,10 @@ use voltspec::workload::Suite;
 fn main() {
     let fleet: Vec<u64> = (0..6).map(|i| 1000 + 17 * i).collect();
     let duration = SimTime::from_secs(45);
-    println!("== per-die voltage tuning across a {}-die fleet ==\n", fleet.len());
+    println!(
+        "== per-die voltage tuning across a {}-die fleet ==\n",
+        fleet.len()
+    );
 
     let mut spec_power = 0.0;
     let mut base_power = 0.0;
@@ -30,19 +33,15 @@ fn main() {
         "die", "mean Vdd (mV)", "power (W)", "saved", "safe"
     );
     for &seed in &fleet {
-        let mut system = SpeculationSystem::new(
-            ChipConfig::low_voltage(seed),
-            ControllerConfig::default(),
-        );
+        let mut system =
+            SpeculationSystem::new(ChipConfig::low_voltage(seed), ControllerConfig::default());
         system.calibrate_fast();
         system.assign_suite(Suite::SpecJbb2005, SimTime::from_secs(20));
         let spec = system.run(duration);
         assert!(spec.is_safe(), "die {seed} crashed under speculation");
 
-        let mut baseline = SpeculationSystem::new(
-            ChipConfig::low_voltage(seed),
-            ControllerConfig::default(),
-        );
+        let mut baseline =
+            SpeculationSystem::new(ChipConfig::low_voltage(seed), ControllerConfig::default());
         baseline.assign_suite(Suite::SpecJbb2005, SimTime::from_secs(20));
         let base = baseline.run_baseline(duration);
 

@@ -13,18 +13,14 @@
 
 use voltspec::platform::ChipConfig;
 use voltspec::spec::recalibrate::recalibrate;
-use voltspec::spec::{
-    measure_line_response, tailor_band, ControllerConfig, SpeculationSystem,
-};
+use voltspec::spec::{measure_line_response, tailor_band, ControllerConfig, SpeculationSystem};
 use voltspec::types::{DomainId, SimTime};
 use voltspec::workload::Suite;
 
 fn main() {
     let seed = 42;
-    let mut system = SpeculationSystem::new(
-        ChipConfig::low_voltage(seed),
-        ControllerConfig::default(),
-    );
+    let mut system =
+        SpeculationSystem::new(ChipConfig::low_voltage(seed), ControllerConfig::default());
     system.calibrate_fast();
     println!("== service-life walkthrough (die seed {seed}) ==");
     println!(

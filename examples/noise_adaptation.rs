@@ -18,10 +18,8 @@ use voltspec::workload::{benchmark, VoltageVirus, Workload};
 
 fn main() {
     let seed = 42;
-    let mut system = SpeculationSystem::new(
-        ChipConfig::low_voltage(seed),
-        ControllerConfig::default(),
-    );
+    let mut system =
+        SpeculationSystem::new(ChipConfig::low_voltage(seed), ControllerConfig::default());
     system.calibrate_fast();
     system.set_trace_spacing(SimTime::from_millis(500));
 

@@ -17,10 +17,8 @@ fn main() {
     let seed = 42;
     println!("== voltspec quickstart (die seed {seed}) ==\n");
 
-    let mut system = SpeculationSystem::new(
-        ChipConfig::low_voltage(seed),
-        ControllerConfig::default(),
-    );
+    let mut system =
+        SpeculationSystem::new(ChipConfig::low_voltage(seed), ControllerConfig::default());
 
     // Boot-time calibration: locate the weakest ECC-protected line of each
     // voltage domain and hand it to that domain's hardware monitor.
@@ -38,17 +36,18 @@ fn main() {
     let spec = system.run(SimTime::from_secs(60));
 
     // And the same workload on identical silicon at a fixed nominal rail.
-    let mut baseline_system = SpeculationSystem::new(
-        ChipConfig::low_voltage(seed),
-        ControllerConfig::default(),
-    );
+    let mut baseline_system =
+        SpeculationSystem::new(ChipConfig::low_voltage(seed), ControllerConfig::default());
     baseline_system.assign_suite(Suite::CoreMark, SimTime::from_secs(15));
     let base = baseline_system.run_baseline(SimTime::from_secs(60));
 
     let nominal = Millivolts(800);
     println!("\n== results ==");
     println!("safe run:                {}", spec.is_safe());
-    println!("correctable errors:      {} (all corrected by ECC)", spec.correctable);
+    println!(
+        "correctable errors:      {} (all corrected by ECC)",
+        spec.correctable
+    );
     println!("emergency interrupts:    {}", spec.emergencies);
     for (d, v) in spec.mean_vdd_mv.iter().enumerate() {
         println!(

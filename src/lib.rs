@@ -26,6 +26,7 @@
 //! | [`workload`] | benchmark suites, stress kernels, the voltage virus |
 //! | [`platform`] | the simulated CMP and characterization harnesses |
 //! | [`spec`] | **the contribution**: monitors, calibration, control, experiments |
+//! | [`fleet`] | parallel multi-chip population simulation and statistics |
 //!
 //! # Quickstart
 //!
@@ -62,6 +63,7 @@
 
 pub use vs_cache as cache;
 pub use vs_ecc as ecc;
+pub use vs_fleet as fleet;
 pub use vs_pdn as pdn;
 pub use vs_platform as platform;
 pub use vs_power as power;

@@ -3,9 +3,10 @@
 //! end: identical seeds give bit-identical experiments; different seeds
 //! give different silicon.
 
+use voltspec::fleet::{FleetConfig, FleetRunner, PopulationStats};
 use voltspec::platform::{Chip, ChipConfig};
 use voltspec::spec::{ControllerConfig, SpeculationSystem};
-use voltspec::types::{CacheKind, CoreId, SimTime};
+use voltspec::types::{CacheKind, CoreId, FleetSeed, SimTime};
 use voltspec::workload::Suite;
 
 fn small_config(seed: u64) -> ChipConfig {
@@ -63,7 +64,11 @@ fn weak_lines_differ_between_cores_and_structures() {
     // §II-D: "the addresses of such lines vary from core to core".
     let mut chip = Chip::new(ChipConfig::low_voltage(99));
     let locations: Vec<_> = (0..8)
-        .map(|c| chip.weak_table(CoreId(c), CacheKind::L2Data).weakest().location)
+        .map(|c| {
+            chip.weak_table(CoreId(c), CacheKind::L2Data)
+                .weakest()
+                .location
+        })
         .collect();
     let mut unique = locations.clone();
     unique.sort();
@@ -71,6 +76,62 @@ fn weak_lines_differ_between_cores_and_structures() {
     assert!(
         unique.len() >= 7,
         "weak-line locations should essentially never collide: {locations:?}"
+    );
+}
+
+fn fleet_config() -> FleetConfig {
+    let mut config = FleetConfig::small(FleetSeed(4242), 32);
+    config.run_duration = SimTime::from_millis(500);
+    config
+}
+
+#[test]
+fn fleet_results_are_identical_for_any_worker_count() {
+    // The tentpole guarantee: sharding a fleet across workers only changes
+    // the wall clock, never the results. One worker versus eight must
+    // produce bit-identical summaries AND bit-identical aggregate
+    // statistics (f64 equality, no tolerance).
+    let one = FleetRunner::new(fleet_config(), 1).run().unwrap();
+    let eight = FleetRunner::new(fleet_config(), 8).run().unwrap();
+
+    assert_eq!(one.summaries, eight.summaries);
+
+    let nominal = fleet_config().base_chip.mode.nominal_vdd();
+    let stats_one = PopulationStats::from_summaries(&one.summaries, nominal);
+    let stats_eight = PopulationStats::from_summaries(&eight.summaries, nominal);
+    assert_eq!(stats_one, stats_eight);
+
+    // And the run did real work on every chip.
+    assert_eq!(one.summaries.len(), 32);
+    assert!(stats_one.total_correctable > 0);
+    assert_eq!(stats_one.healthy_chips, 32);
+}
+
+fn small_fleet_config(seed: u64) -> FleetConfig {
+    FleetConfig {
+        seed: FleetSeed(seed),
+        num_chips: 8,
+        ..fleet_config()
+    }
+}
+
+#[test]
+fn fleet_reruns_are_reproducible() {
+    let a = FleetRunner::new(small_fleet_config(4242), 4).run().unwrap();
+    let b = FleetRunner::new(small_fleet_config(4242), 4).run().unwrap();
+    assert_eq!(a.summaries, b.summaries);
+}
+
+#[test]
+fn different_fleet_seeds_are_different_populations() {
+    let a = FleetRunner::new(small_fleet_config(4242), 4).run().unwrap();
+    let b = FleetRunner::new(small_fleet_config(4243), 4).run().unwrap();
+    assert!(
+        a.summaries
+            .iter()
+            .zip(&b.summaries)
+            .all(|(x, y)| x.die_seed != y.die_seed),
+        "distinct fleet seeds must draw distinct silicon everywhere"
     );
 }
 

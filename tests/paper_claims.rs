@@ -90,8 +90,8 @@ fn claim_headline_power_savings() {
     let r = suite_power(SEED, Suite::CoreMark, &SuiteRunOptions::fast());
     assert!(r.safe);
     let nominal = 800.0;
-    let avg_reduction = 1.0
-        - r.per_core_vdd_mv.iter().sum::<f64>() / (r.per_core_vdd_mv.len() as f64 * nominal);
+    let avg_reduction =
+        1.0 - r.per_core_vdd_mv.iter().sum::<f64>() / (r.per_core_vdd_mv.len() as f64 * nominal);
     assert!(
         (0.04..0.15).contains(&avg_reduction),
         "paper: ~8% Vdd reduction, got {:.1}%",
@@ -118,7 +118,10 @@ fn claim_resonance_detection() {
 #[test]
 fn claim_no_retention_errors() {
     let r = retention_experiment(SEED, CoreId(0), 60);
-    assert!(r.errors_at_dwell > 0, "control must err at the dwell voltage");
+    assert!(
+        r.errors_at_dwell > 0,
+        "control must err at the dwell voltage"
+    );
     assert_eq!(r.errors_after_restore, 0, "no retention failures");
 }
 
@@ -129,11 +132,8 @@ fn claim_only_l2_errors_at_low_voltage() {
     let mut c = chip(VddMode::LowVoltage);
     let margins = all_core_margins(&mut c, &opts);
     // Run each core briefly at its min safe voltage and inspect the log.
-    let _ = voltspec::platform::characterize::error_breakdown(
-        &mut c,
-        &margins,
-        SimTime::from_secs(5),
-    );
+    let _ =
+        voltspec::platform::characterize::error_breakdown(&mut c, &margins, SimTime::from_secs(5));
     assert!(c.log().correctable_count() > 0);
     for e in c.log().correctable() {
         assert!(
