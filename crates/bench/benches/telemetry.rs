@@ -1,0 +1,90 @@
+//! Telemetry overhead benchmarks.
+//!
+//! Two layers are measured. The micro layer times the per-event hot path:
+//! a disabled recorder must cost a single branch, an enabled one a bounds
+//! check plus a `Copy` into the ring, and JSONL serialization stays off
+//! the hot path entirely. The macro layer runs the same small fleet with
+//! and without the reporting plumbing and prints the throughput delta —
+//! the no-op path (`EventFilter::none()`) is required to stay within a
+//! few percent of the plain runner, so tracing can be compiled in and
+//! left reachable everywhere without a performance tax when it's off.
+
+use std::time::Instant;
+use vs_bench::timing::{black_box, Runner};
+use vs_fleet::{FleetConfig, FleetRunner};
+use vs_telemetry::{EventFilter, Recorder, SilentProgress, TelemetryEvent};
+use vs_types::{DomainId, FleetSeed, SimTime};
+
+fn sample_event(i: u64) -> TelemetryEvent {
+    TelemetryEvent::MonitorWindow {
+        at: SimTime::from_micros(i),
+        domain: DomainId(0),
+        accesses: 2500,
+        errors: i % 7,
+        rate: (i % 7) as f64 / 2500.0,
+    }
+}
+
+fn fleet_config() -> FleetConfig {
+    let mut config = FleetConfig::small(FleetSeed(2014), 8);
+    config.run_duration = SimTime::from_millis(250);
+    config
+}
+
+fn main() {
+    let mut runner = Runner::from_args();
+
+    // The whole call must fold to one branch on the filter.
+    let mut disabled = Recorder::disabled();
+    let mut i = 0u64;
+    runner.bench("telemetry/emit_disabled", || {
+        i += 1;
+        disabled.emit(sample_event(i));
+        disabled.len()
+    });
+
+    let mut enabled = Recorder::enabled(EventFilter::all());
+    let mut j = 0u64;
+    runner.bench("telemetry/emit_enabled", || {
+        j += 1;
+        enabled.emit(sample_event(j));
+        enabled.len()
+    });
+
+    let event = sample_event(42);
+    let mut line = String::with_capacity(160);
+    runner.bench("telemetry/write_json", || {
+        line.clear();
+        event.write_json(&mut line);
+        line.len()
+    });
+
+    // Macro check: plain runner vs reporting runner with events disabled.
+    // Both simulate identical pure chip jobs, so any gap is plumbing.
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rounds = if quick { 1 } else { 3 };
+    let plain = best_wall(rounds, || {
+        FleetRunner::new(fleet_config(), 2)
+            .run()
+            .expect("fleet run")
+    });
+    let noop = best_wall(rounds, || {
+        FleetRunner::new(fleet_config(), 2)
+            .run_reporting(EventFilter::none(), &mut SilentProgress)
+            .expect("fleet run")
+    });
+    let overhead = (noop / plain - 1.0) * 100.0;
+    println!("fleet/plain_run                  {plain:>9.3} s");
+    println!("fleet/reporting_noop             {noop:>9.3} s   ({overhead:+.1}% vs plain)");
+}
+
+/// Best-of-N wall time of a closure, in seconds.
+fn best_wall<T>(rounds: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}

@@ -7,7 +7,9 @@
 //! repro [--quick] all
 //! repro list
 //! repro --fleet N [--workers W] [--variant hw|sw|baseline] \
-//!       [--checkpoint FILE] [--seed S] [--quick]
+//!       [--checkpoint FILE] [--seed S] [--quick] \
+//!       [--trace FILE] [--trace-filter LIST] [--metrics] \
+//!       [--quiet] [--progress-jsonl]
 //! ```
 //!
 //! Experiments: `table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
@@ -18,12 +20,31 @@
 //! parallel across `W` worker threads and print population statistics
 //! (Vmin spread, Vdd-reduction and energy-savings distributions). Results
 //! are bit-identical for any `--workers` value.
+//!
+//! Fleet observability:
+//!
+//! * `--trace FILE` writes the telemetry event stream as JSONL. Events are
+//!   timestamped in simulated time and merged in chip-id order, so the
+//!   file is byte-identical for any `--workers` count.
+//! * `--trace-filter LIST` keeps only the named categories
+//!   (comma-separated from `ecc,monitor,controller,calibration,fleet`).
+//! * `--metrics` prints a deterministic metrics summary (counters and
+//!   histograms derived from the event stream) on stdout.
+//! * `--quiet` silences progress; `--progress-jsonl` switches the stderr
+//!   progress ticker to machine-readable JSONL records.
+//!
+//! Wall-clock profiling (per-worker busy/steal/idle, chip latency) goes to
+//! stderr, clearly separated from the deterministic stdout report.
 
 use std::io::Write as _;
 use std::time::Instant;
 use vs_bench::figures::{characterization, mechanisms, noise, power, supporting, tables, Rendered};
 use vs_bench::Scale;
 use vs_fleet::{ControllerVariant, FleetConfig, FleetRunner};
+use vs_telemetry::{
+    EventFilter, EventMetrics, HumanProgress, JsonlProgress, JsonlSink, ProgressSink,
+    SilentProgress,
+};
 use vs_types::{FleetSeed, SimTime};
 
 const ALL: &[&str] = &[
@@ -95,6 +116,11 @@ fn main() {
     let mut workers: usize = 1;
     let mut variant = ControllerVariant::Hardware;
     let mut checkpoint: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut trace_filter: Option<EventFilter> = None;
+    let mut metrics = false;
+    let mut quiet = false;
+    let mut progress_jsonl = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -145,6 +171,28 @@ fn main() {
                         .unwrap_or_else(|| die("--checkpoint needs a file path")),
                 );
             }
+            "--trace" => {
+                i += 1;
+                trace = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--trace needs a file path")),
+                );
+            }
+            "--trace-filter" => {
+                i += 1;
+                trace_filter = Some(
+                    args.get(i)
+                        .and_then(|s| EventFilter::parse(s))
+                        .unwrap_or_else(|| {
+                            die("--trace-filter needs a comma-separated list from \
+                                 ecc,monitor,controller,calibration,fleet")
+                        }),
+                );
+            }
+            "--metrics" => metrics = true,
+            "--quiet" => quiet = true,
+            "--progress-jsonl" => progress_jsonl = true,
             "list" => {
                 for name in ALL {
                     println!("{name}");
@@ -156,7 +204,9 @@ fn main() {
                 println!(
                     "usage: repro [--quick] [--seed N] [--csv DIR] <experiment>... | all | list\n\
                             repro --fleet N [--workers W] [--variant hw|sw|baseline] \
-                     [--checkpoint FILE]"
+                     [--checkpoint FILE]\n\
+                     \x20      [--trace FILE] [--trace-filter LIST] [--metrics] \
+                     [--quiet] [--progress-jsonl]"
                 );
                 return;
             }
@@ -166,7 +216,14 @@ fn main() {
     }
 
     if let Some(num_chips) = fleet_chips {
-        run_fleet(num_chips, workers, variant, seed, scale, checkpoint);
+        let obs = FleetObs {
+            trace,
+            filter: trace_filter,
+            metrics,
+            quiet,
+            progress_jsonl,
+        };
+        run_fleet(num_chips, workers, variant, seed, scale, checkpoint, &obs);
         return;
     }
 
@@ -202,6 +259,15 @@ fn main() {
     }
 }
 
+/// Fleet observability switches (tracing, metrics, progress).
+struct FleetObs {
+    trace: Option<String>,
+    filter: Option<EventFilter>,
+    metrics: bool,
+    quiet: bool,
+    progress_jsonl: bool,
+}
+
 /// Population mode: simulate a fleet of chips and print its statistics.
 fn run_fleet(
     num_chips: u64,
@@ -210,6 +276,7 @@ fn run_fleet(
     seed: u64,
     scale: Scale,
     checkpoint: Option<String>,
+    obs: &FleetObs,
 ) {
     let mut config = match scale {
         // Paper-faithful 8-core dies.
@@ -227,6 +294,21 @@ fn run_fleet(
         runner = runner.with_checkpoint(path.into());
     }
 
+    // Events are collected only when something consumes them; the filter
+    // defaults to everything once --trace or --metrics asks for events.
+    let filter = if obs.trace.is_some() || obs.metrics {
+        obs.filter.unwrap_or_else(EventFilter::all)
+    } else {
+        EventFilter::none()
+    };
+    let mut progress: Box<dyn ProgressSink> = if obs.quiet {
+        Box::new(SilentProgress)
+    } else if obs.progress_jsonl {
+        Box::new(JsonlProgress::new(std::io::stderr()))
+    } else {
+        Box::new(HumanProgress::default())
+    };
+
     println!(
         "# voltspec fleet — {} chips, {} workers, variant {}, seed {seed}, scale {scale:?}\n",
         num_chips,
@@ -234,17 +316,8 @@ fn run_fleet(
         variant.label()
     );
     let start = Instant::now();
-    let mut completed = 0u64;
-    let result = runner
-        .run_streaming(|_| {
-            completed += 1;
-            if completed.is_multiple_of(16) {
-                eprintln!(
-                    "  {completed} chips done ({:.1} chips/s)",
-                    completed as f64 / start.elapsed().as_secs_f64()
-                );
-            }
-        })
+    let (result, trace) = runner
+        .run_reporting(filter, progress.as_mut())
         .unwrap_or_else(|e| die(&format!("fleet run failed: {e}")));
     let wall = start.elapsed().as_secs_f64();
 
@@ -260,6 +333,31 @@ fn run_fleet(
         "({num_chips} chips in {wall:.1}s — {:.1} chips/s)",
         result.simulated as f64 / wall
     );
+
+    if let Some(path) = &obs.trace {
+        let mut sink = JsonlSink::create(std::path::Path::new(path))
+            .unwrap_or_else(|e| die(&format!("cannot create {path}: {e}")));
+        for event in &trace.events {
+            use vs_telemetry::EventSink as _;
+            sink.record(event);
+        }
+        match sink.finish() {
+            Ok(_) => eprintln!("trace: {} events -> {path}", trace.events.len()),
+            Err(e) => die(&format!("writing {path}: {e}")),
+        }
+    }
+    if obs.metrics {
+        // Deterministic: derived purely from the sim-tick event stream.
+        println!("\n## metrics (simulated time, deterministic)\n");
+        print!(
+            "{}",
+            EventMetrics::from_events(&trace.events).registry().render()
+        );
+    }
+    if !obs.quiet {
+        // Wall-clock numbers are diagnostic only: stderr, never stdout.
+        eprint!("{}", trace.profile.render());
+    }
 }
 
 fn die(msg: &str) -> ! {

@@ -116,15 +116,7 @@ impl Runner {
 }
 
 fn render(m: &Measurement) -> String {
-    let (value, unit) = if m.ns_per_iter >= 1e9 {
-        (m.ns_per_iter / 1e9, "s")
-    } else if m.ns_per_iter >= 1e6 {
-        (m.ns_per_iter / 1e6, "ms")
-    } else if m.ns_per_iter >= 1e3 {
-        (m.ns_per_iter / 1e3, "us")
-    } else {
-        (m.ns_per_iter, "ns")
-    };
+    let (value, unit) = vs_telemetry::scale_ns(m.ns_per_iter);
     let rate = m.iters_per_sec();
     let rate = if rate >= 1e6 {
         format!("{:.1} M iters/s", rate / 1e6)

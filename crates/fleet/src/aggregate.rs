@@ -63,14 +63,12 @@ impl Distribution {
         }
     }
 
-    /// The `q`-quantile (0.0 ..= 1.0) by nearest-rank on the sorted sample.
+    /// The `q`-quantile (0.0 ..= 1.0) by linear interpolation between
+    /// order statistics — the same definition as
+    /// [`vs_types::stats::percentile`], so fleet percentiles are directly
+    /// comparable to single-run trace percentiles. `q` is clamped.
     pub fn percentile(&self, q: f64) -> Option<f64> {
-        if self.sorted.is_empty() {
-            return None;
-        }
-        let q = q.clamp(0.0, 1.0);
-        let idx = ((self.sorted.len() - 1) as f64 * q).round() as usize;
-        Some(self.sorted[idx])
+        vs_types::stats::percentile_sorted(&self.sorted, q.clamp(0.0, 1.0))
     }
 
     /// `max / min` — the population spread ratio (the paper's "4× Vmin

@@ -11,6 +11,7 @@ use crate::summary::{ChipSummary, CoreMarginSummary};
 use vs_platform::characterize::{all_analytic_core_margins, all_core_margins};
 use vs_platform::{Chip, ChipConfig};
 use vs_spec::{SoftwareSpeculation, SpecRun, SpeculationSystem};
+use vs_telemetry::{EventCategory, EventFilter, Recorder, TelemetryEvent};
 use vs_types::rng::CounterRng;
 use vs_types::{CacheKind, ChipId, CoreId, Millivolts};
 
@@ -21,9 +22,28 @@ const ASSIGN_STREAM: u64 = 0xA551_6E00;
 
 /// Simulates one chip of the fleet and returns its summary.
 pub fn simulate_chip(config: &FleetConfig, chip: ChipId) -> ChipSummary {
+    simulate_chip_traced(config, chip, EventFilter::none()).0
+}
+
+/// Simulates one chip and also returns its telemetry stream: the fleet
+/// job-lifecycle bracket (when the filter keeps `fleet` events) around the
+/// speculation run's own events (hardware variant only — the firmware and
+/// no-speculation baselines do not run the monitor/controller loop).
+///
+/// The stream is a pure function of `(config, chip, filter)` — workers can
+/// run chips in any order and the merged per-chip streams are identical.
+pub fn simulate_chip_traced(
+    config: &FleetConfig,
+    chip: ChipId,
+    filter: EventFilter,
+) -> (ChipSummary, Vec<TelemetryEvent>) {
     let chip_config = config.chip_config(chip);
     let die_seed = chip_config.seed;
     let margins = characterize(config, &chip_config);
+    let mut events = Vec::new();
+    if filter.accepts(EventCategory::Fleet) {
+        events.push(TelemetryEvent::JobStarted { chip });
+    }
 
     let (
         mean_vdd_mv,
@@ -34,12 +54,23 @@ pub fn simulate_chip(config: &FleetConfig, chip: ChipId) -> ChipSummary {
         crashes,
         sw_overhead,
     ) = match config.variant {
-        ControllerVariant::Hardware => run_hardware(config, chip, &chip_config),
+        ControllerVariant::Hardware => {
+            run_hardware(config, chip, &chip_config, filter, &mut events)
+        }
         ControllerVariant::Software => run_software(config, chip, &chip_config),
         ControllerVariant::Baseline => run_baseline_only(config, chip, &chip_config),
     };
 
-    ChipSummary {
+    if filter.accepts(EventCategory::Fleet) {
+        events.push(TelemetryEvent::JobFinished {
+            chip,
+            sim_time: config.run_duration,
+            correctable,
+            emergencies,
+            crashes,
+        });
+    }
+    let summary = ChipSummary {
         chip,
         die_seed,
         margins,
@@ -50,7 +81,8 @@ pub fn simulate_chip(config: &FleetConfig, chip: ChipId) -> ChipSummary {
         emergencies,
         crashes,
         sw_overhead,
-    }
+    };
+    (summary, events)
 }
 
 /// Characterizes the die's per-core margins on a scratch chip (stress
@@ -100,13 +132,23 @@ fn baseline_rail_energy(config: &FleetConfig, chip: ChipId, chip_config: &ChipCo
 
 /// The paper's hardware controller (§III), normalized against the
 /// fixed-nominal baseline.
-fn run_hardware(config: &FleetConfig, chip: ChipId, chip_config: &ChipConfig) -> RunOutcome {
+fn run_hardware(
+    config: &FleetConfig,
+    chip: ChipId,
+    chip_config: &ChipConfig,
+    filter: EventFilter,
+    events: &mut Vec<TelemetryEvent>,
+) -> RunOutcome {
     let mut sys = SpeculationSystem::new(chip_config.clone(), config.controller);
+    if !filter.is_empty() {
+        sys.set_recorder(Recorder::enabled(filter));
+    }
     sys.calibrate_fast();
     assign_workloads(config, chip, sys.chip_mut());
     let mut session = SpecRun::new(&sys, config.run_duration);
     while session.advance(&mut sys, config.slice_ticks) > 0 {}
     let stats = session.finish(&sys);
+    events.extend(sys.take_events());
 
     let nominal = sys.chip().mode().nominal_vdd();
     let reduction = SpeculationSystem::voltage_reduction(&stats, nominal);

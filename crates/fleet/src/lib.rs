@@ -60,6 +60,6 @@ mod summary;
 pub use aggregate::{Distribution, Histogram, PopulationStats};
 pub use checkpoint::{load as load_checkpoint, save as save_checkpoint, CheckpointError};
 pub use config::{ControllerVariant, FleetConfig, MarginsMode};
-pub use job::simulate_chip;
-pub use runner::{FleetResult, FleetRunner};
+pub use job::{simulate_chip, simulate_chip_traced};
+pub use runner::{FleetResult, FleetRunner, FleetTrace};
 pub use summary::{ChipSummary, CoreMarginSummary};

@@ -15,11 +15,15 @@
 use crate::aggregate::PopulationStats;
 use crate::checkpoint::{self, CheckpointError};
 use crate::config::FleetConfig;
-use crate::job::simulate_chip;
+use crate::job::simulate_chip_traced;
 use crate::summary::ChipSummary;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
+use vs_telemetry::{
+    to_jsonl, EventFilter, FleetProfile, LatencyHistogram, ProgressReport, ProgressSink,
+    SilentProgress, Stopwatch, TelemetryEvent, WorkerProfile,
+};
 use vs_types::ChipId;
 
 /// The completed fleet: every chip's summary in chip-id order, plus how
@@ -38,6 +42,31 @@ impl FleetResult {
     /// Aggregates the fleet into population statistics.
     pub fn stats(&self, config: &FleetConfig) -> PopulationStats {
         PopulationStats::from_summaries(&self.summaries, config.base_chip.mode.nominal_vdd())
+    }
+}
+
+/// The observability side of a fleet run, kept strictly apart from the
+/// deterministic results.
+///
+/// `events` is deterministic: per-chip streams are pure functions of the
+/// config and are merged in chip-id order, so the serialized trace is
+/// byte-identical for any worker count. `profile` is wall-clock and
+/// varies run to run; callers must never mix it into determinism-checked
+/// output.
+#[derive(Debug, Clone, Default)]
+pub struct FleetTrace {
+    /// Telemetry events of every chip simulated this run, merged in
+    /// chip-id order (chips restored from a checkpoint have no events).
+    pub events: Vec<TelemetryEvent>,
+    /// Wall-clock profile: per-worker busy/steal/idle and job latency.
+    pub profile: FleetProfile,
+}
+
+impl FleetTrace {
+    /// Serializes the (deterministic) event stream as JSONL — the exact
+    /// bytes `repro --trace FILE` writes.
+    pub fn to_jsonl(&self) -> String {
+        to_jsonl(&self.events)
     }
 }
 
@@ -94,6 +123,28 @@ impl FleetRunner {
         &self,
         mut on_chip: impl FnMut(&ChipSummary),
     ) -> Result<FleetResult, CheckpointError> {
+        let mut progress = SilentProgress;
+        self.run_core(EventFilter::none(), &mut on_chip, &mut progress)
+            .map(|(result, _)| result)
+    }
+
+    /// Runs the fleet with telemetry: per-chip event streams (kept per
+    /// `filter`, merged in chip-id order — byte-identical for any worker
+    /// count), a wall-clock profile, and pluggable progress reporting.
+    pub fn run_reporting(
+        &self,
+        filter: EventFilter,
+        progress: &mut dyn ProgressSink,
+    ) -> Result<(FleetResult, FleetTrace), CheckpointError> {
+        self.run_core(filter, &mut |_| {}, progress)
+    }
+
+    fn run_core(
+        &self,
+        filter: EventFilter,
+        on_chip: &mut dyn FnMut(&ChipSummary),
+        progress: &mut dyn ProgressSink,
+    ) -> Result<(FleetResult, FleetTrace), CheckpointError> {
         let fingerprint = self.config.fingerprint();
 
         // Restore prior progress, dropping chips beyond the current fleet
@@ -116,32 +167,70 @@ impl FleetRunner {
 
         let simulated = todo.len() as u64;
         let next = AtomicU64::new(0);
-        let (tx, rx) = mpsc::channel::<ChipSummary>();
+        let (tx, rx) = mpsc::channel::<(ChipSummary, Vec<TelemetryEvent>)>();
         let config = &self.config;
         let todo_ref = &todo;
+        // Per-chip event streams, buffered until the run completes and
+        // merged in chip-id order (never completion order) so the trace is
+        // independent of scheduling.
+        let mut traces: Vec<(ChipId, Vec<TelemetryEvent>)> = Vec::new();
+        let mut profile = FleetProfile::default();
+        let run_watch = Stopwatch::start();
 
         std::thread::scope(|scope| -> Result<(), CheckpointError> {
-            for _ in 0..self.workers.min(todo_ref.len().max(1)) {
+            let mut handles = Vec::new();
+            for worker in 0..self.workers.min(todo_ref.len().max(1)) {
                 let tx = tx.clone();
                 let next = &next;
-                scope.spawn(move || loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed) as usize;
-                    let Some(&chip) = todo_ref.get(idx) else {
-                        break;
+                handles.push(scope.spawn(move || {
+                    let mut stats = WorkerProfile {
+                        worker,
+                        ..WorkerProfile::default()
                     };
-                    // A send can only fail if the receiver hung up, which
-                    // only happens when the collector bailed on an I/O
-                    // error; the remaining work is moot either way.
-                    if tx.send(simulate_chip(config, chip)).is_err() {
-                        break;
+                    let mut latency = LatencyHistogram::new();
+                    let wall = Stopwatch::start();
+                    loop {
+                        let claim = Stopwatch::start();
+                        let idx = next.fetch_add(1, Ordering::Relaxed) as usize;
+                        let chip = todo_ref.get(idx).copied();
+                        stats.steal_ns += claim.elapsed_ns();
+                        let Some(chip) = chip else {
+                            break;
+                        };
+                        let busy = Stopwatch::start();
+                        let out = simulate_chip_traced(config, chip, filter);
+                        let busy_ns = busy.elapsed_ns();
+                        stats.busy_ns += busy_ns;
+                        stats.jobs += 1;
+                        latency.observe_ns(busy_ns);
+                        // A send can only fail if the receiver hung up,
+                        // which only happens when the collector bailed on
+                        // an I/O error; the remaining work is moot either
+                        // way.
+                        let send = Stopwatch::start();
+                        let disconnected = tx.send(out).is_err();
+                        stats.steal_ns += send.elapsed_ns();
+                        if disconnected {
+                            break;
+                        }
                     }
-                });
+                    stats.wall_ns = wall.elapsed_ns();
+                    (stats, latency)
+                }));
             }
             drop(tx);
 
             let mut since_save = 0u64;
-            for summary in rx {
+            for (completed, (summary, events)) in (resumed + 1..).zip(rx) {
                 on_chip(&summary);
+                progress.chip_done(&ProgressReport {
+                    chip: summary.chip,
+                    completed,
+                    total: self.config.num_chips,
+                });
+                if !events.is_empty() {
+                    traces.push((summary.chip, events));
+                }
                 done.push(summary);
                 since_save += 1;
                 if since_save >= self.checkpoint_every {
@@ -149,18 +238,30 @@ impl FleetRunner {
                     self.save(fingerprint, &done)?;
                 }
             }
+            for handle in handles {
+                let (stats, latency) = handle.join().expect("fleet worker panicked");
+                profile.workers.push(stats);
+                profile.job_latency.merge(&latency);
+            }
             Ok(())
         })?;
+        profile.wall_ns = run_watch.elapsed_ns();
+        progress.finished(self.config.num_chips);
 
         done.sort_by_key(|s| s.chip);
         if simulated > 0 {
             self.save(fingerprint, &done)?;
         }
-        Ok(FleetResult {
-            summaries: done,
-            simulated,
-            resumed,
-        })
+        traces.sort_by_key(|(chip, _)| *chip);
+        let events = traces.into_iter().flat_map(|(_, e)| e).collect();
+        Ok((
+            FleetResult {
+                summaries: done,
+                simulated,
+                resumed,
+            },
+            FleetTrace { events, profile },
+        ))
     }
 
     fn save(&self, fingerprint: u64, done: &[ChipSummary]) -> Result<(), CheckpointError> {

@@ -29,6 +29,7 @@ pub struct EccMonitor {
     uncorrectable: u64,
     lifetime_accesses: u64,
     lifetime_errors: u64,
+    lifetime_uncorrectable: u64,
 }
 
 impl EccMonitor {
@@ -50,6 +51,7 @@ impl EccMonitor {
             uncorrectable: 0,
             lifetime_accesses: 0,
             lifetime_errors: 0,
+            lifetime_uncorrectable: 0,
         }
     }
 
@@ -103,6 +105,7 @@ impl EccMonitor {
         self.uncorrectable += outcome.uncorrectable;
         self.lifetime_accesses += outcome.accesses;
         self.lifetime_errors += outcome.correctable;
+        self.lifetime_uncorrectable += outcome.uncorrectable;
         outcome.uncorrectable
     }
 
@@ -128,6 +131,11 @@ impl EccMonitor {
     /// Lifetime totals `(accesses, correctable_errors)` across resets.
     pub fn lifetime_counts(&self) -> (u64, u64) {
         (self.lifetime_accesses, self.lifetime_errors)
+    }
+
+    /// Lifetime uncorrectable (detected-only) events across resets.
+    pub fn lifetime_uncorrectable(&self) -> u64 {
+        self.lifetime_uncorrectable
     }
 
     /// Resets the per-period counters (done by the control system after

@@ -10,6 +10,7 @@
 use crate::calibrate::CalibrationOutcome;
 use crate::monitor::EccMonitor;
 use crate::system::SpeculationSystem;
+use vs_telemetry::{EventCategory, TelemetryEvent};
 use vs_types::{CacheKind, CoreId, DomainId, Millivolts, SetWay};
 
 /// What one domain's recalibration decided.
@@ -96,6 +97,15 @@ pub fn recalibrate(system: &mut SpeculationSystem) -> Vec<RecalibrationOutcome> 
                 onset_vdd,
             },
         );
+        if system.recorder().wants(EventCategory::Calibration) {
+            let at = system.chip().now();
+            system.recorder_mut().emit(TelemetryEvent::Recalibrated {
+                at,
+                domain,
+                changed,
+                onset_mv: onset_vdd.0,
+            });
+        }
         outcomes.push(RecalibrationOutcome {
             domain,
             previous,

@@ -1,10 +1,11 @@
 //! The assembled speculation system (§III, Figure 5).
 
 use crate::calibrate::{calibrate_all, CalibrationOutcome, CalibrationPlan};
-use crate::controller::{ControllerConfig, DomainController};
+use crate::controller::{ControlAction, ControllerConfig, DomainController};
 use crate::monitor::EccMonitor;
 use std::fmt;
 use vs_platform::{Chip, ChipConfig};
+use vs_telemetry::{EventCategory, Recorder, StepDirection, TelemetryEvent};
 use vs_types::{CoreId, DomainId, Millivolts, SimTime, Watts};
 use vs_workload::{Suite, Workload};
 
@@ -70,26 +71,24 @@ impl RunStats {
         self.crashed_cores.is_empty()
     }
 
+    /// The `q`-quantile of a per-domain trace series, using the shared
+    /// [`vs_types::stats::percentile`] definition (`None` when the trace
+    /// is empty or the domain index is out of range).
+    fn trace_percentile(&self, q: f64, f: impl Fn(&TracePoint) -> Option<f64>) -> Option<f64> {
+        let series: Vec<f64> = self.trace.iter().filter_map(f).collect();
+        vs_types::stats::percentile(&series, q)
+    }
+
     /// The `q`-quantile of one domain's traced set points, in millivolts
     /// (`None` when the trace is empty or the domain index is out of
     /// range).
     pub fn voltage_percentile(&self, domain: usize, q: f64) -> Option<f64> {
-        let series: Vec<f64> = self
-            .trace
-            .iter()
-            .filter_map(|p| p.set_point_mv.get(domain).map(|v| f64::from(*v)))
-            .collect();
-        vs_types::stats::percentile(&series, q)
+        self.trace_percentile(q, |p| p.set_point_mv.get(domain).map(|v| f64::from(*v)))
     }
 
     /// The `q`-quantile of one domain's traced error-rate readings.
     pub fn error_rate_percentile(&self, domain: usize, q: f64) -> Option<f64> {
-        let series: Vec<f64> = self
-            .trace
-            .iter()
-            .filter_map(|p| p.error_rate.get(domain).copied())
-            .collect();
-        vs_types::stats::percentile(&series, q)
+        self.trace_percentile(q, |p| p.error_rate.get(domain).copied())
     }
 }
 
@@ -246,6 +245,8 @@ pub struct SpeculationSystem {
     /// Ticks executed under control (drives control-period scheduling for
     /// the step-wise API).
     ticks_run: u64,
+    /// Telemetry collector; disabled (single-branch no-op) by default.
+    recorder: Recorder,
 }
 
 impl fmt::Debug for SpeculationSystem {
@@ -270,7 +271,30 @@ impl SpeculationSystem {
             calibration: Vec::new(),
             trace_spacing: SimTime::from_millis(100),
             ticks_run: 0,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Installs a telemetry recorder. Events are timestamped in simulated
+    /// time only, so recording never perturbs the run: statistics are
+    /// bit-identical with any recorder installed.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The telemetry recorder (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Mutable recorder access.
+    pub fn recorder_mut(&mut self) -> &mut Recorder {
+        &mut self.recorder
+    }
+
+    /// Removes and returns all recorded telemetry events, oldest first.
+    pub fn take_events(&mut self) -> Vec<TelemetryEvent> {
+        self.recorder.take_events()
     }
 
     /// The chip under control.
@@ -337,6 +361,20 @@ impl SpeculationSystem {
             self.controllers
                 .push(DomainController::new(outcome.domain, monitor, self.config));
         }
+        if self.recorder.wants(EventCategory::Calibration) {
+            let at = self.chip.now();
+            for outcome in &self.calibration {
+                self.recorder.emit(TelemetryEvent::Calibrated {
+                    at,
+                    domain: outcome.domain,
+                    core: outcome.core,
+                    kind: outcome.kind,
+                    set: outcome.line.set as u32,
+                    way: outcome.line.way as u32,
+                    onset_mv: outcome.onset_vdd.0,
+                });
+            }
+        }
         &self.calibration
     }
 
@@ -387,12 +425,120 @@ impl SpeculationSystem {
         let report = self.chip.tick();
         self.ticks_run += 1;
         let mut emergencies = 0;
-        for ctrl in &mut self.controllers {
-            if ctrl.on_tick(&mut self.chip) {
+        // Hot-path telemetry gating: each `wants` check is one branch; with
+        // the default disabled recorder no event payload is ever gathered.
+        let rec_ecc = self.recorder.wants(EventCategory::Ecc);
+        let rec_mon = self.recorder.wants(EventCategory::Monitor);
+        let rec_ctl = self.recorder.wants(EventCategory::Controller);
+        let now = self.chip.now();
+        for (d, ctrl) in self.controllers.iter_mut().enumerate() {
+            let domain = DomainId(d);
+            let ecc_before = if rec_ecc {
+                let m = ctrl.monitor();
+                (m.lifetime_counts().1, m.lifetime_uncorrectable())
+            } else {
+                (0, 0)
+            };
+            let pending_before = if rec_ctl {
+                self.chip.domain_regulator_mut(domain).pending().0
+            } else {
+                0
+            };
+            let fired = ctrl.on_tick(&mut self.chip);
+            if fired {
                 emergencies += 1;
             }
+            // ECC events first: the corrections are the *cause* of any
+            // emergency this tick, so they precede it in the stream.
+            if rec_ecc {
+                let m = ctrl.monitor();
+                let (errors, uncorrectable) = (m.lifetime_counts().1, m.lifetime_uncorrectable());
+                if errors > ecc_before.0 {
+                    self.recorder.emit(TelemetryEvent::EccCorrection {
+                        at: now,
+                        domain,
+                        core: m.core(),
+                        count: errors - ecc_before.0,
+                    });
+                }
+                if uncorrectable > ecc_before.1 {
+                    self.recorder.emit(TelemetryEvent::EccDetection {
+                        at: now,
+                        domain,
+                        core: m.core(),
+                        count: uncorrectable - ecc_before.1,
+                    });
+                }
+            }
+            if fired && rec_ctl {
+                let pending = self.chip.domain_regulator_mut(domain).pending().0;
+                self.recorder.emit(TelemetryEvent::EmergencyRollback {
+                    at: now,
+                    domain,
+                    rate: ctrl.last_reading(),
+                    steps: ctrl.config().emergency_steps,
+                    delta_mv: pending - pending_before,
+                    set_point_mv: pending,
+                });
+            }
             if self.ticks_run.is_multiple_of(period_ticks) {
-                ctrl.on_control_period(&mut self.chip);
+                let window = if rec_mon {
+                    let m = ctrl.monitor();
+                    (m.access_count(), m.error_count())
+                } else {
+                    (0, 0)
+                };
+                let pending_before = if rec_ctl {
+                    self.chip.domain_regulator_mut(domain).pending().0
+                } else {
+                    0
+                };
+                let action = ctrl.on_control_period(&mut self.chip);
+                if rec_mon && !matches!(action, ControlAction::InsufficientData) {
+                    self.recorder.emit(TelemetryEvent::MonitorWindow {
+                        at: now,
+                        domain,
+                        accesses: window.0,
+                        errors: window.1,
+                        rate: ctrl.last_reading(),
+                    });
+                }
+                if rec_ctl {
+                    let pending = self.chip.domain_regulator_mut(domain).pending().0;
+                    match action {
+                        ControlAction::SteppedDown { rate } => {
+                            self.recorder.emit(TelemetryEvent::VoltageStep {
+                                at: now,
+                                domain,
+                                direction: StepDirection::Down,
+                                rate,
+                                delta_mv: pending - pending_before,
+                                set_point_mv: pending,
+                            });
+                        }
+                        ControlAction::SteppedUp { rate } => {
+                            self.recorder.emit(TelemetryEvent::VoltageStep {
+                                at: now,
+                                domain,
+                                direction: StepDirection::Up,
+                                rate,
+                                delta_mv: pending - pending_before,
+                                set_point_mv: pending,
+                            });
+                        }
+                        ControlAction::Emergency { rate } => {
+                            self.recorder.emit(TelemetryEvent::EmergencyRollback {
+                                at: now,
+                                domain,
+                                rate,
+                                steps: ctrl.config().emergency_steps,
+                                delta_mv: pending - pending_before,
+                                set_point_mv: pending,
+                            });
+                        }
+                        ControlAction::Held { .. } | ControlAction::InsufficientData => {}
+                    }
+                }
             }
         }
         StepReport {

@@ -1,0 +1,210 @@
+//! Capture-sink integration tests: the telemetry stream of scripted
+//! speculation scenarios, asserted event by event.
+
+use vs_platform::ChipConfig;
+use vs_spec::{ControllerConfig, SpeculationSystem};
+use vs_telemetry::{
+    to_jsonl, CaptureSink, EventCategory, EventFilter, Recorder, StepDirection, TelemetryEvent,
+};
+use vs_types::{DomainId, Millivolts, SimTime};
+
+fn traced_system(seed: u64) -> SpeculationSystem {
+    let chip_config = ChipConfig {
+        num_cores: 2,
+        weak_lines_tracked: 8,
+        ..ChipConfig::low_voltage(seed)
+    };
+    let mut sys = SpeculationSystem::new(chip_config, ControllerConfig::default());
+    sys.set_recorder(Recorder::enabled(EventFilter::all()));
+    sys
+}
+
+/// At nominal voltage the monitor is silent, so the opening of every trace
+/// is fully scripted: one `calibrated` event, then one
+/// (`monitor_window`, `voltage_step` down) pair per control period, each
+/// step moving the set point down exactly 5 mV.
+#[test]
+fn descent_from_nominal_is_exact_event_sequence() {
+    let mut sys = traced_system(9);
+    sys.calibrate_fast();
+    // Two control periods at the default 10 ms period / 1 ms tick.
+    for _ in 0..20 {
+        sys.step();
+    }
+    let events = sys.take_events();
+    let names: Vec<&str> = events.iter().map(|e| e.name()).take(5).collect();
+    assert_eq!(
+        names,
+        [
+            "calibrated",
+            "monitor_window",
+            "voltage_step",
+            "monitor_window",
+            "voltage_step",
+        ],
+        "full stream: {}",
+        to_jsonl(&events)
+    );
+    let nominal = sys.chip().mode().nominal_vdd().0;
+    let mut expected_set_point = nominal;
+    for event in &events {
+        if let TelemetryEvent::VoltageStep {
+            direction,
+            rate,
+            delta_mv,
+            set_point_mv,
+            ..
+        } = event
+        {
+            assert_eq!(*direction, StepDirection::Down);
+            assert_eq!(*rate, 0.0, "no errors this close to nominal");
+            assert_eq!(*delta_mv, -5);
+            expected_set_point -= 5;
+            assert_eq!(*set_point_mv, expected_set_point);
+        }
+    }
+}
+
+/// Dropping the domain to the calibrated onset voltage pushes the window
+/// error rate across the 5 % ceiling (but below the emergency ceiling):
+/// the next control-period boundary must emit a step-up.
+#[test]
+fn ceiling_crossing_emits_step_up() {
+    let mut sys = traced_system(9);
+    sys.calibrate_fast();
+    sys.take_events(); // discard the calibration prologue
+    let onset = sys.calibration()[0].onset_vdd;
+    sys.chip_mut().request_domain_voltage(DomainId(0), onset);
+    // One full control period at the default 10 ms period / 1 ms tick.
+    let mut emergencies = 0;
+    for _ in 0..10 {
+        emergencies += sys.step().emergencies;
+    }
+    assert_eq!(emergencies, 0, "rate must stay below the emergency ceiling");
+    let events = sys.take_events();
+    let cfg = ControllerConfig::default();
+    let (rate, delta_mv) = events
+        .iter()
+        .find_map(|e| match e {
+            TelemetryEvent::VoltageStep {
+                direction: StepDirection::Up,
+                rate,
+                delta_mv,
+                ..
+            } => Some((*rate, *delta_mv)),
+            _ => None,
+        })
+        .expect("crossing the ceiling must emit a step-up");
+    assert!(
+        rate > cfg.ceiling && rate < cfg.emergency_ceiling,
+        "step-up rate must sit between ceiling and emergency, got {rate}"
+    );
+    assert_eq!(delta_mv, 5);
+    // The monitor generated the feedback (corrections in the stream), and
+    // every voltage step is justified by a monitor window at the same tick.
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, TelemetryEvent::EccCorrection { .. })));
+    for event in &events {
+        if let TelemetryEvent::VoltageStep { at, domain, .. } = event {
+            assert!(
+                events.iter().any(|w| matches!(
+                    w,
+                    TelemetryEvent::MonitorWindow { at: wat, domain: wd, .. }
+                    if wat == at && wd == domain
+                )),
+                "voltage step at {at:?} has no monitor window"
+            );
+        }
+    }
+}
+
+/// Slamming the domain far below the weak line's Vc makes the probe burst
+/// cross the 80 % emergency ceiling: the interrupt path must fire within
+/// the tick and the trace must show the emergency rollback with the
+/// emergency increment (5 steps = +25 mV).
+#[test]
+fn emergency_crossing_emits_rollback() {
+    let mut sys = traced_system(9);
+    sys.calibrate_fast();
+    let onset = sys.calibration()[0].onset_vdd;
+    sys.take_events(); // discard the calibration prologue
+    sys.chip_mut()
+        .request_domain_voltage(DomainId(0), onset - Millivolts(25));
+    let report = sys.step();
+    assert_eq!(report.emergencies, 1, "interrupt path must fire in-tick");
+    let mut sink = CaptureSink::new();
+    sys.recorder_mut().drain_into(&mut sink);
+    let events = sink.into_events();
+    let cfg = ControllerConfig::default();
+    let rollback = events
+        .iter()
+        .find_map(|e| match e {
+            TelemetryEvent::EmergencyRollback {
+                rate,
+                steps,
+                delta_mv,
+                ..
+            } => Some((*rate, *steps, *delta_mv)),
+            _ => None,
+        })
+        .expect("trace must contain the emergency rollback");
+    assert!(rollback.0 >= cfg.emergency_ceiling);
+    assert_eq!(rollback.1, cfg.emergency_steps);
+    assert_eq!(rollback.2, 25, "emergency bump is emergency_steps x 5 mV");
+    // The errors that triggered it are in the stream too, before the
+    // rollback.
+    let first_ecc = events
+        .iter()
+        .position(|e| e.category() == EventCategory::Ecc);
+    let rollback_pos = events
+        .iter()
+        .position(|e| matches!(e, TelemetryEvent::EmergencyRollback { .. }));
+    assert!(
+        first_ecc.is_some() && first_ecc < rollback_pos,
+        "corrections precede the rollback they caused"
+    );
+}
+
+/// Recording must not perturb the simulation: statistics are bit-identical
+/// with the recorder disabled, and filters only thin the stream.
+#[test]
+fn recording_never_perturbs_the_run() {
+    let run = |recorder: Option<Recorder>| {
+        let chip_config = ChipConfig {
+            num_cores: 2,
+            weak_lines_tracked: 8,
+            ..ChipConfig::low_voltage(9)
+        };
+        let mut sys = SpeculationSystem::new(chip_config, ControllerConfig::default());
+        if let Some(r) = recorder {
+            sys.set_recorder(r);
+        }
+        sys.calibrate_fast();
+        let stats = sys.run(SimTime::from_secs(2));
+        (stats, sys.take_events())
+    };
+    let (plain, no_events) = run(None);
+    let (traced, events) = run(Some(Recorder::enabled(EventFilter::all())));
+    let (filtered, ctl_only) = run(Some(Recorder::enabled(EventFilter::of(&[
+        EventCategory::Controller,
+    ]))));
+    assert!(no_events.is_empty());
+    assert_eq!(plain, traced, "recording changed the run");
+    assert_eq!(plain, filtered, "filtering changed the run");
+    assert!(!events.is_empty());
+    assert!(!ctl_only.is_empty());
+    assert!(ctl_only
+        .iter()
+        .all(|e| e.category() == EventCategory::Controller));
+    assert!(
+        ctl_only.len() < events.len(),
+        "the filtered stream is a strict subset"
+    );
+    // The filtered stream is exactly the controller slice of the full one.
+    let controller_slice: Vec<TelemetryEvent> = events
+        .into_iter()
+        .filter(|e| e.category() == EventCategory::Controller)
+        .collect();
+    assert_eq!(to_jsonl(&ctl_only), to_jsonl(&controller_slice));
+}

@@ -1,0 +1,528 @@
+//! The typed event layer: what happened, where, and at what simulated
+//! time.
+//!
+//! Every event is a small `Copy` value timestamped in **simulated time
+//! only** — no wall clocks anywhere in this module — so an event stream is
+//! a pure function of the simulation it was recorded from. That is the
+//! property the fleet leans on to produce byte-identical traces under any
+//! worker count (wall-clock data lives in [`crate::profile`], which is
+//! kept strictly apart from determinism-checked output).
+
+use std::fmt;
+use vs_types::{CacheKind, ChipId, CoreId, DomainId, SimTime};
+
+/// Coarse event taxonomy, used for filtering and for the standard metric
+/// instruments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventCategory {
+    /// ECC corrections and detections observed by the active monitors.
+    Ecc,
+    /// Weak-line monitor control-period windows (accesses/errors/rate).
+    Monitor,
+    /// Controller decisions: voltage steps and emergency rollbacks.
+    Controller,
+    /// Boot-time calibration and periodic recalibration outcomes.
+    Calibration,
+    /// Fleet job lifecycle (per-chip start/finish).
+    Fleet,
+}
+
+impl EventCategory {
+    /// All categories, in serialization order.
+    pub const ALL: [EventCategory; 5] = [
+        EventCategory::Ecc,
+        EventCategory::Monitor,
+        EventCategory::Controller,
+        EventCategory::Calibration,
+        EventCategory::Fleet,
+    ];
+
+    /// Stable lowercase label (used by `--trace-filter` and JSONL output).
+    pub fn label(self) -> &'static str {
+        match self {
+            EventCategory::Ecc => "ecc",
+            EventCategory::Monitor => "monitor",
+            EventCategory::Controller => "controller",
+            EventCategory::Calibration => "calibration",
+            EventCategory::Fleet => "fleet",
+        }
+    }
+
+    /// Parses a label produced by [`EventCategory::label`].
+    pub fn parse(s: &str) -> Option<EventCategory> {
+        EventCategory::ALL.into_iter().find(|c| c.label() == s)
+    }
+
+    fn bit(self) -> u8 {
+        match self {
+            EventCategory::Ecc => 1 << 0,
+            EventCategory::Monitor => 1 << 1,
+            EventCategory::Controller => 1 << 2,
+            EventCategory::Calibration => 1 << 3,
+            EventCategory::Fleet => 1 << 4,
+        }
+    }
+}
+
+impl fmt::Display for EventCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which event categories a [`Recorder`](crate::Recorder) keeps. A bitmask
+/// small enough that the hot-path check is one AND.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventFilter(u8);
+
+impl EventFilter {
+    /// Keeps nothing (the no-op configuration; emission short-circuits).
+    pub const fn none() -> EventFilter {
+        EventFilter(0)
+    }
+
+    /// Keeps every category.
+    pub const fn all() -> EventFilter {
+        EventFilter(0b1_1111)
+    }
+
+    /// Keeps exactly the given categories.
+    pub fn of(categories: &[EventCategory]) -> EventFilter {
+        EventFilter(categories.iter().fold(0, |m, c| m | c.bit()))
+    }
+
+    /// Parses a comma-separated category list (`"ecc,controller,fleet"`).
+    /// Returns `None` on any unknown category name.
+    pub fn parse(list: &str) -> Option<EventFilter> {
+        let mut mask = 0;
+        for part in list.split(',').filter(|p| !p.is_empty()) {
+            mask |= EventCategory::parse(part.trim())?.bit();
+        }
+        Some(EventFilter(mask))
+    }
+
+    /// True when no category is kept.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True when `category` is kept.
+    #[inline]
+    pub fn accepts(self, category: EventCategory) -> bool {
+        self.0 & category.bit() != 0
+    }
+}
+
+/// The direction of a controller voltage step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepDirection {
+    /// Error rate below the floor: the set point moved down.
+    Down,
+    /// Error rate above the ceiling: the set point moved up.
+    Up,
+}
+
+impl StepDirection {
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            StepDirection::Down => "down",
+            StepDirection::Up => "up",
+        }
+    }
+}
+
+/// One structured telemetry event.
+///
+/// Variants are grouped by [`EventCategory`]; all payloads are plain
+/// numbers and ids so the whole enum stays `Copy` (pushing one onto a
+/// pre-sized ring allocates nothing).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TelemetryEvent {
+    /// Correctable ECC errors observed during one tick's monitor probes.
+    EccCorrection {
+        /// Simulated time of the tick.
+        at: SimTime,
+        /// The voltage domain whose monitor saw them.
+        domain: DomainId,
+        /// Core hosting the monitored line.
+        core: CoreId,
+        /// Corrections this tick.
+        count: u64,
+    },
+    /// Uncorrectable (detected-only) ECC events during one tick's probes —
+    /// the domain voltage is catastrophically low.
+    EccDetection {
+        /// Simulated time of the tick.
+        at: SimTime,
+        /// The voltage domain whose monitor saw them.
+        domain: DomainId,
+        /// Core hosting the monitored line.
+        core: CoreId,
+        /// Detections this tick.
+        count: u64,
+    },
+    /// One control-period window of the weak-line monitor: the counters
+    /// the control law read before resetting them.
+    MonitorWindow {
+        /// Simulated time of the control-period boundary.
+        at: SimTime,
+        /// The domain whose window closed.
+        domain: DomainId,
+        /// Probe accesses in the window.
+        accesses: u64,
+        /// Correctable errors in the window.
+        errors: u64,
+        /// `errors / accesses`.
+        rate: f64,
+    },
+    /// The control law moved the domain set point by one ±5 mV step.
+    VoltageStep {
+        /// Simulated time of the decision.
+        at: SimTime,
+        /// The stepped domain.
+        domain: DomainId,
+        /// Which way it moved.
+        direction: StepDirection,
+        /// The window error rate that triggered the step.
+        rate: f64,
+        /// Set-point change, in millivolts (signed).
+        delta_mv: i32,
+        /// The set point requested after the step, in millivolts.
+        set_point_mv: i32,
+    },
+    /// The emergency interrupt path fired: the monitor saw an error rate
+    /// at or above the emergency ceiling and the domain was bumped by the
+    /// large increment immediately.
+    EmergencyRollback {
+        /// Simulated time the interrupt fired.
+        at: SimTime,
+        /// The rescued domain.
+        domain: DomainId,
+        /// The observed error rate.
+        rate: f64,
+        /// Regulator steps applied at once.
+        steps: u32,
+        /// Set-point change, in millivolts.
+        delta_mv: i32,
+        /// The set point requested after the bump, in millivolts.
+        set_point_mv: i32,
+    },
+    /// Boot-time calibration designated a domain's monitored line.
+    Calibrated {
+        /// Simulated time calibration finished.
+        at: SimTime,
+        /// The calibrated domain.
+        domain: DomainId,
+        /// Core whose cache hosts the designated line.
+        core: CoreId,
+        /// Which L2 structure it is in.
+        kind: CacheKind,
+        /// Cache set of the line.
+        set: u32,
+        /// Way of the line.
+        way: u32,
+        /// Voltage at which the line first erred, in millivolts.
+        onset_mv: i32,
+    },
+    /// Periodic recalibration re-ranked a domain's weak lines.
+    Recalibrated {
+        /// Simulated time of the recalibration.
+        at: SimTime,
+        /// The domain.
+        domain: DomainId,
+        /// Whether the monitor was retargeted at a different line.
+        changed: bool,
+        /// The new (aged) onset estimate, in millivolts.
+        onset_mv: i32,
+    },
+    /// A fleet worker started simulating a chip.
+    JobStarted {
+        /// The chip.
+        chip: ChipId,
+    },
+    /// A fleet worker finished a chip.
+    JobFinished {
+        /// The chip.
+        chip: ChipId,
+        /// Simulated duration of its speculation run.
+        sim_time: SimTime,
+        /// Correctable errors over the run.
+        correctable: u64,
+        /// Emergency interrupts over the run.
+        emergencies: u64,
+        /// Cores that crashed (0 in a healthy fleet).
+        crashes: u64,
+    },
+}
+
+impl TelemetryEvent {
+    /// The event's category (what filters and metrics key on).
+    pub fn category(&self) -> EventCategory {
+        match self {
+            TelemetryEvent::EccCorrection { .. } | TelemetryEvent::EccDetection { .. } => {
+                EventCategory::Ecc
+            }
+            TelemetryEvent::MonitorWindow { .. } => EventCategory::Monitor,
+            TelemetryEvent::VoltageStep { .. } | TelemetryEvent::EmergencyRollback { .. } => {
+                EventCategory::Controller
+            }
+            TelemetryEvent::Calibrated { .. } | TelemetryEvent::Recalibrated { .. } => {
+                EventCategory::Calibration
+            }
+            TelemetryEvent::JobStarted { .. } | TelemetryEvent::JobFinished { .. } => {
+                EventCategory::Fleet
+            }
+        }
+    }
+
+    /// Stable lowercase name of the variant (the JSONL `"event"` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TelemetryEvent::EccCorrection { .. } => "ecc_correction",
+            TelemetryEvent::EccDetection { .. } => "ecc_detection",
+            TelemetryEvent::MonitorWindow { .. } => "monitor_window",
+            TelemetryEvent::VoltageStep { .. } => "voltage_step",
+            TelemetryEvent::EmergencyRollback { .. } => "emergency_rollback",
+            TelemetryEvent::Calibrated { .. } => "calibrated",
+            TelemetryEvent::Recalibrated { .. } => "recalibrated",
+            TelemetryEvent::JobStarted { .. } => "job_started",
+            TelemetryEvent::JobFinished { .. } => "job_finished",
+        }
+    }
+
+    /// Simulated timestamp of the event. Job-lifecycle events are pinned
+    /// to the run boundaries (start at time zero, finish at the run's
+    /// simulated duration).
+    pub fn at(&self) -> SimTime {
+        match *self {
+            TelemetryEvent::EccCorrection { at, .. }
+            | TelemetryEvent::EccDetection { at, .. }
+            | TelemetryEvent::MonitorWindow { at, .. }
+            | TelemetryEvent::VoltageStep { at, .. }
+            | TelemetryEvent::EmergencyRollback { at, .. }
+            | TelemetryEvent::Calibrated { at, .. }
+            | TelemetryEvent::Recalibrated { at, .. } => at,
+            TelemetryEvent::JobStarted { .. } => SimTime::ZERO,
+            TelemetryEvent::JobFinished { sim_time, .. } => sim_time,
+        }
+    }
+
+    /// Appends the event as one JSON object (no trailing newline) to
+    /// `out`. Hand-rolled — the workspace builds offline with no serde —
+    /// and deterministic: field order is fixed and floats are rendered
+    /// with Rust's shortest round-trip formatting.
+    pub fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "{{\"event\":\"{}\",\"category\":\"{}\",\"at_us\":{}",
+            self.name(),
+            self.category().label(),
+            self.at().as_micros()
+        );
+        match *self {
+            TelemetryEvent::EccCorrection {
+                domain,
+                core,
+                count,
+                ..
+            }
+            | TelemetryEvent::EccDetection {
+                domain,
+                core,
+                count,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"domain\":{},\"core\":{},\"count\":{}",
+                    domain.0, core.0, count
+                );
+            }
+            TelemetryEvent::MonitorWindow {
+                domain,
+                accesses,
+                errors,
+                rate,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"domain\":{},\"accesses\":{},\"errors\":{},\"rate\":{}",
+                    domain.0,
+                    accesses,
+                    errors,
+                    JsonF64(rate)
+                );
+            }
+            TelemetryEvent::VoltageStep {
+                domain,
+                direction,
+                rate,
+                delta_mv,
+                set_point_mv,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"domain\":{},\"direction\":\"{}\",\"rate\":{},\"delta_mv\":{},\"set_point_mv\":{}",
+                    domain.0,
+                    direction.label(),
+                    JsonF64(rate),
+                    delta_mv,
+                    set_point_mv
+                );
+            }
+            TelemetryEvent::EmergencyRollback {
+                domain,
+                rate,
+                steps,
+                delta_mv,
+                set_point_mv,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"domain\":{},\"rate\":{},\"steps\":{},\"delta_mv\":{},\"set_point_mv\":{}",
+                    domain.0,
+                    JsonF64(rate),
+                    steps,
+                    delta_mv,
+                    set_point_mv
+                );
+            }
+            TelemetryEvent::Calibrated {
+                domain,
+                core,
+                kind,
+                set,
+                way,
+                onset_mv,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"domain\":{},\"core\":{},\"kind\":\"{}\",\"set\":{},\"way\":{},\"onset_mv\":{}",
+                    domain.0, core.0, kind, set, way, onset_mv
+                );
+            }
+            TelemetryEvent::Recalibrated {
+                domain,
+                changed,
+                onset_mv,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"domain\":{},\"changed\":{},\"onset_mv\":{}",
+                    domain.0, changed, onset_mv
+                );
+            }
+            TelemetryEvent::JobStarted { chip } => {
+                let _ = write!(out, ",\"chip\":{}", chip.0);
+            }
+            TelemetryEvent::JobFinished {
+                chip,
+                correctable,
+                emergencies,
+                crashes,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"chip\":{},\"correctable\":{},\"emergencies\":{},\"crashes\":{}",
+                    chip.0, correctable, emergencies, crashes
+                );
+            }
+        }
+        out.push('}');
+    }
+}
+
+/// Deterministic JSON rendering for `f64`: shortest round-trip decimal,
+/// with the non-finite values JSON cannot express mapped to `null`.
+struct JsonF64(f64);
+
+impl fmt::Display for JsonF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_finite() {
+            write!(f, "{}", self.0)
+        } else {
+            f.write_str("null")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_parse_round_trips() {
+        let f = EventFilter::parse("ecc,controller,fleet").unwrap();
+        assert!(f.accepts(EventCategory::Ecc));
+        assert!(f.accepts(EventCategory::Controller));
+        assert!(f.accepts(EventCategory::Fleet));
+        assert!(!f.accepts(EventCategory::Monitor));
+        assert!(!f.accepts(EventCategory::Calibration));
+        assert_eq!(EventFilter::parse("ecc,bogus"), None);
+        assert!(EventFilter::parse("").unwrap().is_empty());
+        assert!(EventFilter::none().is_empty());
+        for c in EventCategory::ALL {
+            assert!(EventFilter::all().accepts(c));
+            assert_eq!(EventCategory::parse(c.label()), Some(c));
+        }
+    }
+
+    #[test]
+    fn event_categories_and_timestamps() {
+        let step = TelemetryEvent::VoltageStep {
+            at: SimTime::from_millis(10),
+            domain: DomainId(0),
+            direction: StepDirection::Down,
+            rate: 0.002,
+            delta_mv: -5,
+            set_point_mv: 795,
+        };
+        assert_eq!(step.category(), EventCategory::Controller);
+        assert_eq!(step.at(), SimTime::from_millis(10));
+        let started = TelemetryEvent::JobStarted { chip: ChipId(3) };
+        assert_eq!(started.category(), EventCategory::Fleet);
+        assert_eq!(started.at(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn json_is_stable_and_parseable_shape() {
+        let mut out = String::new();
+        TelemetryEvent::EmergencyRollback {
+            at: SimTime::from_millis(42),
+            domain: DomainId(1),
+            rate: 0.9375,
+            steps: 5,
+            delta_mv: 25,
+            set_point_mv: 700,
+        }
+        .write_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"event\":\"emergency_rollback\",\"category\":\"controller\",\
+             \"at_us\":42000,\"domain\":1,\"rate\":0.9375,\"steps\":5,\
+             \"delta_mv\":25,\"set_point_mv\":700}"
+        );
+    }
+
+    #[test]
+    fn json_maps_non_finite_rates_to_null() {
+        let mut out = String::new();
+        TelemetryEvent::MonitorWindow {
+            at: SimTime::ZERO,
+            domain: DomainId(0),
+            accesses: 0,
+            errors: 0,
+            rate: f64::NAN,
+        }
+        .write_json(&mut out);
+        assert!(out.contains("\"rate\":null"));
+    }
+}

@@ -143,15 +143,27 @@ pub fn expected_extreme(n: u64) -> f64 {
 ///
 /// Panics if `q` is outside `[0, 1]` or any value is NaN.
 pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
+    percentile_sorted(&sorted, q)
+}
+
+/// [`percentile`] over an **already sorted** slice, skipping the copy and
+/// sort. This is the single quantile definition shared by every consumer
+/// in the workspace (run traces, fleet distributions), so their reported
+/// percentiles are comparable.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
     assert!(
         (0.0..=1.0).contains(&q),
         "quantile must be in [0,1], got {q}"
     );
-    if xs.is_empty() {
+    if sorted.is_empty() {
         return None;
     }
-    let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -257,9 +269,41 @@ mod tests {
     }
 
     #[test]
+    fn percentile_edge_cases() {
+        // Empty series: no quantile at any q.
+        assert_eq!(percentile(&[], 0.0), None);
+        assert_eq!(percentile(&[], 1.0), None);
+        assert_eq!(percentile_sorted(&[], 0.5), None);
+        // A single sample is every quantile.
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(percentile(&[7.0], q), Some(7.0));
+            assert_eq!(percentile_sorted(&[7.0], q), Some(7.0));
+        }
+        // q = 0 and q = 1 are exactly min and max, no interpolation fuzz.
+        let xs = [3.0, -1.0, 10.0];
+        assert_eq!(percentile(&xs, 0.0), Some(-1.0));
+        assert_eq!(percentile(&xs, 1.0), Some(10.0));
+    }
+
+    #[test]
+    fn percentile_sorted_matches_unsorted() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        for q in [0.0, 0.1, 0.5, 0.75, 1.0] {
+            assert_eq!(percentile(&xs, q), percentile_sorted(&sorted, q));
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "quantile must be in")]
     fn percentile_rejects_bad_q() {
         percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn percentile_sorted_rejects_bad_q() {
+        percentile_sorted(&[1.0], -0.1);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! | [`platform`] | the simulated CMP and characterization harnesses |
 //! | [`spec`] | **the contribution**: monitors, calibration, control, experiments |
 //! | [`fleet`] | parallel multi-chip population simulation and statistics |
+//! | [`telemetry`] | structured event tracing, metrics registry, profiling spans |
 //!
 //! # Quickstart
 //!
@@ -69,6 +70,7 @@ pub use vs_platform as platform;
 pub use vs_power as power;
 pub use vs_spec as spec;
 pub use vs_sram as sram;
+pub use vs_telemetry as telemetry;
 pub use vs_types as types;
 pub use vs_workload as workload;
 

@@ -1,0 +1,108 @@
+//! Fleet trace determinism: the serialized telemetry stream of a fleet
+//! run is byte-identical for any worker count, and tracing never changes
+//! the simulation results.
+
+use voltspec::fleet::{FleetConfig, FleetRunner};
+use voltspec::telemetry::{
+    EventCategory, EventFilter, JsonlProgress, SilentProgress, TelemetryEvent,
+};
+use voltspec::types::{FleetSeed, SimTime};
+
+fn tiny_config() -> FleetConfig {
+    let mut config = FleetConfig::small(FleetSeed(77), 6);
+    config.run_duration = SimTime::from_millis(500);
+    config
+}
+
+#[test]
+fn trace_bytes_identical_across_worker_counts() {
+    let config = tiny_config();
+    let run = |workers: usize| {
+        FleetRunner::new(config.clone(), workers)
+            .run_reporting(EventFilter::all(), &mut SilentProgress)
+            .unwrap()
+    };
+    let (result_1, trace_1) = run(1);
+    let (result_8, trace_8) = run(8);
+
+    assert_eq!(result_1.summaries, result_8.summaries);
+    assert!(!trace_1.events.is_empty());
+    assert_eq!(
+        trace_1.to_jsonl(),
+        trace_8.to_jsonl(),
+        "the serialized trace must be byte-identical under any sharding"
+    );
+
+    // The merged stream brackets every chip in chip-id order:
+    // job_started(i) .. job_finished(i), i ascending.
+    let lifecycle: Vec<&TelemetryEvent> = trace_1
+        .events
+        .iter()
+        .filter(|e| e.category() == EventCategory::Fleet)
+        .collect();
+    assert_eq!(lifecycle.len(), 12, "one start + one finish per chip");
+    for (i, pair) in lifecycle.chunks(2).enumerate() {
+        let chip = i as u64;
+        assert!(
+            matches!(pair[0], TelemetryEvent::JobStarted { chip: c } if c.0 == chip),
+            "chip {chip} bracket opens the stream slice"
+        );
+        assert!(
+            matches!(pair[1], TelemetryEvent::JobFinished { chip: c, .. } if c.0 == chip),
+            "chip {chip} bracket closes the stream slice"
+        );
+    }
+
+    // Wall-clock profiling rides along but stays out of the trace bytes.
+    assert_eq!(trace_1.profile.workers.len(), 1);
+    assert_eq!(trace_8.profile.workers.len(), 6, "workers clamp to jobs");
+    assert_eq!(
+        trace_8.profile.job_latency.count(),
+        6,
+        "one latency sample per chip"
+    );
+}
+
+#[test]
+fn tracing_does_not_change_results() {
+    let config = tiny_config();
+    let plain = FleetRunner::new(config.clone(), 4).run().unwrap();
+    let (traced, trace) = FleetRunner::new(config.clone(), 4)
+        .run_reporting(EventFilter::all(), &mut SilentProgress)
+        .unwrap();
+    assert_eq!(plain.summaries, traced.summaries);
+
+    // An untraced reporting run produces no events at zero cost.
+    let (untraced, empty) = FleetRunner::new(config, 2)
+        .run_reporting(EventFilter::none(), &mut SilentProgress)
+        .unwrap();
+    assert_eq!(untraced.summaries, plain.summaries);
+    assert!(empty.events.is_empty());
+    assert!(!trace.events.is_empty());
+}
+
+#[test]
+fn progress_reports_every_chip_once() {
+    let config = tiny_config();
+    let mut progress = JsonlProgress::new(Vec::new());
+    FleetRunner::new(config.clone(), 3)
+        .run_reporting(EventFilter::none(), &mut progress)
+        .unwrap();
+    let text = String::from_utf8(progress.into_inner()).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 6, "one progress record per chip:\n{text}");
+    for (i, line) in lines.iter().enumerate() {
+        assert!(
+            line.contains(&format!("\"completed\":{},\"total\":6", i + 1)),
+            "monotone completion count, got {line}"
+        );
+    }
+    // Every chip id appears exactly once, in some scheduling order.
+    for chip in 0..6 {
+        assert_eq!(
+            text.matches(&format!("\"chip\":{chip},")).count(),
+            1,
+            "chip {chip} reported once"
+        );
+    }
+}
