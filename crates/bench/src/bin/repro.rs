@@ -8,6 +8,7 @@
 //! repro list
 //! repro --fleet N [--workers W] [--variant hw|sw|baseline] \
 //!       [--checkpoint FILE] [--seed S] [--quick] \
+//!       [--inject SPEC] [--max-retries N] [--fail-fast] \
 //!       [--trace FILE] [--trace-filter LIST] [--metrics] \
 //!       [--quiet] [--progress-jsonl]
 //! ```
@@ -21,13 +22,25 @@
 //! (Vmin spread, Vdd-reduction and energy-savings distributions). Results
 //! are bit-identical for any `--workers` value.
 //!
+//! Fault injection (see `vs_faults::FaultSpec` for the full grammar):
+//!
+//! * `--inject SPEC` schedules deterministic faults, e.g.
+//!   `--inject seeded:42` (a seeded population-wide plan),
+//!   `--inject due@500ms:d0,panic:chip3x2,crash@1s:c1:chip2`. Injected
+//!   runs are as deterministic as clean ones: the same spec and seed
+//!   produce byte-identical results for any `--workers` count.
+//! * `--max-retries N` bounds how often a panicking chip job is retried
+//!   (default 2) before the chip is quarantined; the run then completes
+//!   with partial results and prints a degradation report.
+//! * `--fail-fast` aborts on the first quarantined chip instead.
+//!
 //! Fleet observability:
 //!
 //! * `--trace FILE` writes the telemetry event stream as JSONL. Events are
 //!   timestamped in simulated time and merged in chip-id order, so the
 //!   file is byte-identical for any `--workers` count.
 //! * `--trace-filter LIST` keeps only the named categories
-//!   (comma-separated from `ecc,monitor,controller,calibration,fleet`).
+//!   (comma-separated from `ecc,monitor,controller,calibration,fleet,fault`).
 //! * `--metrics` prints a deterministic metrics summary (counters and
 //!   histograms derived from the event stream) on stdout.
 //! * `--quiet` silences progress; `--progress-jsonl` switches the stderr
@@ -40,6 +53,7 @@ use std::io::Write as _;
 use std::time::Instant;
 use vs_bench::figures::{characterization, mechanisms, noise, power, supporting, tables, Rendered};
 use vs_bench::Scale;
+use vs_faults::FaultSpec;
 use vs_fleet::{ControllerVariant, FleetConfig, FleetRunner};
 use vs_telemetry::{
     EventFilter, EventMetrics, HumanProgress, JsonlProgress, JsonlSink, ProgressSink,
@@ -116,6 +130,9 @@ fn main() {
     let mut workers: usize = 1;
     let mut variant = ControllerVariant::Hardware;
     let mut checkpoint: Option<String> = None;
+    let mut inject: Option<FaultSpec> = None;
+    let mut max_retries: Option<u32> = None;
+    let mut fail_fast = false;
     let mut trace: Option<String> = None;
     let mut trace_filter: Option<EventFilter> = None;
     let mut metrics = false;
@@ -171,6 +188,22 @@ fn main() {
                         .unwrap_or_else(|| die("--checkpoint needs a file path")),
                 );
             }
+            "--inject" => {
+                i += 1;
+                inject = Some(match args.get(i) {
+                    Some(s) => FaultSpec::parse(s).unwrap_or_else(|e| die(&e)),
+                    None => die("--inject needs a fault spec (e.g. seeded:42)"),
+                });
+            }
+            "--max-retries" => {
+                i += 1;
+                max_retries = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--max-retries needs an integer")),
+                );
+            }
+            "--fail-fast" => fail_fast = true,
             "--trace" => {
                 i += 1;
                 trace = Some(
@@ -186,7 +219,7 @@ fn main() {
                         .and_then(|s| EventFilter::parse(s))
                         .unwrap_or_else(|| {
                             die("--trace-filter needs a comma-separated list from \
-                                 ecc,monitor,controller,calibration,fleet")
+                                 ecc,monitor,controller,calibration,fleet,fault")
                         }),
                 );
             }
@@ -205,6 +238,7 @@ fn main() {
                     "usage: repro [--quick] [--seed N] [--csv DIR] <experiment>... | all | list\n\
                             repro --fleet N [--workers W] [--variant hw|sw|baseline] \
                      [--checkpoint FILE]\n\
+                     \x20      [--inject SPEC] [--max-retries N] [--fail-fast]\n\
                      \x20      [--trace FILE] [--trace-filter LIST] [--metrics] \
                      [--quiet] [--progress-jsonl]"
                 );
@@ -223,7 +257,21 @@ fn main() {
             quiet,
             progress_jsonl,
         };
-        run_fleet(num_chips, workers, variant, seed, scale, checkpoint, &obs);
+        let resilience = FleetResilience {
+            inject,
+            max_retries,
+            fail_fast,
+        };
+        run_fleet(
+            num_chips,
+            workers,
+            variant,
+            seed,
+            scale,
+            checkpoint,
+            &resilience,
+            &obs,
+        );
         return;
     }
 
@@ -259,6 +307,13 @@ fn main() {
     }
 }
 
+/// Fault-injection and degradation switches.
+struct FleetResilience {
+    inject: Option<FaultSpec>,
+    max_retries: Option<u32>,
+    fail_fast: bool,
+}
+
 /// Fleet observability switches (tracing, metrics, progress).
 struct FleetObs {
     trace: Option<String>,
@@ -269,6 +324,7 @@ struct FleetObs {
 }
 
 /// Population mode: simulate a fleet of chips and print its statistics.
+#[allow(clippy::too_many_arguments)]
 fn run_fleet(
     num_chips: u64,
     workers: usize,
@@ -276,6 +332,7 @@ fn run_fleet(
     seed: u64,
     scale: Scale,
     checkpoint: Option<String>,
+    resilience: &FleetResilience,
     obs: &FleetObs,
 ) {
     let mut config = match scale {
@@ -288,8 +345,14 @@ fn run_fleet(
     if scale == Scale::Quick {
         config.run_duration = SimTime::from_millis(500);
     }
+    if let Some(spec) = &resilience.inject {
+        config.faults = spec.materialize(num_chips);
+    }
 
-    let mut runner = FleetRunner::new(config.clone(), workers);
+    let mut runner = FleetRunner::new(config.clone(), workers).with_fail_fast(resilience.fail_fast);
+    if let Some(retries) = resilience.max_retries {
+        runner = runner.with_max_retries(retries);
+    }
     if let Some(path) = checkpoint {
         runner = runner.with_checkpoint(path.into());
     }
@@ -323,6 +386,11 @@ fn run_fleet(
 
     let stats = result.stats(&config);
     print!("{}", stats.report(config.base_chip.mode.nominal_vdd()));
+    // The degradation report is deterministic (retry/quarantine decisions
+    // depend only on the fault plan), so it belongs on stdout.
+    if !result.degradation.is_clean() {
+        print!("{}", result.degradation);
+    }
     if result.resumed > 0 {
         println!(
             "({} simulated + {} resumed from checkpoint)",

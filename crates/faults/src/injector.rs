@@ -1,0 +1,207 @@
+//! The runtime half: turning a plan into per-tick fault actions.
+
+use crate::plan::{FaultKind, FaultPlan, FaultTrigger, ScheduledFault};
+use vs_types::{CoreId, DomainId, Millivolts, SimTime};
+
+/// A fault (or fault-window edge) the simulation must apply this tick.
+///
+/// Transient faults are delivered as start/end pairs so the consumer can
+/// apply and undo their effect without tracking windows itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// A DUE was consumed by `domain`: run the firmware rollback path.
+    Due {
+        /// The affected domain.
+        domain: DomainId,
+    },
+    /// `core` crashed: force it down, then recover it.
+    CoreCrash {
+        /// The core that dies.
+        core: CoreId,
+    },
+    /// A droop begins: depress the domain's set point by `depth`.
+    DroopStart {
+        /// The affected domain.
+        domain: DomainId,
+        /// How far the set point drops.
+        depth: Millivolts,
+    },
+    /// The droop ends: restore the set point by `depth`.
+    DroopEnd {
+        /// The affected domain.
+        domain: DomainId,
+        /// How far the set point was dropped.
+        depth: Millivolts,
+    },
+    /// The domain's monitor line sticks at `rate`.
+    StuckStart {
+        /// The affected domain.
+        domain: DomainId,
+        /// The rate the stuck line reports.
+        rate: f64,
+    },
+    /// The stuck-at fault clears.
+    StuckEnd {
+        /// The affected domain.
+        domain: DomainId,
+    },
+}
+
+/// Replays a [`FaultPlan`] against a running simulation.
+///
+/// Poll once per tick with the current simulated time and the per-domain
+/// effective voltages observed that tick; the injector returns the actions
+/// firing now. Time-triggered faults fire on the first poll at or after
+/// their instant; voltage-triggered faults fire on the first poll that
+/// observes the rail below the threshold. Every scheduled fault fires at
+/// most once.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    pending: Vec<ScheduledFault>,
+    /// Active transient windows: `(end_time, end_action)`.
+    active: Vec<(SimTime, FaultAction)>,
+}
+
+impl FaultInjector {
+    /// Builds an injector over a (chip-scoped) plan. Worker-panic entries
+    /// are ignored — they belong to the fleet layer.
+    pub fn new(plan: &FaultPlan) -> FaultInjector {
+        FaultInjector {
+            pending: plan.events().to_vec(),
+            active: Vec::new(),
+        }
+    }
+
+    /// True when nothing is pending and no transient window is open.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.active.is_empty()
+    }
+
+    /// Advances to `now`, given the per-domain effective voltages observed
+    /// this tick, and returns the actions firing. Expired transient
+    /// windows produce their end actions first (so a consumer never sees a
+    /// new window open on a domain before the old one closes).
+    pub fn poll(&mut self, now: SimTime, v_eff_mv: &[f64]) -> Vec<FaultAction> {
+        let mut fired = Vec::new();
+
+        // Close expired windows.
+        let mut i = 0;
+        while i < self.active.len() {
+            if now >= self.active[i].0 {
+                fired.push(self.active.remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+
+        // Fire pending faults whose trigger condition holds.
+        let mut i = 0;
+        while i < self.pending.len() {
+            let due_now = match self.pending[i].trigger {
+                FaultTrigger::At(t) => now >= t,
+                FaultTrigger::BelowVoltage { domain, threshold } => v_eff_mv
+                    .get(domain.0)
+                    .is_some_and(|v| *v < f64::from(threshold.0)),
+            };
+            if !due_now {
+                i += 1;
+                continue;
+            }
+            let fault = self.pending.remove(i);
+            match fault.kind {
+                FaultKind::Due { domain } => fired.push(FaultAction::Due { domain }),
+                FaultKind::CoreCrash { core } => fired.push(FaultAction::CoreCrash { core }),
+                FaultKind::Droop {
+                    domain,
+                    depth,
+                    duration,
+                } => {
+                    fired.push(FaultAction::DroopStart { domain, depth });
+                    self.active
+                        .push((now + duration, FaultAction::DroopEnd { domain, depth }));
+                }
+                FaultKind::MonitorStuck {
+                    domain,
+                    rate,
+                    duration,
+                } => {
+                    fired.push(FaultAction::StuckStart { domain, rate });
+                    self.active
+                        .push((now + duration, FaultAction::StuckEnd { domain }));
+                }
+            }
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlan;
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::from_millis(n)
+    }
+
+    #[test]
+    fn time_triggers_fire_once_at_or_after_the_instant() {
+        let plan = FaultPlan::new().due_at(ms(5), DomainId(1));
+        let mut inj = FaultInjector::new(&plan);
+        assert!(inj.poll(ms(4), &[800.0, 800.0]).is_empty());
+        // Polling past the instant (e.g. coarse ticks) still fires it.
+        assert_eq!(
+            inj.poll(ms(7), &[800.0, 800.0]),
+            vec![FaultAction::Due {
+                domain: DomainId(1)
+            }]
+        );
+        assert!(inj.poll(ms(8), &[800.0, 800.0]).is_empty());
+        assert!(inj.is_idle());
+    }
+
+    #[test]
+    fn voltage_triggers_watch_the_rail() {
+        let plan = FaultPlan::new().crash_below(DomainId(0), Millivolts(650), CoreId(1));
+        let mut inj = FaultInjector::new(&plan);
+        assert!(inj.poll(ms(1), &[700.0]).is_empty());
+        assert_eq!(
+            inj.poll(ms(2), &[649.0]),
+            vec![FaultAction::CoreCrash { core: CoreId(1) }]
+        );
+        assert!(inj.is_idle());
+    }
+
+    #[test]
+    fn transient_windows_open_and_close() {
+        let plan = FaultPlan::new()
+            .droop_at(ms(2), DomainId(0), Millivolts(40), ms(3))
+            .stuck_at(ms(2), DomainId(1), 0.0, ms(4));
+        let mut inj = FaultInjector::new(&plan);
+        let start = inj.poll(ms(2), &[800.0, 800.0]);
+        assert!(start.contains(&FaultAction::DroopStart {
+            domain: DomainId(0),
+            depth: Millivolts(40)
+        }));
+        assert!(start.contains(&FaultAction::StuckStart {
+            domain: DomainId(1),
+            rate: 0.0
+        }));
+        assert!(!inj.is_idle());
+        assert!(inj.poll(ms(4), &[800.0, 800.0]).is_empty());
+        assert_eq!(
+            inj.poll(ms(5), &[800.0, 800.0]),
+            vec![FaultAction::DroopEnd {
+                domain: DomainId(0),
+                depth: Millivolts(40)
+            }]
+        );
+        assert_eq!(
+            inj.poll(ms(6), &[800.0, 800.0]),
+            vec![FaultAction::StuckEnd {
+                domain: DomainId(1)
+            }]
+        );
+        assert!(inj.is_idle());
+    }
+}

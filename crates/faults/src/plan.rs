@@ -1,0 +1,437 @@
+//! The declarative fault schedule.
+
+use vs_types::rng::{splitmix64, CounterRng};
+use vs_types::{ChipId, CoreId, DomainId, Millivolts, SimTime};
+
+/// When a scheduled fault fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultTrigger {
+    /// At a fixed simulated time.
+    At(SimTime),
+    /// The first tick a domain's effective voltage is observed below a
+    /// threshold (the crash-at-undervolt hazard the emergency ceiling
+    /// exists to avoid).
+    BelowVoltage {
+        /// The domain whose rail is watched.
+        domain: DomainId,
+        /// Fire when `v_eff` drops below this many millivolts.
+        threshold: Millivolts,
+    },
+}
+
+/// What happens when a scheduled fault fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// A detected-uncorrectable ECC error is consumed by a domain: the
+    /// firmware machine-check path must roll the domain back.
+    Due {
+        /// The domain consuming the DUE.
+        domain: DomainId,
+    },
+    /// A core crashes outright (undervolt latch-up, not modeled by the
+    /// organic logic-floor path).
+    CoreCrash {
+        /// The core that dies.
+        core: CoreId,
+    },
+    /// A transient supply droop: the domain's set point is depressed by
+    /// `depth` for `duration`, then restored.
+    Droop {
+        /// The domain whose rail droops.
+        domain: DomainId,
+        /// How far the set point is depressed.
+        depth: Millivolts,
+        /// How long the droop lasts.
+        duration: SimTime,
+    },
+    /// The domain's monitor line sticks at a fixed error rate for
+    /// `duration` (stuck-at-0 blinds the controller, stuck-at-1 floods it).
+    MonitorStuck {
+        /// The domain whose monitor sticks.
+        domain: DomainId,
+        /// The rate the stuck line reports, in `[0, 1]`.
+        rate: f64,
+        /// How long the fault lasts.
+        duration: SimTime,
+    },
+}
+
+/// One fault in a plan: what, when, and (for fleet plans) on which chip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledFault {
+    /// The chip the fault targets; `None` targets every chip (and is the
+    /// only sensible value for single-system plans).
+    pub chip: Option<ChipId>,
+    /// When the fault fires.
+    pub trigger: FaultTrigger,
+    /// What fires.
+    pub kind: FaultKind,
+}
+
+/// Intensity knobs for [`FaultPlan::seeded`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectionProfile {
+    /// Fraction of chips whose worker job panics (and is retried) once.
+    pub panic_fraction: f64,
+    /// Fraction of chips whose worker job panics *more* times than any
+    /// retry budget will absorb (these land in the quarantine bucket).
+    pub doomed_fraction: f64,
+    /// Expected DUE injections per chip.
+    pub dues_per_chip: f64,
+    /// Expected forced core crashes per chip.
+    pub crashes_per_chip: f64,
+    /// Injection window: faults are scheduled uniformly inside
+    /// `[window_start, window_end)`.
+    pub window_start: SimTime,
+    /// End of the injection window.
+    pub window_end: SimTime,
+}
+
+impl Default for InjectionProfile {
+    fn default() -> InjectionProfile {
+        InjectionProfile {
+            panic_fraction: 0.25,
+            doomed_fraction: 0.0,
+            dues_per_chip: 0.5,
+            crashes_per_chip: 0.25,
+            window_start: SimTime::from_millis(100),
+            window_end: SimTime::from_millis(1600),
+        }
+    }
+}
+
+/// A deterministic schedule of faults.
+///
+/// A plan is pure data: it can be cloned into every fleet worker, scoped
+/// to a single chip with [`FaultPlan::for_chip`], and folded into a config
+/// fingerprint with [`FaultPlan::digest`]. An empty plan injects nothing
+/// and costs nothing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    events: Vec<ScheduledFault>,
+    /// `(chip, attempts)`: the worker job for `chip` panics on its first
+    /// `attempts` attempts. Injected at the fleet layer, not in the chip
+    /// simulation, so retried attempts replay identically.
+    panics: Vec<(ChipId, u32)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.panics.is_empty()
+    }
+
+    /// The scheduled chip-level faults.
+    pub fn events(&self) -> &[ScheduledFault] {
+        &self.events
+    }
+
+    /// The injected worker panics, as `(chip, attempts)` pairs.
+    pub fn worker_panics(&self) -> &[(ChipId, u32)] {
+        &self.panics
+    }
+
+    /// Adds a fault.
+    pub fn push(&mut self, fault: ScheduledFault) {
+        self.events.push(fault);
+    }
+
+    /// Schedules a DUE for `domain` at `at` (builder form).
+    pub fn due_at(mut self, at: SimTime, domain: DomainId) -> FaultPlan {
+        self.events.push(ScheduledFault {
+            chip: None,
+            trigger: FaultTrigger::At(at),
+            kind: FaultKind::Due { domain },
+        });
+        self
+    }
+
+    /// Schedules a forced crash of `core` at `at` (builder form).
+    pub fn crash_at(mut self, at: SimTime, core: CoreId) -> FaultPlan {
+        self.events.push(ScheduledFault {
+            chip: None,
+            trigger: FaultTrigger::At(at),
+            kind: FaultKind::CoreCrash { core },
+        });
+        self
+    }
+
+    /// Schedules a crash of `core` the first time `domain` is observed
+    /// below `threshold` (builder form).
+    pub fn crash_below(
+        mut self,
+        domain: DomainId,
+        threshold: Millivolts,
+        core: CoreId,
+    ) -> FaultPlan {
+        self.events.push(ScheduledFault {
+            chip: None,
+            trigger: FaultTrigger::BelowVoltage { domain, threshold },
+            kind: FaultKind::CoreCrash { core },
+        });
+        self
+    }
+
+    /// Schedules a transient droop (builder form).
+    pub fn droop_at(
+        mut self,
+        at: SimTime,
+        domain: DomainId,
+        depth: Millivolts,
+        duration: SimTime,
+    ) -> FaultPlan {
+        self.events.push(ScheduledFault {
+            chip: None,
+            trigger: FaultTrigger::At(at),
+            kind: FaultKind::Droop {
+                domain,
+                depth,
+                duration,
+            },
+        });
+        self
+    }
+
+    /// Schedules a monitor stuck-at window (builder form).
+    pub fn stuck_at(
+        mut self,
+        at: SimTime,
+        domain: DomainId,
+        rate: f64,
+        duration: SimTime,
+    ) -> FaultPlan {
+        self.events.push(ScheduledFault {
+            chip: None,
+            trigger: FaultTrigger::At(at),
+            kind: FaultKind::MonitorStuck {
+                domain,
+                rate,
+                duration,
+            },
+        });
+        self
+    }
+
+    /// Makes the worker job for `chip` panic on its first `attempts`
+    /// attempts (builder form). With a retry budget of `attempts` or more
+    /// the chip eventually completes; with less it is quarantined.
+    pub fn worker_panic(mut self, chip: ChipId, attempts: u32) -> FaultPlan {
+        match self.panics.iter_mut().find(|(c, _)| *c == chip) {
+            Some((_, n)) => *n = (*n).max(attempts),
+            None => self.panics.push((chip, attempts)),
+        }
+        self
+    }
+
+    /// How many attempts of `chip`'s worker job should panic.
+    pub fn panic_attempts(&self, chip: ChipId) -> u32 {
+        self.panics
+            .iter()
+            .find(|(c, _)| *c == chip)
+            .map_or(0, |(_, n)| *n)
+    }
+
+    /// The plan scoped to one chip: events targeting other chips are
+    /// dropped and surviving events lose their chip tag (worker panics are
+    /// kept as-is; they are consumed at the fleet layer).
+    pub fn for_chip(&self, chip: ChipId) -> FaultPlan {
+        FaultPlan {
+            events: self
+                .events
+                .iter()
+                .filter(|f| f.chip.is_none() || f.chip == Some(chip))
+                .map(|f| ScheduledFault { chip: None, ..*f })
+                .collect(),
+            panics: self.panics.clone(),
+        }
+    }
+
+    /// Draws a plan from a seed: a deterministic population of worker
+    /// panics, DUEs, and forced crashes across `num_chips` chips, shaped
+    /// by `profile`. The same `(seed, num_chips, profile)` always yields
+    /// the same plan.
+    pub fn seeded(seed: u64, num_chips: u64, profile: InjectionProfile) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        let span = profile
+            .window_end
+            .saturating_sub(profile.window_start)
+            .as_micros()
+            .max(1);
+        for chip in 0..num_chips {
+            let mut rng = CounterRng::from_key(seed, &[0xFA_017, chip]);
+            if rng.next_f64() < profile.doomed_fraction {
+                plan = plan.worker_panic(ChipId(chip), u32::MAX);
+            } else if rng.next_f64() < profile.panic_fraction {
+                plan = plan.worker_panic(ChipId(chip), 1);
+            }
+            let mut schedule = |plan: &mut FaultPlan, expected: f64, is_due: bool| {
+                let n = expected.floor() as u64 + u64::from(rng.bernoulli(expected.fract()));
+                for _ in 0..n {
+                    let at = profile.window_start + SimTime::from_micros(rng.next_below(span));
+                    let kind = if is_due {
+                        FaultKind::Due {
+                            domain: DomainId(0),
+                        }
+                    } else {
+                        FaultKind::CoreCrash { core: CoreId(0) }
+                    };
+                    plan.push(ScheduledFault {
+                        chip: Some(ChipId(chip)),
+                        trigger: FaultTrigger::At(at),
+                        kind,
+                    });
+                }
+            };
+            schedule(&mut plan, profile.dues_per_chip, true);
+            schedule(&mut plan, profile.crashes_per_chip, false);
+        }
+        plan
+    }
+
+    /// A stable 64-bit digest of the plan, for config fingerprints: two
+    /// plans digest equal iff they schedule the same faults in the same
+    /// order. The empty plan digests to 0.
+    pub fn digest(&self) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let mut h = splitmix64(0xFA17_D163);
+        let mut mix = |v: u64| h = splitmix64(h ^ v);
+        for f in &self.events {
+            mix(match f.chip {
+                Some(c) => c.0 + 1,
+                None => 0,
+            });
+            match f.trigger {
+                FaultTrigger::At(t) => {
+                    mix(1);
+                    mix(t.as_micros());
+                }
+                FaultTrigger::BelowVoltage { domain, threshold } => {
+                    mix(2);
+                    mix(domain.0 as u64);
+                    mix(threshold.0 as u64);
+                }
+            }
+            match f.kind {
+                FaultKind::Due { domain } => {
+                    mix(1);
+                    mix(domain.0 as u64);
+                }
+                FaultKind::CoreCrash { core } => {
+                    mix(2);
+                    mix(core.0 as u64);
+                }
+                FaultKind::Droop {
+                    domain,
+                    depth,
+                    duration,
+                } => {
+                    mix(3);
+                    mix(domain.0 as u64);
+                    mix(depth.0 as u64);
+                    mix(duration.as_micros());
+                }
+                FaultKind::MonitorStuck {
+                    domain,
+                    rate,
+                    duration,
+                } => {
+                    mix(4);
+                    mix(domain.0 as u64);
+                    mix(rate.to_bits());
+                    mix(duration.as_micros());
+                }
+            }
+        }
+        for &(chip, attempts) in &self.panics {
+            mix(5);
+            mix(chip.0);
+            mix(u64::from(attempts));
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_scoping() {
+        let plan = FaultPlan::new()
+            .due_at(SimTime::from_millis(10), DomainId(1))
+            .crash_at(SimTime::from_millis(20), CoreId(2))
+            .worker_panic(ChipId(3), 2);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.events().len(), 2);
+        assert_eq!(plan.panic_attempts(ChipId(3)), 2);
+        assert_eq!(plan.panic_attempts(ChipId(4)), 0);
+
+        let mut fleet = plan.clone();
+        fleet.push(ScheduledFault {
+            chip: Some(ChipId(7)),
+            trigger: FaultTrigger::At(SimTime::from_millis(30)),
+            kind: FaultKind::Due {
+                domain: DomainId(0),
+            },
+        });
+        // Chip 7 sees the shared events plus its own; chip 1 only shared.
+        assert_eq!(fleet.for_chip(ChipId(7)).events().len(), 3);
+        assert_eq!(fleet.for_chip(ChipId(1)).events().len(), 2);
+        assert!(fleet
+            .for_chip(ChipId(7))
+            .events()
+            .iter()
+            .all(|f| f.chip.is_none()));
+    }
+
+    #[test]
+    fn worker_panic_takes_the_max() {
+        let plan = FaultPlan::new()
+            .worker_panic(ChipId(1), 3)
+            .worker_panic(ChipId(1), 1);
+        assert_eq!(plan.panic_attempts(ChipId(1)), 3);
+        assert_eq!(plan.worker_panics().len(), 1);
+    }
+
+    #[test]
+    fn seeded_is_deterministic_and_profile_shaped() {
+        let a = FaultPlan::seeded(42, 64, InjectionProfile::default());
+        let b = FaultPlan::seeded(42, 64, InjectionProfile::default());
+        assert_eq!(a, b);
+        assert_ne!(a, FaultPlan::seeded(43, 64, InjectionProfile::default()));
+        // Roughly a quarter of chips panic once.
+        let panics = a.worker_panics().len();
+        assert!((4..=30).contains(&panics), "got {panics} panics");
+        // Scheduled events exist and fall inside the window.
+        assert!(!a.events().is_empty());
+        for f in a.events() {
+            let FaultTrigger::At(t) = f.trigger else {
+                panic!("seeded plans schedule by time")
+            };
+            assert!(t >= SimTime::from_millis(100) && t < SimTime::from_millis(1600));
+            assert!(f.chip.is_some());
+        }
+    }
+
+    #[test]
+    fn digest_tracks_content() {
+        assert_eq!(FaultPlan::new().digest(), 0);
+        let a = FaultPlan::new().due_at(SimTime::from_millis(10), DomainId(0));
+        let b = FaultPlan::new().due_at(SimTime::from_millis(10), DomainId(0));
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(
+            a.digest(),
+            FaultPlan::new()
+                .due_at(SimTime::from_millis(11), DomainId(0))
+                .digest()
+        );
+        assert_ne!(a.digest(), a.clone().worker_panic(ChipId(0), 1).digest());
+    }
+}

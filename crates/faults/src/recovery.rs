@@ -1,0 +1,47 @@
+//! Tunables of the firmware rollback path.
+
+use vs_types::{Millivolts, SimTime};
+
+/// How the speculation loop recovers from DUEs and crashes.
+///
+/// The paper's firmware handles machine-check interrupts by raising the
+/// domain back to a safe voltage; this policy parameterizes the simulated
+/// cost and limits of that path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Simulated latency charged per rollback (firmware MCA handling plus
+    /// core restart). Accounted in `RunStats::recovery_time`, not by
+    /// stalling the simulation clock, so recovery never perturbs the
+    /// deterministic tick stream.
+    pub rollback_latency: SimTime,
+    /// Safety margin re-applied above the last-known-safe set point when
+    /// rolling back.
+    pub safety_margin: Millivolts,
+    /// Rollbacks (DUE or crash) a single domain may absorb before it is
+    /// quarantined: parked at nominal with speculation disabled for the
+    /// rest of the run.
+    pub max_rollbacks_per_domain: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> RecoveryPolicy {
+        RecoveryPolicy {
+            rollback_latency: SimTime::from_millis(5),
+            safety_margin: Millivolts(10),
+            max_rollbacks_per_domain: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let p = RecoveryPolicy::default();
+        assert!(p.rollback_latency > SimTime::ZERO);
+        assert!(p.safety_margin.0 >= 0);
+        assert!(p.max_rollbacks_per_domain > 0);
+    }
+}

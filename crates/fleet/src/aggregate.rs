@@ -157,6 +157,12 @@ pub struct PopulationStats {
     pub total_correctable: u64,
     /// Total emergency interrupts across the population.
     pub total_emergencies: u64,
+    /// Total DUEs consumed by firmware rollback across the population
+    /// (0 without fault injection).
+    pub total_dues: u64,
+    /// Total crashes recovered by rollback across the population
+    /// (0 without fault injection).
+    pub total_rollbacks: u64,
     /// Per-core minimum safe voltage (Vmin) across all cores of all chips,
     /// in millivolts.
     pub core_vmin_mv: Distribution,
@@ -195,6 +201,8 @@ impl PopulationStats {
         let mut crashes = 0u64;
         let mut correctable = 0u64;
         let mut emergencies = 0u64;
+        let mut dues = 0u64;
+        let mut rollbacks = 0u64;
 
         for s in &sorted {
             for m in &s.margins {
@@ -210,6 +218,8 @@ impl PopulationStats {
             crashes += s.crashes;
             correctable += s.correctable;
             emergencies += s.emergencies;
+            dues += s.dues;
+            rollbacks += s.rollbacks;
         }
 
         PopulationStats {
@@ -218,6 +228,8 @@ impl PopulationStats {
             total_crashes: crashes,
             total_correctable: correctable,
             total_emergencies: emergencies,
+            total_dues: dues,
+            total_rollbacks: rollbacks,
             core_vmin_mv: Distribution::new(vmin),
             core_first_error_mv: Distribution::new(first_error),
             core_margin_mv: Distribution::new(margin),
@@ -263,6 +275,12 @@ impl PopulationStats {
             "events: {} correctable, {} emergencies\n",
             self.total_correctable, self.total_emergencies
         ));
+        if self.total_dues > 0 || self.total_rollbacks > 0 {
+            out.push_str(&format!(
+                "recovery: {} DUEs consumed, {} crash rollbacks\n",
+                self.total_dues, self.total_rollbacks
+            ));
+        }
         out.push_str(&format!(
             "core Vmin: min {} / p50 {} / max {} (nominal {} mV)\n",
             mv(self.core_vmin_mv.min()),
@@ -322,6 +340,8 @@ mod tests {
             emergencies: 1,
             crashes: 0,
             sw_overhead: 0.0,
+            dues: 0,
+            rollbacks: 0,
         }
     }
 

@@ -88,7 +88,7 @@ fn encode_chip(s: &ChipSummary) -> String {
         .collect::<Vec<_>>()
         .join(";");
     let join_hex = |v: &[f64]| v.iter().map(|x| f64_hex(*x)).collect::<Vec<_>>().join(",");
-    format!(
+    let mut line = format!(
         "chip {} seed={:016x} margins={} vdd={} red={} es={} ce={} em={} cr={} sw={}",
         s.chip.0,
         s.die_seed,
@@ -100,7 +100,16 @@ fn encode_chip(s: &ChipSummary) -> String {
         s.emergencies,
         s.crashes,
         f64_hex(s.sw_overhead),
-    )
+    );
+    // Resilience counters are appended only when set, keeping clean-fleet
+    // checkpoints byte-identical to the pre-fault format.
+    if s.dues > 0 {
+        line.push_str(&format!(" du={}", s.dues));
+    }
+    if s.rollbacks > 0 {
+        line.push_str(&format!(" rb={}", s.rollbacks));
+    }
+    line
 }
 
 /// Parses one chip record line. Returns `Ok(None)` for an incomplete
@@ -125,6 +134,10 @@ fn decode_chip(line: &str) -> Result<Option<ChipSummary>, CheckpointError> {
     let mut emergencies = None;
     let mut crashes = None;
     let mut sw_overhead = None;
+    // Optional resilience counters: absent in pre-fault checkpoints (and
+    // in clean-fleet saves), defaulting to zero.
+    let mut dues = 0;
+    let mut rollbacks = 0;
     for field in parts {
         let (key, value) = field
             .split_once('=')
@@ -174,6 +187,8 @@ fn decode_chip(line: &str) -> Result<Option<ChipSummary>, CheckpointError> {
             "em" => emergencies = Some(parse_u64(value)?),
             "cr" => crashes = Some(parse_u64(value)?),
             "sw" => sw_overhead = Some(parse_f64_hex(value)?),
+            "du" => dues = parse_u64(value)?,
+            "rb" => rollbacks = parse_u64(value)?,
             other => {
                 return Err(CheckpointError::Format(format!(
                     "unknown field {other:?} in chip record"
@@ -214,6 +229,8 @@ fn decode_chip(line: &str) -> Result<Option<ChipSummary>, CheckpointError> {
             emergencies,
             crashes,
             sw_overhead,
+            dues,
+            rollbacks,
         })),
         _ => Ok(None),
     }
@@ -317,6 +334,8 @@ mod tests {
             emergencies: 2,
             crashes: 0,
             sw_overhead: 0.0123456789,
+            dues: id % 3,
+            rollbacks: id % 2,
         }
     }
 
@@ -354,6 +373,19 @@ mod tests {
         let loaded = load(&path, 7).unwrap();
         assert_eq!(loaded.len(), 1);
         assert_eq!(loaded[0].chip, ChipId(0));
+    }
+
+    #[test]
+    fn pre_fault_records_decode_with_zero_counters() {
+        // A record written before the `du`/`rb` fields existed must load
+        // with both counters at zero.
+        let mut s = summary(4);
+        s.dues = 0;
+        s.rollbacks = 0;
+        let line = encode_chip(&s);
+        assert!(!line.contains("du=") && !line.contains("rb="), "{line}");
+        let decoded = decode_chip(&line).unwrap().unwrap();
+        assert_eq!(decoded, s);
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Fleet configuration: what population to simulate and how.
 
+use vs_faults::FaultPlan;
 use vs_platform::characterize::CharacterizeOptions;
 use vs_platform::ChipConfig;
 use vs_spec::{ControllerConfig, SoftwareConfig};
 use vs_types::rng::splitmix64;
-use vs_types::{ChipId, FleetSeed, SimTime};
+use vs_types::{ChipId, ConfigError, FleetSeed, SimTime};
 use vs_workload::AssignmentPolicy;
 
 /// Which speculation mechanism every chip of the fleet runs.
@@ -87,6 +88,12 @@ pub struct FleetConfig {
     /// Ticks per resumable-run slice (granularity of progress reporting;
     /// does not affect results).
     pub slice_ticks: u64,
+    /// Faults to inject across the population (empty by default). Chip
+    /// events are replayed inside each chip's speculation run; worker
+    /// panics are consumed by the [`FleetRunner`](crate::FleetRunner)
+    /// retry machinery. Part of the fingerprint when non-empty, so a
+    /// faulted fleet never resumes a clean checkpoint (or vice versa).
+    pub faults: FaultPlan,
 }
 
 impl FleetConfig {
@@ -108,6 +115,7 @@ impl FleetConfig {
             run_duration: SimTime::from_secs(4),
             margins: MarginsMode::Analytic,
             slice_ticks: 1000,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -180,23 +188,29 @@ impl FleetConfig {
             .label()
             .bytes()
             .fold(0u64, |a, b| splitmix64(a ^ u64::from(b))));
+        // Only mixed when faults are present, so fingerprints of clean
+        // fleets are unchanged from before fault injection existed.
+        if !self.faults.is_empty() {
+            mix(self.faults.digest());
+        }
         h
     }
 
-    /// Validates internal consistency.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a description of the first violated constraint.
-    pub fn validate(&self) {
-        assert!(self.num_chips > 0, "a fleet needs at least one chip");
-        assert!(self.slice_ticks > 0, "slice_ticks must be positive");
-        assert!(
-            self.run_duration > SimTime::ZERO,
-            "run_duration must be positive"
-        );
-        self.base_chip.validate();
-        self.controller.validate();
+    /// Validates internal consistency, naming the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_chips == 0 {
+            return Err(ConfigError::non_positive("num_chips"));
+        }
+        if self.slice_ticks == 0 {
+            return Err(ConfigError::non_positive("slice_ticks"));
+        }
+        if self.run_duration <= SimTime::ZERO {
+            return Err(ConfigError::non_positive("run_duration"));
+        }
+        self.base_chip.validate()?;
+        self.controller.validate()?;
+        Ok(())
     }
 }
 
@@ -206,8 +220,22 @@ mod tests {
 
     #[test]
     fn defaults_validate() {
-        FleetConfig::new(FleetSeed(1), 16).validate();
-        FleetConfig::small(FleetSeed(1), 4).validate();
+        assert_eq!(FleetConfig::new(FleetSeed(1), 16).validate(), Ok(()));
+        assert_eq!(FleetConfig::small(FleetSeed(1), 4).validate(), Ok(()));
+    }
+
+    #[test]
+    fn bad_configs_name_the_field() {
+        let empty = FleetConfig {
+            num_chips: 0,
+            ..FleetConfig::small(FleetSeed(1), 4)
+        };
+        assert_eq!(empty.validate().unwrap_err().field(), "num_chips");
+        let frozen = FleetConfig {
+            run_duration: SimTime::ZERO,
+            ..FleetConfig::small(FleetSeed(1), 4)
+        };
+        assert_eq!(frozen.validate().unwrap_err().field(), "run_duration");
     }
 
     #[test]
@@ -256,6 +284,18 @@ mod tests {
         // fleet resumes cleanly from a smaller run's checkpoint.
         let more_chips = FleetConfig::new(FleetSeed(5), 32);
         assert_eq!(a.fingerprint(), more_chips.fingerprint());
+        // Injected faults change results, so they change the fingerprint;
+        // an empty plan leaves clean-fleet fingerprints untouched.
+        let faulted = FleetConfig {
+            faults: FaultPlan::new().due_at(SimTime::from_millis(5), vs_types::DomainId(0)),
+            ..FleetConfig::new(FleetSeed(5), 8)
+        };
+        assert_ne!(a.fingerprint(), faulted.fingerprint());
+        let empty_plan = FleetConfig {
+            faults: FaultPlan::new(),
+            ..FleetConfig::new(FleetSeed(5), 8)
+        };
+        assert_eq!(a.fingerprint(), empty_plan.fingerprint());
     }
 
     #[test]

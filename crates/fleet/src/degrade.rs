@@ -1,0 +1,107 @@
+//! Graceful-degradation accounting: what a fleet survived, explicitly.
+//!
+//! A resilient fleet run never loses a failure silently. Worker-job
+//! panics, chips that exhausted their retries, and checkpoint writes that
+//! could not be persisted all land in the [`DegradationReport`] attached
+//! to the [`FleetResult`](crate::FleetResult), so callers can complete
+//! with partial results *and* know exactly what is missing.
+
+use std::fmt;
+use vs_types::ChipId;
+
+/// Everything that went wrong — and was absorbed — during a fleet run.
+///
+/// The chip lists are sorted by chip id, so the report is deterministic
+/// for any worker count: retry/quarantine decisions depend only on the
+/// fault plan's per-chip attempt counts, never on scheduling.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// Chips whose job failed at least once but eventually succeeded,
+    /// with the number of failed attempts absorbed.
+    pub retried: Vec<(ChipId, u32)>,
+    /// Chips whose job kept failing past the retry budget: no summary,
+    /// excluded from population statistics.
+    pub quarantined: Vec<ChipId>,
+    /// Checkpoint saves that failed mid-run, as display strings. The run
+    /// continues (results are still returned in memory), but resume state
+    /// on disk may be stale — callers must surface this.
+    pub checkpoint_failures: Vec<String>,
+}
+
+impl DegradationReport {
+    /// True when nothing was absorbed: no retries, no quarantined chips,
+    /// no failed checkpoint writes.
+    pub fn is_clean(&self) -> bool {
+        self.retried.is_empty()
+            && self.quarantined.is_empty()
+            && self.checkpoint_failures.is_empty()
+    }
+
+    /// Total failed job attempts absorbed by retries (successful chips
+    /// only; quarantined chips are listed separately).
+    pub fn attempts_absorbed(&self) -> u64 {
+        self.retried.iter().map(|(_, n)| u64::from(*n)).sum()
+    }
+
+    /// Sorts the chip lists by id (the runner calls this before handing
+    /// the report out).
+    pub(crate) fn normalize(&mut self) {
+        self.retried.sort_by_key(|(chip, _)| *chip);
+        self.quarantined.sort();
+    }
+}
+
+impl fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "degradation: none");
+        }
+        writeln!(
+            f,
+            "degradation: {} retried, {} quarantined, {} checkpoint failures",
+            self.retried.len(),
+            self.quarantined.len(),
+            self.checkpoint_failures.len()
+        )?;
+        for (chip, attempts) in &self.retried {
+            writeln!(f, "  retried chip {} ({attempts} failed attempts)", chip.0)?;
+        }
+        for chip in &self.quarantined {
+            writeln!(f, "  quarantined chip {} (no result)", chip.0)?;
+        }
+        for err in &self.checkpoint_failures {
+            writeln!(f, "  checkpoint save failed: {err}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report_is_one_line() {
+        let report = DegradationReport::default();
+        assert!(report.is_clean());
+        assert_eq!(report.attempts_absorbed(), 0);
+        assert_eq!(report.to_string(), "degradation: none");
+    }
+
+    #[test]
+    fn report_lists_everything_sorted() {
+        let mut report = DegradationReport {
+            retried: vec![(ChipId(5), 2), (ChipId(1), 1)],
+            quarantined: vec![ChipId(7), ChipId(3)],
+            checkpoint_failures: vec!["disk full".into()],
+        };
+        report.normalize();
+        assert_eq!(report.retried, vec![(ChipId(1), 1), (ChipId(5), 2)]);
+        assert_eq!(report.quarantined, vec![ChipId(3), ChipId(7)]);
+        assert_eq!(report.attempts_absorbed(), 3);
+        let text = report.to_string();
+        assert!(text.contains("1 checkpoint failures"));
+        assert!(text.contains("quarantined chip 3"));
+        assert!(text.contains("disk full"));
+    }
+}

@@ -45,15 +45,7 @@ pub fn simulate_chip_traced(
         events.push(TelemetryEvent::JobStarted { chip });
     }
 
-    let (
-        mean_vdd_mv,
-        vdd_reduction,
-        energy_savings,
-        correctable,
-        emergencies,
-        crashes,
-        sw_overhead,
-    ) = match config.variant {
+    let out = match config.variant {
         ControllerVariant::Hardware => {
             run_hardware(config, chip, &chip_config, filter, &mut events)
         }
@@ -65,22 +57,24 @@ pub fn simulate_chip_traced(
         events.push(TelemetryEvent::JobFinished {
             chip,
             sim_time: config.run_duration,
-            correctable,
-            emergencies,
-            crashes,
+            correctable: out.correctable,
+            emergencies: out.emergencies,
+            crashes: out.crashes,
         });
     }
     let summary = ChipSummary {
         chip,
         die_seed,
         margins,
-        mean_vdd_mv,
-        vdd_reduction,
-        energy_savings,
-        correctable,
-        emergencies,
-        crashes,
-        sw_overhead,
+        mean_vdd_mv: out.mean_vdd_mv,
+        vdd_reduction: out.vdd_reduction,
+        energy_savings: out.energy_savings,
+        correctable: out.correctable,
+        emergencies: out.emergencies,
+        crashes: out.crashes,
+        sw_overhead: out.sw_overhead,
+        dues: out.dues,
+        rollbacks: out.rollbacks,
     };
     (summary, events)
 }
@@ -119,7 +113,19 @@ fn assign_workloads(config: &FleetConfig, chip: ChipId, target: &mut Chip) {
     }
 }
 
-type RunOutcome = (Vec<f64>, Vec<f64>, f64, u64, u64, u64, f64);
+/// What one controller variant's run produced, before packaging into a
+/// [`ChipSummary`].
+struct RunOutcome {
+    mean_vdd_mv: Vec<f64>,
+    vdd_reduction: Vec<f64>,
+    energy_savings: f64,
+    correctable: u64,
+    emergencies: u64,
+    crashes: u64,
+    sw_overhead: f64,
+    dues: u64,
+    rollbacks: u64,
+}
 
 /// Runs the fixed-nominal baseline on fresh silicon with the same
 /// workloads; returns its core-rail energy (the savings denominator).
@@ -143,6 +149,12 @@ fn run_hardware(
     if !filter.is_empty() {
         sys.set_recorder(Recorder::enabled(filter));
     }
+    // Chip-scoped fault events are replayed inside the run, which also
+    // arms the DUE/crash recovery path for this chip.
+    let plan = config.faults.for_chip(chip);
+    if !plan.events().is_empty() {
+        sys.set_fault_plan(&plan);
+    }
     sys.calibrate_fast();
     assign_workloads(config, chip, sys.chip_mut());
     let mut session = SpecRun::new(&sys, config.run_duration);
@@ -158,15 +170,17 @@ fn run_hardware(
     } else {
         0.0
     };
-    (
-        stats.mean_vdd_mv,
-        reduction,
-        savings,
-        stats.correctable,
-        stats.emergencies,
-        stats.crashed_cores.len() as u64,
-        0.0,
-    )
+    RunOutcome {
+        mean_vdd_mv: stats.mean_vdd_mv,
+        vdd_reduction: reduction,
+        energy_savings: savings,
+        correctable: stats.correctable,
+        emergencies: stats.emergencies,
+        crashes: stats.crashed_cores.len() as u64,
+        sw_overhead: 0.0,
+        dues: stats.dues_consumed,
+        rollbacks: stats.crash_rollbacks,
+    }
 }
 
 /// The firmware-speculation baseline (§V-F): workload-triggered errors
@@ -214,15 +228,17 @@ fn run_software(config: &FleetConfig, chip: ChipId, chip_config: &ChipConfig) ->
         .filter(|i| die.crash_info(CoreId(*i)).is_some())
         .count() as u64;
     let correctable = die.log().correctable_count();
-    (
+    RunOutcome {
         mean_vdd_mv,
-        reduction,
-        savings,
+        vdd_reduction: reduction,
+        energy_savings: savings,
         correctable,
-        0,
+        emergencies: 0,
         crashes,
-        overhead,
-    )
+        sw_overhead: overhead,
+        dues: 0,
+        rollbacks: 0,
+    }
 }
 
 /// No speculation at all: the fleet-wide energy/Vdd denominator.
@@ -231,15 +247,17 @@ fn run_baseline_only(config: &FleetConfig, chip: ChipId, chip_config: &ChipConfi
     assign_workloads(config, chip, sys.chip_mut());
     let stats = sys.run_baseline(config.run_duration);
     let n_domains = chip_config.num_domains();
-    (
-        stats.mean_vdd_mv,
-        vec![0.0; n_domains],
-        0.0,
-        stats.correctable,
-        stats.emergencies,
-        stats.crashed_cores.len() as u64,
-        0.0,
-    )
+    RunOutcome {
+        mean_vdd_mv: stats.mean_vdd_mv,
+        vdd_reduction: vec![0.0; n_domains],
+        energy_savings: 0.0,
+        correctable: stats.correctable,
+        emergencies: stats.emergencies,
+        crashes: stats.crashed_cores.len() as u64,
+        sw_overhead: 0.0,
+        dues: 0,
+        rollbacks: 0,
+    }
 }
 
 #[cfg(test)]

@@ -21,7 +21,9 @@
 //!   `(config, chip_id)`.
 //! * [`FleetRunner`] — shards chips across worker threads (dynamic
 //!   claiming off an atomic counter, results streamed over a channel),
-//!   with optional checkpoint/resume.
+//!   with optional checkpoint/resume. Jobs run panic-isolated with
+//!   bounded retry; chips that keep failing are quarantined and the run
+//!   completes with partial results plus a [`DegradationReport`].
 //! * [`PopulationStats`] — chip-id-sorted aggregation: Vmin and
 //!   first-error distributions, Vdd-reduction histograms, energy-savings
 //!   percentiles, crash counts.
@@ -53,6 +55,7 @@
 mod aggregate;
 mod checkpoint;
 mod config;
+mod degrade;
 mod job;
 mod runner;
 mod summary;
@@ -60,6 +63,7 @@ mod summary;
 pub use aggregate::{Distribution, Histogram, PopulationStats};
 pub use checkpoint::{load as load_checkpoint, save as save_checkpoint, CheckpointError};
 pub use config::{ControllerVariant, FleetConfig, MarginsMode};
+pub use degrade::DegradationReport;
 pub use job::{simulate_chip, simulate_chip_traced};
-pub use runner::{FleetResult, FleetRunner, FleetTrace};
+pub use runner::{FleetError, FleetResult, FleetRunner, FleetTrace};
 pub use summary::{ChipSummary, CoreMarginSummary};

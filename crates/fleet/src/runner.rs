@@ -11,35 +11,109 @@
 //! computed over chip-id-sorted summaries, so fleet results are
 //! bit-identical for any worker count. `tests/determinism.rs` asserts
 //! this end to end.
+//!
+//! # Graceful degradation
+//!
+//! Every chip job runs under [`std::panic::catch_unwind`]: a panicking
+//! job (injected via [`FaultPlan::worker_panic`](vs_faults::FaultPlan) or
+//! organic) kills neither its worker nor the fleet. Failed jobs are
+//! retried with bounded backoff; chips that keep failing are quarantined
+//! and the run completes with partial results plus an explicit
+//! [`DegradationReport`]. Retry and quarantine decisions depend only on
+//! per-chip attempt counts — never on scheduling — so degraded results
+//! are as deterministic as clean ones.
 
 use crate::aggregate::PopulationStats;
 use crate::checkpoint::{self, CheckpointError};
 use crate::config::FleetConfig;
+use crate::degrade::DegradationReport;
 use crate::job::simulate_chip_traced;
 use crate::summary::ChipSummary;
+use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
+use std::sync::Once;
+use std::time::Duration;
 use vs_telemetry::{
     to_jsonl, EventFilter, FleetProfile, LatencyHistogram, ProgressReport, ProgressSink,
     SilentProgress, Stopwatch, TelemetryEvent, WorkerProfile,
 };
 use vs_types::ChipId;
 
+/// Why a fleet run could not produce a (possibly degraded) result.
+#[derive(Debug)]
+pub enum FleetError {
+    /// A checkpoint could not be *loaded* (corrupt file, wrong config).
+    /// Save failures do not abort the run — they land in the
+    /// [`DegradationReport`] instead.
+    Checkpoint(CheckpointError),
+    /// A chip job exhausted its retries under
+    /// [`FleetRunner::with_fail_fast`]; without fail-fast the chip would
+    /// have been quarantined and the run would have completed.
+    JobFailed {
+        /// The chip whose job kept failing.
+        chip: ChipId,
+        /// Failed attempts consumed (first try plus retries).
+        attempts: u32,
+        /// Description of the last failure.
+        error: String,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Checkpoint(e) => write!(f, "{e}"),
+            FleetError::JobFailed {
+                chip,
+                attempts,
+                error,
+            } => write!(
+                f,
+                "chip {} failed {attempts} attempts (fail-fast): {error}",
+                chip.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Checkpoint(e) => Some(e),
+            FleetError::JobFailed { .. } => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for FleetError {
+    fn from(e: CheckpointError) -> FleetError {
+        FleetError::Checkpoint(e)
+    }
+}
+
 /// The completed fleet: every chip's summary in chip-id order, plus how
-/// the run was produced.
+/// the run was produced and what it survived.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetResult {
-    /// One summary per chip, sorted by chip id.
+    /// One summary per *successful* chip, sorted by chip id (quarantined
+    /// chips have none — see `degradation`).
     pub summaries: Vec<ChipSummary>,
-    /// Chips simulated by this run (the rest came from a checkpoint).
+    /// Chips simulated successfully by this run (the rest came from a
+    /// checkpoint or were quarantined).
     pub simulated: u64,
     /// Chips restored from the checkpoint.
     pub resumed: u64,
+    /// What the run absorbed: retries, quarantined chips, failed
+    /// checkpoint saves. Empty (`is_clean`) on an undisturbed run.
+    pub degradation: DegradationReport,
 }
 
 impl FleetResult {
-    /// Aggregates the fleet into population statistics.
+    /// Aggregates the fleet into population statistics. Quarantined chips
+    /// have no summary and are therefore excluded from every
+    /// distribution.
     pub fn stats(&self, config: &FleetConfig) -> PopulationStats {
         PopulationStats::from_summaries(&self.summaries, config.base_chip.mode.nominal_vdd())
     }
@@ -50,9 +124,10 @@ impl FleetResult {
 ///
 /// `events` is deterministic: per-chip streams are pure functions of the
 /// config and are merged in chip-id order, so the serialized trace is
-/// byte-identical for any worker count. `profile` is wall-clock and
-/// varies run to run; callers must never mix it into determinism-checked
-/// output.
+/// byte-identical for any worker count (retried chips contribute the
+/// events of their successful attempt only; quarantined chips contribute
+/// none). `profile` is wall-clock and varies run to run; callers must
+/// never mix it into determinism-checked output.
 #[derive(Debug, Clone, Default)]
 pub struct FleetTrace {
     /// Telemetry events of every chip simulated this run, merged in
@@ -70,6 +145,62 @@ impl FleetTrace {
     }
 }
 
+/// Marker payload for plan-scheduled worker panics, so the quiet panic
+/// hook can tell them apart from organic ones (which keep the default
+/// backtrace output).
+struct InjectedPanic;
+
+/// Suppresses default panic output for [`InjectedPanic`] payloads only.
+/// Installed at most once per process, the first time a fleet with
+/// scheduled worker panics runs.
+fn install_quiet_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Human-readable description of a caught panic payload.
+fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if payload.downcast_ref::<InjectedPanic>().is_some() {
+        "injected worker panic".to_owned()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("worker panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("worker panicked: {s}")
+    } else {
+        "worker panicked".to_owned()
+    }
+}
+
+/// Wall-clock backoff before retry `attempt` (1-based): 5 ms doubling,
+/// capped at 40 ms. Wall time never feeds into simulated results, so the
+/// backoff cannot perturb determinism.
+fn backoff(attempt: u32) -> Duration {
+    Duration::from_millis((5u64 << attempt.saturating_sub(1).min(3)).min(40))
+}
+
+/// What one claimed chip produced.
+enum JobOutcome {
+    /// The job succeeded (possibly after retries).
+    Done {
+        summary: ChipSummary,
+        events: Vec<TelemetryEvent>,
+        failed_attempts: u32,
+    },
+    /// The job failed every attempt; the chip is quarantined.
+    Failed {
+        chip: ChipId,
+        attempts: u32,
+        error: String,
+    },
+}
+
 /// Drives a fleet of chips across a pool of worker threads.
 #[derive(Debug, Clone)]
 pub struct FleetRunner {
@@ -78,23 +209,37 @@ pub struct FleetRunner {
     checkpoint: Option<PathBuf>,
     /// Completed chips between checkpoint saves.
     checkpoint_every: u64,
+    /// Retries granted per chip after its first failed attempt.
+    max_retries: u32,
+    /// Abort the run on the first quarantined chip instead of degrading.
+    fail_fast: bool,
 }
 
 impl FleetRunner {
     /// A runner over `config` with `workers` threads (0 is treated as 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid; validate with
+    /// [`FleetConfig::validate`] first to handle the error instead.
     pub fn new(config: FleetConfig, workers: usize) -> FleetRunner {
-        config.validate();
+        if let Err(e) = config.validate() {
+            panic!("{e}");
+        }
         FleetRunner {
             config,
             workers: workers.max(1),
             checkpoint: None,
             checkpoint_every: 32,
+            max_retries: 2,
+            fail_fast: false,
         }
     }
 
     /// Enables checkpoint/resume at `path`: existing progress there is
     /// restored (refusing files from a different config), and progress is
-    /// saved periodically and at completion.
+    /// saved periodically and at completion. Save failures never abort
+    /// the run; they are reported in the result's [`DegradationReport`].
     pub fn with_checkpoint(mut self, path: PathBuf) -> FleetRunner {
         self.checkpoint = Some(path);
         self
@@ -106,13 +251,29 @@ impl FleetRunner {
         self
     }
 
+    /// Sets the retry budget per chip (default 2): a job may fail this
+    /// many times *after* its first attempt before the chip is
+    /// quarantined.
+    pub fn with_max_retries(mut self, retries: u32) -> FleetRunner {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Aborts the run with [`FleetError::JobFailed`] as soon as any chip
+    /// exhausts its retries, instead of quarantining it and completing
+    /// with partial results.
+    pub fn with_fail_fast(mut self, fail_fast: bool) -> FleetRunner {
+        self.fail_fast = fail_fast;
+        self
+    }
+
     /// The runner's configuration.
     pub fn config(&self) -> &FleetConfig {
         &self.config
     }
 
     /// Runs the whole fleet to completion.
-    pub fn run(&self) -> Result<FleetResult, CheckpointError> {
+    pub fn run(&self) -> Result<FleetResult, FleetError> {
         self.run_streaming(|_| {})
     }
 
@@ -122,7 +283,7 @@ impl FleetRunner {
     pub fn run_streaming(
         &self,
         mut on_chip: impl FnMut(&ChipSummary),
-    ) -> Result<FleetResult, CheckpointError> {
+    ) -> Result<FleetResult, FleetError> {
         let mut progress = SilentProgress;
         self.run_core(EventFilter::none(), &mut on_chip, &mut progress)
             .map(|(result, _)| result)
@@ -135,7 +296,7 @@ impl FleetRunner {
         &self,
         filter: EventFilter,
         progress: &mut dyn ProgressSink,
-    ) -> Result<(FleetResult, FleetTrace), CheckpointError> {
+    ) -> Result<(FleetResult, FleetTrace), FleetError> {
         self.run_core(filter, &mut |_| {}, progress)
     }
 
@@ -144,11 +305,16 @@ impl FleetRunner {
         filter: EventFilter,
         on_chip: &mut dyn FnMut(&ChipSummary),
         progress: &mut dyn ProgressSink,
-    ) -> Result<(FleetResult, FleetTrace), CheckpointError> {
+    ) -> Result<(FleetResult, FleetTrace), FleetError> {
         let fingerprint = self.config.fingerprint();
+        if !self.config.faults.worker_panics().is_empty() {
+            install_quiet_panic_hook();
+        }
 
         // Restore prior progress, dropping chips beyond the current fleet
         // size (a shrunk re-run) — the fingerprint pins everything else.
+        // Load errors are fatal: resuming without the saved work would
+        // silently recompute (or worse, mix) results.
         let mut done: Vec<ChipSummary> = match &self.checkpoint {
             Some(path) if path.exists() => checkpoint::load(path, fingerprint)?
                 .into_iter()
@@ -165,19 +331,21 @@ impl FleetRunner {
                 .collect()
         };
 
-        let simulated = todo.len() as u64;
         let next = AtomicU64::new(0);
-        let (tx, rx) = mpsc::channel::<(ChipSummary, Vec<TelemetryEvent>)>();
+        let (tx, rx) = mpsc::channel::<JobOutcome>();
         let config = &self.config;
         let todo_ref = &todo;
+        let max_retries = self.max_retries;
         // Per-chip event streams, buffered until the run completes and
         // merged in chip-id order (never completion order) so the trace is
         // independent of scheduling.
         let mut traces: Vec<(ChipId, Vec<TelemetryEvent>)> = Vec::new();
         let mut profile = FleetProfile::default();
+        let mut degradation = DegradationReport::default();
+        let mut fatal: Option<FleetError> = None;
         let run_watch = Stopwatch::start();
 
-        std::thread::scope(|scope| -> Result<(), CheckpointError> {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for worker in 0..self.workers.min(todo_ref.len().max(1)) {
                 let tx = tx.clone();
@@ -197,16 +365,49 @@ impl FleetRunner {
                         let Some(chip) = chip else {
                             break;
                         };
+                        // The plan decides how many attempts this chip's
+                        // job loses before succeeding — worker-count
+                        // independent, so retry outcomes are
+                        // deterministic.
+                        let planned = config.faults.panic_attempts(chip);
+                        let mut failed_attempts = 0u32;
                         let busy = Stopwatch::start();
-                        let out = simulate_chip_traced(config, chip, filter);
+                        let out = loop {
+                            let attempt =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    if failed_attempts < planned {
+                                        std::panic::panic_any(InjectedPanic);
+                                    }
+                                    simulate_chip_traced(config, chip, filter)
+                                }));
+                            match attempt {
+                                Ok((summary, events)) => {
+                                    break JobOutcome::Done {
+                                        summary,
+                                        events,
+                                        failed_attempts,
+                                    }
+                                }
+                                Err(payload) => {
+                                    failed_attempts = failed_attempts.saturating_add(1);
+                                    if failed_attempts > max_retries {
+                                        break JobOutcome::Failed {
+                                            chip,
+                                            attempts: failed_attempts,
+                                            error: describe_panic(payload.as_ref()),
+                                        };
+                                    }
+                                    std::thread::sleep(backoff(failed_attempts));
+                                }
+                            }
+                        };
                         let busy_ns = busy.elapsed_ns();
                         stats.busy_ns += busy_ns;
                         stats.jobs += 1;
                         latency.observe_ns(busy_ns);
                         // A send can only fail if the receiver hung up,
-                        // which only happens when the collector bailed on
-                        // an I/O error; the remaining work is moot either
-                        // way.
+                        // which only happens on fail-fast abort; the
+                        // remaining work is moot either way.
                         let send = Stopwatch::start();
                         let disconnected = tx.send(out).is_err();
                         stats.steal_ns += send.elapsed_ns();
@@ -221,21 +422,54 @@ impl FleetRunner {
             drop(tx);
 
             let mut since_save = 0u64;
-            for (completed, (summary, events)) in (resumed + 1..).zip(rx) {
-                on_chip(&summary);
-                progress.chip_done(&ProgressReport {
-                    chip: summary.chip,
-                    completed,
-                    total: self.config.num_chips,
-                });
-                if !events.is_empty() {
-                    traces.push((summary.chip, events));
-                }
-                done.push(summary);
-                since_save += 1;
-                if since_save >= self.checkpoint_every {
-                    since_save = 0;
-                    self.save(fingerprint, &done)?;
+            let mut completed = resumed;
+            for outcome in rx {
+                match outcome {
+                    JobOutcome::Done {
+                        summary,
+                        events,
+                        failed_attempts,
+                    } => {
+                        if failed_attempts > 0 {
+                            degradation.retried.push((summary.chip, failed_attempts));
+                        }
+                        completed += 1;
+                        on_chip(&summary);
+                        progress.chip_done(&ProgressReport {
+                            chip: summary.chip,
+                            completed,
+                            total: self.config.num_chips,
+                        });
+                        if !events.is_empty() {
+                            traces.push((summary.chip, events));
+                        }
+                        done.push(summary);
+                        since_save += 1;
+                        if since_save >= self.checkpoint_every {
+                            since_save = 0;
+                            if let Err(e) = self.save(fingerprint, &done) {
+                                degradation.checkpoint_failures.push(e.to_string());
+                            }
+                        }
+                    }
+                    JobOutcome::Failed {
+                        chip,
+                        attempts,
+                        error,
+                    } => {
+                        if self.fail_fast {
+                            fatal = Some(FleetError::JobFailed {
+                                chip,
+                                attempts,
+                                error,
+                            });
+                            // Dropping the receiver disconnects every
+                            // worker's sender; they wind down after their
+                            // in-flight job.
+                            break;
+                        }
+                        degradation.quarantined.push(chip);
+                    }
                 }
             }
             for handle in handles {
@@ -243,15 +477,21 @@ impl FleetRunner {
                 profile.workers.push(stats);
                 profile.job_latency.merge(&latency);
             }
-            Ok(())
-        })?;
+        });
+        if let Some(e) = fatal {
+            return Err(e);
+        }
         profile.wall_ns = run_watch.elapsed_ns();
         progress.finished(self.config.num_chips);
 
         done.sort_by_key(|s| s.chip);
+        let simulated = done.len() as u64 - resumed;
         if simulated > 0 {
-            self.save(fingerprint, &done)?;
+            if let Err(e) = self.save(fingerprint, &done) {
+                degradation.checkpoint_failures.push(e.to_string());
+            }
         }
+        degradation.normalize();
         traces.sort_by_key(|(chip, _)| *chip);
         let events = traces.into_iter().flat_map(|(_, e)| e).collect();
         Ok((
@@ -259,6 +499,7 @@ impl FleetRunner {
                 summaries: done,
                 simulated,
                 resumed,
+                degradation,
             },
             FleetTrace { events, profile },
         ))
@@ -275,6 +516,7 @@ impl FleetRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vs_faults::FaultPlan;
     use vs_types::FleetSeed;
 
     fn tiny_config() -> FleetConfig {
@@ -296,6 +538,7 @@ mod tests {
         assert_eq!(one.summaries, four.summaries);
         assert_eq!(one.summaries.len(), 6);
         assert!(one.summaries.windows(2).all(|w| w[0].chip < w[1].chip));
+        assert!(one.degradation.is_clean());
     }
 
     #[test]
@@ -357,7 +600,9 @@ mod tests {
             .run();
         assert!(matches!(
             err,
-            Err(CheckpointError::FingerprintMismatch { .. })
+            Err(FleetError::Checkpoint(
+                CheckpointError::FingerprintMismatch { .. }
+            ))
         ));
     }
 
@@ -368,5 +613,80 @@ mod tests {
         let stats = result.stats(&config);
         assert_eq!(stats.num_chips, 6);
         assert_eq!(stats.healthy_chips, 6);
+    }
+
+    #[test]
+    fn injected_panics_are_retried_and_results_are_unchanged() {
+        let clean = FleetRunner::new(tiny_config(), 2).run().unwrap();
+        let mut config = tiny_config();
+        config.faults = FaultPlan::new()
+            .worker_panic(ChipId(1), 2)
+            .worker_panic(ChipId(4), 1);
+        let result = FleetRunner::new(config, 3).run().unwrap();
+        assert_eq!(
+            result.summaries, clean.summaries,
+            "retried chips must produce bit-identical summaries"
+        );
+        assert_eq!(
+            result.degradation.retried,
+            vec![(ChipId(1), 2), (ChipId(4), 1)]
+        );
+        assert!(result.degradation.quarantined.is_empty());
+        assert_eq!(result.degradation.attempts_absorbed(), 3);
+    }
+
+    #[test]
+    fn doomed_chip_is_quarantined_with_partial_results() {
+        let mut config = tiny_config();
+        config.faults = FaultPlan::new().worker_panic(ChipId(2), u32::MAX);
+        let result = FleetRunner::new(config.clone(), 2)
+            .with_max_retries(1)
+            .run()
+            .unwrap();
+        assert_eq!(result.degradation.quarantined, vec![ChipId(2)]);
+        assert_eq!(result.summaries.len(), 5);
+        assert!(result.summaries.iter().all(|s| s.chip != ChipId(2)));
+        assert_eq!(result.simulated, 5);
+        // The quarantined chip is excluded from population statistics.
+        let stats = result.stats(&config);
+        assert_eq!(stats.num_chips, 5);
+        assert!(!result.degradation.is_clean());
+    }
+
+    #[test]
+    fn fail_fast_aborts_on_a_doomed_chip() {
+        let mut config = tiny_config();
+        config.faults = FaultPlan::new().worker_panic(ChipId(0), u32::MAX);
+        let err = FleetRunner::new(config, 2)
+            .with_max_retries(1)
+            .with_fail_fast(true)
+            .run();
+        match err {
+            Err(FleetError::JobFailed { chip, attempts, .. }) => {
+                assert_eq!(chip, ChipId(0));
+                assert_eq!(attempts, 2);
+            }
+            other => panic!("expected JobFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_save_failure_lands_in_the_degradation_report() {
+        // A checkpoint path whose parent is a regular file cannot be
+        // loaded (it does not exist, so no load is attempted) and every
+        // save fails when creating the temp file.
+        let parent = scratch("not-a-dir");
+        let _ = std::fs::remove_dir_all(&parent);
+        std::fs::write(&parent, b"file, not dir").unwrap();
+        let result = FleetRunner::new(tiny_config(), 2)
+            .with_checkpoint(parent.join("save.ckpt"))
+            .with_checkpoint_every(2)
+            .run()
+            .unwrap();
+        assert_eq!(result.summaries.len(), 6, "results survive save failures");
+        assert!(
+            !result.degradation.checkpoint_failures.is_empty(),
+            "failed saves must be reported"
+        );
     }
 }

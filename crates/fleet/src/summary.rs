@@ -39,10 +39,17 @@ pub struct ChipSummary {
     pub correctable: u64,
     /// Emergency interrupts over the run.
     pub emergencies: u64,
-    /// Cores that crashed (0 in a healthy fleet).
+    /// Cores that crashed (0 in a healthy fleet). With fault injection
+    /// and recovery enabled this counts only *unrecovered* crashes;
+    /// recovered ones appear in `rollbacks`.
     pub crashes: u64,
     /// Firmware overhead fraction (`Software` variant only, else 0).
     pub sw_overhead: f64,
+    /// DUEs consumed by the firmware rollback path (0 without injection).
+    pub dues: u64,
+    /// Crashes recovered by rolling the domain back (0 without
+    /// injection).
+    pub rollbacks: u64,
 }
 
 impl ChipSummary {
@@ -93,6 +100,8 @@ mod tests {
             emergencies: 0,
             crashes: 0,
             sw_overhead: 0.0,
+            dues: 0,
+            rollbacks: 0,
         }
     }
 

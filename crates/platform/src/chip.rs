@@ -23,6 +23,8 @@ pub enum CrashReason {
     LogicFloor,
     /// An uncorrectable (multi-bit) ECC error was consumed.
     UncorrectableError,
+    /// Forced by an external fault injector (see [`Chip::force_crash`]).
+    Injected,
 }
 
 /// Details of a core crash.
@@ -154,8 +156,15 @@ impl fmt::Debug for Chip {
 
 impl Chip {
     /// Builds a chip from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid; use [`ChipConfig::validate`] first
+    /// to handle bad configurations as data.
     pub fn new(config: ChipConfig) -> Chip {
-        config.validate();
+        if let Err(e) = config.validate() {
+            panic!("{e}");
+        }
         let variation = ChipVariation::new(config.seed, config.sram.clone());
         let (lo, hi) = config.regulator_range();
         let nominal = config.mode.nominal_vdd();
@@ -303,6 +312,24 @@ impl Chip {
     /// True if any core has crashed.
     pub fn any_crashed(&self) -> bool {
         self.cores.iter().any(|c| c.crash.is_some())
+    }
+
+    /// Crashes a core from the outside (fault injection). The crash is
+    /// stamped with the current time and the domain's last effective
+    /// voltage; if the core is already down, the original crash record is
+    /// kept. Returns the crash record in effect afterwards.
+    pub fn force_crash(&mut self, core: CoreId, reason: CrashReason) -> CrashInfo {
+        let v_eff = self.domain_v_eff_mv[self.config.domain_of(core).0];
+        self.crash_core(core, reason, v_eff);
+        self.cores[core.0].crash.expect("crash was just recorded")
+    }
+
+    /// Clears a core's crash state: the firmware recovery path has rolled
+    /// the domain back and restarted the core. The core's workload resumes
+    /// from where its demand curve left off (the crash looks like a stall,
+    /// not a restart, to the workload model).
+    pub fn recover_core(&mut self, core: CoreId) {
+        self.cores[core.0].crash = None;
     }
 
     // ----- voltage control --------------------------------------------
@@ -996,6 +1023,21 @@ mod tests {
         assert!(!chip.any_crashed());
         assert_eq!(chip.log().correctable_count(), 0);
         assert!(chip.workload_name(CoreId(0)).is_none());
+    }
+
+    #[test]
+    fn force_crash_and_recover_round_trip() {
+        let mut chip = Chip::new(small_config(5));
+        chip.tick();
+        let info = chip.force_crash(CoreId(1), CrashReason::Injected);
+        assert_eq!(info.reason, CrashReason::Injected);
+        assert!(chip.any_crashed());
+        // A second crash keeps the original record.
+        let again = chip.force_crash(CoreId(1), CrashReason::LogicFloor);
+        assert_eq!(again.reason, CrashReason::Injected);
+        chip.recover_core(CoreId(1));
+        assert!(!chip.any_crashed());
+        assert!(chip.crash_info(CoreId(1)).is_none());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use vs_pdn::PdnParams;
 use vs_power::PowerParams;
 use vs_sram::SramParams;
-use vs_types::{Celsius, CoreId, DomainId, Millivolts, SimTime, VddMode};
+use vs_types::{Celsius, ConfigError, CoreId, DomainId, Millivolts, SimTime, VddMode};
 
 /// Configuration of a simulated chip.
 ///
@@ -126,32 +126,42 @@ impl ChipConfig {
         }
     }
 
-    /// Validates internal consistency.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a description of the first violated constraint.
-    pub fn validate(&self) {
-        assert!(self.num_cores > 0, "need at least one core");
-        assert!(
-            self.cores_per_domain > 0 && self.cores_per_domain <= self.num_cores,
-            "cores_per_domain must be in 1..=num_cores"
-        );
-        assert!(self.tick > SimTime::ZERO, "tick must be positive");
-        assert!(
-            self.weak_lines_tracked > 0,
-            "must track at least one weak line"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.uniform_reuse_fraction),
-            "uniform_reuse_fraction must be a fraction"
-        );
+    /// Validates internal consistency, returning the first violated
+    /// constraint as a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_cores == 0 {
+            return Err(ConfigError::non_positive("num_cores"));
+        }
+        if self.cores_per_domain == 0 || self.cores_per_domain > self.num_cores {
+            return Err(ConfigError::out_of_range(
+                "cores_per_domain",
+                "in 1..=num_cores",
+                self.cores_per_domain,
+            ));
+        }
+        if self.tick <= SimTime::ZERO {
+            return Err(ConfigError::non_positive("tick"));
+        }
+        if self.weak_lines_tracked == 0 {
+            return Err(ConfigError::non_positive("weak_lines_tracked"));
+        }
+        if !(0.0..=1.0).contains(&self.uniform_reuse_fraction) {
+            return Err(ConfigError::out_of_range(
+                "uniform_reuse_fraction",
+                "a fraction in [0, 1]",
+                self.uniform_reuse_fraction,
+            ));
+        }
         let (lo, hi) = self.regulator_range();
         let nominal = self.mode.nominal_vdd();
-        assert!(
-            (lo..=hi).contains(&nominal),
-            "nominal voltage must be inside the regulator range"
-        );
+        if !(lo..=hi).contains(&nominal) {
+            return Err(ConfigError::inconsistent(
+                "mode",
+                "regulator_range",
+                "nominal voltage must be inside the regulator range",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -162,7 +172,7 @@ mod tests {
     #[test]
     fn default_topology_matches_table_i() {
         let c = ChipConfig::low_voltage(1);
-        c.validate();
+        assert_eq!(c.validate(), Ok(()));
         assert_eq!(c.num_cores, 8);
         assert_eq!(c.num_domains(), 4);
         assert_eq!(c.domain_of(CoreId(0)), DomainId(0));
@@ -190,7 +200,7 @@ mod tests {
         assert_eq!(low.regulator_range(), (Millivolts(500), Millivolts(900)));
         let nom = ChipConfig::nominal(1);
         assert_eq!(nom.regulator_range(), (Millivolts(900), Millivolts(1200)));
-        nom.validate();
+        assert_eq!(nom.validate(), Ok(()));
     }
 
     #[test]
@@ -200,13 +210,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one core")]
     fn validate_rejects_zero_cores() {
         let c = ChipConfig {
             num_cores: 0,
             ..ChipConfig::low_voltage(1)
         };
-        c.validate();
+        let err = c.validate().unwrap_err();
+        assert_eq!(err.field(), "num_cores");
+        assert!(err.to_string().contains("num_cores"), "{err}");
     }
 
     #[test]

@@ -190,6 +190,10 @@ impl BladeServer {
                     crashed_cores: (0..chip.config().num_cores)
                         .filter(|c| chip.crash_info(vs_types::CoreId(*c)).is_some())
                         .collect(),
+                    dues_consumed: s.dues_consumed(),
+                    crash_rollbacks: s.crash_rollbacks(),
+                    recovery_time: s.recovery_time(),
+                    quarantined_domains: s.quarantined_domains(),
                     trace: Vec::new(),
                 }
             })

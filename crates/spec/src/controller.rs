@@ -2,7 +2,7 @@
 
 use crate::monitor::EccMonitor;
 use vs_platform::Chip;
-use vs_types::{DomainId, SimTime};
+use vs_types::{ConfigError, DomainId, SimTime};
 
 /// Tunables of the voltage-control system.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,26 +41,57 @@ impl Default for ControllerConfig {
 }
 
 impl ControllerConfig {
-    /// Validates the configuration.
+    /// Validates the configuration, returning the first violated
+    /// constraint as a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        // NaN compares false to everything, so it needs explicit checks
+        // to fail validation rather than slip through.
+        if self.floor.is_nan() || self.floor <= 0.0 {
+            return Err(ConfigError::out_of_range(
+                "floor",
+                "positive and below the ceiling",
+                self.floor,
+            ));
+        }
+        if self.ceiling.is_nan() || self.floor >= self.ceiling {
+            return Err(ConfigError::inconsistent(
+                "ceiling",
+                "floor",
+                "floor must be positive and below the ceiling",
+            ));
+        }
+        if !(self.ceiling < self.emergency_ceiling && self.emergency_ceiling <= 1.0) {
+            return Err(ConfigError::out_of_range(
+                "emergency_ceiling",
+                "above the ceiling, at most 1.0",
+                self.emergency_ceiling,
+            ));
+        }
+        if self.emergency_steps == 0 {
+            return Err(ConfigError::non_positive("emergency_steps"));
+        }
+        if self.control_period <= SimTime::ZERO {
+            return Err(ConfigError::non_positive("control_period"));
+        }
+        if self.probes_per_tick == 0 {
+            return Err(ConfigError::non_positive("probes_per_tick"));
+        }
+        Ok(())
+    }
+
+    /// Validates the configuration, panicking on failure.
     ///
     /// # Panics
     ///
     /// Panics with a description of the first violated constraint.
-    pub fn validate(&self) {
-        assert!(
-            0.0 < self.floor && self.floor < self.ceiling,
-            "floor must be positive and below the ceiling"
-        );
-        assert!(
-            self.ceiling < self.emergency_ceiling && self.emergency_ceiling <= 1.0,
-            "emergency ceiling must sit above the ceiling, at most 1.0"
-        );
-        assert!(self.emergency_steps > 0, "emergency must move the voltage");
-        assert!(
-            self.control_period > SimTime::ZERO,
-            "control period must be positive"
-        );
-        assert!(self.probes_per_tick > 0, "monitor must probe");
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `validate()` and handle the `ConfigError`"
+    )]
+    pub fn validate_or_panic(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -102,16 +133,24 @@ pub struct DomainController {
     emergencies: u64,
     adjustments_up: u64,
     adjustments_down: u64,
+    stuck_rate: Option<f64>,
 }
 
 impl DomainController {
     /// Creates a controller for `domain` around an *active* monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid; use [`ControllerConfig::validate`]
+    /// first to handle bad configurations as data.
     pub fn new(
         domain: DomainId,
         monitor: EccMonitor,
         config: ControllerConfig,
     ) -> DomainController {
-        config.validate();
+        if let Err(e) = config.validate() {
+            panic!("{e}");
+        }
         DomainController {
             domain,
             monitor,
@@ -120,6 +159,7 @@ impl DomainController {
             emergencies: 0,
             adjustments_up: 0,
             adjustments_down: 0,
+            stuck_rate: None,
         }
     }
 
@@ -154,8 +194,26 @@ impl DomainController {
     ///
     /// Panics if the new configuration is invalid.
     pub fn set_config(&mut self, config: ControllerConfig) {
-        config.validate();
+        if let Err(e) = config.validate() {
+            panic!("{e}");
+        }
         self.config = config;
+    }
+
+    /// Forces the monitor line to report a fixed error rate (a stuck-at
+    /// fault injected by `vs-faults`), or clears the fault with `None`.
+    ///
+    /// While stuck, every control-period reading and every per-tick
+    /// emergency check sees `rate` regardless of what the real line does,
+    /// and the minimum-access gate is bypassed (a stuck line "reports"
+    /// unconditionally).
+    pub fn set_stuck_rate(&mut self, rate: Option<f64>) {
+        self.stuck_rate = rate;
+    }
+
+    /// The currently injected stuck-at rate, if any.
+    pub fn stuck_rate(&self) -> Option<f64> {
+        self.stuck_rate
     }
 
     /// `(ups, downs, emergencies)` counters.
@@ -169,10 +227,14 @@ impl DomainController {
     /// emergency fired.
     pub fn on_tick(&mut self, chip: &mut Chip) -> bool {
         self.monitor.probe(chip, self.config.probes_per_tick);
-        let rate = self.monitor.error_rate();
-        if self.monitor.access_count() >= self.config.min_accesses
-            && rate >= self.config.emergency_ceiling
-        {
+        let (rate, gated) = match self.stuck_rate {
+            Some(stuck) => (stuck, true),
+            None => (
+                self.monitor.error_rate(),
+                self.monitor.access_count() >= self.config.min_accesses,
+            ),
+        };
+        if gated && rate >= self.config.emergency_ceiling {
             self.emergency(chip, rate);
             return true;
         }
@@ -190,10 +252,10 @@ impl DomainController {
     /// Reads the counters at a control-period boundary, applies the
     /// control law, and resets the counters.
     pub fn on_control_period(&mut self, chip: &mut Chip) -> ControlAction {
-        if self.monitor.access_count() < self.config.min_accesses {
+        if self.stuck_rate.is_none() && self.monitor.access_count() < self.config.min_accesses {
             return ControlAction::InsufficientData;
         }
-        let rate = self.monitor.error_rate();
+        let rate = self.stuck_rate.unwrap_or_else(|| self.monitor.error_rate());
         self.last_reading = rate;
         self.monitor.reset_counters();
         if rate >= self.config.emergency_ceiling {
@@ -239,18 +301,52 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        ControllerConfig::default().validate();
+        assert_eq!(ControllerConfig::default().validate(), Ok(()));
     }
 
     #[test]
-    #[should_panic(expected = "below the ceiling")]
     fn inverted_band_rejected() {
-        ControllerConfig {
+        let err = ControllerConfig {
             floor: 0.5,
             ceiling: 0.1,
             ..ControllerConfig::default()
         }
-        .validate();
+        .validate()
+        .unwrap_err();
+        assert_eq!(err.field(), "ceiling");
+        assert!(err.to_string().contains("below the ceiling"), "{err}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    #[should_panic(expected = "control_period")]
+    fn deprecated_shim_still_panics() {
+        ControllerConfig {
+            control_period: SimTime::ZERO,
+            ..ControllerConfig::default()
+        }
+        .validate_or_panic();
+    }
+
+    #[test]
+    fn stuck_rate_overrides_the_monitor() {
+        let (mut chip, monitor) = chip_and_monitor();
+        let mut ctrl = DomainController::new(DomainId(0), monitor, ControllerConfig::default());
+        // Stuck at zero: the controller keeps stepping down even though a
+        // real line would eventually start erring.
+        ctrl.set_stuck_rate(Some(0.0));
+        chip.tick();
+        ctrl.on_tick(&mut chip);
+        assert!(matches!(
+            ctrl.on_control_period(&mut chip),
+            ControlAction::SteppedDown { rate } if rate == 0.0
+        ));
+        // Stuck at one: the per-tick emergency path fires unconditionally.
+        ctrl.set_stuck_rate(Some(1.0));
+        chip.tick();
+        assert!(ctrl.on_tick(&mut chip));
+        ctrl.set_stuck_rate(None);
+        assert_eq!(ctrl.stuck_rate(), None);
     }
 
     #[test]

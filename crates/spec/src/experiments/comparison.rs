@@ -58,7 +58,9 @@ pub fn mechanism_comparison(
 
     // Static nominal (the reference).
     {
-        let mut sys = SpeculationSystem::new(chip_config(seed), ControllerConfig::default());
+        let mut sys = SpeculationSystem::builder(chip_config(seed))
+            .build()
+            .expect("reference config is valid");
         sys.assign_suite(suite, per_benchmark);
         let stats = sys.run_baseline(duration);
         results.push(MechanismResult {
@@ -105,7 +107,9 @@ pub fn mechanism_comparison(
 
     // The paper's hardware ECC-monitor system.
     {
-        let mut sys = SpeculationSystem::new(chip_config(seed), ControllerConfig::default());
+        let mut sys = SpeculationSystem::builder(chip_config(seed))
+            .build()
+            .expect("reference config is valid");
         sys.calibrate_with(&CalibrationPlan::fast());
         sys.assign_suite(suite, per_benchmark);
         let stats = sys.run(duration);
@@ -143,7 +147,9 @@ pub struct TailoringResult {
 /// and compares steady-state voltages against the fixed band.
 pub fn tailoring_comparison(seed: u64, margin_mv: f64, duration: SimTime) -> Vec<TailoringResult> {
     // Fixed-band run.
-    let mut fixed = SpeculationSystem::new(chip_config(seed), ControllerConfig::default());
+    let mut fixed = SpeculationSystem::builder(chip_config(seed))
+        .build()
+        .expect("reference config is valid");
     fixed.calibrate_with(&CalibrationPlan::fast());
     let outcomes = fixed.calibration().to_vec();
     let fixed_stats = fixed.run(duration);
@@ -156,7 +162,9 @@ pub fn tailoring_comparison(seed: u64, margin_mv: f64, duration: SimTime) -> Vec
         .collect();
 
     // Tailored run: per-domain bands.
-    let mut tailored = SpeculationSystem::new(chip_config(seed), ControllerConfig::default());
+    let mut tailored = SpeculationSystem::builder(chip_config(seed))
+        .build()
+        .expect("reference config is valid");
     tailored.calibrate_with(&CalibrationPlan::fast());
     let bands: Vec<ControllerConfig> = responses
         .iter()

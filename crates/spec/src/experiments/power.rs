@@ -3,7 +3,6 @@
 use crate::calibrate::CalibrationPlan;
 use crate::software::{software_energy_j, SoftwareConfig, SoftwareSpeculation};
 use crate::system::SpeculationSystem;
-use crate::ControllerConfig;
 use vs_platform::{Chip, ChipConfig};
 use vs_types::{CoreId, DomainId, Millivolts, SimTime};
 use vs_workload::{StressTest, Suite};
@@ -61,15 +60,17 @@ impl SuiteRunOptions {
 /// baseline, returning the comparison (one bar group of Figures 10/11).
 pub fn suite_power(seed: u64, suite: Suite, opts: &SuiteRunOptions) -> SuitePowerResult {
     // Speculated run.
-    let mut sys =
-        SpeculationSystem::new(ChipConfig::low_voltage(seed), ControllerConfig::default());
+    let mut sys = SpeculationSystem::builder(ChipConfig::low_voltage(seed))
+        .build()
+        .expect("reference config is valid");
     sys.calibrate_with(&CalibrationPlan::fast());
     sys.assign_suite(suite, opts.per_benchmark);
     let spec = sys.run(opts.duration);
 
     // Baseline run on identical silicon and workload.
-    let mut base_sys =
-        SpeculationSystem::new(ChipConfig::low_voltage(seed), ControllerConfig::default());
+    let mut base_sys = SpeculationSystem::builder(ChipConfig::low_voltage(seed))
+        .build()
+        .expect("reference config is valid");
     base_sys.assign_suite(suite, opts.per_benchmark);
     let base = base_sys.run_baseline(opts.duration);
 
@@ -144,8 +145,9 @@ pub fn hw_vs_sw_energy(seed: u64, suite: Suite, opts: &SuiteRunOptions) -> Energ
     let sw_total = sw_energy + mean_power * overhead.as_secs_f64();
 
     // Baseline for normalization.
-    let mut base_sys =
-        SpeculationSystem::new(ChipConfig::low_voltage(seed), ControllerConfig::default());
+    let mut base_sys = SpeculationSystem::builder(ChipConfig::low_voltage(seed))
+        .build()
+        .expect("reference config is valid");
     base_sys.assign_suite(suite, opts.per_benchmark);
     let base = base_sys.run_baseline(opts.duration);
 

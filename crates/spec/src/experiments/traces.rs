@@ -2,7 +2,6 @@
 
 use crate::calibrate::CalibrationPlan;
 use crate::system::{RunStats, SpeculationSystem};
-use crate::ControllerConfig;
 use vs_platform::ChipConfig;
 use vs_types::{CoreId, SimTime};
 use vs_workload::{benchmark, BackToBack, Idle, StressKernel, Suite, Workload};
@@ -43,9 +42,10 @@ impl TraceResult {
 /// is compute-bound; the controller must track the changed conditions
 /// across the context switch without leaving the target error band.
 pub fn mcf_crafty_trace(seed: u64, per_benchmark: SimTime) -> TraceResult {
-    let mut sys =
-        SpeculationSystem::new(ChipConfig::low_voltage(seed), ControllerConfig::default());
-    sys.set_trace_spacing(SimTime::from_millis(200));
+    let mut sys = SpeculationSystem::builder(ChipConfig::low_voltage(seed))
+        .trace_spacing(SimTime::from_millis(200))
+        .build()
+        .expect("reference config is valid");
     sys.calibrate_with(&CalibrationPlan::fast());
     let pair = BackToBack::new(
         "mcf+crafty",
@@ -74,9 +74,10 @@ pub fn mcf_crafty_trace(seed: u64, per_benchmark: SimTime) -> TraceResult {
 /// a domain while the main core is idle (a) or runs SPECfp (b); the
 /// controller must ride out the 30 s load steps.
 pub fn stress_kernel_trace(seed: u64, main_loaded: bool, duration: SimTime) -> TraceResult {
-    let mut sys =
-        SpeculationSystem::new(ChipConfig::low_voltage(seed), ControllerConfig::default());
-    sys.set_trace_spacing(SimTime::from_millis(250));
+    let mut sys = SpeculationSystem::builder(ChipConfig::low_voltage(seed))
+        .trace_spacing(SimTime::from_millis(250))
+        .build()
+        .expect("reference config is valid");
     sys.calibrate_with(&CalibrationPlan::fast());
     let main = CoreId(0);
     let aux = sys

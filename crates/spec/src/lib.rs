@@ -40,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod blade;
+mod builder;
 pub mod calibrate;
 mod controller;
 pub mod cpm;
@@ -51,6 +52,7 @@ mod system;
 pub mod tuning;
 
 pub use blade::{BladeRunStats, BladeServer};
+pub use builder::SystemBuilder;
 pub use calibrate::{CalibrationMethod, CalibrationOutcome, CalibrationPlan};
 pub use controller::{ControlAction, ControllerConfig, DomainController};
 pub use cpm::{CpmConfig, CpmSpeculation};

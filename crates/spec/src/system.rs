@@ -4,7 +4,8 @@ use crate::calibrate::{calibrate_all, CalibrationOutcome, CalibrationPlan};
 use crate::controller::{ControlAction, ControllerConfig, DomainController};
 use crate::monitor::EccMonitor;
 use std::fmt;
-use vs_platform::{Chip, ChipConfig};
+use vs_faults::{FaultAction, FaultInjector, FaultPlan, RecoveryPolicy};
+use vs_platform::{Chip, ChipConfig, CrashReason};
 use vs_telemetry::{EventCategory, Recorder, StepDirection, TelemetryEvent};
 use vs_types::{CoreId, DomainId, Millivolts, SimTime, Watts};
 use vs_workload::{Suite, Workload};
@@ -56,6 +57,16 @@ pub struct RunStats {
     pub emergencies: u64,
     /// Cores that crashed (must stay empty in a healthy run).
     pub crashed_cores: Vec<usize>,
+    /// DUEs consumed by the firmware rollback path during the run.
+    pub dues_consumed: u64,
+    /// Crashes recovered by rolling the domain back during the run.
+    pub crash_rollbacks: u64,
+    /// Simulated latency charged for rollbacks (firmware handling plus
+    /// core restarts); accounted here rather than by stalling the clock.
+    pub recovery_time: SimTime,
+    /// Domains quarantined (parked at nominal, speculation disabled) by
+    /// the end of the run.
+    pub quarantined_domains: Vec<usize>,
     /// Periodic trace samples.
     pub trace: Vec<TracePoint>,
 }
@@ -69,6 +80,13 @@ impl RunStats {
     /// True if the run completed without crashes or data corruption.
     pub fn is_safe(&self) -> bool {
         self.crashed_cores.is_empty()
+    }
+
+    /// True if the run leaned on the recovery path at all: DUEs consumed,
+    /// crashes rolled back, or domains quarantined. A degraded run can
+    /// still be safe — that is the point of graceful degradation.
+    pub fn is_degraded(&self) -> bool {
+        self.dues_consumed > 0 || self.crash_rollbacks > 0 || !self.quarantined_domains.is_empty()
     }
 
     /// The `q`-quantile of a per-domain trace series, using the shared
@@ -132,6 +150,9 @@ pub struct SpecRun {
     energy_before: f64,
     rail_energy_before: f64,
     ce_before: u64,
+    dues_before: u64,
+    rollbacks_before: u64,
+    recovery_before: SimTime,
 }
 
 impl SpecRun {
@@ -158,6 +179,9 @@ impl SpecRun {
             energy_before: sys.chip.energy().total().0,
             rail_energy_before: sys.chip.core_rail_energy().total().0,
             ce_before: sys.chip.log().correctable_count(),
+            dues_before: sys.dues_consumed,
+            rollbacks_before: sys.crash_rollbacks,
+            recovery_before: sys.recovery_time,
         }
     }
 
@@ -229,6 +253,10 @@ impl SpecRun {
             correctable: sys.chip.log().correctable_count() - self.ce_before,
             emergencies: self.emergencies,
             crashed_cores,
+            dues_consumed: sys.dues_consumed - self.dues_before,
+            crash_rollbacks: sys.crash_rollbacks - self.rollbacks_before,
+            recovery_time: sys.recovery_time.saturating_sub(self.recovery_before),
+            quarantined_domains: sys.quarantined_domains(),
             trace: self.trace,
         }
     }
@@ -247,6 +275,24 @@ pub struct SpeculationSystem {
     ticks_run: u64,
     /// Telemetry collector; disabled (single-branch no-op) by default.
     recorder: Recorder,
+    /// Scheduled faults to replay against this run (empty by default).
+    faults: FaultInjector,
+    /// Rollback tunables; only consulted when `resilient`.
+    recovery: RecoveryPolicy,
+    /// When set, DUEs and crashes are survived via firmware rollback.
+    /// Off by default: an un-resilient system treats crashes as fatal,
+    /// exactly as before the fault subsystem existed.
+    resilient: bool,
+    /// Per-domain last set point observed safe at a control period.
+    last_safe_mv: Vec<i32>,
+    /// Per-domain rollback counts (DUE + crash), for quarantine.
+    rollbacks: Vec<u32>,
+    /// Per-domain quarantine flags; a quarantined domain is parked at
+    /// nominal and its controller is skipped.
+    quarantined: Vec<bool>,
+    dues_consumed: u64,
+    crash_rollbacks: u64,
+    recovery_time: SimTime,
 }
 
 impl fmt::Debug for SpeculationSystem {
@@ -262,8 +308,20 @@ impl fmt::Debug for SpeculationSystem {
 impl SpeculationSystem {
     /// Builds the system around a fresh chip. Call one of the calibration
     /// methods before [`SpeculationSystem::run`].
+    ///
+    /// For fallible construction (and recorder / fault-plan wiring in one
+    /// expression) use [`SpeculationSystem::builder`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either config is invalid; [`SystemBuilder::build`]
+    /// returns the [`vs_types::ConfigError`] instead.
+    ///
+    /// [`SystemBuilder::build`]: crate::SystemBuilder::build
     pub fn new(chip_config: ChipConfig, config: ControllerConfig) -> SpeculationSystem {
-        config.validate();
+        if let Err(e) = config.validate() {
+            panic!("{e}");
+        }
         SpeculationSystem {
             chip: Chip::new(chip_config),
             controllers: Vec::new(),
@@ -272,6 +330,15 @@ impl SpeculationSystem {
             trace_spacing: SimTime::from_millis(100),
             ticks_run: 0,
             recorder: Recorder::disabled(),
+            faults: FaultInjector::default(),
+            recovery: RecoveryPolicy::default(),
+            resilient: false,
+            last_safe_mv: Vec::new(),
+            rollbacks: Vec::new(),
+            quarantined: Vec::new(),
+            dues_consumed: 0,
+            crash_rollbacks: 0,
+            recovery_time: SimTime::ZERO,
         }
     }
 
@@ -295,6 +362,61 @@ impl SpeculationSystem {
     /// Removes and returns all recorded telemetry events, oldest first.
     pub fn take_events(&mut self) -> Vec<TelemetryEvent> {
         self.recorder.take_events()
+    }
+
+    /// Installs a fault plan to replay against this run and enables the
+    /// recovery path. Worker-panic entries in the plan are ignored here —
+    /// they belong to the fleet layer.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.faults = FaultInjector::new(plan);
+        self.resilient = true;
+    }
+
+    /// Sets the rollback tunables and enables the recovery path (also for
+    /// *organic* crashes, not just injected ones). Without this or
+    /// [`SpeculationSystem::set_fault_plan`], crashes remain fatal exactly
+    /// as in a plain system.
+    pub fn set_recovery_policy(&mut self, policy: RecoveryPolicy) {
+        self.recovery = policy;
+        self.resilient = true;
+    }
+
+    /// True when the DUE/crash recovery path is enabled.
+    pub fn is_resilient(&self) -> bool {
+        self.resilient
+    }
+
+    /// DUEs consumed by the firmware rollback path so far.
+    pub fn dues_consumed(&self) -> u64 {
+        self.dues_consumed
+    }
+
+    /// Crashes recovered by rolling the domain back so far.
+    pub fn crash_rollbacks(&self) -> u64 {
+        self.crash_rollbacks
+    }
+
+    /// Total simulated recovery latency charged so far.
+    pub fn recovery_time(&self) -> SimTime {
+        self.recovery_time
+    }
+
+    /// The last set point observed safe at a control period for `domain`
+    /// (nominal until a window completes below the error ceiling).
+    pub fn last_safe_mv(&self, domain: DomainId) -> Millivolts {
+        Millivolts(self.last_safe_mv[domain.0])
+    }
+
+    /// True if `domain` has been quarantined this run.
+    pub fn is_quarantined(&self, domain: DomainId) -> bool {
+        self.quarantined.get(domain.0).copied().unwrap_or(false)
+    }
+
+    /// Indices of quarantined domains, ascending.
+    pub fn quarantined_domains(&self) -> Vec<usize> {
+        (0..self.quarantined.len())
+            .filter(|d| self.quarantined[*d])
+            .collect()
     }
 
     /// The chip under control.
@@ -355,6 +477,12 @@ impl SpeculationSystem {
         }
         self.controllers.clear();
         self.calibration = calibrate_all(&mut self.chip, plan);
+        let n_domains = self.calibration.len();
+        // Until a control window completes safely, the only voltage known
+        // safe is nominal.
+        self.last_safe_mv = vec![self.chip.mode().nominal_vdd().0; n_domains];
+        self.rollbacks = vec![0; n_domains];
+        self.quarantined = vec![false; n_domains];
         for outcome in &self.calibration {
             let mut monitor = EccMonitor::new(outcome.core, outcome.kind, outcome.line);
             monitor.activate(&mut self.chip);
@@ -431,8 +559,18 @@ impl SpeculationSystem {
         let rec_mon = self.recorder.wants(EventCategory::Monitor);
         let rec_ctl = self.recorder.wants(EventCategory::Controller);
         let now = self.chip.now();
+        // Replay any injected faults due this tick before the controllers
+        // observe the chip, so stuck monitors and droops shape this tick's
+        // control decisions.
+        if self.resilient && !self.faults.is_idle() {
+            self.apply_pending_faults(now);
+        }
         for (d, ctrl) in self.controllers.iter_mut().enumerate() {
             let domain = DomainId(d);
+            if self.resilient && self.quarantined[d] {
+                // Quarantined domains sit at nominal with speculation off.
+                continue;
+            }
             let ecc_before = if rec_ecc {
                 let m = ctrl.monitor();
                 (m.lifetime_counts().1, m.lifetime_uncorrectable())
@@ -493,7 +631,22 @@ impl SpeculationSystem {
                 } else {
                     0
                 };
+                let observed_mv = if self.resilient {
+                    self.chip.domain_set_point(domain).0
+                } else {
+                    0
+                };
                 let action = ctrl.on_control_period(&mut self.chip);
+                if self.resilient
+                    && matches!(
+                        action,
+                        ControlAction::SteppedDown { .. } | ControlAction::Held { .. }
+                    )
+                {
+                    // The window just measured this set point below the
+                    // ceiling: it is the new last-known-safe voltage.
+                    self.last_safe_mv[d] = observed_mv;
+                }
                 if rec_mon && !matches!(action, ControlAction::InsufficientData) {
                     self.recorder.emit(TelemetryEvent::MonitorWindow {
                         at: now,
@@ -541,11 +694,131 @@ impl SpeculationSystem {
                 }
             }
         }
+        if self.resilient {
+            self.sweep_crashes(now);
+        }
         StepReport {
             at: report.at,
             power: report.power,
             emergencies,
             crashes: report.crashes.len() as u64,
+        }
+    }
+
+    /// Polls the fault injector and applies every action due this tick.
+    fn apply_pending_faults(&mut self, now: SimTime) {
+        let v_eff: Vec<f64> = (0..self.controllers.len())
+            .map(|d| self.chip.domain_v_eff_mv(DomainId(d)))
+            .collect();
+        let rec_fault = self.recorder.wants(EventCategory::Fault);
+        for action in self.faults.poll(now, &v_eff) {
+            match action {
+                FaultAction::Due { domain } => {
+                    if domain.0 >= self.controllers.len() || self.quarantined[domain.0] {
+                        continue;
+                    }
+                    self.dues_consumed += 1;
+                    let rollback_mv = self.rollback(domain);
+                    if rec_fault {
+                        self.recorder.emit(TelemetryEvent::DueConsumed {
+                            at: now,
+                            domain,
+                            rollback_mv,
+                        });
+                    }
+                    self.maybe_quarantine(domain, now, rec_fault);
+                }
+                FaultAction::CoreCrash { core } => {
+                    if core.0 < self.chip.config().num_cores && self.chip.crash_info(core).is_none()
+                    {
+                        self.chip.force_crash(core, CrashReason::Injected);
+                    }
+                }
+                FaultAction::DroopStart { domain, depth } => {
+                    if domain.0 < self.controllers.len() {
+                        let pending = self.chip.domain_regulator_mut(domain).pending();
+                        self.chip.request_domain_voltage(domain, pending - depth);
+                    }
+                }
+                FaultAction::DroopEnd { domain, depth } => {
+                    if domain.0 < self.controllers.len() {
+                        let pending = self.chip.domain_regulator_mut(domain).pending();
+                        self.chip.request_domain_voltage(domain, pending + depth);
+                    }
+                }
+                FaultAction::StuckStart { domain, rate } => {
+                    if let Some(ctrl) = self.controllers.get_mut(domain.0) {
+                        ctrl.set_stuck_rate(Some(rate));
+                    }
+                }
+                FaultAction::StuckEnd { domain } => {
+                    if let Some(ctrl) = self.controllers.get_mut(domain.0) {
+                        ctrl.set_stuck_rate(None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recovers every crashed core whose domain is not quarantined:
+    /// firmware rolls the domain back to the last safe voltage (plus the
+    /// policy margin) and restarts the core. Cores in quarantined domains
+    /// stay down.
+    fn sweep_crashes(&mut self, now: SimTime) {
+        let rec_fault = self.recorder.wants(EventCategory::Fault);
+        for i in 0..self.chip.config().num_cores {
+            let core = CoreId(i);
+            if self.chip.crash_info(core).is_none() {
+                continue;
+            }
+            let domain = self.chip.config().domain_of(core);
+            if domain.0 >= self.quarantined.len() || self.quarantined[domain.0] {
+                continue;
+            }
+            self.crash_rollbacks += 1;
+            let rollback_mv = self.rollback(domain);
+            self.chip.recover_core(core);
+            if rec_fault {
+                self.recorder.emit(TelemetryEvent::CrashRollback {
+                    at: now,
+                    domain,
+                    core,
+                    rollback_mv,
+                });
+            }
+            self.maybe_quarantine(domain, now, rec_fault);
+        }
+    }
+
+    /// One firmware rollback: raise the domain to the last-known-safe set
+    /// point plus the safety margin, charge the latency, and count it
+    /// toward quarantine. Returns the rollback target in millivolts.
+    fn rollback(&mut self, domain: DomainId) -> i32 {
+        let target = Millivolts(self.last_safe_mv[domain.0]) + self.recovery.safety_margin;
+        self.chip.request_domain_voltage(domain, target);
+        self.rollbacks[domain.0] += 1;
+        self.recovery_time += self.recovery.rollback_latency;
+        target.0
+    }
+
+    /// Quarantines `domain` once its rollback count exceeds the policy
+    /// limit: parked at nominal, controller skipped for the rest of the
+    /// run.
+    fn maybe_quarantine(&mut self, domain: DomainId, now: SimTime, rec_fault: bool) {
+        if self.quarantined[domain.0]
+            || self.rollbacks[domain.0] <= self.recovery.max_rollbacks_per_domain
+        {
+            return;
+        }
+        self.quarantined[domain.0] = true;
+        let nominal = self.chip.mode().nominal_vdd();
+        self.chip.request_domain_voltage(domain, nominal);
+        if rec_fault {
+            self.recorder.emit(TelemetryEvent::Quarantine {
+                at: now,
+                domain,
+                rollbacks: self.rollbacks[domain.0],
+            });
         }
     }
 
@@ -593,6 +866,10 @@ impl SpeculationSystem {
             crashed_cores: (0..self.chip.config().num_cores)
                 .filter(|i| self.chip.crash_info(CoreId(*i)).is_some())
                 .collect(),
+            dues_consumed: 0,
+            crash_rollbacks: 0,
+            recovery_time: SimTime::ZERO,
+            quarantined_domains: Vec::new(),
             trace: Vec::new(),
         }
     }
@@ -760,6 +1037,10 @@ mod tests {
             correctable: 0,
             emergencies: 0,
             crashed_cores: vec![],
+            dues_consumed: 0,
+            crash_rollbacks: 0,
+            recovery_time: SimTime::ZERO,
+            quarantined_domains: vec![],
             trace: vec![],
         };
         let red = SpeculationSystem::voltage_reduction(&stats, Millivolts(800));

@@ -271,8 +271,8 @@ mod tests {
             shallow.floor,
             steep.floor
         );
-        steep.validate();
-        shallow.validate();
+        assert_eq!(steep.validate(), Ok(()));
+        assert_eq!(shallow.validate(), Ok(()));
     }
 
     #[test]

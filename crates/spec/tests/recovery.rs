@@ -1,0 +1,219 @@
+//! Integration tests for the DUE/crash recovery path: firmware rollback,
+//! quarantine, and the fault telemetry stream.
+
+use vs_faults::{FaultPlan, RecoveryPolicy};
+use vs_platform::ChipConfig;
+use vs_spec::{ControllerConfig, SpeculationSystem};
+use vs_telemetry::{EventCategory, EventFilter, Recorder, TelemetryEvent};
+use vs_types::{CoreId, DomainId, Millivolts, SimTime};
+
+fn small_chip(seed: u64) -> ChipConfig {
+    ChipConfig {
+        num_cores: 2,
+        weak_lines_tracked: 8,
+        ..ChipConfig::low_voltage(seed)
+    }
+}
+
+#[test]
+fn due_mid_period_rolls_back_exactly_to_last_safe_plus_margin() {
+    let policy = RecoveryPolicy::default();
+    let mut sys = SpeculationSystem::builder(small_chip(3))
+        .recovery_policy(policy)
+        .recorder(Recorder::enabled(EventFilter::of(&[EventCategory::Fault])))
+        .build()
+        .unwrap();
+    sys.calibrate_fast();
+
+    // Let the controller descend for a while so last-safe is a real
+    // speculated voltage, not nominal.
+    while sys.chip().now() < SimTime::from_secs(2) {
+        sys.step();
+    }
+    let last_safe = sys.last_safe_mv(DomainId(0));
+    let nominal = sys.chip().mode().nominal_vdd();
+    assert!(
+        last_safe < nominal,
+        "controller should have proven a speculated voltage safe: {last_safe:?}"
+    );
+
+    // Schedule a DUE mid control period (periods are 10 ms multiples).
+    let due_at = sys.chip().now() + SimTime::from_millis(3);
+    sys.set_fault_plan(&FaultPlan::new().due_at(due_at, DomainId(0)));
+    while sys.dues_consumed() == 0 {
+        sys.step();
+    }
+
+    let expected = last_safe + policy.safety_margin;
+    assert_eq!(
+        sys.chip_mut().domain_regulator_mut(DomainId(0)).pending(),
+        expected,
+        "rollback must target last-safe + margin"
+    );
+    assert_eq!(sys.recovery_time(), policy.rollback_latency);
+    let events = sys.take_events();
+    assert_eq!(
+        events,
+        vec![TelemetryEvent::DueConsumed {
+            at: due_at,
+            domain: DomainId(0),
+            rollback_mv: expected.0,
+        }]
+    );
+}
+
+#[test]
+fn injected_crash_is_recovered_and_the_run_stays_safe() {
+    let crash_at = SimTime::from_millis(500);
+    let plan = FaultPlan::new().crash_at(crash_at, CoreId(1));
+    let mut sys = SpeculationSystem::builder(small_chip(3))
+        .fault_plan(plan)
+        .recorder(Recorder::enabled(EventFilter::of(&[EventCategory::Fault])))
+        .build()
+        .unwrap();
+    sys.calibrate_fast();
+    let stats = sys.run(SimTime::from_secs(2));
+
+    assert!(stats.is_safe(), "crashed cores: {:?}", stats.crashed_cores);
+    assert!(stats.is_degraded());
+    assert_eq!(stats.crash_rollbacks, 1);
+    assert_eq!(stats.dues_consumed, 0);
+    assert_eq!(
+        stats.recovery_time,
+        RecoveryPolicy::default().rollback_latency
+    );
+    assert!(stats.quarantined_domains.is_empty());
+
+    let events = sys.take_events();
+    assert_eq!(events.len(), 1);
+    assert!(matches!(
+        events[0],
+        TelemetryEvent::CrashRollback {
+            domain: DomainId(0),
+            core: CoreId(1),
+            ..
+        }
+    ));
+}
+
+#[test]
+fn repeated_rollbacks_quarantine_the_domain_at_nominal() {
+    let policy = RecoveryPolicy {
+        max_rollbacks_per_domain: 3,
+        ..RecoveryPolicy::default()
+    };
+    let mut plan = FaultPlan::new();
+    for i in 0..6 {
+        plan = plan.due_at(SimTime::from_millis(100 + 20 * i), DomainId(0));
+    }
+    let mut sys = SpeculationSystem::builder(small_chip(3))
+        .fault_plan(plan)
+        .recovery_policy(policy)
+        .recorder(Recorder::enabled(EventFilter::of(&[EventCategory::Fault])))
+        .build()
+        .unwrap();
+    sys.calibrate_fast();
+    let stats = sys.run(SimTime::from_secs(1));
+
+    assert_eq!(stats.quarantined_domains, vec![0]);
+    assert!(sys.is_quarantined(DomainId(0)));
+    // Only the first limit+1 DUEs are consumed; once quarantined, the
+    // domain ignores further injections.
+    assert_eq!(stats.dues_consumed, 4);
+    // Parked at nominal for the remainder of the run.
+    assert_eq!(
+        sys.chip().domain_set_point(DomainId(0)),
+        sys.chip().mode().nominal_vdd()
+    );
+    let quarantines = sys
+        .take_events()
+        .into_iter()
+        .filter(|e| matches!(e, TelemetryEvent::Quarantine { .. }))
+        .count();
+    assert_eq!(quarantines, 1);
+}
+
+#[test]
+fn empty_plan_with_resilience_is_bit_identical_to_a_plain_run() {
+    let run = |resilient: bool| {
+        let mut sys = SpeculationSystem::new(small_chip(9), ControllerConfig::default());
+        if resilient {
+            sys.set_recovery_policy(RecoveryPolicy::default());
+        }
+        sys.calibrate_fast();
+        sys.run(SimTime::from_secs(5))
+    };
+    let plain = run(false);
+    let resilient = run(true);
+    assert_eq!(plain, resilient);
+    assert!(!resilient.is_degraded());
+}
+
+#[test]
+fn stuck_monitor_pushes_the_domain_up_until_the_window_clears() {
+    // A monitor stuck at 50% (above the 5% ceiling, below the emergency
+    // threshold) makes every control window look unsafe: the controller
+    // must step up for the duration of the fault.
+    let plan = FaultPlan::new().stuck_at(
+        SimTime::from_millis(300),
+        DomainId(0),
+        0.5,
+        SimTime::from_millis(100),
+    );
+    let mut sys = SpeculationSystem::builder(small_chip(3))
+        .fault_plan(plan)
+        .build()
+        .unwrap();
+    sys.calibrate_fast();
+    while sys.chip().now() < SimTime::from_millis(295) {
+        sys.step();
+    }
+    let before = sys.chip().domain_set_point(DomainId(0));
+    while sys.chip().now() < SimTime::from_millis(405) {
+        sys.step();
+    }
+    let after = sys.chip().domain_set_point(DomainId(0));
+    assert!(
+        after > before,
+        "stuck-high monitor must push the set point up: {before:?} -> {after:?}"
+    );
+}
+
+#[test]
+fn droop_depresses_the_rail_and_restores_it() {
+    let depth = Millivolts(60);
+    let plan = FaultPlan::new().droop_at(
+        SimTime::from_millis(200),
+        DomainId(0),
+        depth,
+        SimTime::from_millis(30),
+    );
+    let mut sys = SpeculationSystem::builder(small_chip(3))
+        .fault_plan(plan)
+        .build()
+        .unwrap();
+    sys.calibrate_fast();
+    while sys.chip().now() < SimTime::from_millis(199) {
+        sys.step();
+    }
+    let before = sys.chip_mut().domain_regulator_mut(DomainId(0)).pending();
+    sys.step(); // droop fires
+    let during = sys.chip_mut().domain_regulator_mut(DomainId(0)).pending();
+    assert_eq!(during, before - depth);
+}
+
+#[test]
+fn voltage_triggered_crash_fires_when_the_rail_sags() {
+    // Trigger just below nominal: the controller's descent crosses it
+    // within the first few hundred milliseconds.
+    let nominal = ChipConfig::low_voltage(3).mode.nominal_vdd();
+    let plan = FaultPlan::new().crash_below(DomainId(0), Millivolts(nominal.0 - 30), CoreId(0));
+    let mut sys = SpeculationSystem::builder(small_chip(3))
+        .fault_plan(plan)
+        .build()
+        .unwrap();
+    sys.calibrate_fast();
+    let stats = sys.run(SimTime::from_secs(5));
+    assert_eq!(stats.crash_rollbacks, 1);
+    assert!(stats.is_safe());
+}

@@ -25,16 +25,20 @@ pub enum EventCategory {
     Calibration,
     /// Fleet job lifecycle (per-chip start/finish).
     Fleet,
+    /// Fault consumption and firmware recovery (DUEs, crash rollbacks,
+    /// domain quarantine).
+    Fault,
 }
 
 impl EventCategory {
     /// All categories, in serialization order.
-    pub const ALL: [EventCategory; 5] = [
+    pub const ALL: [EventCategory; 6] = [
         EventCategory::Ecc,
         EventCategory::Monitor,
         EventCategory::Controller,
         EventCategory::Calibration,
         EventCategory::Fleet,
+        EventCategory::Fault,
     ];
 
     /// Stable lowercase label (used by `--trace-filter` and JSONL output).
@@ -45,6 +49,7 @@ impl EventCategory {
             EventCategory::Controller => "controller",
             EventCategory::Calibration => "calibration",
             EventCategory::Fleet => "fleet",
+            EventCategory::Fault => "fault",
         }
     }
 
@@ -60,6 +65,7 @@ impl EventCategory {
             EventCategory::Controller => 1 << 2,
             EventCategory::Calibration => 1 << 3,
             EventCategory::Fleet => 1 << 4,
+            EventCategory::Fault => 1 << 5,
         }
     }
 }
@@ -83,7 +89,7 @@ impl EventFilter {
 
     /// Keeps every category.
     pub const fn all() -> EventFilter {
-        EventFilter(0b1_1111)
+        EventFilter(0b11_1111)
     }
 
     /// Keeps exactly the given categories.
@@ -254,6 +260,39 @@ pub enum TelemetryEvent {
         /// Cores that crashed (0 in a healthy fleet).
         crashes: u64,
     },
+    /// A detected-uncorrectable ECC error was consumed by a domain and the
+    /// firmware machine-check path rolled it back to its last-known-safe
+    /// set point.
+    DueConsumed {
+        /// Simulated time the DUE was consumed.
+        at: SimTime,
+        /// The affected domain.
+        domain: DomainId,
+        /// The set point requested by the rollback, in millivolts.
+        rollback_mv: i32,
+    },
+    /// A core crashed and the recovery path restarted it after rolling its
+    /// domain back to the last-known-safe set point.
+    CrashRollback {
+        /// Simulated time of the recovery.
+        at: SimTime,
+        /// The affected domain.
+        domain: DomainId,
+        /// The core that was restarted.
+        core: CoreId,
+        /// The set point requested by the rollback, in millivolts.
+        rollback_mv: i32,
+    },
+    /// A domain exhausted its rollback budget and was quarantined: parked
+    /// at nominal with speculation disabled for the rest of the run.
+    Quarantine {
+        /// Simulated time of the quarantine.
+        at: SimTime,
+        /// The quarantined domain.
+        domain: DomainId,
+        /// Rollbacks the domain had absorbed when it was parked.
+        rollbacks: u32,
+    },
 }
 
 impl TelemetryEvent {
@@ -273,6 +312,9 @@ impl TelemetryEvent {
             TelemetryEvent::JobStarted { .. } | TelemetryEvent::JobFinished { .. } => {
                 EventCategory::Fleet
             }
+            TelemetryEvent::DueConsumed { .. }
+            | TelemetryEvent::CrashRollback { .. }
+            | TelemetryEvent::Quarantine { .. } => EventCategory::Fault,
         }
     }
 
@@ -288,6 +330,9 @@ impl TelemetryEvent {
             TelemetryEvent::Recalibrated { .. } => "recalibrated",
             TelemetryEvent::JobStarted { .. } => "job_started",
             TelemetryEvent::JobFinished { .. } => "job_finished",
+            TelemetryEvent::DueConsumed { .. } => "due_consumed",
+            TelemetryEvent::CrashRollback { .. } => "crash_rollback",
+            TelemetryEvent::Quarantine { .. } => "quarantine",
         }
     }
 
@@ -302,7 +347,10 @@ impl TelemetryEvent {
             | TelemetryEvent::VoltageStep { at, .. }
             | TelemetryEvent::EmergencyRollback { at, .. }
             | TelemetryEvent::Calibrated { at, .. }
-            | TelemetryEvent::Recalibrated { at, .. } => at,
+            | TelemetryEvent::Recalibrated { at, .. }
+            | TelemetryEvent::DueConsumed { at, .. }
+            | TelemetryEvent::CrashRollback { at, .. }
+            | TelemetryEvent::Quarantine { at, .. } => at,
             TelemetryEvent::JobStarted { .. } => SimTime::ZERO,
             TelemetryEvent::JobFinished { sim_time, .. } => sim_time,
         }
@@ -435,6 +483,34 @@ impl TelemetryEvent {
                     chip.0, correctable, emergencies, crashes
                 );
             }
+            TelemetryEvent::DueConsumed {
+                domain,
+                rollback_mv,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"domain\":{},\"rollback_mv\":{}",
+                    domain.0, rollback_mv
+                );
+            }
+            TelemetryEvent::CrashRollback {
+                domain,
+                core,
+                rollback_mv,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"domain\":{},\"core\":{},\"rollback_mv\":{}",
+                    domain.0, core.0, rollback_mv
+                );
+            }
+            TelemetryEvent::Quarantine {
+                domain, rollbacks, ..
+            } => {
+                let _ = write!(out, ",\"domain\":{},\"rollbacks\":{}", domain.0, rollbacks);
+            }
         }
         out.push('}');
     }
@@ -510,6 +586,55 @@ mod tests {
              \"at_us\":42000,\"domain\":1,\"rate\":0.9375,\"steps\":5,\
              \"delta_mv\":25,\"set_point_mv\":700}"
         );
+    }
+
+    #[test]
+    fn fault_events_have_stable_shape() {
+        let due = TelemetryEvent::DueConsumed {
+            at: SimTime::from_millis(7),
+            domain: DomainId(2),
+            rollback_mv: 730,
+        };
+        assert_eq!(due.category(), EventCategory::Fault);
+        assert_eq!(due.at(), SimTime::from_millis(7));
+        let mut out = String::new();
+        due.write_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"event\":\"due_consumed\",\"category\":\"fault\",\
+             \"at_us\":7000,\"domain\":2,\"rollback_mv\":730}"
+        );
+
+        out.clear();
+        TelemetryEvent::CrashRollback {
+            at: SimTime::from_millis(8),
+            domain: DomainId(1),
+            core: CoreId(3),
+            rollback_mv: 725,
+        }
+        .write_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"event\":\"crash_rollback\",\"category\":\"fault\",\
+             \"at_us\":8000,\"domain\":1,\"core\":3,\"rollback_mv\":725}"
+        );
+
+        out.clear();
+        TelemetryEvent::Quarantine {
+            at: SimTime::from_millis(9),
+            domain: DomainId(0),
+            rollbacks: 9,
+        }
+        .write_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"event\":\"quarantine\",\"category\":\"fault\",\
+             \"at_us\":9000,\"domain\":0,\"rollbacks\":9}"
+        );
+        assert!(EventFilter::all().accepts(EventCategory::Fault));
+        assert!(EventFilter::parse("fault")
+            .unwrap()
+            .accepts(EventCategory::Fault));
     }
 
     #[test]

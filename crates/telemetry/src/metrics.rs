@@ -286,6 +286,9 @@ pub struct EventMetrics {
     jobs_started: CounterId,
     jobs_finished: CounterId,
     crashes: CounterId,
+    dues_consumed: CounterId,
+    crash_rollbacks: CounterId,
+    quarantines: CounterId,
     set_point: GaugeId,
     error_rate: HistogramId,
     step_mv: HistogramId,
@@ -315,6 +318,9 @@ impl EventMetrics {
             jobs_started: r.counter("fleet.jobs_started"),
             jobs_finished: r.counter("fleet.jobs_finished"),
             crashes: r.counter("fleet.crashes"),
+            dues_consumed: r.counter("fault.dues_consumed"),
+            crash_rollbacks: r.counter("fault.crash_rollbacks"),
+            quarantines: r.counter("fault.quarantines"),
             set_point: r.gauge("controller.last_set_point_mv"),
             error_rate: r.histogram("monitor.error_rate", 0.0, 1.0, 20),
             step_mv: r.histogram("controller.step_mv", -25.0, 30.0, 11),
@@ -375,6 +381,15 @@ impl EventMetrics {
             TelemetryEvent::JobFinished { crashes, .. } => {
                 self.registry.inc(self.jobs_finished, 1);
                 self.registry.inc(self.crashes, crashes);
+            }
+            TelemetryEvent::DueConsumed { .. } => {
+                self.registry.inc(self.dues_consumed, 1);
+            }
+            TelemetryEvent::CrashRollback { .. } => {
+                self.registry.inc(self.crash_rollbacks, 1);
+            }
+            TelemetryEvent::Quarantine { .. } => {
+                self.registry.inc(self.quarantines, 1);
             }
         }
     }
@@ -506,6 +521,38 @@ mod tests {
         let render = r.render();
         assert!(render.contains("controller.emergencies"));
         assert!(render.contains("histogram monitor.error_rate"));
+    }
+
+    #[test]
+    fn fault_events_count() {
+        let events = [
+            TelemetryEvent::DueConsumed {
+                at: SimTime::from_millis(5),
+                domain: DomainId(0),
+                rollback_mv: 730,
+            },
+            TelemetryEvent::DueConsumed {
+                at: SimTime::from_millis(6),
+                domain: DomainId(1),
+                rollback_mv: 735,
+            },
+            TelemetryEvent::CrashRollback {
+                at: SimTime::from_millis(7),
+                domain: DomainId(0),
+                core: CoreId(1),
+                rollback_mv: 740,
+            },
+            TelemetryEvent::Quarantine {
+                at: SimTime::from_millis(8),
+                domain: DomainId(0),
+                rollbacks: 9,
+            },
+        ];
+        let m = EventMetrics::from_events(&events);
+        let r = m.registry();
+        assert_eq!(r.counter_value("fault.dues_consumed"), Some(2));
+        assert_eq!(r.counter_value("fault.crash_rollbacks"), Some(1));
+        assert_eq!(r.counter_value("fault.quarantines"), Some(1));
     }
 
     #[test]

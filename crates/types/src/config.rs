@@ -1,0 +1,147 @@
+//! Typed configuration-validation errors.
+//!
+//! Every `validate()` method in the workspace returns
+//! `Result<(), ConfigError>` so that callers can surface a bad
+//! configuration as data instead of a panic. The variants carry the
+//! offending field name (and, where useful, the observed value) so the
+//! rendered message points straight at the knob that needs fixing.
+
+use std::error::Error;
+use std::fmt;
+
+/// A configuration field failed validation.
+///
+/// # Examples
+///
+/// ```
+/// use vs_types::ConfigError;
+///
+/// let err = ConfigError::non_positive("control_period");
+/// assert_eq!(
+///     err.to_string(),
+///     "invalid config: `control_period` must be positive",
+/// );
+/// assert_eq!(err.field(), "control_period");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A field that must be strictly positive was zero or negative.
+    NonPositive {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// A field fell outside its permitted range.
+    OutOfRange {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable description of the permitted range.
+        expected: &'static str,
+        /// The observed value, rendered as text.
+        actual: String,
+    },
+    /// Two fields are mutually inconsistent (each may be fine alone).
+    Inconsistent {
+        /// Name of the primary offending field.
+        field: &'static str,
+        /// Name of the field it conflicts with.
+        other: &'static str,
+        /// Human-readable description of the required relationship.
+        expected: &'static str,
+    },
+}
+
+impl ConfigError {
+    /// Shorthand for [`ConfigError::NonPositive`].
+    pub fn non_positive(field: &'static str) -> Self {
+        ConfigError::NonPositive { field }
+    }
+
+    /// Shorthand for [`ConfigError::OutOfRange`].
+    pub fn out_of_range(
+        field: &'static str,
+        expected: &'static str,
+        actual: impl fmt::Display,
+    ) -> Self {
+        ConfigError::OutOfRange {
+            field,
+            expected,
+            actual: actual.to_string(),
+        }
+    }
+
+    /// Shorthand for [`ConfigError::Inconsistent`].
+    pub fn inconsistent(field: &'static str, other: &'static str, expected: &'static str) -> Self {
+        ConfigError::Inconsistent {
+            field,
+            other,
+            expected,
+        }
+    }
+
+    /// The name of the primary field that failed validation.
+    pub fn field(&self) -> &'static str {
+        match self {
+            ConfigError::NonPositive { field }
+            | ConfigError::OutOfRange { field, .. }
+            | ConfigError::Inconsistent { field, .. } => field,
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NonPositive { field } => {
+                write!(f, "invalid config: `{field}` must be positive")
+            }
+            ConfigError::OutOfRange {
+                field,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "invalid config: `{field}` must be {expected} (got {actual})"
+                )
+            }
+            ConfigError::Inconsistent {
+                field,
+                other,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "invalid config: `{field}` conflicts with `{other}`: {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_field_context() {
+        let e = ConfigError::out_of_range("floor", "a fraction in (0, 1)", 1.5);
+        assert_eq!(
+            e.to_string(),
+            "invalid config: `floor` must be a fraction in (0, 1) (got 1.5)"
+        );
+        assert_eq!(e.field(), "floor");
+
+        let e = ConfigError::inconsistent("ceiling", "floor", "floor < ceiling");
+        assert!(e.to_string().contains("`ceiling`"));
+        assert!(e.to_string().contains("`floor`"));
+        assert_eq!(e.field(), "ceiling");
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn Error> = Box::new(ConfigError::non_positive("tick"));
+        assert!(e.to_string().contains("tick"));
+    }
+}

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod config;
 pub mod fleet;
 pub mod ids;
 pub mod mode;
@@ -44,6 +45,7 @@ pub mod stats;
 pub mod time;
 pub mod units;
 
+pub use config::ConfigError;
 pub use fleet::{ChipId, FleetSeed};
 pub use ids::{CacheKind, CoreId, DomainId, LineAddress, SetWay};
 pub use mode::VddMode;

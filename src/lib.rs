@@ -26,6 +26,7 @@
 //! | [`workload`] | benchmark suites, stress kernels, the voltage virus |
 //! | [`platform`] | the simulated CMP and characterization harnesses |
 //! | [`spec`] | **the contribution**: monitors, calibration, control, experiments |
+//! | [`faults`] | deterministic fault injection (DUEs, crashes, droops) and recovery policies |
 //! | [`fleet`] | parallel multi-chip population simulation and statistics |
 //! | [`telemetry`] | structured event tracing, metrics registry, profiling spans |
 //!
@@ -33,15 +34,15 @@
 //!
 //! ```no_run
 //! use voltspec::platform::ChipConfig;
-//! use voltspec::spec::{ControllerConfig, SpeculationSystem};
+//! use voltspec::spec::SpeculationSystem;
 //! use voltspec::types::SimTime;
 //! use voltspec::workload::Suite;
 //!
-//! // One simulated die (the seed *is* the silicon).
-//! let mut system = SpeculationSystem::new(
-//!     ChipConfig::low_voltage(42),
-//!     ControllerConfig::default(),
-//! );
+//! // One simulated die (the seed *is* the silicon). The builder
+//! // surfaces bad configs as `Err(ConfigError)` instead of panicking.
+//! let mut system = SpeculationSystem::builder(ChipConfig::low_voltage(42))
+//!     .build()
+//!     .expect("reference config is valid");
 //! // Boot-time calibration finds and designates the weak lines.
 //! system.calibrate_fast();
 //! // Run CoreMark on every core under closed-loop speculation.
@@ -64,6 +65,7 @@
 
 pub use vs_cache as cache;
 pub use vs_ecc as ecc;
+pub use vs_faults as faults;
 pub use vs_fleet as fleet;
 pub use vs_pdn as pdn;
 pub use vs_platform as platform;

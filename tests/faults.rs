@@ -1,0 +1,121 @@
+//! Fault injection and graceful degradation, end to end: injected
+//! faults are deterministic under any sharding, quarantined chips
+//! degrade the population explicitly, and fail-fast surfaces the first
+//! doomed chip as an error.
+
+use voltspec::faults::{FaultPlan, FaultSpec};
+use voltspec::fleet::{FleetConfig, FleetError, FleetRunner, PopulationStats};
+use voltspec::telemetry::{EventCategory, EventFilter, SilentProgress};
+use voltspec::types::{ChipId, DomainId, FleetSeed, SimTime};
+
+fn tiny_config() -> FleetConfig {
+    let mut config = FleetConfig::small(FleetSeed(91), 6);
+    config.run_duration = SimTime::from_millis(500);
+    config
+}
+
+#[test]
+fn injected_fleet_traces_are_byte_identical_across_worker_counts() {
+    let mut config = tiny_config();
+    // A seeded population-wide plan plus explicit per-chip faults and a
+    // scheduled worker panic: the full injection surface at once.
+    config.faults = FaultSpec::parse("seeded:42,due@100ms:d0:chip1,panic:chip2x1")
+        .expect("spec parses")
+        .materialize(config.num_chips);
+    let run = |workers: usize| {
+        FleetRunner::new(config.clone(), workers)
+            .run_reporting(EventFilter::all(), &mut SilentProgress)
+            .unwrap()
+    };
+    let (result_1, trace_1) = run(1);
+    let (result_4, trace_4) = run(4);
+
+    assert_eq!(result_1.summaries, result_4.summaries);
+    assert_eq!(result_1.degradation, result_4.degradation);
+    // The seeded profile schedules its own worker panics; the explicit
+    // `panic:chip2x1` directive must be among the absorbed retries.
+    assert!(result_1
+        .degradation
+        .retried
+        .iter()
+        .any(|&(chip, attempts)| chip == ChipId(2) && attempts >= 1));
+    assert_eq!(
+        trace_1.to_jsonl(),
+        trace_4.to_jsonl(),
+        "injected runs must stay byte-identical under any sharding"
+    );
+    // The explicit DUE reached chip 1 and produced fault telemetry.
+    assert!(trace_1
+        .events
+        .iter()
+        .any(|e| e.category() == EventCategory::Fault));
+    let total_dues: u64 = result_1.summaries.iter().map(|s| s.dues).sum();
+    assert!(total_dues >= 1, "the scheduled DUE must be consumed");
+}
+
+#[test]
+fn quarantined_chip_is_excluded_from_population_percentiles() {
+    let clean = FleetRunner::new(tiny_config(), 2).run().unwrap();
+    let mut config = tiny_config();
+    config.faults = FaultPlan::new().worker_panic(ChipId(3), u32::MAX);
+    let degraded = FleetRunner::new(config.clone(), 2)
+        .with_max_retries(1)
+        .run()
+        .unwrap();
+
+    assert_eq!(degraded.degradation.quarantined, vec![ChipId(3)]);
+    let stats = degraded.stats(&config);
+    assert_eq!(stats.num_chips, 5, "the quarantined chip has no summary");
+
+    // The degraded population equals the clean population minus chip 3 —
+    // percentiles are computed over survivors only, not zero-filled.
+    let survivors: Vec<_> = clean
+        .summaries
+        .iter()
+        .filter(|s| s.chip != ChipId(3))
+        .cloned()
+        .collect();
+    let expected = PopulationStats::from_summaries(&survivors, config.base_chip.mode.nominal_vdd());
+    assert_eq!(stats, expected);
+}
+
+#[test]
+fn fail_fast_surfaces_the_doomed_chip() {
+    let mut config = tiny_config();
+    config.faults = FaultPlan::new().worker_panic(ChipId(0), u32::MAX);
+    let err = FleetRunner::new(config, 2)
+        .with_max_retries(0)
+        .with_fail_fast(true)
+        .run();
+    match err {
+        Err(FleetError::JobFailed { chip, attempts, .. }) => {
+            assert_eq!(chip, ChipId(0));
+            assert_eq!(attempts, 1, "max_retries 0 means a single attempt");
+        }
+        other => panic!("expected JobFailed, got {other:?}"),
+    }
+}
+
+#[test]
+fn voltage_triggered_crashes_degrade_but_complete() {
+    // Crash a core of every chip once its domain sags 40 mV below
+    // nominal — deep enough that speculation reaches it on every die.
+    let nominal = tiny_config().base_chip.mode.nominal_vdd();
+    let mut config = tiny_config();
+    config.faults = FaultPlan::new().crash_below(
+        DomainId(0),
+        nominal - voltspec::types::Millivolts(40),
+        voltspec::types::CoreId(0),
+    );
+    let result = FleetRunner::new(config.clone(), 3).run().unwrap();
+    assert_eq!(
+        result.summaries.len(),
+        6,
+        "recovered crashes do not quarantine"
+    );
+    let total_rollbacks: u64 = result.summaries.iter().map(|s| s.rollbacks).sum();
+    assert!(total_rollbacks >= 1, "at least one die must trip the crash");
+    let stats = result.stats(&config);
+    assert_eq!(stats.total_rollbacks, total_rollbacks);
+    assert!(stats.report(nominal).contains("crash rollbacks"));
+}
