@@ -7,7 +7,8 @@
 //! repro [--quick] all
 //! repro list
 //! repro --fleet N [--workers W] [--variant hw|sw|baseline] \
-//!       [--checkpoint FILE] [--seed S] [--quick] \
+//!       [--checkpoint FILE] [--journal FILE] [--deadline DUR] \
+//!       [--seed S] [--quick] \
 //!       [--inject SPEC] [--max-retries N] [--fail-fast] \
 //!       [--trace FILE] [--trace-filter LIST] [--metrics] \
 //!       [--quiet] [--progress-jsonl]
@@ -26,13 +27,32 @@
 //!
 //! * `--inject SPEC` schedules deterministic faults, e.g.
 //!   `--inject seeded:42` (a seeded population-wide plan),
-//!   `--inject due@500ms:d0,panic:chip3x2,crash@1s:c1:chip2`. Injected
-//!   runs are as deterministic as clean ones: the same spec and seed
-//!   produce byte-identical results for any `--workers` count.
+//!   `--inject due@500ms:d0,panic:chip3x2,crash@1s:c1:chip2`, or the
+//!   supervision faults `--inject hang:chip2x2,io-error:3` (hung worker
+//!   jobs, transient checkpoint-save errors). Injected runs are as
+//!   deterministic as clean ones: the same spec and seed produce
+//!   byte-identical results for any `--workers` count.
 //! * `--max-retries N` bounds how often a panicking chip job is retried
 //!   (default 2) before the chip is quarantined; the run then completes
 //!   with partial results and prints a degradation report.
 //! * `--fail-fast` aborts on the first quarantined chip instead.
+//!
+//! Run supervision & durability:
+//!
+//! * `--deadline DUR` (e.g. `30s`, `500ms`) arms a wall-clock watchdog:
+//!   a chip job that stops heartbeating for longer than `DUR` is
+//!   cooperatively cancelled, retried, and quarantined if it keeps
+//!   hanging. Pair it with `--inject hang:...` to exercise the path
+//!   deterministically (an injected hang without a deadline blocks until
+//!   Ctrl-C).
+//! * `--journal FILE` keeps a crash-safe write-ahead journal: each
+//!   finished chip is fsynced immediately, so resume after SIGKILL
+//!   recovers every finished chip even between checkpoint saves. On
+//!   start the journal is replayed and compacted into `--checkpoint`.
+//! * Ctrl-C interrupts gracefully: in-flight chips wind down, progress is
+//!   flushed to the checkpoint/journal, partial statistics plus a
+//!   degradation report are printed, and the exit status is 130. A
+//!   second Ctrl-C kills immediately.
 //!
 //! Fleet observability:
 //!
@@ -130,6 +150,8 @@ fn main() {
     let mut workers: usize = 1;
     let mut variant = ControllerVariant::Hardware;
     let mut checkpoint: Option<String> = None;
+    let mut journal: Option<String> = None;
+    let mut deadline: Option<std::time::Duration> = None;
     let mut inject: Option<FaultSpec> = None;
     let mut max_retries: Option<u32> = None;
     let mut fail_fast = false;
@@ -188,6 +210,22 @@ fn main() {
                         .unwrap_or_else(|| die("--checkpoint needs a file path")),
                 );
             }
+            "--journal" => {
+                i += 1;
+                journal = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--journal needs a file path")),
+                );
+            }
+            "--deadline" => {
+                i += 1;
+                deadline = Some(
+                    args.get(i)
+                        .and_then(|s| parse_duration(s))
+                        .unwrap_or_else(|| die("--deadline needs a duration like 30s or 500ms")),
+                );
+            }
             "--inject" => {
                 i += 1;
                 inject = Some(match args.get(i) {
@@ -219,7 +257,7 @@ fn main() {
                         .and_then(|s| EventFilter::parse(s))
                         .unwrap_or_else(|| {
                             die("--trace-filter needs a comma-separated list from \
-                                 ecc,monitor,controller,calibration,fleet,fault")
+                                 ecc,monitor,controller,calibration,fleet,fault,guard")
                         }),
                 );
             }
@@ -238,7 +276,8 @@ fn main() {
                     "usage: repro [--quick] [--seed N] [--csv DIR] <experiment>... | all | list\n\
                             repro --fleet N [--workers W] [--variant hw|sw|baseline] \
                      [--checkpoint FILE]\n\
-                     \x20      [--inject SPEC] [--max-retries N] [--fail-fast]\n\
+                     \x20      [--journal FILE] [--deadline DUR] \
+                     [--inject SPEC] [--max-retries N] [--fail-fast]\n\
                      \x20      [--trace FILE] [--trace-filter LIST] [--metrics] \
                      [--quiet] [--progress-jsonl]"
                 );
@@ -262,6 +301,7 @@ fn main() {
             max_retries,
             fail_fast,
         };
+        let guard = FleetGuard { journal, deadline };
         run_fleet(
             num_chips,
             workers,
@@ -269,6 +309,7 @@ fn main() {
             seed,
             scale,
             checkpoint,
+            &guard,
             &resilience,
             &obs,
         );
@@ -314,6 +355,23 @@ struct FleetResilience {
     fail_fast: bool,
 }
 
+/// Run supervision and durability switches.
+struct FleetGuard {
+    journal: Option<String>,
+    deadline: Option<std::time::Duration>,
+}
+
+/// Parses `30s` / `500ms` / plain seconds (`30`) into a duration.
+fn parse_duration(s: &str) -> Option<std::time::Duration> {
+    let (digits, unit): (&str, fn(u64) -> std::time::Duration) = match s {
+        _ if s.ends_with("ms") => (&s[..s.len() - 2], std::time::Duration::from_millis),
+        _ if s.ends_with('s') => (&s[..s.len() - 1], std::time::Duration::from_secs),
+        _ => (s, std::time::Duration::from_secs),
+    };
+    let n: u64 = digits.parse().ok()?;
+    (n > 0).then(|| unit(n))
+}
+
 /// Fleet observability switches (tracing, metrics, progress).
 struct FleetObs {
     trace: Option<String>,
@@ -332,6 +390,7 @@ fn run_fleet(
     seed: u64,
     scale: Scale,
     checkpoint: Option<String>,
+    guard: &FleetGuard,
     resilience: &FleetResilience,
     obs: &FleetObs,
 ) {
@@ -356,6 +415,17 @@ fn run_fleet(
     if let Some(path) = checkpoint {
         runner = runner.with_checkpoint(path.into());
     }
+    if let Some(path) = &guard.journal {
+        runner = runner.with_journal(path.into());
+    }
+    if let Some(budget) = guard.deadline {
+        runner = runner.with_deadline(budget);
+    }
+    // Ctrl-C cancels cooperatively: workers wind down, progress is
+    // flushed, partial results are printed. A second Ctrl-C kills.
+    let cancel = vs_guard::CancelToken::new();
+    vs_guard::install_ctrl_c(&cancel);
+    runner = runner.with_cancel(cancel);
 
     // Events are collected only when something consumes them; the filter
     // defaults to everything once --trace or --metrics asks for events.
@@ -425,6 +495,12 @@ fn run_fleet(
     if !obs.quiet {
         // Wall-clock numbers are diagnostic only: stderr, never stdout.
         eprint!("{}", trace.profile.render());
+    }
+    if result.degradation.interrupted {
+        // Partial results were printed and progress was flushed; signal
+        // the interruption the conventional way (128 + SIGINT).
+        eprintln!("repro: interrupted — progress saved, resume with the same flags");
+        std::process::exit(130);
     }
 }
 

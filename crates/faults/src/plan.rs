@@ -113,6 +113,14 @@ pub struct FaultPlan {
     /// `attempts` attempts. Injected at the fleet layer, not in the chip
     /// simulation, so retried attempts replay identically.
     panics: Vec<(ChipId, u32)>,
+    /// `(chip, attempts)`: the worker job for `chip` *hangs* (stops
+    /// heartbeating, spinning until cancelled) on its first `attempts`
+    /// attempts. Exercises the watchdog path: fleet-layer like panics, so
+    /// retried attempts replay identically.
+    hangs: Vec<(ChipId, u32)>,
+    /// The first `n` checkpoint saves of a fleet run fail with an injected
+    /// I/O error, exercising the save retry/backoff path deterministically.
+    checkpoint_io_errors: u32,
 }
 
 impl FaultPlan {
@@ -123,7 +131,10 @@ impl FaultPlan {
 
     /// True when the plan injects nothing at all.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty() && self.panics.is_empty()
+        self.events.is_empty()
+            && self.panics.is_empty()
+            && self.hangs.is_empty()
+            && self.checkpoint_io_errors == 0
     }
 
     /// The scheduled chip-level faults.
@@ -134,6 +145,16 @@ impl FaultPlan {
     /// The injected worker panics, as `(chip, attempts)` pairs.
     pub fn worker_panics(&self) -> &[(ChipId, u32)] {
         &self.panics
+    }
+
+    /// The injected worker hangs, as `(chip, attempts)` pairs.
+    pub fn worker_hangs(&self) -> &[(ChipId, u32)] {
+        &self.hangs
+    }
+
+    /// How many checkpoint saves should fail with an injected I/O error.
+    pub fn checkpoint_io_errors(&self) -> u32 {
+        self.checkpoint_io_errors
     }
 
     /// Adds a fault.
@@ -236,6 +257,33 @@ impl FaultPlan {
             .map_or(0, |(_, n)| *n)
     }
 
+    /// Makes the worker job for `chip` hang — spin without heartbeating
+    /// until its watchdog cancels it — on its first `attempts` attempts
+    /// (builder form). With a retry budget of `attempts` or more the chip
+    /// eventually completes; with less it is quarantined.
+    pub fn worker_hang(mut self, chip: ChipId, attempts: u32) -> FaultPlan {
+        match self.hangs.iter_mut().find(|(c, _)| *c == chip) {
+            Some((_, n)) => *n = (*n).max(attempts),
+            None => self.hangs.push((chip, attempts)),
+        }
+        self
+    }
+
+    /// How many attempts of `chip`'s worker job should hang.
+    pub fn hang_attempts(&self, chip: ChipId) -> u32 {
+        self.hangs
+            .iter()
+            .find(|(c, _)| *c == chip)
+            .map_or(0, |(_, n)| *n)
+    }
+
+    /// Makes the first `n` checkpoint saves fail with an injected I/O
+    /// error (builder form). Saturating: combining plans keeps the max.
+    pub fn checkpoint_io_error(mut self, n: u32) -> FaultPlan {
+        self.checkpoint_io_errors = self.checkpoint_io_errors.max(n);
+        self
+    }
+
     /// The plan scoped to one chip: events targeting other chips are
     /// dropped and surviving events lose their chip tag (worker panics are
     /// kept as-is; they are consumed at the fleet layer).
@@ -248,6 +296,8 @@ impl FaultPlan {
                 .map(|f| ScheduledFault { chip: None, ..*f })
                 .collect(),
             panics: self.panics.clone(),
+            hangs: self.hangs.clone(),
+            checkpoint_io_errors: self.checkpoint_io_errors,
         }
     }
 
@@ -354,6 +404,15 @@ impl FaultPlan {
             mix(chip.0);
             mix(u64::from(attempts));
         }
+        for &(chip, attempts) in &self.hangs {
+            mix(6);
+            mix(chip.0);
+            mix(u64::from(attempts));
+        }
+        if self.checkpoint_io_errors > 0 {
+            mix(7);
+            mix(u64::from(self.checkpoint_io_errors));
+        }
         h
     }
 }
@@ -398,6 +457,41 @@ mod tests {
             .worker_panic(ChipId(1), 1);
         assert_eq!(plan.panic_attempts(ChipId(1)), 3);
         assert_eq!(plan.worker_panics().len(), 1);
+    }
+
+    #[test]
+    fn hangs_and_io_errors_count_as_content() {
+        let plan = FaultPlan::new().worker_hang(ChipId(2), 1);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.hang_attempts(ChipId(2)), 1);
+        assert_eq!(plan.hang_attempts(ChipId(3)), 0);
+        // Max-merge, like panics.
+        let plan = plan.worker_hang(ChipId(2), 4).worker_hang(ChipId(2), 2);
+        assert_eq!(plan.hang_attempts(ChipId(2)), 4);
+        assert_eq!(plan.worker_hangs().len(), 1);
+        // Scoping keeps hangs (consumed at the fleet layer, like panics).
+        assert_eq!(plan.for_chip(ChipId(9)).hang_attempts(ChipId(2)), 4);
+
+        let io = FaultPlan::new().checkpoint_io_error(3);
+        assert!(!io.is_empty());
+        assert_eq!(io.checkpoint_io_errors(), 3);
+        assert_eq!(io.checkpoint_io_error(1).checkpoint_io_errors(), 3);
+        assert_eq!(FaultPlan::new().checkpoint_io_errors(), 0);
+    }
+
+    #[test]
+    fn digest_distinguishes_hangs_from_panics() {
+        let panic = FaultPlan::new().worker_panic(ChipId(1), 2);
+        let hang = FaultPlan::new().worker_hang(ChipId(1), 2);
+        let io = FaultPlan::new().checkpoint_io_error(2);
+        assert_ne!(panic.digest(), hang.digest());
+        assert_ne!(panic.digest(), io.digest());
+        assert_ne!(hang.digest(), io.digest());
+        assert_ne!(hang.digest(), 0);
+        assert_eq!(
+            hang.digest(),
+            FaultPlan::new().worker_hang(ChipId(1), 2).digest()
+        );
     }
 
     #[test]

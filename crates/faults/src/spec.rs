@@ -11,6 +11,8 @@ use vs_types::{ChipId, CoreId, DomainId, Millivolts, SimTime};
 /// |---|---|
 /// | `seeded:SEED` | a seeded population-wide plan ([`FaultPlan::seeded`], default profile) |
 /// | `panic:chipN` | chip `N`'s worker job panics once (`xM` suffix: `M` times) |
+/// | `hang:chipN` | chip `N`'s worker job hangs once until the watchdog cancels it (`xM` suffix: `M` times) |
+/// | `io-error:N` | the first `N` checkpoint saves fail with an injected I/O error |
 /// | `due@TIME:dD` | a DUE on domain `D` at `TIME` |
 /// | `crash@TIME:cC` | core `C` crashes at `TIME` |
 /// | `crash<MVmv:dD:cC` | core `C` crashes when domain `D` drops below `MV` mV |
@@ -69,7 +71,10 @@ impl FaultSpec {
         for &(chip, attempts) in self.explicit.worker_panics() {
             plan = plan.worker_panic(chip, attempts);
         }
-        plan
+        for &(chip, attempts) in self.explicit.worker_hangs() {
+            plan = plan.worker_hang(chip, attempts);
+        }
+        plan.checkpoint_io_error(self.explicit.checkpoint_io_errors())
     }
 
     fn parse_directive(&mut self, item: &str) -> Result<(), String> {
@@ -88,6 +93,22 @@ impl FaultSpec {
             };
             let chip = parse_chip(chip_part)?;
             self.explicit = std::mem::take(&mut self.explicit).worker_panic(chip, attempts);
+            return Ok(());
+        }
+        if let Some(rest) = item.strip_prefix("hang:") {
+            let (chip_part, attempts) = match rest.split_once('x') {
+                Some((c, n)) => (c, n.parse::<u32>().map_err(|_| "hang count must be a u32")?),
+                None => (rest, 1),
+            };
+            let chip = parse_chip(chip_part)?;
+            self.explicit = std::mem::take(&mut self.explicit).worker_hang(chip, attempts);
+            return Ok(());
+        }
+        if let Some(rest) = item.strip_prefix("io-error:") {
+            let n = rest
+                .parse::<u32>()
+                .map_err(|_| "io-error count must be a u32")?;
+            self.explicit = std::mem::take(&mut self.explicit).checkpoint_io_error(n);
             return Ok(());
         }
 
@@ -267,6 +288,20 @@ mod tests {
         assert!(FaultSpec::parse("stuck@1ms:d0:1.5:2ms").is_err());
         assert!(FaultSpec::parse("panic:3").is_err());
         assert!(FaultSpec::parse("crash<650:d0:c0").is_err());
+        assert!(FaultSpec::parse("hang:3").is_err());
+        assert!(FaultSpec::parse("hang:chip1xZ").is_err());
+        assert!(FaultSpec::parse("io-error:many").is_err());
+    }
+
+    #[test]
+    fn hang_and_io_error_directives_parse() {
+        let spec = FaultSpec::parse("hang:chip2,hang:chip5x3,io-error:2").unwrap();
+        let plan = spec.materialize(8);
+        assert_eq!(plan.hang_attempts(ChipId(2)), 1);
+        assert_eq!(plan.hang_attempts(ChipId(5)), 3);
+        assert_eq!(plan.hang_attempts(ChipId(0)), 0);
+        assert_eq!(plan.checkpoint_io_errors(), 2);
+        assert!(plan.worker_panics().is_empty());
     }
 
     #[test]

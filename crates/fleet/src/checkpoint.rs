@@ -7,15 +7,27 @@
 //! aggregates to *bit-identical* statistics — text round-tripping loses
 //! nothing.
 //!
-//! Saves are atomic (write to a sibling temp file, then rename), so a
-//! sweep killed mid-save leaves the previous checkpoint intact. Loading
-//! tolerates a truncated final line for the same reason.
+//! Saves are atomic and durable: the checkpoint is written to a uniquely
+//! named sibling temp file (pid + counter, so concurrent savers to
+//! sibling paths never collide), fsynced, renamed over the target, and
+//! the parent directory is fsynced so the rename itself survives a crash.
+//! A sweep killed mid-save leaves the previous checkpoint intact.
+//!
+//! Each record carries an optional trailing `crc=` field (CRC-32 of the
+//! record body). Loading is deliberately lenient about *records* —
+//! a truncated final line, a record failing its checksum, or a malformed
+//! record is skipped with a typed [`CheckpointWarning`], never a panic —
+//! while *header* problems (wrong magic, wrong fingerprint) stay hard
+//! errors, because they mean the whole file is the wrong file. Records
+//! written before the `crc=` field existed still load.
 
 use crate::summary::{ChipSummary, CoreMarginSummary};
 use std::fmt;
 use std::fs;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use vs_guard::crc32;
 use vs_types::ChipId;
 
 /// File-format magic: first line of every checkpoint.
@@ -59,28 +71,78 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
+/// Why one chip record was skipped during a load. Record-level damage is
+/// never fatal: the rest of the checkpoint still resumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointWarning {
+    /// The record is missing trailing fields (an interrupted final write).
+    Truncated,
+    /// The record fails its `crc=` checksum.
+    BadCrc {
+        /// The checksum the record claims.
+        expected: u32,
+        /// The checksum of the record body actually present.
+        found: u32,
+    },
+    /// The record does not parse as a chip record.
+    Malformed(String),
+}
+
+impl fmt::Display for CheckpointWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointWarning::Truncated => write!(f, "truncated record"),
+            CheckpointWarning::BadCrc { expected, found } => write!(
+                f,
+                "record fails its checksum (recorded {expected:08x}, computed {found:08x})"
+            ),
+            CheckpointWarning::Malformed(msg) => write!(f, "malformed record: {msg}"),
+        }
+    }
+}
+
+/// The result of a lenient [`load_report`]: everything that decoded, plus
+/// a typed warning per skipped record (`(1-based line number, warning)`).
+#[derive(Debug)]
+pub struct CheckpointLoad {
+    /// The summaries that decoded cleanly, in chip-id order.
+    pub summaries: Vec<ChipSummary>,
+    /// One entry per skipped record.
+    pub warnings: Vec<(usize, CheckpointWarning)>,
+}
+
 fn f64_hex(v: f64) -> String {
     format!("{:016x}", v.to_bits())
 }
 
-fn parse_f64_hex(s: &str) -> Result<f64, CheckpointError> {
+fn malformed(msg: String) -> CheckpointWarning {
+    CheckpointWarning::Malformed(msg)
+}
+
+fn parse_f64_hex(s: &str) -> Result<f64, CheckpointWarning> {
+    // Exactly 16 hex digits: a shorter string is a truncated write, and
+    // accepting it would silently mis-parse the value.
+    if s.len() != 16 {
+        return Err(malformed(format!("bad f64 bit pattern {s:?}")));
+    }
     u64::from_str_radix(s, 16)
         .map(f64::from_bits)
-        .map_err(|_| CheckpointError::Format(format!("bad f64 bit pattern {s:?}")))
+        .map_err(|_| malformed(format!("bad f64 bit pattern {s:?}")))
 }
 
-fn parse_u64(s: &str) -> Result<u64, CheckpointError> {
+fn parse_u64(s: &str) -> Result<u64, CheckpointWarning> {
     s.parse()
-        .map_err(|_| CheckpointError::Format(format!("bad integer {s:?}")))
+        .map_err(|_| malformed(format!("bad integer {s:?}")))
 }
 
-fn parse_i32(s: &str) -> Result<i32, CheckpointError> {
+fn parse_i32(s: &str) -> Result<i32, CheckpointWarning> {
     s.parse()
-        .map_err(|_| CheckpointError::Format(format!("bad integer {s:?}")))
+        .map_err(|_| malformed(format!("bad integer {s:?}")))
 }
 
-/// Renders one chip record as a single checkpoint line.
-fn encode_chip(s: &ChipSummary) -> String {
+/// Renders one chip record as a single checkpoint line, ending with a
+/// `crc=` field covering everything before it.
+pub(crate) fn encode_chip(s: &ChipSummary) -> String {
     let margins = s
         .margins
         .iter()
@@ -109,17 +171,40 @@ fn encode_chip(s: &ChipSummary) -> String {
     if s.rollbacks > 0 {
         line.push_str(&format!(" rb={}", s.rollbacks));
     }
+    let crc = crc32(line.as_bytes());
+    line.push_str(&format!(" crc={crc:08x}"));
     line
 }
 
-/// Parses one chip record line. Returns `Ok(None)` for an incomplete
-/// (truncated) line so partial final writes do not poison a resume.
-fn decode_chip(line: &str) -> Result<Option<ChipSummary>, CheckpointError> {
+/// Splits a record's trailing `crc=` field off, if present, returning the
+/// record body and the recorded checksum. Records written before the
+/// `crc=` field existed come back unchanged with no checksum.
+fn split_crc(line: &str) -> Result<(&str, Option<u32>), CheckpointWarning> {
+    match line.rsplit_once(" crc=") {
+        Some((body, hex)) if !hex.contains(' ') => {
+            let crc = u32::from_str_radix(hex, 16)
+                .map_err(|_| malformed(format!("bad crc field {hex:?}")))?;
+            Ok((body, Some(crc)))
+        }
+        _ => Ok((line, None)),
+    }
+}
+
+/// Parses one chip record line, verifying its `crc=` checksum when one is
+/// present (legacy records without one still load). Returns `Ok(None)`
+/// for an incomplete (truncated) line so partial final writes do not
+/// poison a resume.
+pub(crate) fn decode_chip(line: &str) -> Result<Option<ChipSummary>, CheckpointWarning> {
+    let (line, recorded) = split_crc(line)?;
+    if let Some(expected) = recorded {
+        let found = crc32(line.as_bytes());
+        if expected != found {
+            return Err(CheckpointWarning::BadCrc { expected, found });
+        }
+    }
     let mut parts = line.split_whitespace();
     if parts.next() != Some("chip") {
-        return Err(CheckpointError::Format(format!(
-            "expected a chip record, got {line:?}"
-        )));
+        return Err(malformed(format!("expected a chip record, got {line:?}")));
     }
     let chip = match parts.next() {
         Some(id) => ChipId(parse_u64(id)?),
@@ -141,12 +226,12 @@ fn decode_chip(line: &str) -> Result<Option<ChipSummary>, CheckpointError> {
     for field in parts {
         let (key, value) = field
             .split_once('=')
-            .ok_or_else(|| CheckpointError::Format(format!("field {field:?} is not key=value")))?;
+            .ok_or_else(|| malformed(format!("field {field:?} is not key=value")))?;
         match key {
             "seed" => {
                 die_seed = Some(
                     u64::from_str_radix(value, 16)
-                        .map_err(|_| CheckpointError::Format(format!("bad seed {value:?}")))?,
+                        .map_err(|_| malformed(format!("bad seed {value:?}")))?,
                 )
             }
             "margins" => {
@@ -155,13 +240,13 @@ fn decode_chip(line: &str) -> Result<Option<ChipSummary>, CheckpointError> {
                     let mut nums = entry.split(':');
                     let core = nums
                         .next()
-                        .ok_or_else(|| CheckpointError::Format("empty margin entry".into()))?;
-                    let fe = nums.next().ok_or_else(|| {
-                        CheckpointError::Format(format!("margin entry {entry:?} truncated"))
-                    })?;
-                    let ms = nums.next().ok_or_else(|| {
-                        CheckpointError::Format(format!("margin entry {entry:?} truncated"))
-                    })?;
+                        .ok_or_else(|| malformed("empty margin entry".into()))?;
+                    let fe = nums
+                        .next()
+                        .ok_or_else(|| malformed(format!("margin entry {entry:?} truncated")))?;
+                    let ms = nums
+                        .next()
+                        .ok_or_else(|| malformed(format!("margin entry {entry:?} truncated")))?;
                     list.push(CoreMarginSummary {
                         core: parse_u64(core)? as usize,
                         first_error_mv: parse_i32(fe)?,
@@ -189,11 +274,7 @@ fn decode_chip(line: &str) -> Result<Option<ChipSummary>, CheckpointError> {
             "sw" => sw_overhead = Some(parse_f64_hex(value)?),
             "du" => dues = parse_u64(value)?,
             "rb" => rollbacks = parse_u64(value)?,
-            other => {
-                return Err(CheckpointError::Format(format!(
-                    "unknown field {other:?} in chip record"
-                )))
-            }
+            other => return Err(malformed(format!("unknown field {other:?} in chip record"))),
         }
     }
     // A record missing trailing fields is a truncated final write.
@@ -236,8 +317,40 @@ fn decode_chip(line: &str) -> Result<Option<ChipSummary>, CheckpointError> {
     }
 }
 
-/// Atomically writes a checkpoint: header, then one line per summary in
-/// chip-id order.
+/// A process-wide counter making every temp-file name unique: two savers
+/// targeting sibling paths (or the same path, racing) never clobber each
+/// other's in-flight temp file.
+static TEMP_SERIAL: AtomicU64 = AtomicU64::new(0);
+
+/// A temp path unique to this (process, save): `<path>.tmp.<pid>.<n>`.
+fn unique_temp(path: &Path) -> PathBuf {
+    let serial = TEMP_SERIAL.fetch_add(1, Ordering::Relaxed);
+    let pid = std::process::id();
+    let mut name = path.file_name().map(|n| n.to_owned()).unwrap_or_default();
+    name.push(format!(".tmp.{pid}.{serial}"));
+    path.with_file_name(name)
+}
+
+/// Fsyncs `path`'s parent directory so a just-completed rename survives a
+/// crash. Best-effort and unix-only: directory fsync is not portable, and
+/// a failure here cannot lose record *content* (the data file itself is
+/// already synced), only the rename's durability.
+fn sync_parent_dir(path: &Path) {
+    #[cfg(unix)]
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Ok(dir) = fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+}
+
+/// Atomically and durably writes a checkpoint: header, then one line per
+/// summary in chip-id order. The text is written to a uniquely named
+/// sibling temp file, fsynced, renamed over `path`, and the parent
+/// directory is fsynced — so after `Ok` the new checkpoint survives
+/// SIGKILL, and after any failure the previous one is intact.
 pub fn save(
     path: &Path,
     fingerprint: u64,
@@ -253,29 +366,49 @@ pub fn save(
         text.push_str(&encode_chip(s));
         text.push('\n');
     }
-    let tmp = path.with_extension("tmp");
-    fs::write(&tmp, text)?;
-    fs::rename(&tmp, path)?;
-    Ok(())
+    let tmp = unique_temp(path);
+    let result = (|| {
+        use std::io::Write as _;
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(text.as_bytes())?;
+        file.sync_all()?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        // Never leave a stray temp file behind a failed save.
+        let _ = fs::remove_file(&tmp);
+    } else {
+        sync_parent_dir(path);
+    }
+    result
 }
 
-/// Loads a checkpoint, verifying it belongs to the config with
-/// `fingerprint`. Returns the completed summaries (chip-id order).
+/// Loads a checkpoint leniently, verifying it belongs to the config with
+/// `fingerprint`.
 ///
-/// A truncated final record (e.g. the process died mid-write without the
-/// atomic rename, or the file was hand-edited) is skipped, not fatal.
-pub fn load(path: &Path, fingerprint: u64) -> Result<Vec<ChipSummary>, CheckpointError> {
+/// Header problems (missing file, wrong magic, wrong fingerprint) are
+/// hard errors — the file as a whole is unusable. Record problems — a
+/// truncated final line, a checksum failure, a malformed record — skip
+/// only that record and surface as typed [`CheckpointWarning`]s with
+/// their 1-based line numbers, so the caller can report partial damage
+/// without abandoning the resume. Never panics on arbitrary file bytes.
+pub fn load_report(path: &Path, fingerprint: u64) -> Result<CheckpointLoad, CheckpointError> {
     let text = fs::read_to_string(path)?;
-    let mut lines = text.lines();
+    let mut lines = text.lines().enumerate();
     match lines.next() {
-        Some(MAGIC) => {}
+        Some((_, MAGIC)) => {}
         other => {
             return Err(CheckpointError::Format(format!(
-                "bad header {other:?} (expected {MAGIC:?})"
+                "bad header {:?} (expected {MAGIC:?})",
+                other.map(|(_, l)| l)
             )))
         }
     }
-    let found = match lines.next().and_then(|l| l.strip_prefix("fingerprint ")) {
+    let found = match lines
+        .next()
+        .and_then(|(_, l)| l.strip_prefix("fingerprint "))
+    {
         Some(hex) => u64::from_str_radix(hex, 16)
             .map_err(|_| CheckpointError::Format(format!("bad fingerprint {hex:?}")))?,
         None => return Err(CheckpointError::Format("missing fingerprint line".into())),
@@ -287,16 +420,32 @@ pub fn load(path: &Path, fingerprint: u64) -> Result<Vec<ChipSummary>, Checkpoin
         });
     }
     let mut summaries = Vec::new();
-    for line in lines {
+    let mut warnings = Vec::new();
+    for (idx, line) in lines {
         if line.trim().is_empty() {
             continue;
         }
-        if let Some(summary) = decode_chip(line)? {
-            summaries.push(summary);
+        match decode_chip(line) {
+            Ok(Some(summary)) => summaries.push(summary),
+            Ok(None) => warnings.push((idx + 1, CheckpointWarning::Truncated)),
+            Err(warning) => warnings.push((idx + 1, warning)),
         }
     }
     summaries.sort_by_key(|s| s.chip);
-    Ok(summaries)
+    Ok(CheckpointLoad {
+        summaries,
+        warnings,
+    })
+}
+
+/// Loads a checkpoint, verifying it belongs to the config with
+/// `fingerprint`. Returns the completed summaries (chip-id order).
+///
+/// The lenient [`load_report`] with the warnings discarded: damaged
+/// records (truncated final write, failed checksum, malformed line) are
+/// skipped silently.
+pub fn load(path: &Path, fingerprint: u64) -> Result<Vec<ChipSummary>, CheckpointError> {
+    load_report(path, fingerprint).map(|l| l.summaries)
 }
 
 #[cfg(test)]
@@ -386,6 +535,86 @@ mod tests {
         assert!(!line.contains("du=") && !line.contains("rb="), "{line}");
         let decoded = decode_chip(&line).unwrap().unwrap();
         assert_eq!(decoded, s);
+    }
+
+    #[test]
+    fn records_without_crc_still_load() {
+        // A record written before the `crc=` field existed must decode
+        // identically — the checksum is strictly additive.
+        let s = summary(2);
+        let line = encode_chip(&s);
+        let (body, crc) = line.rsplit_once(" crc=").unwrap();
+        assert_eq!(crc.len(), 8, "crc renders as 8 hex digits");
+        assert_eq!(decode_chip(body).unwrap().unwrap(), s);
+        assert_eq!(decode_chip(&line).unwrap().unwrap(), s);
+    }
+
+    #[test]
+    fn bad_crc_is_a_typed_warning_not_a_panic() {
+        let path = scratch("badcrc.ckpt");
+        save(&path, 9, &[summary(0), summary(1), summary(2)]).unwrap();
+        // Corrupt one byte inside chip 1's record body.
+        let mut text = fs::read_to_string(&path).unwrap();
+        let pos = text.find("chip 1 ").unwrap() + "chip 1 seed=00000000d".len();
+        unsafe { text.as_bytes_mut()[pos] ^= 0x01 };
+        fs::write(&path, &text).unwrap();
+
+        let report = load_report(&path, 9).unwrap();
+        assert_eq!(report.summaries.len(), 2, "the damaged record is skipped");
+        assert_eq!(report.summaries[0].chip, ChipId(0));
+        assert_eq!(report.summaries[1].chip, ChipId(2));
+        assert_eq!(report.warnings.len(), 1);
+        let (line_no, warning) = &report.warnings[0];
+        assert_eq!(*line_no, 4, "header is two lines, chip 1 is line 4");
+        assert!(matches!(warning, CheckpointWarning::BadCrc { .. }));
+        // The silent wrapper agrees on the surviving records.
+        assert_eq!(load(&path, 9).unwrap(), report.summaries);
+    }
+
+    #[test]
+    fn malformed_records_are_warnings_not_errors() {
+        let path = scratch("malformed.ckpt");
+        save(&path, 3, &[summary(0)]).unwrap();
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("chip 1 wat=huh\n");
+        text.push_str("not-a-record-at-all\n");
+        fs::write(&path, &text).unwrap();
+        let report = load_report(&path, 3).unwrap();
+        assert_eq!(report.summaries.len(), 1);
+        assert_eq!(report.warnings.len(), 2);
+        assert!(report
+            .warnings
+            .iter()
+            .all(|(_, w)| matches!(w, CheckpointWarning::Malformed(_))));
+    }
+
+    #[test]
+    fn concurrent_saves_to_sibling_paths_do_not_collide() {
+        // The old implementation derived the temp name with
+        // `with_extension("tmp")`, so `a.ckpt` and `a.tmp` (or two racing
+        // savers of the same path) could clobber each other. Unique names
+        // make simultaneous saves safe.
+        let dir = scratch("unique-temp-dir");
+        fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("x.ckpt");
+        let a = unique_temp(&target);
+        let b = unique_temp(&target);
+        assert_ne!(a, b, "every save gets its own temp file");
+        let name = a.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(name.starts_with("x.ckpt.tmp."), "{name}");
+
+        save(&target, 1, &[summary(0)]).unwrap();
+        save(&target, 1, &[summary(0), summary(1)]).unwrap();
+        assert_eq!(load(&target, 1).unwrap().len(), 2);
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "saves must not leave temp files behind"
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::config::{ControllerVariant, FleetConfig, MarginsMode};
 use crate::summary::{ChipSummary, CoreMarginSummary};
+use vs_guard::CancelToken;
 use vs_platform::characterize::{all_analytic_core_margins, all_core_margins};
 use vs_platform::{Chip, ChipConfig};
 use vs_spec::{SoftwareSpeculation, SpecRun, SpeculationSystem};
@@ -37,18 +38,52 @@ pub fn simulate_chip_traced(
     chip: ChipId,
     filter: EventFilter,
 ) -> (ChipSummary, Vec<TelemetryEvent>) {
+    simulate_chip_guarded(config, chip, filter, &CancelToken::new(), || {})
+        .expect("a fresh token is never cancelled")
+}
+
+/// [`simulate_chip_traced`] under supervision: `cancel` is polled between
+/// simulation slices (a cancelled job returns `None` within one slice,
+/// discarding its partial work) and `beat` is invoked at the same points
+/// so a watchdog can tell a slow chip from a hung one.
+///
+/// Supervision never touches the simulated results: a job that completes
+/// under a never-cancelled token is bit-identical to an unsupervised one.
+pub fn simulate_chip_guarded(
+    config: &FleetConfig,
+    chip: ChipId,
+    filter: EventFilter,
+    cancel: &CancelToken,
+    mut beat: impl FnMut(),
+) -> Option<(ChipSummary, Vec<TelemetryEvent>)> {
+    if cancel.is_cancelled() {
+        return None;
+    }
     let chip_config = config.chip_config(chip);
     let die_seed = chip_config.seed;
     let margins = characterize(config, &chip_config);
+    beat();
+    if cancel.is_cancelled() {
+        return None;
+    }
     let mut events = Vec::new();
     if filter.accepts(EventCategory::Fleet) {
         events.push(TelemetryEvent::JobStarted { chip });
     }
 
     let out = match config.variant {
-        ControllerVariant::Hardware => {
-            run_hardware(config, chip, &chip_config, filter, &mut events)
-        }
+        ControllerVariant::Hardware => run_hardware(
+            config,
+            chip,
+            &chip_config,
+            filter,
+            &mut events,
+            cancel,
+            &mut beat,
+        )?,
+        // The firmware and no-speculation baselines run monolithically
+        // (no slice loop to poll inside); the entry check above still
+        // bounds how late a cancelled claim can start.
         ControllerVariant::Software => run_software(config, chip, &chip_config),
         ControllerVariant::Baseline => run_baseline_only(config, chip, &chip_config),
     };
@@ -76,7 +111,7 @@ pub fn simulate_chip_traced(
         dues: out.dues,
         rollbacks: out.rollbacks,
     };
-    (summary, events)
+    Some((summary, events))
 }
 
 /// Characterizes the die's per-core margins on a scratch chip (stress
@@ -144,7 +179,9 @@ fn run_hardware(
     chip_config: &ChipConfig,
     filter: EventFilter,
     events: &mut Vec<TelemetryEvent>,
-) -> RunOutcome {
+    cancel: &CancelToken,
+    beat: &mut dyn FnMut(),
+) -> Option<RunOutcome> {
     let mut sys = SpeculationSystem::new(chip_config.clone(), config.controller);
     if !filter.is_empty() {
         sys.set_recorder(Recorder::enabled(filter));
@@ -158,7 +195,9 @@ fn run_hardware(
     sys.calibrate_fast();
     assign_workloads(config, chip, sys.chip_mut());
     let mut session = SpecRun::new(&sys, config.run_duration);
-    while session.advance(&mut sys, config.slice_ticks) > 0 {}
+    while session.advance_guarded(&mut sys, config.slice_ticks, cancel)? > 0 {
+        beat();
+    }
     let stats = session.finish(&sys);
     events.extend(sys.take_events());
 
@@ -170,7 +209,7 @@ fn run_hardware(
     } else {
         0.0
     };
-    RunOutcome {
+    Some(RunOutcome {
         mean_vdd_mv: stats.mean_vdd_mv,
         vdd_reduction: reduction,
         energy_savings: savings,
@@ -180,7 +219,7 @@ fn run_hardware(
         sw_overhead: 0.0,
         dues: stats.dues_consumed,
         rollbacks: stats.crash_rollbacks,
-    }
+    })
 }
 
 /// The firmware-speculation baseline (§V-F): workload-triggered errors
@@ -319,6 +358,26 @@ mod tests {
         assert!(base.vdd_reduction.iter().all(|r| *r == 0.0));
         assert_eq!(base.energy_savings, 0.0);
         assert_eq!(base.emergencies, 0);
+    }
+
+    #[test]
+    fn guarded_job_is_identical_when_uncancelled_and_stops_when_cancelled() {
+        let config = small(ControllerVariant::Hardware);
+        let plain = simulate_chip_traced(&config, ChipId(1), EventFilter::all());
+        let token = CancelToken::new();
+        let mut beats = 0u64;
+        let guarded = simulate_chip_guarded(&config, ChipId(1), EventFilter::all(), &token, || {
+            beats += 1
+        })
+        .unwrap();
+        assert_eq!(plain, guarded, "supervision must not perturb results");
+        assert!(beats > 0, "the job heartbeats between slices");
+
+        token.cancel();
+        assert!(
+            simulate_chip_guarded(&config, ChipId(1), EventFilter::none(), &token, || {}).is_none(),
+            "a cancelled token refuses the job"
+        );
     }
 
     #[test]

@@ -57,13 +57,18 @@ mod checkpoint;
 mod config;
 mod degrade;
 mod job;
+mod journal;
 mod runner;
 mod summary;
 
 pub use aggregate::{Distribution, Histogram, PopulationStats};
-pub use checkpoint::{load as load_checkpoint, save as save_checkpoint, CheckpointError};
+pub use checkpoint::{
+    load as load_checkpoint, load_report as load_checkpoint_report, save as save_checkpoint,
+    CheckpointError, CheckpointLoad, CheckpointWarning,
+};
 pub use config::{ControllerVariant, FleetConfig, MarginsMode};
 pub use degrade::DegradationReport;
-pub use job::{simulate_chip, simulate_chip_traced};
+pub use job::{simulate_chip, simulate_chip_guarded, simulate_chip_traced};
+pub use journal::{replay_journal, ChipJournal, JournalReplay};
 pub use runner::{FleetError, FleetResult, FleetRunner, FleetTrace};
 pub use summary::{ChipSummary, CoreMarginSummary};

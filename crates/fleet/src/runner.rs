@@ -22,12 +22,36 @@
 //! [`DegradationReport`]. Retry and quarantine decisions depend only on
 //! per-chip attempt counts — never on scheduling — so degraded results
 //! are as deterministic as clean ones.
+//!
+//! # Supervision & durability
+//!
+//! Three opt-in guards (built on `vs-guard`) harden long runs:
+//!
+//! * [`with_cancel`](FleetRunner::with_cancel) — a cooperative
+//!   cancellation token (wire it to Ctrl-C with
+//!   [`vs_guard::install_ctrl_c`]) checked between claims and between
+//!   simulation slices. An interrupted run flushes its progress and
+//!   returns partial results with `degradation.interrupted` set.
+//! * [`with_deadline`](FleetRunner::with_deadline) — a wall-clock
+//!   watchdog gives every job attempt a heartbeat budget; a job that
+//!   goes silent past it is cancelled (never killed), retried under the
+//!   normal retry policy, and quarantined if it keeps hanging — the rest
+//!   of the fleet never stalls.
+//! * [`with_journal`](FleetRunner::with_journal) — a write-ahead journal
+//!   fsyncs each finished chip, closing the up-to-`checkpoint_every`
+//!   window a SIGKILL could otherwise lose; resume replays it and
+//!   compacts it into the checkpoint.
+//!
+//! Wall-clock guard decisions affect *which* chips complete, never their
+//! contents, and guard telemetry is emitted in sorted order after the
+//! per-chip streams — traces stay byte-identical across worker counts.
 
 use crate::aggregate::PopulationStats;
 use crate::checkpoint::{self, CheckpointError};
 use crate::config::FleetConfig;
 use crate::degrade::DegradationReport;
-use crate::job::simulate_chip_traced;
+use crate::job::simulate_chip_guarded;
+use crate::journal::{replay_journal, ChipJournal};
 use crate::summary::ChipSummary;
 use std::fmt;
 use std::path::PathBuf;
@@ -35,9 +59,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Once;
 use std::time::Duration;
+use vs_guard::{CancelToken, Watchdog};
 use vs_telemetry::{
-    to_jsonl, EventFilter, FleetProfile, LatencyHistogram, ProgressReport, ProgressSink,
-    SilentProgress, Stopwatch, TelemetryEvent, WorkerProfile,
+    to_jsonl, EventCategory, EventFilter, FleetProfile, LatencyHistogram, ProgressReport,
+    ProgressSink, SilentProgress, Stopwatch, TelemetryEvent, WorkerProfile,
 };
 use vs_types::ChipId;
 
@@ -192,13 +217,20 @@ enum JobOutcome {
         summary: ChipSummary,
         events: Vec<TelemetryEvent>,
         failed_attempts: u32,
+        /// Attempt indices the watchdog cancelled before success.
+        fired_attempts: Vec<u32>,
     },
     /// The job failed every attempt; the chip is quarantined.
     Failed {
         chip: ChipId,
         attempts: u32,
         error: String,
+        /// Attempt indices the watchdog cancelled.
+        fired_attempts: Vec<u32>,
     },
+    /// The run-wide token was cancelled mid-job; the chip is neither done
+    /// nor failed, and the run winds down with partial results.
+    Cancelled,
 }
 
 /// Drives a fleet of chips across a pool of worker threads.
@@ -213,6 +245,13 @@ pub struct FleetRunner {
     max_retries: u32,
     /// Abort the run on the first quarantined chip instead of degrading.
     fail_fast: bool,
+    /// Run-wide cooperative cancellation token (Ctrl-C).
+    cancel: Option<CancelToken>,
+    /// Per-attempt wall-clock heartbeat budget; silence past it means the
+    /// watchdog cancels the attempt.
+    deadline: Option<Duration>,
+    /// Write-ahead journal path: one fsynced record per finished chip.
+    journal: Option<PathBuf>,
 }
 
 impl FleetRunner {
@@ -233,6 +272,9 @@ impl FleetRunner {
             checkpoint_every: 32,
             max_retries: 2,
             fail_fast: false,
+            cancel: None,
+            deadline: None,
+            journal: None,
         }
     }
 
@@ -264,6 +306,37 @@ impl FleetRunner {
     /// with partial results.
     pub fn with_fail_fast(mut self, fail_fast: bool) -> FleetRunner {
         self.fail_fast = fail_fast;
+        self
+    }
+
+    /// Attaches a run-wide cancellation token. When it is cancelled
+    /// (e.g. by Ctrl-C via [`vs_guard::install_ctrl_c`]), workers stop
+    /// claiming chips, in-flight jobs wind down at their next slice
+    /// boundary, progress is flushed to the checkpoint/journal, and the
+    /// run returns partial results with `degradation.interrupted` set.
+    pub fn with_cancel(mut self, token: CancelToken) -> FleetRunner {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Gives every job attempt a wall-clock heartbeat budget, supervised
+    /// by a watchdog thread. An attempt that goes silent longer than
+    /// `deadline` is cooperatively cancelled — never killed — then
+    /// retried under the normal retry policy and quarantined if it keeps
+    /// hanging. Wall time never feeds simulated results: the watchdog
+    /// decides *whether* a chip completes, not *what* it computes.
+    pub fn with_deadline(mut self, deadline: Duration) -> FleetRunner {
+        self.deadline = Some(deadline.max(Duration::from_millis(1)));
+        self
+    }
+
+    /// Enables the crash-safe write-ahead journal at `path`: each
+    /// finished chip is appended and fsynced before the run moves on, so
+    /// resume after SIGKILL recovers every finished chip even if the
+    /// periodic checkpoint never got to save them. On start the journal
+    /// is replayed, merged with the checkpoint, and compacted into it.
+    pub fn with_journal(mut self, path: PathBuf) -> FleetRunner {
+        self.journal = Some(path);
         self
     }
 
@@ -310,18 +383,94 @@ impl FleetRunner {
         if !self.config.faults.worker_panics().is_empty() {
             install_quiet_panic_hook();
         }
+        let mut degradation = DegradationReport::default();
+        // Guard decisions, buffered separately from the per-chip streams
+        // and appended in sorted order so the trace stays byte-identical
+        // for any worker count.
+        let mut guard_events: Vec<TelemetryEvent> = Vec::new();
+        let mut compactions: Vec<TelemetryEvent> = Vec::new();
+        // Transient checkpoint-save failures still owed by the fault
+        // plan; consumed by `save_with_retry` in (deterministic) save
+        // order.
+        let mut injected_io = self.config.faults.checkpoint_io_errors();
 
         // Restore prior progress, dropping chips beyond the current fleet
         // size (a shrunk re-run) — the fingerprint pins everything else.
-        // Load errors are fatal: resuming without the saved work would
-        // silently recompute (or worse, mix) results.
+        // Header/format errors are fatal (resuming without the saved work
+        // would silently recompute results); damaged *records* only skip
+        // that chip, which is then re-simulated.
         let mut done: Vec<ChipSummary> = match &self.checkpoint {
-            Some(path) if path.exists() => checkpoint::load(path, fingerprint)?
-                .into_iter()
-                .filter(|s| s.chip.0 < self.config.num_chips)
-                .collect(),
+            Some(path) if path.exists() => {
+                let report = checkpoint::load_report(path, fingerprint)?;
+                for (line, warning) in report.warnings {
+                    degradation
+                        .corrupt_records
+                        .push(format!("checkpoint line {line}: {warning}"));
+                }
+                report
+                    .summaries
+                    .into_iter()
+                    .filter(|s| s.chip.0 < self.config.num_chips)
+                    .collect()
+            }
             _ => Vec::new(),
         };
+
+        // Replay the write-ahead journal and merge it with the
+        // checkpoint: the union is every chip that durably finished
+        // before the previous process died.
+        let mut journal: Option<ChipJournal> = None;
+        if let Some(jpath) = &self.journal {
+            let mut replayed = 0u64;
+            if jpath.exists() {
+                let replay = replay_journal(jpath, fingerprint)?;
+                for (line, warning) in replay.warnings {
+                    degradation
+                        .corrupt_records
+                        .push(format!("journal line {line}: {warning}"));
+                }
+                for summary in replay.summaries {
+                    if summary.chip.0 < self.config.num_chips
+                        && !done.iter().any(|s| s.chip == summary.chip)
+                    {
+                        done.push(summary);
+                        replayed += 1;
+                    }
+                }
+            }
+            done.sort_by_key(|s| s.chip);
+            if replayed > 0 && filter.accepts(EventCategory::Guard) {
+                guard_events.push(TelemetryEvent::JournalReplayed { chips: replayed });
+            }
+            // Compact: persist the merged set into the checkpoint, and
+            // only then truncate the journal — a crash in between leaves
+            // harmless duplicates, never a gap.
+            let compacted = if replayed > 0 {
+                match self.save_with_retry(fingerprint, &done, &mut injected_io) {
+                    Ok(()) => self.checkpoint.is_some(),
+                    Err(e) => {
+                        degradation.checkpoint_failures.push(e.to_string());
+                        false
+                    }
+                }
+            } else {
+                self.checkpoint.is_some() || !jpath.exists()
+            };
+            journal = Some(if compacted {
+                let j = ChipJournal::create(jpath, fingerprint).map_err(CheckpointError::Io)?;
+                if !done.is_empty() && filter.accepts(EventCategory::Guard) {
+                    compactions.push(TelemetryEvent::JournalCompacted {
+                        chips: done.len() as u64,
+                    });
+                }
+                j
+            } else {
+                // No checkpoint to absorb the records (or the save
+                // failed): keep appending, the journal stays the only
+                // durable copy.
+                ChipJournal::open_append(jpath).map_err(CheckpointError::Io)?
+            });
+        }
         let resumed = done.len() as u64;
         let todo: Vec<ChipId> = {
             let have: std::collections::HashSet<u64> = done.iter().map(|s| s.chip.0).collect();
@@ -336,12 +485,20 @@ impl FleetRunner {
         let config = &self.config;
         let todo_ref = &todo;
         let max_retries = self.max_retries;
+        let run_token = self.cancel.clone().unwrap_or_default();
+        let run_token = &run_token;
+        // One watchdog thread supervises every attempt; poll fast enough
+        // to notice a hang well within one budget.
+        let supervisor = self.deadline.map(|budget| {
+            let poll = (budget / 8).clamp(Duration::from_millis(1), Duration::from_secs(1));
+            (Watchdog::spawn(poll), budget)
+        });
+        let supervisor = &supervisor;
         // Per-chip event streams, buffered until the run completes and
         // merged in chip-id order (never completion order) so the trace is
         // independent of scheduling.
         let mut traces: Vec<(ChipId, Vec<TelemetryEvent>)> = Vec::new();
         let mut profile = FleetProfile::default();
-        let mut degradation = DegradationReport::default();
         let mut fatal: Option<FleetError> = None;
         let run_watch = Stopwatch::start();
 
@@ -358,6 +515,9 @@ impl FleetRunner {
                     let mut latency = LatencyHistogram::new();
                     let wall = Stopwatch::start();
                     loop {
+                        if run_token.is_cancelled() {
+                            break;
+                        }
                         let claim = Stopwatch::start();
                         let idx = next.fetch_add(1, Ordering::Relaxed) as usize;
                         let chip = todo_ref.get(idx).copied();
@@ -366,28 +526,76 @@ impl FleetRunner {
                             break;
                         };
                         // The plan decides how many attempts this chip's
-                        // job loses before succeeding — worker-count
-                        // independent, so retry outcomes are
-                        // deterministic.
-                        let planned = config.faults.panic_attempts(chip);
+                        // job hangs or panics before succeeding —
+                        // worker-count independent, so retry outcomes are
+                        // deterministic. Hangs are injected first, then
+                        // panics.
+                        let planned_hangs = config.faults.hang_attempts(chip);
+                        let planned_panics = config.faults.panic_attempts(chip);
                         let mut failed_attempts = 0u32;
+                        let mut fired_attempts: Vec<u32> = Vec::new();
                         let busy = Stopwatch::start();
                         let out = loop {
+                            // Fresh supervision per attempt: the job's
+                            // token is a child of the run token, so both
+                            // the watchdog (directly) and Ctrl-C
+                            // (inherited) can stop it.
+                            let handle = supervisor
+                                .as_ref()
+                                .map(|(w, budget)| w.register(chip.0, *budget, run_token));
+                            let job_token = handle
+                                .as_ref()
+                                .map(|h| h.token().clone())
+                                .unwrap_or_else(|| run_token.child());
                             let attempt =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    if failed_attempts < planned {
+                                    if failed_attempts < planned_hangs {
+                                        // Injected hang: go silent (no
+                                        // heartbeats) until the watchdog
+                                        // or a run-wide interrupt cancels
+                                        // this attempt.
+                                        while !job_token.is_cancelled() {
+                                            std::thread::sleep(Duration::from_millis(1));
+                                        }
+                                        return None;
+                                    }
+                                    if failed_attempts < planned_hangs + planned_panics {
                                         std::panic::panic_any(InjectedPanic);
                                     }
-                                    simulate_chip_traced(config, chip, filter)
+                                    simulate_chip_guarded(config, chip, filter, &job_token, || {
+                                        if let Some(h) = &handle {
+                                            h.beat();
+                                        }
+                                    })
                                 }));
+                            let fired = handle.as_ref().is_some_and(|h| h.fired());
+                            drop(handle);
                             match attempt {
-                                Ok((summary, events)) => {
+                                Ok(Some((summary, events))) => {
                                     break JobOutcome::Done {
                                         summary,
                                         events,
                                         failed_attempts,
+                                        fired_attempts,
                                     }
                                 }
+                                Ok(None) if fired && !run_token.is_cancelled() => {
+                                    // The watchdog cancelled a hung or
+                                    // too-slow attempt: a failure like any
+                                    // other, minus the panic.
+                                    fired_attempts.push(failed_attempts);
+                                    failed_attempts = failed_attempts.saturating_add(1);
+                                    if failed_attempts > max_retries {
+                                        break JobOutcome::Failed {
+                                            chip,
+                                            attempts: failed_attempts,
+                                            error: "watchdog: job exceeded its deadline".to_owned(),
+                                            fired_attempts,
+                                        };
+                                    }
+                                    std::thread::sleep(backoff(failed_attempts));
+                                }
+                                Ok(None) => break JobOutcome::Cancelled,
                                 Err(payload) => {
                                     failed_attempts = failed_attempts.saturating_add(1);
                                     if failed_attempts > max_retries {
@@ -395,6 +603,7 @@ impl FleetRunner {
                                             chip,
                                             attempts: failed_attempts,
                                             error: describe_panic(payload.as_ref()),
+                                            fired_attempts,
                                         };
                                     }
                                     std::thread::sleep(backoff(failed_attempts));
@@ -429,7 +638,21 @@ impl FleetRunner {
                         summary,
                         events,
                         failed_attempts,
+                        fired_attempts,
                     } => {
+                        if !fired_attempts.is_empty() {
+                            degradation
+                                .watchdog_fired
+                                .push((summary.chip, fired_attempts.len() as u32));
+                            if filter.accepts(EventCategory::Guard) {
+                                for attempt in fired_attempts {
+                                    guard_events.push(TelemetryEvent::WatchdogFired {
+                                        chip: summary.chip,
+                                        attempt,
+                                    });
+                                }
+                            }
+                        }
                         if failed_attempts > 0 {
                             degradation.retried.push((summary.chip, failed_attempts));
                         }
@@ -443,12 +666,34 @@ impl FleetRunner {
                         if !events.is_empty() {
                             traces.push((summary.chip, events));
                         }
+                        // Journal first, checkpoint second: when this
+                        // iteration ends the chip is durable even if the
+                        // process dies before the next periodic save.
+                        if let Some(j) = journal.as_mut() {
+                            if let Err(e) = j.append(&summary) {
+                                degradation
+                                    .checkpoint_failures
+                                    .push(format!("journal append failed: {e}"));
+                            }
+                        }
                         done.push(summary);
                         since_save += 1;
                         if since_save >= self.checkpoint_every {
                             since_save = 0;
-                            if let Err(e) = self.save(fingerprint, &done) {
-                                degradation.checkpoint_failures.push(e.to_string());
+                            match self.save_with_retry(fingerprint, &done, &mut injected_io) {
+                                Ok(()) => {
+                                    self.compact_journal(
+                                        fingerprint,
+                                        done.len() as u64,
+                                        &mut journal,
+                                        &mut degradation,
+                                        filter,
+                                        &mut compactions,
+                                    );
+                                }
+                                Err(e) => {
+                                    degradation.checkpoint_failures.push(e.to_string());
+                                }
                             }
                         }
                     }
@@ -456,7 +701,19 @@ impl FleetRunner {
                         chip,
                         attempts,
                         error,
+                        fired_attempts,
                     } => {
+                        if !fired_attempts.is_empty() {
+                            degradation
+                                .watchdog_fired
+                                .push((chip, fired_attempts.len() as u32));
+                            if filter.accepts(EventCategory::Guard) {
+                                for attempt in fired_attempts {
+                                    guard_events
+                                        .push(TelemetryEvent::WatchdogFired { chip, attempt });
+                                }
+                            }
+                        }
                         if self.fail_fast {
                             fatal = Some(FleetError::JobFailed {
                                 chip,
@@ -470,6 +727,9 @@ impl FleetRunner {
                         }
                         degradation.quarantined.push(chip);
                     }
+                    JobOutcome::Cancelled => {
+                        degradation.interrupted = true;
+                    }
                 }
             }
             for handle in handles {
@@ -478,6 +738,9 @@ impl FleetRunner {
                 profile.job_latency.merge(&latency);
             }
         });
+        if run_token.is_cancelled() {
+            degradation.interrupted = true;
+        }
         if let Some(e) = fatal {
             return Err(e);
         }
@@ -487,13 +750,38 @@ impl FleetRunner {
         done.sort_by_key(|s| s.chip);
         let simulated = done.len() as u64 - resumed;
         if simulated > 0 {
-            if let Err(e) = self.save(fingerprint, &done) {
-                degradation.checkpoint_failures.push(e.to_string());
+            // Final flush — on an interrupted run this is what makes the
+            // partial progress resumable.
+            match self.save_with_retry(fingerprint, &done, &mut injected_io) {
+                Ok(()) => self.compact_journal(
+                    fingerprint,
+                    done.len() as u64,
+                    &mut journal,
+                    &mut degradation,
+                    filter,
+                    &mut compactions,
+                ),
+                Err(e) => degradation.checkpoint_failures.push(e.to_string()),
             }
+        }
+        if degradation.interrupted && filter.accepts(EventCategory::Guard) {
+            compactions.push(TelemetryEvent::RunInterrupted {
+                completed: done.len() as u64,
+                total: self.config.num_chips,
+            });
         }
         degradation.normalize();
         traces.sort_by_key(|(chip, _)| *chip);
-        let events = traces.into_iter().flat_map(|(_, e)| e).collect();
+        // Guard events follow the per-chip streams: replay first, then
+        // watchdog fires in (chip, attempt) order, then compactions in
+        // occurrence order (their counts are worker-count independent).
+        guard_events.sort_by_key(|e| match e {
+            TelemetryEvent::WatchdogFired { chip, attempt } => (1u8, chip.0, *attempt),
+            _ => (0, 0, 0),
+        });
+        let mut events: Vec<TelemetryEvent> = traces.into_iter().flat_map(|(_, e)| e).collect();
+        events.extend(guard_events);
+        events.extend(compactions);
         Ok((
             FleetResult {
                 summaries: done,
@@ -505,10 +793,72 @@ impl FleetRunner {
         ))
     }
 
-    fn save(&self, fingerprint: u64, done: &[ChipSummary]) -> Result<(), CheckpointError> {
-        match &self.checkpoint {
-            Some(path) => checkpoint::save(path, fingerprint, done),
-            None => Ok(()),
+    /// Saves the checkpoint, retrying transient I/O errors with bounded
+    /// backoff. `injected` counts down the fault plan's scheduled
+    /// checkpoint I/O errors; each save attempt consumes one before
+    /// touching the disk, so injection order is deterministic.
+    fn save_with_retry(
+        &self,
+        fingerprint: u64,
+        done: &[ChipSummary],
+        injected: &mut u32,
+    ) -> Result<(), CheckpointError> {
+        const SAVE_RETRIES: u32 = 2;
+        let Some(path) = &self.checkpoint else {
+            return Ok(());
+        };
+        let mut attempt = 0u32;
+        loop {
+            let result = if *injected > 0 {
+                *injected -= 1;
+                Err(CheckpointError::Io(std::io::Error::other(
+                    "injected checkpoint I/O error",
+                )))
+            } else {
+                checkpoint::save(path, fingerprint, done)
+            };
+            match result {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt > SAVE_RETRIES {
+                        return Err(e);
+                    }
+                    std::thread::sleep(backoff(attempt));
+                }
+            }
+        }
+    }
+
+    /// Truncates the journal after its records were absorbed into a
+    /// successfully saved checkpoint. Without a checkpoint the journal is
+    /// the only durable copy and must keep growing instead.
+    fn compact_journal(
+        &self,
+        fingerprint: u64,
+        chips: u64,
+        journal: &mut Option<ChipJournal>,
+        degradation: &mut DegradationReport,
+        filter: EventFilter,
+        compactions: &mut Vec<TelemetryEvent>,
+    ) {
+        if self.checkpoint.is_none() {
+            return;
+        }
+        let Some(j) = journal else {
+            return;
+        };
+        let path = j.path().to_path_buf();
+        match ChipJournal::create(&path, fingerprint) {
+            Ok(fresh) => {
+                *j = fresh;
+                if filter.accepts(EventCategory::Guard) {
+                    compactions.push(TelemetryEvent::JournalCompacted { chips });
+                }
+            }
+            Err(e) => degradation
+                .checkpoint_failures
+                .push(format!("journal compaction failed: {e}")),
         }
     }
 }
@@ -668,6 +1018,183 @@ mod tests {
             }
             other => panic!("expected JobFailed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn hung_worker_is_watchdog_cancelled_then_retried_to_an_identical_result() {
+        let clean = FleetRunner::new(tiny_config(), 2).run().unwrap();
+        let mut config = tiny_config();
+        config.faults = FaultPlan::new().worker_hang(ChipId(1), 1);
+        let result = FleetRunner::new(config, 3)
+            .with_deadline(Duration::from_secs(1))
+            .run()
+            .unwrap();
+        assert_eq!(
+            result.summaries, clean.summaries,
+            "a watchdog-retried chip must produce a bit-identical summary"
+        );
+        assert_eq!(result.degradation.watchdog_fired, vec![(ChipId(1), 1)]);
+        assert_eq!(result.degradation.retried, vec![(ChipId(1), 1)]);
+        assert!(result.degradation.quarantined.is_empty());
+    }
+
+    #[test]
+    fn chip_that_keeps_hanging_is_quarantined_without_stalling_the_fleet() {
+        let mut config = tiny_config();
+        config.faults = FaultPlan::new().worker_hang(ChipId(2), u32::MAX);
+        let result = FleetRunner::new(config, 2)
+            .with_max_retries(1)
+            .with_deadline(Duration::from_secs(1))
+            .run()
+            .unwrap();
+        assert_eq!(result.degradation.quarantined, vec![ChipId(2)]);
+        assert_eq!(result.degradation.watchdog_fired, vec![(ChipId(2), 2)]);
+        assert_eq!(result.summaries.len(), 5, "the rest of the fleet completes");
+        assert!(result.summaries.iter().all(|s| s.chip != ChipId(2)));
+    }
+
+    #[test]
+    fn cancelled_run_flushes_partial_progress_and_resumes_to_a_full_fleet() {
+        let path = scratch("interrupt.ckpt");
+        let journal = scratch("interrupt.journal");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&journal);
+        let token = CancelToken::new();
+        let cancel_after = token.clone();
+        let mut seen = 0u32;
+        let partial = FleetRunner::new(tiny_config(), 2)
+            .with_checkpoint(path.clone())
+            .with_journal(journal.clone())
+            .with_cancel(token)
+            .run_streaming(|_| {
+                seen += 1;
+                if seen == 2 {
+                    cancel_after.cancel();
+                }
+            })
+            .unwrap();
+        assert!(partial.degradation.interrupted);
+        assert!(!partial.degradation.is_clean());
+        let finished = partial.summaries.len();
+        assert!(
+            (2..6).contains(&finished),
+            "interrupt after 2 chips must leave a partial fleet, got {finished}"
+        );
+
+        let resumed = FleetRunner::new(tiny_config(), 2)
+            .with_checkpoint(path.clone())
+            .with_journal(journal.clone())
+            .run()
+            .unwrap();
+        assert_eq!(resumed.resumed, finished as u64);
+        let fresh = FleetRunner::new(tiny_config(), 2).run().unwrap();
+        assert_eq!(
+            resumed.summaries, fresh.summaries,
+            "resume after interrupt must match an undisturbed run bit for bit"
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_run_completes_no_chips_but_reports_cleanly() {
+        let token = CancelToken::new();
+        token.cancel();
+        let result = FleetRunner::new(tiny_config(), 2)
+            .with_cancel(token)
+            .run()
+            .unwrap();
+        assert!(result.summaries.is_empty());
+        assert!(result.degradation.interrupted);
+    }
+
+    #[test]
+    fn journal_records_are_recovered_and_compacted_into_the_checkpoint() {
+        let journal = scratch("recover.journal");
+        let path = scratch("recover.ckpt");
+        let _ = std::fs::remove_file(&journal);
+        let _ = std::fs::remove_file(&path);
+
+        // First run journals 3 chips with no checkpoint — as if the
+        // process died before any periodic save.
+        let mut half = tiny_config();
+        half.num_chips = 3;
+        FleetRunner::new(half, 2)
+            .with_journal(journal.clone())
+            .run()
+            .unwrap();
+        assert!(!path.exists());
+
+        // Resume with both: the journal is replayed, merged, and
+        // compacted into the checkpoint; only the rest is simulated.
+        let resumed = FleetRunner::new(tiny_config(), 2)
+            .with_checkpoint(path.clone())
+            .with_journal(journal.clone())
+            .run()
+            .unwrap();
+        assert_eq!(resumed.resumed, 3);
+        assert_eq!(resumed.simulated, 3);
+        let fresh = FleetRunner::new(tiny_config(), 2).run().unwrap();
+        assert_eq!(resumed.summaries, fresh.summaries);
+
+        // Compaction truncated the journal; the checkpoint now carries
+        // everything.
+        let replay = replay_journal(&journal, tiny_config().fingerprint()).unwrap();
+        assert!(replay.summaries.is_empty());
+        let saved = checkpoint::load(&path, tiny_config().fingerprint()).unwrap();
+        assert_eq!(saved.len(), 6);
+    }
+
+    #[test]
+    fn injected_checkpoint_io_errors_are_retried_transparently() {
+        let path = scratch("ioerr.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let mut config = tiny_config();
+        // Two transient failures: the final save's third attempt lands.
+        config.faults = FaultPlan::new().checkpoint_io_error(2);
+        let result = FleetRunner::new(config.clone(), 2)
+            .with_checkpoint(path.clone())
+            .run()
+            .unwrap();
+        assert!(
+            result.degradation.checkpoint_failures.is_empty(),
+            "retries must absorb transient save errors: {:?}",
+            result.degradation.checkpoint_failures
+        );
+        let saved = checkpoint::load(&path, config.fingerprint()).unwrap();
+        assert_eq!(saved.len(), 6);
+    }
+
+    #[test]
+    fn exhausted_checkpoint_io_errors_land_in_the_degradation_report() {
+        let path = scratch("ioerr-exhausted.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let mut config = tiny_config();
+        // Three failures exhaust one save's whole retry budget.
+        config.faults = FaultPlan::new().checkpoint_io_error(3);
+        let result = FleetRunner::new(config, 2)
+            .with_checkpoint(path.clone())
+            .run()
+            .unwrap();
+        assert_eq!(result.summaries.len(), 6, "results survive save failures");
+        assert_eq!(result.degradation.checkpoint_failures.len(), 1);
+        assert!(result.degradation.checkpoint_failures[0].contains("injected"));
+    }
+
+    #[test]
+    fn guard_trace_is_identical_for_any_worker_count() {
+        let mut config = tiny_config();
+        config.faults = FaultPlan::new().worker_hang(ChipId(1), 1);
+        let run = |workers| {
+            let mut progress = vs_telemetry::SilentProgress;
+            let (_, trace) = FleetRunner::new(config.clone(), workers)
+                .with_deadline(Duration::from_secs(1))
+                .run_reporting(EventFilter::all(), &mut progress)
+                .unwrap();
+            trace.to_jsonl()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one, four, "guard events must not depend on scheduling");
+        assert!(one.contains("watchdog_fired"));
     }
 
     #[test]

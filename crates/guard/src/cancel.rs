@@ -1,0 +1,206 @@
+//! Cooperative cancellation: cloneable atomic tokens with parent links,
+//! and a Ctrl-C hook that cancels a token instead of killing the process.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A token's shared state: its own flag plus an optional parent chain.
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    parent: Option<CancelToken>,
+}
+
+/// A cooperative cancellation token.
+///
+/// Cloning is cheap (an `Arc` bump) and every clone observes the same
+/// flag. Tokens form a hierarchy via [`CancelToken::child`]: a child is
+/// cancelled when *either* its own flag or any ancestor's flag is set, so
+/// one run-wide token (Ctrl-C) governs every per-job token while the
+/// watchdog can still cancel a single hung job without touching the rest.
+///
+/// Cancellation is one-way and sticky: there is no reset. Consumers poll
+/// [`CancelToken::is_cancelled`] at their natural check points (the fleet
+/// worker loop between claims, the speculation run between slices); the
+/// token never preempts anything, which is exactly why a cancelled run can
+/// finish its in-flight writes and exit with consistent state.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token with no parent.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                parent: None,
+            }),
+        }
+    }
+
+    /// A child token: cancelled when its own flag *or* any ancestor's flag
+    /// is set. Cancelling the child leaves the parent (and siblings)
+    /// untouched.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                parent: Some(self.clone()),
+            }),
+        }
+    }
+
+    /// Sets this token's flag. Every clone — and every descendant — now
+    /// reports cancelled.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// True once this token or any ancestor has been cancelled.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::SeqCst) {
+            return true;
+        }
+        match &self.inner.parent {
+            Some(parent) => parent.is_cancelled(),
+            None => false,
+        }
+    }
+
+    /// True when this token's *own* flag is set (ignoring ancestors) —
+    /// how a runner tells "this job was cancelled individually" apart
+    /// from "the whole run is being torn down".
+    #[inline]
+    pub fn is_cancelled_directly(&self) -> bool {
+        self.inner.cancelled.load(Ordering::SeqCst)
+    }
+}
+
+/// The token the SIGINT handler cancels. Set once by [`install_ctrl_c`];
+/// the handler itself only performs atomic loads/stores (async-signal
+/// safe: no allocation, no locking).
+static CTRL_C_TOKEN: OnceLock<CancelToken> = OnceLock::new();
+
+#[cfg(unix)]
+mod sigint {
+    use super::CTRL_C_TOKEN;
+
+    const SIGINT: i32 = 2;
+    /// `SIG_DFL` — the platform default disposition (terminate).
+    const SIG_DFL: usize = 0;
+
+    // Minimal libc binding, declared locally so the workspace stays free
+    // of external crates. `signal(2)` is in every libc we link against.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// First Ctrl-C: cancel the registered token and fall back to the
+    /// default disposition, so a second Ctrl-C terminates immediately
+    /// (the escape hatch when a graceful wind-down itself wedges).
+    extern "C" fn on_sigint(_signum: i32) {
+        if let Some(token) = CTRL_C_TOKEN.get() {
+            token.cancel();
+        }
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
+    }
+
+    pub(super) fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+    }
+}
+
+/// Routes the first Ctrl-C (SIGINT) to `token.cancel()` instead of
+/// process death; a second Ctrl-C terminates immediately. Returns `false`
+/// (and changes nothing) if a token was already installed or the platform
+/// has no signal support.
+///
+/// The handler holds no locks and allocates nothing — it performs exactly
+/// one atomic store — so it is safe to run at any interruption point.
+pub fn install_ctrl_c(token: &CancelToken) -> bool {
+    if CTRL_C_TOKEN.set(token.clone()).is_err() {
+        return false;
+    }
+    #[cfg(unix)]
+    {
+        sigint::install();
+        true
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_flag() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        assert!(clone.is_cancelled_directly());
+    }
+
+    #[test]
+    fn children_observe_ancestors_but_not_vice_versa() {
+        let run = CancelToken::new();
+        let job_a = run.child();
+        let job_b = run.child();
+        let grandchild = job_a.child();
+
+        job_a.cancel();
+        assert!(job_a.is_cancelled());
+        assert!(grandchild.is_cancelled(), "descendants see the cut");
+        assert!(!job_b.is_cancelled(), "siblings are untouched");
+        assert!(!run.is_cancelled(), "parents are untouched");
+        assert!(!grandchild.is_cancelled_directly());
+
+        run.cancel();
+        assert!(job_b.is_cancelled(), "run-wide cancel reaches every child");
+        assert!(!job_b.is_cancelled_directly());
+    }
+
+    #[test]
+    fn tokens_cross_threads() {
+        let token = CancelToken::new();
+        let child = token.child();
+        let waiter = std::thread::spawn(move || {
+            while !child.is_cancelled() {
+                std::thread::yield_now();
+            }
+            true
+        });
+        token.cancel();
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn ctrl_c_installs_at_most_once() {
+        let token = CancelToken::new();
+        let first = install_ctrl_c(&token);
+        // Whatever the platform answered first, a second registration is
+        // always refused: the process-wide slot is taken.
+        assert!(!install_ctrl_c(&CancelToken::new()));
+        if first {
+            assert!(!token.is_cancelled(), "installation must not cancel");
+        }
+    }
+}

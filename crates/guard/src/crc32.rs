@@ -1,0 +1,64 @@
+//! CRC-32 (IEEE 802.3, the zlib/PNG polynomial), hand-rolled because the
+//! workspace builds offline with no external crates.
+
+/// The reflected polynomial of CRC-32/ISO-HDLC.
+const POLY: u32 = 0xEDB8_8320;
+
+/// The 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC-32 checksum of `bytes` (init `0xFFFF_FFFF`, final xor, i.e.
+/// exactly what `zlib.crc32` / `cksum -o 3` compute).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The CRC catalogue's check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn sensitive_to_every_byte() {
+        let base = crc32(b"chip 3 seed=0000000000000003");
+        let mut bytes = b"chip 3 seed=0000000000000003".to_vec();
+        for i in 0..bytes.len() {
+            bytes[i] ^= 0x01;
+            assert_ne!(crc32(&bytes), base, "flip at byte {i} must change the crc");
+            bytes[i] ^= 0x01;
+        }
+        assert_eq!(crc32(&bytes), base);
+    }
+}

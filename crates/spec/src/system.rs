@@ -221,6 +221,28 @@ impl SpecRun {
         budget
     }
 
+    /// [`advance`](SpecRun::advance) under cooperative cancellation: the
+    /// token is checked *before* the slice executes, so a cancelled run
+    /// stops within one slice of the cancel without tearing a slice
+    /// mid-tick. Returns `None` once cancelled (the session stays valid —
+    /// [`finish`](SpecRun::finish) still produces partial-run statistics),
+    /// `Some(ticks executed)` otherwise.
+    ///
+    /// Cancellation only decides *whether* ticks run, never what they
+    /// compute: a run that completes under a never-cancelled token is
+    /// bit-identical to one driven by plain `advance`.
+    pub fn advance_guarded(
+        &mut self,
+        sys: &mut SpeculationSystem,
+        max_ticks: u64,
+        cancel: &vs_guard::CancelToken,
+    ) -> Option<u64> {
+        if cancel.is_cancelled() {
+            return None;
+        }
+        Some(self.advance(sys, max_ticks))
+    }
+
     /// True once every tick of the requested duration has executed.
     pub fn is_done(&self) -> bool {
         self.ticks_done == self.ticks_total
@@ -1009,6 +1031,36 @@ mod tests {
             let sliced = run_sliced(slice);
             assert_eq!(whole, sliced, "slice size {slice} changed the run");
         }
+    }
+
+    #[test]
+    fn guarded_advance_matches_plain_until_cancelled() {
+        let token = vs_guard::CancelToken::new();
+        // Uncancelled: bit-identical to the plain driver.
+        let mut sys = small_system(3);
+        sys.calibrate_fast();
+        sys.assign_workload(CoreId(0), Box::new(StressTest::default()));
+        let mut session = SpecRun::new(&sys, SimTime::from_secs(10));
+        while session.advance_guarded(&mut sys, 1000, &token).unwrap() > 0 {}
+        let guarded = session.finish(&sys);
+
+        let mut sys = small_system(3);
+        sys.calibrate_fast();
+        sys.assign_workload(CoreId(0), Box::new(StressTest::default()));
+        assert_eq!(sys.run(SimTime::from_secs(10)), guarded);
+
+        // Cancelled mid-run: advance refuses, the session still finishes
+        // with partial stats.
+        let mut sys = small_system(3);
+        sys.calibrate_fast();
+        let mut session = SpecRun::new(&sys, SimTime::from_secs(10));
+        assert!(session.advance_guarded(&mut sys, 500, &token).is_some());
+        token.cancel();
+        assert_eq!(session.advance_guarded(&mut sys, 500, &token), None);
+        let (done, _) = session.progress();
+        assert_eq!(done, 500, "no ticks run after the cancel");
+        let stats = session.finish(&sys);
+        assert_eq!(stats.duration, SimTime::from_millis(500));
     }
 
     #[test]

@@ -28,17 +28,21 @@ pub enum EventCategory {
     /// Fault consumption and firmware recovery (DUEs, crash rollbacks,
     /// domain quarantine).
     Fault,
+    /// Run supervision decisions: watchdog firings, cooperative
+    /// cancellation, journal replay and compaction.
+    Guard,
 }
 
 impl EventCategory {
     /// All categories, in serialization order.
-    pub const ALL: [EventCategory; 6] = [
+    pub const ALL: [EventCategory; 7] = [
         EventCategory::Ecc,
         EventCategory::Monitor,
         EventCategory::Controller,
         EventCategory::Calibration,
         EventCategory::Fleet,
         EventCategory::Fault,
+        EventCategory::Guard,
     ];
 
     /// Stable lowercase label (used by `--trace-filter` and JSONL output).
@@ -50,6 +54,7 @@ impl EventCategory {
             EventCategory::Calibration => "calibration",
             EventCategory::Fleet => "fleet",
             EventCategory::Fault => "fault",
+            EventCategory::Guard => "guard",
         }
     }
 
@@ -66,6 +71,7 @@ impl EventCategory {
             EventCategory::Calibration => 1 << 3,
             EventCategory::Fleet => 1 << 4,
             EventCategory::Fault => 1 << 5,
+            EventCategory::Guard => 1 << 6,
         }
     }
 }
@@ -89,7 +95,7 @@ impl EventFilter {
 
     /// Keeps every category.
     pub const fn all() -> EventFilter {
-        EventFilter(0b11_1111)
+        EventFilter(0b111_1111)
     }
 
     /// Keeps exactly the given categories.
@@ -293,6 +299,36 @@ pub enum TelemetryEvent {
         /// Rollbacks the domain had absorbed when it was parked.
         rollbacks: u32,
     },
+    /// The wall-clock watchdog cancelled a chip's job attempt for missing
+    /// its heartbeat budget. The attempt counts as failed and is retried
+    /// under the normal retry policy. Deliberately carries no wall-clock
+    /// payload: traces stay a pure function of the fault plan.
+    WatchdogFired {
+        /// The supervised chip.
+        chip: ChipId,
+        /// The attempt that was cancelled (0-based, like retry counting).
+        attempt: u32,
+    },
+    /// The run was cancelled cooperatively (Ctrl-C or an owner-side
+    /// cancel) and wound down after flushing a valid checkpoint.
+    RunInterrupted {
+        /// Chips that had completed when the cancellation was observed.
+        completed: u64,
+        /// Chips the run was asked to simulate.
+        total: u64,
+    },
+    /// Progress-journal records were replayed into the resume state.
+    JournalReplayed {
+        /// Chips recovered from the journal (beyond the checkpoint).
+        chips: u64,
+    },
+    /// The progress journal was compacted into the checkpoint: every
+    /// journaled chip is now in the checkpoint and the journal restarts
+    /// empty.
+    JournalCompacted {
+        /// Chips carried by the checkpoint after compaction.
+        chips: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -315,6 +351,10 @@ impl TelemetryEvent {
             TelemetryEvent::DueConsumed { .. }
             | TelemetryEvent::CrashRollback { .. }
             | TelemetryEvent::Quarantine { .. } => EventCategory::Fault,
+            TelemetryEvent::WatchdogFired { .. }
+            | TelemetryEvent::RunInterrupted { .. }
+            | TelemetryEvent::JournalReplayed { .. }
+            | TelemetryEvent::JournalCompacted { .. } => EventCategory::Guard,
         }
     }
 
@@ -333,6 +373,10 @@ impl TelemetryEvent {
             TelemetryEvent::DueConsumed { .. } => "due_consumed",
             TelemetryEvent::CrashRollback { .. } => "crash_rollback",
             TelemetryEvent::Quarantine { .. } => "quarantine",
+            TelemetryEvent::WatchdogFired { .. } => "watchdog_fired",
+            TelemetryEvent::RunInterrupted { .. } => "run_interrupted",
+            TelemetryEvent::JournalReplayed { .. } => "journal_replayed",
+            TelemetryEvent::JournalCompacted { .. } => "journal_compacted",
         }
     }
 
@@ -353,6 +397,12 @@ impl TelemetryEvent {
             | TelemetryEvent::Quarantine { at, .. } => at,
             TelemetryEvent::JobStarted { .. } => SimTime::ZERO,
             TelemetryEvent::JobFinished { sim_time, .. } => sim_time,
+            // Guard events are process-level: no simulated clock applies,
+            // so they pin to time zero (keeping traces wall-clock-free).
+            TelemetryEvent::WatchdogFired { .. }
+            | TelemetryEvent::RunInterrupted { .. }
+            | TelemetryEvent::JournalReplayed { .. }
+            | TelemetryEvent::JournalCompacted { .. } => SimTime::ZERO,
         }
     }
 
@@ -511,6 +561,18 @@ impl TelemetryEvent {
             } => {
                 let _ = write!(out, ",\"domain\":{},\"rollbacks\":{}", domain.0, rollbacks);
             }
+            TelemetryEvent::WatchdogFired { chip, attempt } => {
+                let _ = write!(out, ",\"chip\":{},\"attempt\":{}", chip.0, attempt);
+            }
+            TelemetryEvent::RunInterrupted { completed, total } => {
+                let _ = write!(out, ",\"completed\":{completed},\"total\":{total}");
+            }
+            TelemetryEvent::JournalReplayed { chips } => {
+                let _ = write!(out, ",\"chips\":{chips}");
+            }
+            TelemetryEvent::JournalCompacted { chips } => {
+                let _ = write!(out, ",\"chips\":{chips}");
+            }
         }
         out.push('}');
     }
@@ -635,6 +697,59 @@ mod tests {
         assert!(EventFilter::parse("fault")
             .unwrap()
             .accepts(EventCategory::Fault));
+    }
+
+    #[test]
+    fn guard_events_have_stable_shape() {
+        let fired = TelemetryEvent::WatchdogFired {
+            chip: ChipId(5),
+            attempt: 1,
+        };
+        assert_eq!(fired.category(), EventCategory::Guard);
+        assert_eq!(fired.at(), SimTime::ZERO, "guard events carry no sim clock");
+        let mut out = String::new();
+        fired.write_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"event\":\"watchdog_fired\",\"category\":\"guard\",\
+             \"at_us\":0,\"chip\":5,\"attempt\":1}"
+        );
+
+        out.clear();
+        TelemetryEvent::RunInterrupted {
+            completed: 12,
+            total: 64,
+        }
+        .write_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"event\":\"run_interrupted\",\"category\":\"guard\",\
+             \"at_us\":0,\"completed\":12,\"total\":64}"
+        );
+
+        out.clear();
+        TelemetryEvent::JournalReplayed { chips: 7 }.write_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"event\":\"journal_replayed\",\"category\":\"guard\",\
+             \"at_us\":0,\"chips\":7}"
+        );
+
+        out.clear();
+        TelemetryEvent::JournalCompacted { chips: 9 }.write_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"event\":\"journal_compacted\",\"category\":\"guard\",\
+             \"at_us\":0,\"chips\":9}"
+        );
+
+        assert!(EventFilter::all().accepts(EventCategory::Guard));
+        assert!(EventFilter::parse("guard")
+            .unwrap()
+            .accepts(EventCategory::Guard));
+        assert!(!EventFilter::parse("fleet,fault")
+            .unwrap()
+            .accepts(EventCategory::Guard));
     }
 
     #[test]

@@ -289,6 +289,10 @@ pub struct EventMetrics {
     dues_consumed: CounterId,
     crash_rollbacks: CounterId,
     quarantines: CounterId,
+    watchdog_fired: CounterId,
+    interrupts: CounterId,
+    journal_replayed: CounterId,
+    journal_compactions: CounterId,
     set_point: GaugeId,
     error_rate: HistogramId,
     step_mv: HistogramId,
@@ -321,6 +325,10 @@ impl EventMetrics {
             dues_consumed: r.counter("fault.dues_consumed"),
             crash_rollbacks: r.counter("fault.crash_rollbacks"),
             quarantines: r.counter("fault.quarantines"),
+            watchdog_fired: r.counter("guard.watchdog_fired"),
+            interrupts: r.counter("guard.run_interrupted"),
+            journal_replayed: r.counter("guard.journal_chips_replayed"),
+            journal_compactions: r.counter("guard.journal_compactions"),
             set_point: r.gauge("controller.last_set_point_mv"),
             error_rate: r.histogram("monitor.error_rate", 0.0, 1.0, 20),
             step_mv: r.histogram("controller.step_mv", -25.0, 30.0, 11),
@@ -390,6 +398,18 @@ impl EventMetrics {
             }
             TelemetryEvent::Quarantine { .. } => {
                 self.registry.inc(self.quarantines, 1);
+            }
+            TelemetryEvent::WatchdogFired { .. } => {
+                self.registry.inc(self.watchdog_fired, 1);
+            }
+            TelemetryEvent::RunInterrupted { .. } => {
+                self.registry.inc(self.interrupts, 1);
+            }
+            TelemetryEvent::JournalReplayed { chips } => {
+                self.registry.inc(self.journal_replayed, chips);
+            }
+            TelemetryEvent::JournalCompacted { .. } => {
+                self.registry.inc(self.journal_compactions, 1);
             }
         }
     }
@@ -553,6 +573,32 @@ mod tests {
         assert_eq!(r.counter_value("fault.dues_consumed"), Some(2));
         assert_eq!(r.counter_value("fault.crash_rollbacks"), Some(1));
         assert_eq!(r.counter_value("fault.quarantines"), Some(1));
+    }
+
+    #[test]
+    fn guard_events_count() {
+        let events = [
+            TelemetryEvent::WatchdogFired {
+                chip: ChipId(4),
+                attempt: 0,
+            },
+            TelemetryEvent::WatchdogFired {
+                chip: ChipId(4),
+                attempt: 1,
+            },
+            TelemetryEvent::JournalReplayed { chips: 6 },
+            TelemetryEvent::JournalCompacted { chips: 10 },
+            TelemetryEvent::RunInterrupted {
+                completed: 10,
+                total: 32,
+            },
+        ];
+        let m = EventMetrics::from_events(&events);
+        let r = m.registry();
+        assert_eq!(r.counter_value("guard.watchdog_fired"), Some(2));
+        assert_eq!(r.counter_value("guard.journal_chips_replayed"), Some(6));
+        assert_eq!(r.counter_value("guard.journal_compactions"), Some(1));
+        assert_eq!(r.counter_value("guard.run_interrupted"), Some(1));
     }
 
     #[test]

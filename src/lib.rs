@@ -29,6 +29,7 @@
 //! | [`faults`] | deterministic fault injection (DUEs, crashes, droops) and recovery policies |
 //! | [`fleet`] | parallel multi-chip population simulation and statistics |
 //! | [`telemetry`] | structured event tracing, metrics registry, profiling spans |
+//! | [`guard`] | run supervision: cancellation tokens, watchdogs, crash-safe journaling |
 //!
 //! # Quickstart
 //!
@@ -67,6 +68,7 @@ pub use vs_cache as cache;
 pub use vs_ecc as ecc;
 pub use vs_faults as faults;
 pub use vs_fleet as fleet;
+pub use vs_guard as guard;
 pub use vs_pdn as pdn;
 pub use vs_platform as platform;
 pub use vs_power as power;
