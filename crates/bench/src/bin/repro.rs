@@ -10,8 +10,10 @@
 //!       [--checkpoint FILE] [--journal FILE] [--deadline DUR] \
 //!       [--seed S] [--quick] \
 //!       [--inject SPEC] [--max-retries N] [--fail-fast] \
+//!       [--sentinel | --sentinel-fail-fast] \
 //!       [--trace FILE] [--trace-filter LIST] [--metrics] \
 //!       [--quiet] [--progress-jsonl]
+//! repro --chaos N [--seed S] [--workers W] [--quiet]
 //! ```
 //!
 //! Experiments: `table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
@@ -66,6 +68,26 @@
 //! * `--quiet` silences progress; `--progress-jsonl` switches the stderr
 //!   progress ticker to machine-readable JSONL records.
 //!
+//! Safety monitoring & chaos soaking (see `vs_sentinel`):
+//!
+//! * `--sentinel` checks every chip's telemetry stream online against the
+//!   paper-derived safety invariants (voltage envelope, rollback raises
+//!   above last-safe, servo response to above-ceiling windows, quarantine
+//!   monotonicity, rollback budget, checkpoint/journal consistency).
+//!   Violations are printed after the run and the exit status is 3.
+//! * `--sentinel-fail-fast` aborts on the first violating chip instead.
+//! * `--chaos N` is soak mode: draw `N` seeded random compositions of the
+//!   fault grammar (pure in `--seed` and the case number), run each under
+//!   the sentinel, and on the first violation delta-debug the failing
+//!   plan down to a minimal `--inject` reproducer. The shrinking oracle
+//!   is a pure function of the plan, so the reproducer string is
+//!   byte-identical for any `--workers` count.
+//!
+//! Exit codes: `0` success; `2` usage or configuration error; `3` the
+//! sentinel found a safety-invariant violation (immediately under
+//! `--sentinel-fail-fast`, after the run completes otherwise); `130`
+//! interrupted by Ctrl-C after flushing progress.
+//!
 //! Wall-clock profiling (per-worker busy/steal/idle, chip latency) goes to
 //! stderr, clearly separated from the deterministic stdout report.
 
@@ -73,13 +95,19 @@ use std::io::Write as _;
 use std::time::Instant;
 use vs_bench::figures::{characterization, mechanisms, noise, power, supporting, tables, Rendered};
 use vs_bench::Scale;
-use vs_faults::FaultSpec;
-use vs_fleet::{ControllerVariant, FleetConfig, FleetRunner};
+use vs_faults::{chaos_plan, minimize, ChaosProfile, FaultPlan, FaultSpec};
+use vs_fleet::{ControllerVariant, FleetConfig, FleetError, FleetRunner};
+use vs_sentinel::{SentinelMode, Violation};
 use vs_telemetry::{
     EventFilter, EventMetrics, HumanProgress, JsonlProgress, JsonlSink, ProgressSink,
     SilentProgress,
 };
 use vs_types::{FleetSeed, SimTime};
+
+/// Exit status when the sentinel found a safety-invariant violation.
+const EXIT_VIOLATION: i32 = 3;
+/// Exit status after a graceful Ctrl-C (128 + SIGINT).
+const EXIT_INTERRUPTED: i32 = 130;
 
 const ALL: &[&str] = &[
     "table1",
@@ -155,6 +183,8 @@ fn main() {
     let mut inject: Option<FaultSpec> = None;
     let mut max_retries: Option<u32> = None;
     let mut fail_fast = false;
+    let mut sentinel: Option<SentinelMode> = None;
+    let mut chaos_cases: Option<u64> = None;
     let mut trace: Option<String> = None;
     let mut trace_filter: Option<EventFilter> = None;
     let mut metrics = false;
@@ -242,6 +272,16 @@ fn main() {
                 );
             }
             "--fail-fast" => fail_fast = true,
+            "--sentinel" => sentinel = Some(SentinelMode::Record),
+            "--sentinel-fail-fast" => sentinel = Some(SentinelMode::FailFast),
+            "--chaos" => {
+                i += 1;
+                chaos_cases = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--chaos needs a case count")),
+                );
+            }
             "--trace" => {
                 i += 1;
                 trace = Some(
@@ -278,14 +318,27 @@ fn main() {
                      [--checkpoint FILE]\n\
                      \x20      [--journal FILE] [--deadline DUR] \
                      [--inject SPEC] [--max-retries N] [--fail-fast]\n\
-                     \x20      [--trace FILE] [--trace-filter LIST] [--metrics] \
-                     [--quiet] [--progress-jsonl]"
+                     \x20      [--sentinel | --sentinel-fail-fast] \
+                     [--trace FILE] [--trace-filter LIST] [--metrics]\n\
+                     \x20      [--quiet] [--progress-jsonl]\n\
+                            repro --chaos N [--seed S] [--workers W] [--quiet]\n\
+                     \n\
+                     exit codes: 0 success; 2 usage/config error; \
+                     3 safety-invariant violation\n\
+                     \x20           (immediate under --sentinel-fail-fast, \
+                     after the run otherwise);\n\
+                     \x20           130 interrupted by Ctrl-C after flushing progress"
                 );
                 return;
             }
             other => targets.push(other.to_owned()),
         }
         i += 1;
+    }
+
+    if let Some(cases) = chaos_cases {
+        run_chaos(cases, seed, workers, quiet);
+        return;
     }
 
     if let Some(num_chips) = fleet_chips {
@@ -300,6 +353,7 @@ fn main() {
             inject,
             max_retries,
             fail_fast,
+            sentinel,
         };
         let guard = FleetGuard { journal, deadline };
         run_fleet(
@@ -353,6 +407,7 @@ struct FleetResilience {
     inject: Option<FaultSpec>,
     max_retries: Option<u32>,
     fail_fast: bool,
+    sentinel: Option<SentinelMode>,
 }
 
 /// Run supervision and durability switches.
@@ -412,6 +467,11 @@ fn run_fleet(
     if let Some(retries) = resilience.max_retries {
         runner = runner.with_max_retries(retries);
     }
+    if let Some(mode) = resilience.sentinel {
+        let mut sc = config.sentinel_config();
+        sc.mode = mode;
+        runner = runner.with_sentinel(sc);
+    }
     if let Some(path) = checkpoint {
         runner = runner.with_checkpoint(path.into());
     }
@@ -449,9 +509,14 @@ fn run_fleet(
         variant.label()
     );
     let start = Instant::now();
-    let (result, trace) = runner
-        .run_reporting(filter, progress.as_mut())
-        .unwrap_or_else(|e| die(&format!("fleet run failed: {e}")));
+    let (result, trace) = match runner.run_reporting(filter, progress.as_mut()) {
+        Ok(ok) => ok,
+        Err(e @ FleetError::InvariantViolation { .. }) => {
+            eprintln!("repro: {e}");
+            std::process::exit(EXIT_VIOLATION);
+        }
+        Err(e) => die(&format!("fleet run failed: {e}")),
+    };
     let wall = start.elapsed().as_secs_f64();
 
     let stats = result.stats(&config);
@@ -460,6 +525,14 @@ fn run_fleet(
     // depend only on the fault plan), so it belongs on stdout.
     if !result.degradation.is_clean() {
         print!("{}", result.degradation);
+    }
+    // Violations are sorted by chip id, so this block is as deterministic
+    // as the statistics above it.
+    if !result.violations.is_empty() {
+        println!("\n## safety violations ({})\n", result.violations.len());
+        for v in &result.violations {
+            println!("{v}");
+        }
     }
     if result.resumed > 0 {
         println!(
@@ -500,7 +573,90 @@ fn run_fleet(
         // Partial results were printed and progress was flushed; signal
         // the interruption the conventional way (128 + SIGINT).
         eprintln!("repro: interrupted — progress saved, resume with the same flags");
-        std::process::exit(130);
+        std::process::exit(EXIT_INTERRUPTED);
+    }
+    if !result.violations.is_empty() {
+        eprintln!(
+            "repro: sentinel found {} safety violation(s)",
+            result.violations.len()
+        );
+        std::process::exit(EXIT_VIOLATION);
+    }
+}
+
+/// The fleet each chaos case runs against: a small quick-scale population
+/// matching [`ChaosProfile::default`] (4 two-core dies, 400 ms runs).
+fn chaos_fleet_config(seed: u64, profile: &ChaosProfile) -> FleetConfig {
+    let mut config = FleetConfig::small(FleetSeed(seed), profile.num_chips);
+    config.run_duration = SimTime::from_millis(400);
+    config
+}
+
+/// Runs one fault plan under the sentinel and returns its violations.
+/// Pure in `(base, plan)` — the worker count and wall clock cannot change
+/// the outcome — which is what makes it a valid delta-debugging oracle.
+fn run_chaos_case(base: &FleetConfig, plan: FaultPlan, workers: usize) -> Vec<Violation> {
+    let mut config = base.clone();
+    config.faults = plan;
+    let runner = FleetRunner::new(config.clone(), workers)
+        .with_sentinel(config.sentinel_config())
+        // Injected worker hangs go silent until cancelled; the watchdog
+        // turns them into ordinary retries.
+        .with_deadline(std::time::Duration::from_secs(1));
+    match runner.run() {
+        Ok(result) => result.violations,
+        Err(e) => die(&format!("chaos fleet run failed: {e}")),
+    }
+}
+
+/// Chaos soak mode: draw `cases` seeded compositions of the fault
+/// grammar, run each under the sentinel, and on the first violation
+/// shrink the failing plan to a minimal `--inject` reproducer.
+///
+/// Everything on stdout is deterministic in `(cases, seed)` — case specs,
+/// violation reports, and the minimized reproducer are byte-identical for
+/// any `--workers` count. Timings go to stderr.
+fn run_chaos(cases: u64, seed: u64, workers: usize, quiet: bool) {
+    let profile = ChaosProfile::default();
+    let base = chaos_fleet_config(seed, &profile);
+    println!(
+        "# voltspec chaos soak — {cases} cases, seed {seed}, {} chips/case\n",
+        profile.num_chips
+    );
+    let start = Instant::now();
+    for case in 0..cases {
+        let plan = chaos_plan(seed, case, &profile);
+        let spec = plan.to_spec_string();
+        let violations = run_chaos_case(&base, plan.clone(), workers);
+        if violations.is_empty() {
+            println!("case {case:>3}: ok        ({spec})");
+            continue;
+        }
+        println!("case {case:>3}: VIOLATED  ({spec})");
+        for v in &violations {
+            println!("  {v}");
+        }
+        // Delta-debug the failing composition down to a 1-minimal plan:
+        // removing any single remaining fault makes the violation vanish.
+        let minimal = minimize(&plan, |candidate| {
+            !run_chaos_case(&base, candidate.clone(), workers).is_empty()
+        });
+        println!("\nminimal reproducer:");
+        println!(
+            "  repro --fleet {} --quick --seed {seed} --sentinel --deadline 1s \
+             --inject {}",
+            profile.num_chips,
+            minimal.to_spec_string()
+        );
+        eprintln!("repro: chaos case {case} violated the safety invariants");
+        std::process::exit(EXIT_VIOLATION);
+    }
+    println!("\n{cases} cases, 0 violations");
+    if !quiet {
+        eprintln!(
+            "chaos: {cases} cases clean in {:.1}s",
+            start.elapsed().as_secs_f64()
+        );
     }
 }
 

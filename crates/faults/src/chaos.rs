@@ -1,0 +1,173 @@
+//! Seeded random compositions of the fault grammar, for chaos soaking.
+//!
+//! `repro --chaos N --seed S` draws `N` plans from this module and runs
+//! each under the sentinel. Generation is a pure function of
+//! `(seed, case, profile)` via `CounterRng`, so a soak is reproducible and
+//! any failing case can be regenerated from its case number alone.
+
+use crate::plan::{FaultKind, FaultPlan, FaultTrigger, ScheduledFault};
+use vs_types::rng::CounterRng;
+use vs_types::{ChipId, CoreId, DomainId, Millivolts, SimTime};
+
+/// The shape of the fleet a chaos plan is drawn for, plus the injection
+/// window faults are scheduled inside.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosProfile {
+    /// Chips in the fleet (timed faults are scoped to one of them).
+    pub num_chips: u64,
+    /// Voltage domains per chip.
+    pub num_domains: usize,
+    /// Cores per chip.
+    pub num_cores: usize,
+    /// Faults fire at or after this simulated time.
+    pub window_start: SimTime,
+    /// Faults fire strictly before this simulated time.
+    pub window_end: SimTime,
+}
+
+impl Default for ChaosProfile {
+    /// Matches the quick fleet scale `repro --chaos` runs at: 4 small
+    /// chips (one domain, two cores), faults inside [20 ms, 320 ms) of a
+    /// 400 ms run.
+    fn default() -> ChaosProfile {
+        ChaosProfile {
+            num_chips: 4,
+            num_domains: 1,
+            num_cores: 2,
+            window_start: SimTime::from_millis(20),
+            window_end: SimTime::from_millis(320),
+        }
+    }
+}
+
+/// Draws one random composition of the fault grammar.
+///
+/// Pure in `(seed, case, profile)`. Every plan carries 1–4 chip-level
+/// faults (DUEs, timed and voltage-triggered crashes, droops, stuck
+/// monitors), and may add worker panics, a worker hang, and checkpoint
+/// I/O errors, so a soak exercises the chip recovery path, the fleet
+/// retry/watchdog path, and the checkpoint path together.
+pub fn chaos_plan(seed: u64, case: u64, profile: &ChaosProfile) -> FaultPlan {
+    let mut rng = CounterRng::from_key(seed, &[0x000C_4A05_u64, case]);
+    let mut plan = FaultPlan::new();
+    let window_us = profile
+        .window_end
+        .as_micros()
+        .saturating_sub(profile.window_start.as_micros())
+        .max(1);
+
+    let faults = 1 + rng.next_below(4);
+    for _ in 0..faults {
+        let chip = ChipId(rng.next_below(profile.num_chips));
+        let domain = DomainId(rng.next_below(profile.num_domains as u64) as usize);
+        let core = CoreId(rng.next_below(profile.num_cores as u64) as usize);
+        // Snap to whole milliseconds so reproducer strings stay short.
+        let at_us = profile.window_start.as_micros() + rng.next_below(window_us);
+        let at = SimTime::from_millis(at_us / 1_000);
+        let (trigger, kind) = match rng.next_below(5) {
+            0 => (FaultTrigger::At(at), FaultKind::Due { domain }),
+            1 => (FaultTrigger::At(at), FaultKind::CoreCrash { core }),
+            2 => {
+                let threshold = Millivolts(620 + rng.next_below(17) as i32 * 10);
+                (
+                    FaultTrigger::BelowVoltage { domain, threshold },
+                    FaultKind::CoreCrash { core },
+                )
+            }
+            3 => {
+                let depth = Millivolts(20 + rng.next_below(9) as i32 * 10);
+                let duration = SimTime::from_millis(10 + rng.next_below(6) * 10);
+                (
+                    FaultTrigger::At(at),
+                    FaultKind::Droop {
+                        domain,
+                        depth,
+                        duration,
+                    },
+                )
+            }
+            _ => {
+                let rate = rng.next_below(11) as f64 / 10.0;
+                let duration = SimTime::from_millis(10 + rng.next_below(6) * 10);
+                (
+                    FaultTrigger::At(at),
+                    FaultKind::MonitorStuck {
+                        domain,
+                        rate,
+                        duration,
+                    },
+                )
+            }
+        };
+        plan.push(ScheduledFault {
+            chip: Some(chip),
+            trigger,
+            kind,
+        });
+    }
+
+    if rng.bernoulli(0.3) {
+        let chip = ChipId(rng.next_below(profile.num_chips));
+        let attempts = 1 + rng.next_below(2) as u32;
+        plan = plan.worker_panic(chip, attempts);
+    }
+    if rng.bernoulli(0.2) {
+        let chip = ChipId(rng.next_below(profile.num_chips));
+        plan = plan.worker_hang(chip, 1);
+    }
+    if rng.bernoulli(0.15) {
+        plan = plan.checkpoint_io_error(1 + rng.next_below(2) as u32);
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FaultSpec;
+
+    #[test]
+    fn generation_is_deterministic_in_seed_and_case() {
+        let p = ChaosProfile::default();
+        for case in 0..20 {
+            assert_eq!(chaos_plan(7, case, &p), chaos_plan(7, case, &p));
+        }
+        assert_ne!(chaos_plan(7, 0, &p), chaos_plan(8, 0, &p));
+    }
+
+    #[test]
+    fn cases_differ_and_stay_inside_the_profile() {
+        let p = ChaosProfile::default();
+        let mut distinct = 0;
+        for case in 0..50 {
+            let plan = chaos_plan(7, case, &p);
+            assert!(!plan.is_empty());
+            assert!(plan.events().len() <= 4);
+            for f in plan.events() {
+                let chip = f.chip.expect("chaos faults are chip-scoped");
+                assert!(chip.0 < p.num_chips);
+                if let crate::plan::FaultTrigger::At(at) = f.trigger {
+                    assert!(at >= SimTime::from_millis(20), "{at:?}");
+                    assert!(at < p.window_end);
+                }
+            }
+            if chaos_plan(7, case, &p) != chaos_plan(7, (case + 1) % 50, &p) {
+                distinct += 1;
+            }
+        }
+        assert!(distinct > 40, "cases should rarely collide: {distinct}");
+    }
+
+    #[test]
+    fn every_chaos_plan_round_trips_through_the_inject_grammar() {
+        let p = ChaosProfile::default();
+        for case in 0..50 {
+            let plan = chaos_plan(7, case, &p);
+            let spec = plan.to_spec_string();
+            let reparsed = FaultSpec::parse(&spec)
+                .unwrap_or_else(|e| panic!("case {case}: {e}"))
+                .materialize(p.num_chips);
+            assert_eq!(reparsed, plan, "case {case}, spec {spec}");
+        }
+    }
+}

@@ -23,6 +23,12 @@
 //!   simulated latency charged per rollback, the safety margin re-applied
 //!   above the last-known-safe voltage, and the per-domain rollback budget
 //!   after which a domain is quarantined.
+//! * **Chaos tooling** — [`chaos_plan`] draws seeded random compositions
+//!   of the whole grammar for soak testing; [`FaultAtom`] decomposes a
+//!   plan into independently removable pieces, [`FaultPlan::to_spec_string`]
+//!   prints any plan back as a canonical `--inject` string, and
+//!   [`minimize`] delta-debugs a failing plan down to a 1-minimal
+//!   reproducer.
 //!
 //! Everything here is pure data + `CounterRng` streams: the same plan
 //! replayed against the same chip produces bit-identical faults, which is
@@ -50,12 +56,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod atom;
+mod chaos;
 mod injector;
 mod plan;
 mod recovery;
+mod shrink;
 mod spec;
 
+pub use atom::FaultAtom;
+pub use chaos::{chaos_plan, ChaosProfile};
 pub use injector::{FaultAction, FaultInjector};
 pub use plan::{FaultKind, FaultPlan, FaultTrigger, InjectionProfile, ScheduledFault};
 pub use recovery::RecoveryPolicy;
+pub use shrink::minimize;
 pub use spec::FaultSpec;

@@ -1,0 +1,181 @@
+//! Delta-debugging minimization of failing fault plans.
+//!
+//! Given a plan that makes some oracle fail (for the chaos harness: "the
+//! sentinel reports a violation when the fleet runs under this plan"),
+//! [`minimize`] shrinks it to a *1-minimal* plan — removing any single
+//! remaining atom makes the failure disappear — using the classic `ddmin`
+//! algorithm (Zeller & Hildebrandt, "Simplifying and Isolating
+//! Failure-Inducing Input"). After the set is minimal, counted atoms
+//! (panic/hang attempts, I/O-error counts) are additionally shrunk to 1.
+//!
+//! Determinism: the algorithm itself is deterministic (fixed partition
+//! order, first failing candidate wins), so as long as the oracle is a
+//! pure function of the plan — which fleet runs are, for any worker
+//! count — the minimized plan, and therefore its `--inject` string, is
+//! identical on every machine and worker count.
+
+use crate::atom::FaultAtom;
+use crate::plan::FaultPlan;
+
+/// Shrinks `plan` to a 1-minimal failing plan under `fails`.
+///
+/// `fails(candidate)` must return `true` when the candidate still
+/// reproduces the failure. The input plan is expected to fail; if it does
+/// not, it is returned unchanged. The oracle is invoked O(n²) times in
+/// the worst case for n atoms — chaos plans are small (≤ ~7 atoms), so
+/// this stays cheap.
+pub fn minimize(plan: &FaultPlan, mut fails: impl FnMut(&FaultPlan) -> bool) -> FaultPlan {
+    if !fails(plan) {
+        return plan.clone();
+    }
+    let mut atoms = plan.atoms();
+    let mut granularity = 2usize;
+
+    while atoms.len() >= 2 {
+        let chunk = atoms.len().div_ceil(granularity);
+        let chunks: Vec<Vec<FaultAtom>> = atoms.chunks(chunk).map(|c| c.to_vec()).collect();
+        let mut reduced = false;
+
+        // Try each subset alone.
+        for part in &chunks {
+            if part.len() < atoms.len() && fails(&FaultPlan::from_atoms(part)) {
+                atoms = part.clone();
+                granularity = 2;
+                reduced = true;
+                break;
+            }
+        }
+        // Then each complement.
+        if !reduced && chunks.len() > 2 {
+            for i in 0..chunks.len() {
+                let complement: Vec<FaultAtom> = chunks
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .flat_map(|(_, c)| c.iter().copied())
+                    .collect();
+                if fails(&FaultPlan::from_atoms(&complement)) {
+                    atoms = complement;
+                    granularity = granularity.saturating_sub(1).max(2);
+                    reduced = true;
+                    break;
+                }
+            }
+        }
+        if !reduced {
+            if granularity >= atoms.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(atoms.len());
+        }
+    }
+
+    // The set is 1-minimal; now shrink counts inside the surviving atoms.
+    for i in 0..atoms.len() {
+        let simpler = match atoms[i] {
+            FaultAtom::WorkerPanic(chip, n) if n > 1 => Some(FaultAtom::WorkerPanic(chip, 1)),
+            FaultAtom::WorkerHang(chip, n) if n > 1 => Some(FaultAtom::WorkerHang(chip, 1)),
+            FaultAtom::CheckpointIoErrors(n) if n > 1 => Some(FaultAtom::CheckpointIoErrors(1)),
+            _ => None,
+        };
+        if let Some(atom) = simpler {
+            let mut candidate = atoms.clone();
+            candidate[i] = atom;
+            if fails(&FaultPlan::from_atoms(&candidate)) {
+                atoms = candidate;
+            }
+        }
+    }
+
+    FaultPlan::from_atoms(&atoms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultKind, FaultTrigger};
+    use vs_types::{ChipId, CoreId, DomainId, SimTime};
+
+    fn big_plan() -> FaultPlan {
+        FaultPlan::new()
+            .due_at(SimTime::from_millis(100), DomainId(0))
+            .due_at(SimTime::from_millis(200), DomainId(1))
+            .crash_at(SimTime::from_millis(300), CoreId(0))
+            .stuck_at(
+                SimTime::from_millis(50),
+                DomainId(0),
+                0.5,
+                SimTime::from_millis(100),
+            )
+            .worker_panic(ChipId(1), 3)
+            .checkpoint_io_error(2)
+    }
+
+    /// Oracle: fails iff the plan contains a DUE on domain 1.
+    fn has_due_on_d1(plan: &FaultPlan) -> bool {
+        plan.events().iter().any(|f| {
+            matches!(
+                (f.trigger, f.kind),
+                (
+                    FaultTrigger::At(_),
+                    FaultKind::Due {
+                        domain: DomainId(1)
+                    }
+                )
+            )
+        })
+    }
+
+    #[test]
+    fn shrinks_to_the_single_triggering_atom() {
+        let minimal = minimize(&big_plan(), has_due_on_d1);
+        assert_eq!(minimal.events().len(), 1);
+        assert!(has_due_on_d1(&minimal));
+        assert!(minimal.worker_panics().is_empty());
+        assert_eq!(minimal.checkpoint_io_errors(), 0);
+        assert_eq!(minimal.to_spec_string(), "due@200ms:d1");
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let a = minimize(&big_plan(), has_due_on_d1);
+        let b = minimize(&big_plan(), has_due_on_d1);
+        assert_eq!(a, b);
+        assert_eq!(a.to_spec_string(), b.to_spec_string());
+    }
+
+    #[test]
+    fn conjunctive_failures_keep_both_atoms() {
+        // Fails only when BOTH dues are present: ddmin must keep the pair.
+        let needs_both = |p: &FaultPlan| {
+            let dues = p
+                .events()
+                .iter()
+                .filter(|f| matches!(f.kind, FaultKind::Due { .. }))
+                .count();
+            dues >= 2
+        };
+        let minimal = minimize(&big_plan(), needs_both);
+        assert_eq!(minimal.events().len(), 2);
+        assert!(needs_both(&minimal));
+    }
+
+    #[test]
+    fn counted_atoms_shrink_to_one_attempt() {
+        let has_panic = |p: &FaultPlan| !p.worker_panics().is_empty();
+        let minimal = minimize(&big_plan(), has_panic);
+        assert_eq!(minimal.to_spec_string(), "panic:chip1");
+    }
+
+    #[test]
+    fn non_failing_plans_are_returned_unchanged() {
+        let plan = big_plan();
+        assert_eq!(minimize(&plan, |_| false), plan);
+    }
+
+    #[test]
+    fn single_atom_plans_minimize_to_themselves() {
+        let plan = FaultPlan::new().due_at(SimTime::from_millis(5), DomainId(0));
+        assert_eq!(minimize(&plan, |p| !p.is_empty()), plan);
+    }
+}

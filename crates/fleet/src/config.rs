@@ -196,6 +196,22 @@ impl FleetConfig {
         h
     }
 
+    /// The sentinel envelope matching this fleet: regulator clamps from
+    /// the base chip's operating point, band ceiling from the controller,
+    /// rollback budget from the default recovery policy the chip jobs run
+    /// under. Mode defaults to record-and-continue; callers flip it before
+    /// handing the config to [`FleetRunner::with_sentinel`](crate::FleetRunner::with_sentinel).
+    pub fn sentinel_config(&self) -> vs_sentinel::SentinelConfig {
+        let (floor, max) = self.base_chip.regulator_range();
+        vs_sentinel::SentinelConfig {
+            floor_mv: floor.0,
+            max_mv: max.0,
+            ceiling: self.controller.ceiling,
+            max_rollbacks_per_domain: vs_faults::RecoveryPolicy::default().max_rollbacks_per_domain,
+            ..vs_sentinel::SentinelConfig::low_voltage()
+        }
+    }
+
     /// Validates internal consistency, naming the first violated
     /// constraint.
     pub fn validate(&self) -> Result<(), ConfigError> {
@@ -211,6 +227,21 @@ impl FleetConfig {
         self.base_chip.validate()?;
         self.controller.validate()?;
         Ok(())
+    }
+
+    /// Validates the configuration, panicking on failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated constraint.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `validate()` and handle the `ConfigError`"
+    )]
+    pub fn validate_or_panic(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
     }
 }
 

@@ -60,6 +60,7 @@ use std::sync::mpsc;
 use std::sync::Once;
 use std::time::Duration;
 use vs_guard::{CancelToken, Watchdog};
+use vs_sentinel::{SentinelConfig, SentinelMode, SentinelMonitor, Violation};
 use vs_telemetry::{
     to_jsonl, EventCategory, EventFilter, FleetProfile, LatencyHistogram, ProgressReport,
     ProgressSink, SilentProgress, Stopwatch, TelemetryEvent, WorkerProfile,
@@ -84,6 +85,13 @@ pub enum FleetError {
         /// Description of the last failure.
         error: String,
     },
+    /// The sentinel found a safety-invariant violation while running in
+    /// [`SentinelMode::FailFast`]; in record mode the run would have
+    /// completed with the violation in [`FleetResult::violations`].
+    InvariantViolation {
+        /// The first violation found (stream order on the violating chip).
+        violation: Violation,
+    },
 }
 
 impl fmt::Display for FleetError {
@@ -99,6 +107,9 @@ impl fmt::Display for FleetError {
                 "chip {} failed {attempts} attempts (fail-fast): {error}",
                 chip.0
             ),
+            FleetError::InvariantViolation { violation } => {
+                write!(f, "safety invariant violated (fail-fast): {violation}")
+            }
         }
     }
 }
@@ -107,7 +118,7 @@ impl std::error::Error for FleetError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FleetError::Checkpoint(e) => Some(e),
-            FleetError::JobFailed { .. } => None,
+            FleetError::JobFailed { .. } | FleetError::InvariantViolation { .. } => None,
         }
     }
 }
@@ -133,6 +144,12 @@ pub struct FleetResult {
     /// What the run absorbed: retries, quarantined chips, failed
     /// checkpoint saves. Empty (`is_clean`) on an undisturbed run.
     pub degradation: DegradationReport,
+    /// Safety-invariant violations the sentinel found, sorted by chip id
+    /// (stream order within a chip). Always empty unless the runner was
+    /// armed with [`FleetRunner::with_sentinel`]; in
+    /// [`SentinelMode::FailFast`] the run aborts with
+    /// [`FleetError::InvariantViolation`] instead of filling this.
+    pub violations: Vec<Violation>,
 }
 
 impl FleetResult {
@@ -252,6 +269,8 @@ pub struct FleetRunner {
     deadline: Option<Duration>,
     /// Write-ahead journal path: one fsynced record per finished chip.
     journal: Option<PathBuf>,
+    /// Online safety-invariant monitoring of every chip's event stream.
+    sentinel: Option<SentinelConfig>,
 }
 
 impl FleetRunner {
@@ -259,12 +278,11 @@ impl FleetRunner {
     ///
     /// # Panics
     ///
-    /// Panics if the config is invalid; validate with
-    /// [`FleetConfig::validate`] first to handle the error instead.
+    /// Panics if the config is invalid; use [`FleetRunner::try_new`] to
+    /// handle the error as data instead.
     pub fn new(config: FleetConfig, workers: usize) -> FleetRunner {
-        if let Err(e) = config.validate() {
-            panic!("{e}");
-        }
+        #[allow(deprecated)]
+        config.validate_or_panic();
         FleetRunner {
             config,
             workers: workers.max(1),
@@ -275,7 +293,19 @@ impl FleetRunner {
             cancel: None,
             deadline: None,
             journal: None,
+            sentinel: None,
         }
+    }
+
+    /// A runner over `config` with `workers` threads, rejecting invalid
+    /// configurations as a [`vs_types::ConfigError`] instead of
+    /// panicking.
+    pub fn try_new(
+        config: FleetConfig,
+        workers: usize,
+    ) -> Result<FleetRunner, vs_types::ConfigError> {
+        config.validate()?;
+        Ok(FleetRunner::new(config, workers))
     }
 
     /// Enables checkpoint/resume at `path`: existing progress there is
@@ -340,6 +370,25 @@ impl FleetRunner {
         self
     }
 
+    /// Arms the online safety sentinel: every chip's telemetry stream is
+    /// checked against the invariant catalogue of [`vs_sentinel`] as the
+    /// chip completes, and checkpoint/journal records are cross-checked
+    /// on resume. Violations land in [`FleetResult::violations`] (sorted
+    /// by chip id, so the list is identical for any worker count); in
+    /// [`SentinelMode::FailFast`] the first violating chip aborts the run
+    /// with [`FleetError::InvariantViolation`] instead.
+    ///
+    /// The sentinel widens the *recording* filter of a
+    /// [`run_reporting`](FleetRunner::run_reporting) call by
+    /// [`SentinelConfig::required_categories`] internally, then strips the
+    /// extra events before they reach the returned trace — the trace (and
+    /// its byte-identity across worker counts) is unchanged by arming the
+    /// sentinel.
+    pub fn with_sentinel(mut self, config: SentinelConfig) -> FleetRunner {
+        self.sentinel = Some(config);
+        self
+    }
+
     /// The runner's configuration.
     pub fn config(&self) -> &FleetConfig {
         &self.config
@@ -393,6 +442,15 @@ impl FleetRunner {
         // plan; consumed by `save_with_retry` in (deterministic) save
         // order.
         let mut injected_io = self.config.faults.checkpoint_io_errors();
+        // The sentinel must *see* its input categories even when the
+        // caller records a narrower trace: jobs record the widened
+        // filter, and the extra events are stripped again before they
+        // reach the returned trace.
+        let job_filter = match &self.sentinel {
+            Some(_) => filter.union(SentinelConfig::required_categories()),
+            None => filter,
+        };
+        let mut violations: Vec<Violation> = Vec::new();
 
         // Restore prior progress, dropping chips beyond the current fleet
         // size (a shrunk re-run) — the fingerprint pins everything else.
@@ -430,11 +488,31 @@ impl FleetRunner {
                         .push(format!("journal line {line}: {warning}"));
                 }
                 for summary in replay.summaries {
-                    if summary.chip.0 < self.config.num_chips
-                        && !done.iter().any(|s| s.chip == summary.chip)
-                    {
-                        done.push(summary);
-                        replayed += 1;
+                    if summary.chip.0 >= self.config.num_chips {
+                        continue;
+                    }
+                    match done.iter().find(|s| s.chip == summary.chip) {
+                        // A chip present in both stores must be identical
+                        // in both — the journal only ever holds records
+                        // the checkpoint absorbs verbatim at compaction.
+                        // Divergence means one of the two is corrupt; the
+                        // sentinel surfaces it instead of silently
+                        // preferring the checkpoint copy.
+                        Some(existing) => {
+                            if self.sentinel.is_some() && *existing != summary {
+                                violations.push(Violation::checkpoint_mismatch(
+                                    summary.chip,
+                                    format!(
+                                        "journal and checkpoint disagree about chip {}",
+                                        summary.chip.0
+                                    ),
+                                ));
+                            }
+                        }
+                        None => {
+                            done.push(summary);
+                            replayed += 1;
+                        }
                     }
                 }
             }
@@ -470,6 +548,15 @@ impl FleetRunner {
                 // durable copy.
                 ChipJournal::open_append(jpath).map_err(CheckpointError::Io)?
             });
+        }
+        if let Some(scfg) = &self.sentinel {
+            if scfg.mode == SentinelMode::FailFast {
+                if let Some(v) = violations.first() {
+                    return Err(FleetError::InvariantViolation {
+                        violation: v.clone(),
+                    });
+                }
+            }
         }
         let resumed = done.len() as u64;
         let todo: Vec<ChipId> = {
@@ -562,11 +649,17 @@ impl FleetRunner {
                                     if failed_attempts < planned_hangs + planned_panics {
                                         std::panic::panic_any(InjectedPanic);
                                     }
-                                    simulate_chip_guarded(config, chip, filter, &job_token, || {
-                                        if let Some(h) = &handle {
-                                            h.beat();
-                                        }
-                                    })
+                                    simulate_chip_guarded(
+                                        config,
+                                        chip,
+                                        job_filter,
+                                        &job_token,
+                                        || {
+                                            if let Some(h) = &handle {
+                                                h.beat();
+                                            }
+                                        },
+                                    )
                                 }));
                             let fired = handle.as_ref().is_some_and(|h| h.fired());
                             drop(handle);
@@ -636,7 +729,7 @@ impl FleetRunner {
                 match outcome {
                     JobOutcome::Done {
                         summary,
-                        events,
+                        mut events,
                         failed_attempts,
                         fired_attempts,
                     } => {
@@ -655,6 +748,27 @@ impl FleetRunner {
                         }
                         if failed_attempts > 0 {
                             degradation.retried.push((summary.chip, failed_attempts));
+                        }
+                        // Walk the chip's stream through the sentinel
+                        // before stripping it back down to the caller's
+                        // filter. Violations are re-sorted by chip id at
+                        // the end of the run, so completion order (and
+                        // therefore worker count) cannot leak into them.
+                        if let Some(scfg) = &self.sentinel {
+                            let mut monitor = SentinelMonitor::for_chip(*scfg, summary.chip);
+                            for e in &events {
+                                monitor.observe(e);
+                            }
+                            monitor.finish();
+                            let mut found = monitor.into_violations();
+                            if !found.is_empty() && scfg.mode == SentinelMode::FailFast {
+                                fatal = Some(FleetError::InvariantViolation {
+                                    violation: found.remove(0),
+                                });
+                                break;
+                            }
+                            violations.append(&mut found);
+                            events.retain(|e| filter.accepts(e.category()));
                         }
                         completed += 1;
                         on_chip(&summary);
@@ -782,12 +896,16 @@ impl FleetRunner {
         let mut events: Vec<TelemetryEvent> = traces.into_iter().flat_map(|(_, e)| e).collect();
         events.extend(guard_events);
         events.extend(compactions);
+        // Stable sort: violations keep stream order within a chip, and
+        // the overall list is independent of completion order.
+        violations.sort_by_key(|v| v.chip.map_or(u64::MAX, |c| c.0));
         Ok((
             FleetResult {
                 summaries: done,
                 simulated,
                 resumed,
                 degradation,
+                violations,
             },
             FleetTrace { events, profile },
         ))
@@ -1195,6 +1313,151 @@ mod tests {
         let four = run(4);
         assert_eq!(one, four, "guard events must not depend on scheduling");
         assert!(one.contains("watchdog_fired"));
+    }
+
+    #[test]
+    fn sentinel_on_a_clean_fleet_finds_nothing_and_leaves_the_trace_alone() {
+        let run = |sentinel: bool, workers: usize| {
+            let mut progress = vs_telemetry::SilentProgress;
+            let mut runner = FleetRunner::new(tiny_config(), workers);
+            if sentinel {
+                runner = runner.with_sentinel(tiny_config().sentinel_config());
+            }
+            let (result, trace) = runner
+                .run_reporting(EventFilter::of(&[EventCategory::Ecc]), &mut progress)
+                .unwrap();
+            (result, trace.to_jsonl())
+        };
+        let (plain, plain_trace) = run(false, 2);
+        let (armed, armed_trace) = run(true, 2);
+        assert!(armed.violations.is_empty());
+        assert_eq!(plain.summaries, armed.summaries);
+        assert_eq!(
+            plain_trace, armed_trace,
+            "the sentinel's widened recording filter must not leak into the trace"
+        );
+        let (armed_four, _) = run(true, 4);
+        assert_eq!(armed.violations, armed_four.violations);
+    }
+
+    #[test]
+    fn sentinel_stays_clean_under_injected_chip_faults() {
+        use vs_types::{CoreId, DomainId, SimTime};
+        let mut config = tiny_config();
+        config.faults = FaultPlan::new()
+            .due_at(SimTime::from_millis(40), DomainId(0))
+            .crash_at(SimTime::from_millis(90), CoreId(1))
+            .droop_at(
+                SimTime::from_millis(150),
+                DomainId(0),
+                vs_types::Millivolts(60),
+                SimTime::from_millis(30),
+            );
+        let result = FleetRunner::new(config.clone(), 2)
+            .with_sentinel(config.sentinel_config())
+            .run()
+            .unwrap();
+        assert_eq!(result.summaries.len(), 6);
+        assert!(
+            result.violations.is_empty(),
+            "recovery from injected faults must satisfy every invariant: {:?}",
+            result.violations
+        );
+    }
+
+    #[test]
+    fn journal_checkpoint_divergence_is_a_consistency_violation() {
+        use vs_sentinel::Invariant;
+        // Builds a checkpoint+journal pair that disagree about chip 1:
+        // the journal holds what the fleet really produced, the
+        // checkpoint a record tampered after the fact.
+        let plant = |tag: &str| {
+            let journal = scratch(&format!("diverge-{tag}.journal"));
+            let path = scratch(&format!("diverge-{tag}.ckpt"));
+            let _ = std::fs::remove_file(&journal);
+            let _ = std::fs::remove_file(&path);
+            let mut half = tiny_config();
+            half.num_chips = 3;
+            FleetRunner::new(half, 2)
+                .with_journal(journal.clone())
+                .run()
+                .unwrap();
+            let fresh = FleetRunner::new(tiny_config(), 2).run().unwrap();
+            let mut tampered: Vec<ChipSummary> = fresh.summaries[..3].to_vec();
+            tampered[1].correctable += 1;
+            checkpoint::save(&path, tiny_config().fingerprint(), &tampered).unwrap();
+            (path, journal)
+        };
+
+        let (path, journal) = plant("record");
+        let result = FleetRunner::new(tiny_config(), 2)
+            .with_checkpoint(path)
+            .with_journal(journal)
+            .with_sentinel(tiny_config().sentinel_config())
+            .run()
+            .unwrap();
+        assert_eq!(result.violations.len(), 1, "{:?}", result.violations);
+        assert_eq!(
+            result.violations[0].invariant,
+            Invariant::CheckpointConsistency
+        );
+        assert_eq!(result.violations[0].chip, Some(ChipId(1)));
+
+        // Fail-fast mode aborts before simulating anything.
+        let (path, journal) = plant("failfast");
+        let err = FleetRunner::new(tiny_config(), 2)
+            .with_checkpoint(path)
+            .with_journal(journal)
+            .with_sentinel(vs_sentinel::SentinelConfig {
+                mode: SentinelMode::FailFast,
+                ..tiny_config().sentinel_config()
+            })
+            .run();
+        match err {
+            Err(FleetError::InvariantViolation { violation }) => {
+                assert_eq!(violation.invariant, Invariant::CheckpointConsistency);
+            }
+            other => panic!("expected InvariantViolation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retried_then_quarantined_chip_is_reported_once_and_excluded_from_stats() {
+        // Chip 2's job hangs once (watchdog cancels it, the retry
+        // recovers the worker), then panics on every later attempt until
+        // the retry budget runs out and the chip is quarantined.
+        let mut config = tiny_config();
+        config.faults = FaultPlan::new()
+            .worker_hang(ChipId(2), 1)
+            .worker_panic(ChipId(2), u32::MAX);
+        let result = FleetRunner::new(config.clone(), 2)
+            .with_max_retries(1)
+            .with_deadline(Duration::from_secs(1))
+            .run()
+            .unwrap();
+        // Exactly one quarantine entry, and no double-count in `retried`
+        // (that list is only for chips that eventually succeeded).
+        assert_eq!(result.degradation.quarantined, vec![ChipId(2)]);
+        assert!(result.degradation.retried.is_empty());
+        assert_eq!(result.degradation.watchdog_fired, vec![(ChipId(2), 1)]);
+        assert_eq!(result.summaries.len(), 5);
+        assert!(result.summaries.iter().all(|s| s.chip != ChipId(2)));
+        let stats = result.stats(&config);
+        assert_eq!(
+            stats.num_chips, 5,
+            "a quarantined chip must not dilute population statistics"
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_configs_without_panicking() {
+        let bad = FleetConfig {
+            num_chips: 0,
+            ..tiny_config()
+        };
+        let err = FleetRunner::try_new(bad, 2).unwrap_err();
+        assert_eq!(err.field(), "num_chips");
+        assert!(FleetRunner::try_new(tiny_config(), 2).is_ok());
     }
 
     #[test]

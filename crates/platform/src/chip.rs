@@ -162,9 +162,8 @@ impl Chip {
     /// Panics if `config` is invalid; use [`ChipConfig::validate`] first
     /// to handle bad configurations as data.
     pub fn new(config: ChipConfig) -> Chip {
-        if let Err(e) = config.validate() {
-            panic!("{e}");
-        }
+        #[allow(deprecated)]
+        config.validate_or_panic();
         let variation = ChipVariation::new(config.seed, config.sram.clone());
         let (lo, hi) = config.regulator_range();
         let nominal = config.mode.nominal_vdd();

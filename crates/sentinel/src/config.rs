@@ -1,0 +1,101 @@
+//! Sentinel configuration: the envelope the invariants are checked
+//! against.
+
+use vs_telemetry::{EventCategory, EventFilter};
+
+/// What the embedding runner should do when a violation is found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SentinelMode {
+    /// Record every violation and let the run complete (the default).
+    #[default]
+    Record,
+    /// Abort the run on the first violating chip.
+    FailFast,
+}
+
+/// The parameters the safety invariants are checked against.
+///
+/// These mirror the chip and controller configuration of the monitored
+/// run: the regulator envelope bounds every set point a controller may
+/// request (requests are clamped at the regulator, so an event outside
+/// the envelope means the *telemetry itself* is corrupt or the controller
+/// computed a nonsensical target), the band ceiling separates "converged"
+/// from "must respond", and the rollback budget bounds quarantine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SentinelConfig {
+    /// The regulator's lower clamp — the emergency floor no set point may
+    /// cross, in millivolts.
+    pub floor_mv: i32,
+    /// The regulator's upper clamp, in millivolts. Emergency bumps
+    /// legitimately push a set point past nominal, but never past this.
+    pub max_mv: i32,
+    /// The controller band ceiling (e.g. 0.05): a monitor window above it
+    /// must be answered by an up-step or an emergency bump.
+    pub ceiling: f64,
+    /// The recovery policy's per-domain rollback budget: one more rollback
+    /// quarantines the domain, and nothing may touch it afterwards.
+    pub max_rollbacks_per_domain: u32,
+    /// How many preceding events a [`Violation`](crate::Violation) carries
+    /// as context.
+    pub context_window: usize,
+    /// Record-and-continue or fail-fast (a hint to the embedding runner;
+    /// the monitor itself always records).
+    pub mode: SentinelMode,
+}
+
+impl SentinelConfig {
+    /// A configuration for the paper's low-voltage operating point:
+    /// 500–900 mV envelope, 5 % band ceiling, 8-rollback budget.
+    pub fn low_voltage() -> SentinelConfig {
+        SentinelConfig {
+            floor_mv: 500,
+            max_mv: 900,
+            ceiling: 0.05,
+            max_rollbacks_per_domain: 8,
+            context_window: 8,
+            mode: SentinelMode::Record,
+        }
+    }
+
+    /// The event categories the monitor needs to see for every invariant
+    /// to be checkable. Runs that record a narrower trace must widen the
+    /// recording filter by this (see [`EventFilter::union`]) and may strip
+    /// the extra events afterwards.
+    pub fn required_categories() -> EventFilter {
+        EventFilter::of(&[
+            EventCategory::Monitor,
+            EventCategory::Controller,
+            EventCategory::Fault,
+            EventCategory::Fleet,
+        ])
+    }
+}
+
+impl Default for SentinelConfig {
+    fn default() -> SentinelConfig {
+        SentinelConfig::low_voltage()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn required_categories_cover_the_invariant_inputs() {
+        let f = SentinelConfig::required_categories();
+        assert!(f.accepts(EventCategory::Monitor));
+        assert!(f.accepts(EventCategory::Controller));
+        assert!(f.accepts(EventCategory::Fault));
+        assert!(f.accepts(EventCategory::Fleet));
+        assert!(!f.accepts(EventCategory::Guard));
+    }
+
+    #[test]
+    fn defaults_match_the_low_voltage_operating_point() {
+        let c = SentinelConfig::default();
+        assert_eq!(c.floor_mv, 500);
+        assert_eq!(c.max_mv, 900);
+        assert_eq!(c.mode, SentinelMode::Record);
+    }
+}

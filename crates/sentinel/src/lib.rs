@@ -1,0 +1,42 @@
+//! Online safety-invariant monitoring for the voltage-speculation stack.
+//!
+//! The paper's core claim is that ECC-guided voltage speculation is
+//! *safe*: the controller may push a domain toward the error-rate band,
+//! but every excursion past the band ceiling must be answered, every DUE
+//! must be rolled back **above** the last-known-safe point, and a domain
+//! that exhausts its rollback budget must be quarantined and never touched
+//! again (Bacha & Teodorescu, MICRO 2014, §4–5). This crate turns those
+//! properties into a declarative, online monitor over the existing
+//! [`vs_telemetry`] event stream:
+//!
+//! * [`SentinelConfig`] — the envelope and band parameters the invariants
+//!   are checked against, derived from the chip/controller configuration.
+//! * [`Invariant`] — the catalogue of checked properties.
+//! * [`Violation`] — a typed violation with the event-window context that
+//!   led up to it.
+//! * [`SentinelMonitor`] — the checker itself. It implements
+//!   [`vs_telemetry::EventSink`], so it subscribes to any event stream a
+//!   recorder can drain: feed it events as they are produced (or replay a
+//!   recorded trace) and collect the violations at the end.
+//!
+//! The monitor is deliberately *conservative*: every check is a structural
+//! property that holds on a correct stack under **any** composition of
+//! injected faults (droops, stuck monitors, DUEs, crashes), so a reported
+//! violation is a real bug, not a tuning artifact. That is what lets the
+//! chaos harness (`repro --chaos`) treat any violation as a
+//! minimization-worthy failure.
+//!
+//! Whether a violation is fatal is a policy decision left to the caller:
+//! [`SentinelMode::Record`] collects and continues, [`SentinelMode::FailFast`]
+//! tells the embedding runner to abort on the first violating chip.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod monitor;
+mod violation;
+
+pub use config::{SentinelConfig, SentinelMode};
+pub use monitor::SentinelMonitor;
+pub use violation::{Invariant, Violation};

@@ -148,9 +148,8 @@ impl DomainController {
         monitor: EccMonitor,
         config: ControllerConfig,
     ) -> DomainController {
-        if let Err(e) = config.validate() {
-            panic!("{e}");
-        }
+        #[allow(deprecated)]
+        config.validate_or_panic();
         DomainController {
             domain,
             monitor,
@@ -194,9 +193,8 @@ impl DomainController {
     ///
     /// Panics if the new configuration is invalid.
     pub fn set_config(&mut self, config: ControllerConfig) {
-        if let Err(e) = config.validate() {
-            panic!("{e}");
-        }
+        #[allow(deprecated)]
+        config.validate_or_panic();
         self.config = config;
     }
 

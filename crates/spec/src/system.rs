@@ -341,9 +341,8 @@ impl SpeculationSystem {
     ///
     /// [`SystemBuilder::build`]: crate::SystemBuilder::build
     pub fn new(chip_config: ChipConfig, config: ControllerConfig) -> SpeculationSystem {
-        if let Err(e) = config.validate() {
-            panic!("{e}");
-        }
+        #[allow(deprecated)]
+        config.validate_or_panic();
         SpeculationSystem {
             chip: Chip::new(chip_config),
             controllers: Vec::new(),
@@ -740,12 +739,13 @@ impl SpeculationSystem {
                         continue;
                     }
                     self.dues_consumed += 1;
-                    let rollback_mv = self.rollback(domain);
+                    let (safe_mv, rollback_mv) = self.rollback(domain);
                     if rec_fault {
                         self.recorder.emit(TelemetryEvent::DueConsumed {
                             at: now,
                             domain,
                             rollback_mv,
+                            safe_mv,
                         });
                     }
                     self.maybe_quarantine(domain, now, rec_fault);
@@ -798,7 +798,7 @@ impl SpeculationSystem {
                 continue;
             }
             self.crash_rollbacks += 1;
-            let rollback_mv = self.rollback(domain);
+            let (safe_mv, rollback_mv) = self.rollback(domain);
             self.chip.recover_core(core);
             if rec_fault {
                 self.recorder.emit(TelemetryEvent::CrashRollback {
@@ -806,6 +806,7 @@ impl SpeculationSystem {
                     domain,
                     core,
                     rollback_mv,
+                    safe_mv,
                 });
             }
             self.maybe_quarantine(domain, now, rec_fault);
@@ -814,13 +815,21 @@ impl SpeculationSystem {
 
     /// One firmware rollback: raise the domain to the last-known-safe set
     /// point plus the safety margin, charge the latency, and count it
-    /// toward quarantine. Returns the rollback target in millivolts.
-    fn rollback(&mut self, domain: DomainId) -> i32 {
-        let target = Millivolts(self.last_safe_mv[domain.0]) + self.recovery.safety_margin;
+    /// toward quarantine. Returns `(last_safe, target)` in millivolts.
+    fn rollback(&mut self, domain: DomainId) -> (i32, i32) {
+        let safe = Millivolts(self.last_safe_mv[domain.0]);
+        // `planted-violation` is a test-only feature that flips the sign of
+        // the safety margin, so the firmware "recovers" *below* the
+        // last-known-safe point. It exists purely to prove the sentinel
+        // catches an unsafe recovery path; never enable it in real builds.
+        #[cfg(feature = "planted-violation")]
+        let target = safe - self.recovery.safety_margin;
+        #[cfg(not(feature = "planted-violation"))]
+        let target = safe + self.recovery.safety_margin;
         self.chip.request_domain_voltage(domain, target);
         self.rollbacks[domain.0] += 1;
         self.recovery_time += self.recovery.rollback_latency;
-        target.0
+        (safe.0, target.0)
     }
 
     /// Quarantines `domain` once its rollback count exceeds the policy

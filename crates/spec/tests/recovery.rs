@@ -58,6 +58,7 @@ fn due_mid_period_rolls_back_exactly_to_last_safe_plus_margin() {
             at: due_at,
             domain: DomainId(0),
             rollback_mv: expected.0,
+            safe_mv: last_safe.0,
         }]
     );
 }

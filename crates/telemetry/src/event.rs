@@ -123,6 +123,13 @@ impl EventFilter {
     pub fn accepts(self, category: EventCategory) -> bool {
         self.0 & category.bit() != 0
     }
+
+    /// The filter keeping everything either side keeps. Used by consumers
+    /// that need extra categories beyond what the caller asked to record
+    /// (e.g. an invariant monitor riding along a filtered trace).
+    pub fn union(self, other: EventFilter) -> EventFilter {
+        EventFilter(self.0 | other.0)
+    }
 }
 
 /// The direction of a controller voltage step.
@@ -276,6 +283,11 @@ pub enum TelemetryEvent {
         domain: DomainId,
         /// The set point requested by the rollback, in millivolts.
         rollback_mv: i32,
+        /// The last-known-safe set point the rollback was computed from,
+        /// in millivolts. A correct recovery path always requests strictly
+        /// above this value (safe point plus the safety margin) — the
+        /// invariant the sentinel checks.
+        safe_mv: i32,
     },
     /// A core crashed and the recovery path restarted it after rolling its
     /// domain back to the last-known-safe set point.
@@ -288,6 +300,9 @@ pub enum TelemetryEvent {
         core: CoreId,
         /// The set point requested by the rollback, in millivolts.
         rollback_mv: i32,
+        /// The last-known-safe set point the rollback was computed from,
+        /// in millivolts (see [`TelemetryEvent::DueConsumed`]).
+        safe_mv: i32,
     },
     /// A domain exhausted its rollback budget and was quarantined: parked
     /// at nominal with speculation disabled for the rest of the run.
@@ -536,24 +551,26 @@ impl TelemetryEvent {
             TelemetryEvent::DueConsumed {
                 domain,
                 rollback_mv,
+                safe_mv,
                 ..
             } => {
                 let _ = write!(
                     out,
-                    ",\"domain\":{},\"rollback_mv\":{}",
-                    domain.0, rollback_mv
+                    ",\"domain\":{},\"rollback_mv\":{},\"safe_mv\":{}",
+                    domain.0, rollback_mv, safe_mv
                 );
             }
             TelemetryEvent::CrashRollback {
                 domain,
                 core,
                 rollback_mv,
+                safe_mv,
                 ..
             } => {
                 let _ = write!(
                     out,
-                    ",\"domain\":{},\"core\":{},\"rollback_mv\":{}",
-                    domain.0, core.0, rollback_mv
+                    ",\"domain\":{},\"core\":{},\"rollback_mv\":{},\"safe_mv\":{}",
+                    domain.0, core.0, rollback_mv, safe_mv
                 );
             }
             TelemetryEvent::Quarantine {
@@ -607,6 +624,17 @@ mod tests {
         assert_eq!(EventFilter::parse("ecc,bogus"), None);
         assert!(EventFilter::parse("").unwrap().is_empty());
         assert!(EventFilter::none().is_empty());
+        let merged = EventFilter::of(&[EventCategory::Ecc]).union(EventFilter::of(&[
+            EventCategory::Monitor,
+            EventCategory::Ecc,
+        ]));
+        assert!(merged.accepts(EventCategory::Ecc));
+        assert!(merged.accepts(EventCategory::Monitor));
+        assert!(!merged.accepts(EventCategory::Guard));
+        assert_eq!(
+            EventFilter::all().union(EventFilter::none()),
+            EventFilter::all()
+        );
         for c in EventCategory::ALL {
             assert!(EventFilter::all().accepts(c));
             assert_eq!(EventCategory::parse(c.label()), Some(c));
@@ -656,6 +684,7 @@ mod tests {
             at: SimTime::from_millis(7),
             domain: DomainId(2),
             rollback_mv: 730,
+            safe_mv: 720,
         };
         assert_eq!(due.category(), EventCategory::Fault);
         assert_eq!(due.at(), SimTime::from_millis(7));
@@ -664,7 +693,7 @@ mod tests {
         assert_eq!(
             out,
             "{\"event\":\"due_consumed\",\"category\":\"fault\",\
-             \"at_us\":7000,\"domain\":2,\"rollback_mv\":730}"
+             \"at_us\":7000,\"domain\":2,\"rollback_mv\":730,\"safe_mv\":720}"
         );
 
         out.clear();
@@ -673,12 +702,13 @@ mod tests {
             domain: DomainId(1),
             core: CoreId(3),
             rollback_mv: 725,
+            safe_mv: 715,
         }
         .write_json(&mut out);
         assert_eq!(
             out,
             "{\"event\":\"crash_rollback\",\"category\":\"fault\",\
-             \"at_us\":8000,\"domain\":1,\"core\":3,\"rollback_mv\":725}"
+             \"at_us\":8000,\"domain\":1,\"core\":3,\"rollback_mv\":725,\"safe_mv\":715}"
         );
 
         out.clear();

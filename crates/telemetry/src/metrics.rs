@@ -550,17 +550,20 @@ mod tests {
                 at: SimTime::from_millis(5),
                 domain: DomainId(0),
                 rollback_mv: 730,
+                safe_mv: 720,
             },
             TelemetryEvent::DueConsumed {
                 at: SimTime::from_millis(6),
                 domain: DomainId(1),
                 rollback_mv: 735,
+                safe_mv: 725,
             },
             TelemetryEvent::CrashRollback {
                 at: SimTime::from_millis(7),
                 domain: DomainId(0),
                 core: CoreId(1),
                 rollback_mv: 740,
+                safe_mv: 730,
             },
             TelemetryEvent::Quarantine {
                 at: SimTime::from_millis(8),

@@ -30,6 +30,7 @@
 //! | [`fleet`] | parallel multi-chip population simulation and statistics |
 //! | [`telemetry`] | structured event tracing, metrics registry, profiling spans |
 //! | [`guard`] | run supervision: cancellation tokens, watchdogs, crash-safe journaling |
+//! | [`sentinel`] | online safety-invariant monitoring over telemetry streams |
 //!
 //! # Quickstart
 //!
@@ -72,6 +73,7 @@ pub use vs_guard as guard;
 pub use vs_pdn as pdn;
 pub use vs_platform as platform;
 pub use vs_power as power;
+pub use vs_sentinel as sentinel;
 pub use vs_spec as spec;
 pub use vs_sram as sram;
 pub use vs_telemetry as telemetry;
