@@ -10,7 +10,15 @@
 //! cores exist. Determinism is *not* at stake either way: all worker
 //! counts produce bit-identical summaries (asserted here and in
 //! `tests/determinism.rs`).
+//!
+//! Besides the human-readable table, the run writes `BENCH_fleet.json`
+//! at the repo root: per-worker-count chips/sec and wall time, the
+//! available parallelism, and the config fingerprint the numbers were
+//! measured against — so a perf regression is diffable across commits
+//! and a number measured against a different sweep is detectable.
 
+use std::io::Write as _;
+use std::path::PathBuf;
 use std::time::Instant;
 use vs_fleet::{FleetConfig, FleetRunner};
 use vs_types::{FleetSeed, SimTime};
@@ -35,6 +43,7 @@ fn main() {
 
     let mut baseline_rate = None;
     let mut reference = None;
+    let mut measurements: Vec<(usize, f64, f64)> = Vec::new();
     for &workers in worker_counts {
         let runner = FleetRunner::new(sweep_config(num_chips), workers);
         let start = Instant::now();
@@ -46,6 +55,7 @@ fn main() {
             baseline_rate = Some(rate);
         }
         println!("{workers:>8} {wall:>12.2} {rate:>12.1} {speedup:>8.2}x");
+        measurements.push((workers, wall, rate));
 
         // Scaling must never come at the cost of determinism.
         match &reference {
@@ -56,6 +66,50 @@ fn main() {
             ),
         }
     }
+
+    let json_path = bench_json_path();
+    match write_bench_json(&json_path, num_chips, &measurements) {
+        Ok(()) => println!("wrote {}", json_path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", json_path.display()),
+    }
+}
+
+/// `BENCH_fleet.json` at the repo root, wherever the bench is run from.
+fn bench_json_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_fleet.json")
+}
+
+/// Hand-rolled JSON (the workspace is dependency-free): machine-readable
+/// fleet throughput, keyed to the exact sweep via the config fingerprint.
+fn write_bench_json(
+    path: &std::path::Path,
+    num_chips: u64,
+    measurements: &[(usize, f64, f64)],
+) -> std::io::Result<()> {
+    let fingerprint = sweep_config(num_chips).fingerprint();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"fleet-throughput\",\n");
+    out.push_str(&format!("  \"chips\": {num_chips},\n"));
+    out.push_str(&format!(
+        "  \"config_fingerprint\": \"{fingerprint:016x}\",\n"
+    ));
+    out.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        available_cores()
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (i, (workers, wall, rate)) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {workers}, \"wall_s\": {wall:.4}, \"chips_per_s\": {rate:.2}}}{}\n",
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())
 }
 
 fn available_cores() -> usize {

@@ -14,6 +14,12 @@
 //!       [--trace FILE] [--trace-filter LIST] [--metrics] \
 //!       [--quiet] [--progress-jsonl]
 //! repro --chaos N [--seed S] [--workers W] [--quiet]
+//! repro fleetd submit --socket PATH --chips N [--seed S] [--variant V]
+//!        [--quick] [--run-ms M] [--sentinel] [--watch]
+//! repro fleetd watch --socket PATH --job J
+//! repro fleetd cancel --socket PATH --job J
+//! repro fleetd stats --socket PATH
+//! repro fleetd shutdown --socket PATH
 //! ```
 //!
 //! Experiments: `table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
@@ -83,9 +89,16 @@
 //!   is a pure function of the plan, so the reproducer string is
 //!   byte-identical for any `--workers` count.
 //!
-//! Exit codes: `0` success; `2` usage or configuration error; `3` the
-//! sentinel found a safety-invariant violation (immediately under
-//! `--sentinel-fail-fast`, after the run completes otherwise); `130`
+//! `repro fleetd ...` is the thin client for a running `vs-fleetd`
+//! daemon: submit a sweep (`--watch` follows its chip stream to the
+//! terminal event), watch or cancel a job by id, fetch a stats
+//! snapshot, or ask the daemon to drain and exit.
+//!
+//! Exit codes: `0` success; `2` usage or configuration error (for
+//! `fleetd`, also a connection or protocol failure); `3` the sentinel
+//! found a safety-invariant violation (immediately under
+//! `--sentinel-fail-fast`, after the run completes otherwise); `4` the
+//! daemon's admission control rejected a submission (`busy`); `130`
 //! interrupted by Ctrl-C after flushing progress.
 //!
 //! Wall-clock profiling (per-worker busy/steal/idle, chip latency) goes to
@@ -106,6 +119,8 @@ use vs_types::{FleetSeed, SimTime};
 
 /// Exit status when the sentinel found a safety-invariant violation.
 const EXIT_VIOLATION: i32 = 3;
+/// Exit status when the daemon's admission control rejected a job.
+const EXIT_BUSY: i32 = 4;
 /// Exit status after a graceful Ctrl-C (128 + SIGINT).
 const EXIT_INTERRUPTED: i32 = 130;
 
@@ -170,6 +185,9 @@ fn run_one(name: &str, seed: u64, scale: Scale) -> Option<Rendered> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("fleetd") {
+        run_fleetd(&args[1..]);
+    }
     let mut scale = Scale::Full;
     let mut seed = Scale::REFERENCE_SEED;
     let mut csv_dir: Option<String> = None;
@@ -322,12 +340,15 @@ fn main() {
                      [--trace FILE] [--trace-filter LIST] [--metrics]\n\
                      \x20      [--quiet] [--progress-jsonl]\n\
                             repro --chaos N [--seed S] [--workers W] [--quiet]\n\
+                            repro fleetd submit|watch|cancel|stats|shutdown \
+                     --socket PATH [options]\n\
                      \n\
                      exit codes: 0 success; 2 usage/config error; \
                      3 safety-invariant violation\n\
                      \x20           (immediate under --sentinel-fail-fast, \
                      after the run otherwise);\n\
-                     \x20           130 interrupted by Ctrl-C after flushing progress"
+                     \x20           4 daemon busy (admission control); \
+                     130 interrupted by Ctrl-C after flushing progress"
                 );
                 return;
             }
@@ -663,4 +684,182 @@ fn run_chaos(cases: u64, seed: u64, workers: usize, quiet: bool) {
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     std::process::exit(2);
+}
+
+/// The `repro fleetd` client: a thin wrapper over [`vs_fleetd::Client`].
+///
+/// Streams and reports go to stdout as the daemon's own JSONL messages,
+/// so the output is machine-checkable; human summaries go to stderr.
+fn run_fleetd(args: &[String]) -> ! {
+    use vs_fleetd::{Client, JobOutcome, Response, SweepSpec};
+
+    fn fleetd_die(msg: &str) -> ! {
+        eprintln!("repro fleetd: {msg}");
+        eprintln!(
+            "usage: repro fleetd submit --socket PATH --chips N [--seed S] \
+             [--variant hw|sw|baseline] [--quick] [--run-ms M] [--sentinel] [--watch]\n\
+             \x20      repro fleetd watch|cancel --socket PATH --job J\n\
+             \x20      repro fleetd stats|shutdown --socket PATH"
+        );
+        std::process::exit(2);
+    }
+
+    let Some(command) = args.first().map(String::as_str) else {
+        fleetd_die("missing subcommand");
+    };
+    let mut socket: Option<std::path::PathBuf> = None;
+    let mut job: Option<u64> = None;
+    let mut spec = SweepSpec {
+        seed: 2014,
+        chips: 0,
+        variant: ControllerVariant::Hardware,
+        quick: false,
+        run_ms: 0,
+        sentinel: false,
+    };
+    let mut watch_after_submit = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => {
+                i += 1;
+                socket = Some(std::path::PathBuf::from(
+                    args.get(i)
+                        .unwrap_or_else(|| fleetd_die("--socket needs a path")),
+                ));
+            }
+            "--job" => {
+                i += 1;
+                job = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| fleetd_die("--job needs an integer")),
+                );
+            }
+            "--chips" => {
+                i += 1;
+                spec.chips = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| fleetd_die("--chips needs a chip count"));
+            }
+            "--seed" => {
+                i += 1;
+                spec.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| fleetd_die("--seed needs an integer"));
+            }
+            "--variant" => {
+                i += 1;
+                spec.variant = args
+                    .get(i)
+                    .and_then(|s| ControllerVariant::parse(s))
+                    .unwrap_or_else(|| fleetd_die("--variant must be hw, sw, or baseline"));
+            }
+            "--quick" => spec.quick = true,
+            "--run-ms" => {
+                i += 1;
+                spec.run_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| fleetd_die("--run-ms needs milliseconds"));
+            }
+            "--sentinel" => spec.sentinel = true,
+            "--watch" => watch_after_submit = true,
+            other => fleetd_die(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    let Some(socket) = socket else {
+        fleetd_die("--socket is required");
+    };
+    let mut client = match Client::connect(&socket) {
+        Ok(client) => client,
+        Err(e) => fleetd_die(&format!("cannot connect to {}: {e}", socket.display())),
+    };
+
+    // Each streamed response is echoed to stdout as the daemon's own
+    // JSONL message.
+    fn echo(resp: &Response) {
+        println!("{}", vs_fleetd::protocol::encode_response(resp));
+    }
+    fn finish(outcome: JobOutcome) -> ! {
+        match outcome {
+            JobOutcome::Done { chips, resumed, .. } => {
+                eprintln!("repro fleetd: done ({chips} chips, {resumed} resumed)");
+                std::process::exit(0);
+            }
+            JobOutcome::Cancelled { chips } => {
+                eprintln!("repro fleetd: cancelled ({chips} chips durable)");
+                std::process::exit(0);
+            }
+            JobOutcome::Failed { error } => {
+                eprintln!("repro fleetd: job failed: {error}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    match command {
+        "submit" => {
+            if spec.chips == 0 {
+                fleetd_die("submit needs --chips N");
+            }
+            match client.submit(spec) {
+                Ok(Ok(id)) => {
+                    echo(&Response::Submitted { job: id });
+                    if watch_after_submit {
+                        match client.watch(id, echo) {
+                            Ok(outcome) => finish(outcome),
+                            Err(e) => fleetd_die(&format!("watch failed: {e}")),
+                        }
+                    }
+                    std::process::exit(0);
+                }
+                Ok(Err(busy)) => {
+                    echo(&busy);
+                    eprintln!("repro fleetd: daemon busy, job rejected");
+                    std::process::exit(EXIT_BUSY);
+                }
+                Err(e) => fleetd_die(&format!("submit failed: {e}")),
+            }
+        }
+        "watch" => {
+            let Some(id) = job else {
+                fleetd_die("watch needs --job J");
+            };
+            match client.watch(id, echo) {
+                Ok(outcome) => finish(outcome),
+                Err(e) => fleetd_die(&format!("watch failed: {e}")),
+            }
+        }
+        "cancel" => {
+            let Some(id) = job else {
+                fleetd_die("cancel needs --job J");
+            };
+            match client.cancel(id) {
+                Ok(()) => {
+                    eprintln!("repro fleetd: cancel requested for job {id}");
+                    std::process::exit(0);
+                }
+                Err(e) => fleetd_die(&format!("cancel failed: {e}")),
+            }
+        }
+        "stats" => match client.stats() {
+            Ok(stats) => {
+                echo(&Response::Stats(stats));
+                std::process::exit(0);
+            }
+            Err(e) => fleetd_die(&format!("stats failed: {e}")),
+        },
+        "shutdown" => match client.shutdown() {
+            Ok(()) => {
+                eprintln!("repro fleetd: daemon draining");
+                std::process::exit(0);
+            }
+            Err(e) => fleetd_die(&format!("shutdown failed: {e}")),
+        },
+        other => fleetd_die(&format!("unknown subcommand {other:?}")),
+    }
 }

@@ -31,7 +31,7 @@ use vs_guard::crc32;
 use vs_types::ChipId;
 
 /// File-format magic: first line of every checkpoint.
-const MAGIC: &str = "voltspec-fleet-checkpoint v1";
+pub(crate) const MAGIC: &str = "voltspec-fleet-checkpoint v1";
 
 /// Why a checkpoint could not be loaded.
 #[derive(Debug)]
@@ -323,7 +323,7 @@ pub(crate) fn decode_chip(line: &str) -> Result<Option<ChipSummary>, CheckpointW
 static TEMP_SERIAL: AtomicU64 = AtomicU64::new(0);
 
 /// A temp path unique to this (process, save): `<path>.tmp.<pid>.<n>`.
-fn unique_temp(path: &Path) -> PathBuf {
+pub(crate) fn unique_temp(path: &Path) -> PathBuf {
     let serial = TEMP_SERIAL.fetch_add(1, Ordering::Relaxed);
     let pid = std::process::id();
     let mut name = path.file_name().map(|n| n.to_owned()).unwrap_or_default();
@@ -335,7 +335,7 @@ fn unique_temp(path: &Path) -> PathBuf {
 /// crash. Best-effort and unix-only: directory fsync is not portable, and
 /// a failure here cannot lose record *content* (the data file itself is
 /// already synced), only the rename's durability.
-fn sync_parent_dir(path: &Path) {
+pub(crate) fn sync_parent_dir(path: &Path) {
     #[cfg(unix)]
     if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
         if let Ok(dir) = fs::File::open(parent) {

@@ -18,13 +18,15 @@
 
 use crate::checkpoint::{decode_chip, encode_chip, CheckpointError, CheckpointWarning};
 use crate::summary::ChipSummary;
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
+use std::io::BufRead;
 use std::path::Path;
 use vs_guard::{unframe, FrameError, JournalWriter};
 
 /// File-format magic: first line of every progress journal.
-const MAGIC: &str = "voltspec-fleet-journal v1";
+pub(crate) const MAGIC: &str = "voltspec-fleet-journal v1";
 
 /// An open progress journal: one durable record per completed chip.
 #[derive(Debug)]
@@ -140,6 +142,80 @@ pub fn replay_journal(path: &Path, fingerprint: u64) -> Result<JournalReplay, Ch
     Ok(JournalReplay {
         summaries,
         warnings,
+    })
+}
+
+/// The result of a *streaming* replay: encoded records (the unframed
+/// checkpoint-format payload, not decoded summaries) keyed by chip id,
+/// so a compaction pass can splice them into a checkpoint without
+/// re-encoding. Memory is O(journal window).
+#[derive(Debug)]
+pub(crate) struct StreamingReplay {
+    /// The fingerprint the journal header declares.
+    pub fingerprint: u64,
+    /// Encoded (unframed) records, deduped by chip id, last wins.
+    pub records: BTreeMap<u64, String>,
+    /// Damaged records skipped (torn tail, bit rot).
+    pub skipped: u64,
+}
+
+/// Replays a journal line by line, keeping records *encoded*.
+///
+/// Unlike [`replay_journal`] this reads the fingerprint from the header
+/// rather than checking it against an expectation — the caller decides
+/// what store the records may be folded into. Each record is decoded
+/// just far enough to learn its chip id and prove it parses; the
+/// checkpoint-format payload string is what's kept.
+pub(crate) fn replay_journal_streaming(path: &Path) -> Result<StreamingReplay, CheckpointError> {
+    let reader = io::BufReader::new(fs::File::open(path)?);
+    let mut lines = reader.lines();
+    match lines.next().transpose()? {
+        Some(ref l) if l == MAGIC => {}
+        other => {
+            return Err(CheckpointError::Format(format!(
+                "bad journal header {other:?} (expected {MAGIC:?})"
+            )))
+        }
+    }
+    let fingerprint = match lines
+        .next()
+        .transpose()?
+        .as_deref()
+        .and_then(|l| l.strip_prefix("fingerprint "))
+    {
+        Some(hex) => u64::from_str_radix(hex, 16)
+            .map_err(|_| CheckpointError::Format(format!("bad fingerprint {hex:?}")))?,
+        None => {
+            return Err(CheckpointError::Format(
+                "missing journal fingerprint line".into(),
+            ))
+        }
+    };
+    let mut records: BTreeMap<u64, String> = BTreeMap::new();
+    let mut skipped = 0u64;
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let payload = match unframe(&line) {
+            Ok(p) => p,
+            Err(_) => {
+                skipped += 1;
+                continue;
+            }
+        };
+        match decode_chip(payload) {
+            Ok(Some(summary)) => {
+                records.insert(summary.chip.0, payload.to_string());
+            }
+            _ => skipped += 1,
+        }
+    }
+    Ok(StreamingReplay {
+        fingerprint,
+        records,
+        skipped,
     })
 }
 

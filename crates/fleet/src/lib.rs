@@ -54,6 +54,7 @@
 
 mod aggregate;
 mod checkpoint;
+mod compact;
 mod config;
 mod degrade;
 mod job;
@@ -66,6 +67,7 @@ pub use checkpoint::{
     load as load_checkpoint, load_report as load_checkpoint_report, save as save_checkpoint,
     CheckpointError, CheckpointLoad, CheckpointWarning,
 };
+pub use compact::{checkpoint_chips, compact_streaming, read_fingerprint, CompactionReport};
 pub use config::{ControllerVariant, FleetConfig, MarginsMode};
 pub use degrade::DegradationReport;
 pub use job::{simulate_chip, simulate_chip_guarded, simulate_chip_traced};

@@ -281,8 +281,9 @@ impl FleetRunner {
     /// Panics if the config is invalid; use [`FleetRunner::try_new`] to
     /// handle the error as data instead.
     pub fn new(config: FleetConfig, workers: usize) -> FleetRunner {
-        #[allow(deprecated)]
-        config.validate_or_panic();
+        if let Err(e) = config.validate() {
+            panic!("{e}");
+        }
         FleetRunner {
             config,
             workers: workers.max(1),

@@ -1,0 +1,160 @@
+//! The fleet daemon binary.
+//!
+//! ```text
+//! vs-fleetd --socket /run/fleetd.sock [--store DIR] [--workers N]
+//!           [--queue-cap N] [--job-workers N] [--deadline 30s] [--quiet]
+//! vs-fleetd --stdio [--store DIR] ...
+//! ```
+//!
+//! Exit codes: 0 clean shutdown (drained after a `shutdown` request or
+//! stdio EOF), 2 usage or startup error.
+
+use std::io::{self, BufReader, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+use vs_fleetd::server::{serve_jsonl, serve_unix};
+use vs_fleetd::{FleetStore, Scheduler, SchedulerConfig};
+
+fn die(msg: &str) -> ! {
+    eprintln!("vs-fleetd: {msg}");
+    eprintln!(
+        "usage: vs-fleetd (--socket PATH | --stdio) [--store DIR] [--workers N] \
+         [--queue-cap N] [--job-workers N] [--deadline 30s|500ms] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_duration(s: &str) -> Option<Duration> {
+    if let Some(ms) = s.strip_suffix("ms") {
+        return ms.parse().ok().map(Duration::from_millis);
+    }
+    if let Some(secs) = s.strip_suffix('s') {
+        return secs.parse().ok().map(Duration::from_secs);
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut socket: Option<PathBuf> = None;
+    let mut stdio = false;
+    let mut store_dir = PathBuf::from("fleetd-store");
+    let mut config = SchedulerConfig::default();
+    let mut quiet = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => {
+                i += 1;
+                socket = Some(PathBuf::from(
+                    args.get(i).unwrap_or_else(|| die("--socket needs a path")),
+                ));
+            }
+            "--stdio" => stdio = true,
+            "--store" => {
+                i += 1;
+                store_dir = PathBuf::from(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--store needs a directory")),
+                );
+            }
+            "--workers" => {
+                i += 1;
+                config.workers = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--workers needs an integer"));
+            }
+            "--queue-cap" => {
+                i += 1;
+                config.queue_cap = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--queue-cap needs an integer"));
+            }
+            "--job-workers" => {
+                i += 1;
+                config.job_workers = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--job-workers needs an integer"));
+            }
+            "--deadline" => {
+                i += 1;
+                config.deadline = Some(
+                    args.get(i)
+                        .and_then(|s| parse_duration(s))
+                        .unwrap_or_else(|| die("--deadline needs a duration like 30s or 500ms")),
+                );
+            }
+            "--quiet" => quiet = true,
+            other => die(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    if stdio == socket.is_some() {
+        die("pick exactly one transport: --socket PATH or --stdio");
+    }
+
+    let store = match FleetStore::open(&store_dir) {
+        Ok(store) => store,
+        Err(e) => die(&format!("cannot open store {}: {e}", store_dir.display())),
+    };
+    match store.recover() {
+        Ok(reports) => {
+            if !quiet {
+                for report in &reports {
+                    if report.merged > 0 || report.skipped > 0 {
+                        eprintln!(
+                            "vs-fleetd: recovered {:016x}: {} chips ({} from journal, {} damaged records skipped)",
+                            report.fingerprint, report.chips, report.merged, report.skipped
+                        );
+                    }
+                }
+            }
+        }
+        Err(e) => die(&format!("store recovery failed: {e}")),
+    }
+
+    let scheduler = Arc::new(Scheduler::start(config, store));
+    if !quiet {
+        eprintln!(
+            "vs-fleetd: serving {} (store {})",
+            socket
+                .as_ref()
+                .map(|p| p.display().to_string())
+                .unwrap_or_else(|| "stdio".into()),
+            store_dir.display()
+        );
+    }
+
+    let served = if let Some(socket) = socket {
+        serve_unix(&socket, Arc::clone(&scheduler))
+    } else {
+        let stdin = io::stdin();
+        let stdout = io::stdout();
+        let mut reader = BufReader::new(stdin.lock());
+        let mut writer = stdout.lock();
+        let r = serve_jsonl(&scheduler, &mut reader, &mut writer);
+        let _ = writer.flush();
+        r
+    };
+    if let Err(e) = served {
+        eprintln!("vs-fleetd: transport error: {e}");
+    }
+    // Drain: cancel whatever still runs, wait for workers, then the
+    // store holds every durable record.
+    scheduler.shutdown();
+    match Arc::try_unwrap(scheduler) {
+        Ok(scheduler) => scheduler.join(),
+        Err(scheduler) => {
+            // A connection thread still holds a reference; the root token
+            // is cancelled, so it exits promptly.
+            scheduler.shutdown();
+        }
+    }
+    ExitCode::SUCCESS
+}

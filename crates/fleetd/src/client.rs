@@ -1,0 +1,144 @@
+//! A thin synchronous client for the fleetd socket protocol, used by
+//! `repro fleetd` and the end-to-end tests.
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, DaemonStats, ProtocolError, Request,
+    Response, SweepSpec,
+};
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// One connection to a running daemon.
+#[derive(Debug)]
+pub struct Client {
+    stream: UnixStream,
+}
+
+/// The terminal outcome of a watched job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// The job completed.
+    Done {
+        /// Summaries in the final result.
+        chips: u64,
+        /// Chips restored from the store.
+        resumed: u64,
+        /// Mean Vdd reduction across the population.
+        mean_vdd_reduction: f64,
+        /// Sentinel violations recorded.
+        violations: u64,
+    },
+    /// The job was cancelled.
+    Cancelled {
+        /// Chips durable at the stop.
+        chips: u64,
+    },
+    /// The job failed.
+    Failed {
+        /// Why.
+        error: String,
+    },
+}
+
+impl Client {
+    /// Connects to the daemon's socket.
+    pub fn connect(socket: &Path) -> io::Result<Client> {
+        Ok(Client {
+            stream: UnixStream::connect(socket)?,
+        })
+    }
+
+    /// Sends one request and reads one response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ProtocolError> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<Response, ProtocolError> {
+        match read_frame(&mut self.stream)? {
+            Some(text) => decode_response(&text),
+            None => Err(ProtocolError::Truncated),
+        }
+    }
+
+    /// Submits a sweep: `Ok(Ok(job))` if admitted, `Ok(Err(_))` with the
+    /// Busy response if admission control rejected it.
+    pub fn submit(&mut self, spec: SweepSpec) -> Result<Result<u64, Response>, ProtocolError> {
+        match self.request(&Request::Submit(spec))? {
+            Response::Submitted { job } => Ok(Ok(job)),
+            busy @ Response::Busy { .. } => Ok(Err(busy)),
+            Response::Error { msg } => Err(ProtocolError::Json(msg)),
+            other => Err(ProtocolError::Json(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Watches a job to its end, invoking `on_event` for every streamed
+    /// response (chip frames and the terminal one).
+    pub fn watch(
+        &mut self,
+        job: u64,
+        mut on_event: impl FnMut(&Response),
+    ) -> Result<JobOutcome, ProtocolError> {
+        write_frame(&mut self.stream, &encode_request(&Request::Watch { job }))?;
+        loop {
+            let resp = self.read_response()?;
+            on_event(&resp);
+            match resp {
+                Response::Done {
+                    chips,
+                    resumed,
+                    mean_vdd_reduction,
+                    violations,
+                    ..
+                } => {
+                    return Ok(JobOutcome::Done {
+                        chips,
+                        resumed,
+                        mean_vdd_reduction,
+                        violations,
+                    })
+                }
+                Response::Cancelled { chips, .. } => return Ok(JobOutcome::Cancelled { chips }),
+                Response::Failed { error, .. } => return Ok(JobOutcome::Failed { error }),
+                Response::Error { msg } => return Err(ProtocolError::Json(msg)),
+                _ => {}
+            }
+        }
+    }
+
+    /// Cooperatively cancels a job.
+    pub fn cancel(&mut self, job: u64) -> Result<(), ProtocolError> {
+        match self.request(&Request::Cancel { job })? {
+            Response::Cancelled { .. } => Ok(()),
+            Response::Error { msg } => Err(ProtocolError::Json(msg)),
+            other => Err(ProtocolError::Json(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches a stats snapshot.
+    pub fn stats(&mut self) -> Result<DaemonStats, ProtocolError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error { msg } => Err(ProtocolError::Json(msg)),
+            other => Err(ProtocolError::Json(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the daemon to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ProtocolError> {
+        match self.request(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            Response::Error { msg } => Err(ProtocolError::Json(msg)),
+            other => Err(ProtocolError::Json(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! The fleet daemon: long-running sweep service over a persistent store.
+//!
+//! `vs-fleet` runs one sweep per process; every invocation pays startup,
+//! and concurrent sweeps from different terminals fight over the same
+//! checkpoint files. This crate turns the fleet engine into a *service*:
+//! a daemon (`vs-fleetd`) that owns a [`FleetStore`] of per-configuration
+//! checkpoint/journal pairs, accepts jobs over a versioned
+//! length-prefixed protocol on a Unix socket (with JSONL-over-stdio as a
+//! fallback transport), schedules them across a bounded worker pool with
+//! admission control, and streams each job's per-chip results to any
+//! number of watchers.
+//!
+//! # Architecture
+//!
+//! * [`protocol`] — the wire format: flat JSON messages in binary frames
+//!   (socket) or lines (stdio). The decoder is fuzz-hardened: corrupt
+//!   frames are typed [`ProtocolError`]s, never panics.
+//! * [`FleetStore`] — the persistent state, keyed by
+//!   [`FleetConfig::fingerprint`](vs_fleet::FleetConfig::fingerprint);
+//!   startup recovery folds orphaned journals into their checkpoints with
+//!   the streaming compaction pass, so a SIGKILL'd daemon loses at most
+//!   the record that was mid-append.
+//! * [`Scheduler`] — admission control (queue cap → typed `Busy`),
+//!   a fixed worker pool, per-job [`CancelToken`](vs_guard::CancelToken)s
+//!   parented on one shutdown root, buffered per-job event streams.
+//! * [`server`] — the two transports over one request handler.
+//! * [`Client`] — the synchronous socket client `repro fleetd` wraps.
+//!
+//! Determinism carries over from `vs-fleet`: a job's results depend only
+//! on its spec, never on scheduling — so a daemon that dies and restarts
+//! mid-sweep produces, after resume, exactly the chips an uninterrupted
+//! run would have.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod protocol;
+pub mod server;
+
+mod client;
+mod scheduler;
+mod store;
+
+pub use client::{Client, JobOutcome};
+pub use protocol::{DaemonStats, ProtocolError, Request, Response, SweepSpec};
+pub use scheduler::{config_for, BusyInfo, Scheduler, SchedulerConfig, WatchChunk};
+pub use store::FleetStore;

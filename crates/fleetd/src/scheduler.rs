@@ -1,0 +1,536 @@
+//! Job scheduling: a bounded queue, a fixed worker pool, and per-job
+//! event streams.
+//!
+//! Admission control is the queue depth cap: a `Submit` that arrives
+//! with the queue full is rejected with a typed [`Response::Busy`] —
+//! the daemon never buffers unbounded work. Admitted jobs carry a
+//! [`CancelToken`] that is a *child* of the scheduler's root token, so
+//! one `cancel()` at shutdown cooperatively stops every running job;
+//! individual jobs cancel without disturbing their siblings. Each
+//! running job is a [`FleetRunner`] pointed at the daemon's persistent
+//! [`FleetStore`](crate::FleetStore) paths, so progress is durable
+//! (journal per chip, checkpoint on completion) and a resubmitted
+//! configuration resumes instead of recomputing.
+//!
+//! Every job buffers its full event stream — per-chip [`Response::Chip`]
+//! frames, then exactly one terminal frame — under a mutex + condvar.
+//! A `Watch` replays the buffer from the start and then follows live,
+//! so watchers can attach before, during, or after the run and see the
+//! same stream.
+
+use crate::protocol::{DaemonStats, Response, SweepSpec};
+use crate::store::FleetStore;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+use vs_fleet::{FleetConfig, FleetRunner};
+use vs_guard::CancelToken;
+use vs_telemetry::TelemetryEvent;
+use vs_types::{FleetSeed, SimTime};
+
+/// Scheduler tunables, set once at daemon startup.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Worker pool size — jobs running concurrently.
+    pub workers: usize,
+    /// Admission cap: jobs that may wait in the queue.
+    pub queue_cap: usize,
+    /// Fleet worker threads *inside* each job.
+    pub job_workers: usize,
+    /// Cooperative per-job deadline; a job past it is cancelled, its
+    /// durable progress kept.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> SchedulerConfig {
+        SchedulerConfig {
+            workers: 2,
+            queue_cap: 4,
+            job_workers: 2,
+            deadline: None,
+        }
+    }
+}
+
+/// Queue state a rejected submission reports back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusyInfo {
+    /// Jobs currently executing.
+    pub running: u64,
+    /// Jobs waiting (at the cap).
+    pub queued: u64,
+    /// The cap that was hit.
+    pub cap: u64,
+}
+
+#[derive(Debug)]
+struct JobState {
+    events: Vec<Response>,
+    terminal: bool,
+}
+
+#[derive(Debug)]
+struct Job {
+    id: u64,
+    spec: SweepSpec,
+    cancel: CancelToken,
+    state: Mutex<JobState>,
+    wake: Condvar,
+}
+
+impl Job {
+    fn push(&self, event: Response, terminal: bool) {
+        let mut state = self.state.lock().unwrap();
+        if state.terminal {
+            return; // exactly one terminal event, nothing after it
+        }
+        state.events.push(event);
+        state.terminal = terminal;
+        self.wake.notify_all();
+    }
+}
+
+/// One chunk of a job's event stream, as seen by a watcher.
+#[derive(Debug, Clone)]
+pub struct WatchChunk {
+    /// Events from the watcher's cursor onward (possibly empty if the
+    /// poll timed out).
+    pub events: Vec<Response>,
+    /// The stream has ended; the last event in the full stream is the
+    /// terminal one.
+    pub terminal: bool,
+}
+
+#[derive(Debug)]
+struct SchedInner {
+    config: SchedulerConfig,
+    store: FleetStore,
+    shutdown: CancelToken,
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    available: Condvar,
+    jobs: Mutex<BTreeMap<u64, Arc<Job>>>,
+    next_id: AtomicU64,
+    running: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// The daemon's job scheduler: admission, dispatch, event streams.
+#[derive(Debug)]
+pub struct Scheduler {
+    inner: Arc<SchedInner>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+/// Builds the [`FleetConfig`] a spec describes. The mapping is the
+/// protocol's contract: equal specs hit the same store fingerprint.
+pub fn config_for(spec: &SweepSpec) -> FleetConfig {
+    let mut config = if spec.quick {
+        FleetConfig::small(FleetSeed(spec.seed), spec.chips)
+    } else {
+        FleetConfig::new(FleetSeed(spec.seed), spec.chips)
+    };
+    config.variant = spec.variant;
+    if spec.run_ms > 0 {
+        config.run_duration = SimTime::from_millis(spec.run_ms);
+    }
+    config
+}
+
+impl Scheduler {
+    /// Starts the worker pool over `store`.
+    pub fn start(config: SchedulerConfig, store: FleetStore) -> Scheduler {
+        let inner = Arc::new(SchedInner {
+            config: config.clone(),
+            store,
+            shutdown: CancelToken::new(),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            jobs: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+            running: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                thread::Builder::new()
+                    .name(format!("fleetd-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Scheduler { inner, workers }
+    }
+
+    /// Admits a job or rejects it with the queue state. An invalid spec
+    /// is an `Err(String)` before admission is even considered.
+    pub fn submit(&self, spec: SweepSpec) -> Result<Result<u64, BusyInfo>, String> {
+        if spec.chips == 0 {
+            return Err("a sweep needs at least one chip".into());
+        }
+        let config = config_for(&spec);
+        config.validate().map_err(|e| e.to_string())?;
+        let mut queue = self.inner.queue.lock().unwrap();
+        if queue.len() >= self.inner.config.queue_cap {
+            self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+            return Ok(Err(BusyInfo {
+                running: self.inner.running.load(Ordering::Relaxed),
+                queued: queue.len() as u64,
+                cap: self.inner.config.queue_cap as u64,
+            }));
+        }
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let job = Arc::new(Job {
+            id,
+            spec,
+            cancel: self.inner.shutdown.child(),
+            state: Mutex::new(JobState {
+                events: Vec::new(),
+                terminal: false,
+            }),
+            wake: Condvar::new(),
+        });
+        self.inner.jobs.lock().unwrap().insert(id, Arc::clone(&job));
+        queue.push_back(job);
+        drop(queue);
+        self.inner.available.notify_one();
+        Ok(Ok(id))
+    }
+
+    /// Cooperatively cancels a job. `false` if the id is unknown.
+    pub fn cancel(&self, job: u64) -> bool {
+        let Some(job) = self.inner.jobs.lock().unwrap().get(&job).cloned() else {
+            return false;
+        };
+        job.cancel.cancel();
+        true
+    }
+
+    /// Polls a job's event stream from `cursor`, blocking up to
+    /// `timeout` for news. `None` if the id is unknown.
+    pub fn watch(&self, job: u64, cursor: usize, timeout: Duration) -> Option<WatchChunk> {
+        let job = self.inner.jobs.lock().unwrap().get(&job).cloned()?;
+        let mut state = job.state.lock().unwrap();
+        if state.events.len() <= cursor && !state.terminal {
+            let (s, _) = job.wake.wait_timeout(state, timeout).unwrap();
+            state = s;
+        }
+        Some(WatchChunk {
+            events: state.events.get(cursor..).unwrap_or(&[]).to_vec(),
+            terminal: state.terminal,
+        })
+    }
+
+    /// A stats snapshot. Counting stored chips streams over the store's
+    /// checkpoints.
+    pub fn stats(&self) -> DaemonStats {
+        DaemonStats {
+            running: self.inner.running.load(Ordering::Relaxed),
+            queued: self.inner.queue.lock().unwrap().len() as u64,
+            completed: self.inner.completed.load(Ordering::Relaxed),
+            cancelled: self.inner.cancelled.load(Ordering::Relaxed),
+            failed: self.inner.failed.load(Ordering::Relaxed),
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+            stored_chips: self.inner.store.stored_chips(),
+            workers: self.inner.config.workers.max(1) as u64,
+            queue_cap: self.inner.config.queue_cap as u64,
+        }
+    }
+
+    /// The root token; server transports watch it to stop accepting.
+    pub fn shutdown_token(&self) -> CancelToken {
+        self.inner.shutdown.child()
+    }
+
+    /// Begins shutdown: stops admission, cooperatively cancels every
+    /// queued and running job.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.cancel();
+        self.inner.available.notify_all();
+    }
+
+    /// Waits for the workers to drain. Call after
+    /// [`shutdown`](Scheduler::shutdown).
+    pub fn join(mut self) {
+        self.inner.shutdown.cancel();
+        self.inner.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &SchedInner) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if inner.shutdown.is_cancelled() {
+                    return;
+                }
+                let (q, _) = inner
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .unwrap();
+                queue = q;
+            }
+        };
+        if job.cancel.is_cancelled() {
+            // Cancelled while queued (or the daemon is draining): one
+            // terminal event, no work.
+            inner.cancelled.fetch_add(1, Ordering::Relaxed);
+            job.push(
+                Response::Cancelled {
+                    job: job.id,
+                    chips: 0,
+                },
+                true,
+            );
+            continue;
+        }
+        run_job(inner, &job);
+    }
+}
+
+/// Runs one job and pushes its terminal event. Every counter — the
+/// outcome tally *and* the `running` gauge — is settled before the
+/// terminal push: a watcher that has seen `done`/`cancelled`/`failed`
+/// must never read a stats snapshot that still shows the job running.
+fn run_job(inner: &SchedInner, job: &Job) {
+    inner.running.fetch_add(1, Ordering::Relaxed);
+    let terminal = job_terminal(inner, job);
+    let tally = match &terminal {
+        Response::Done { .. } => &inner.completed,
+        Response::Cancelled { .. } => &inner.cancelled,
+        _ => &inner.failed,
+    };
+    tally.fetch_add(1, Ordering::Relaxed);
+    inner.running.fetch_sub(1, Ordering::Relaxed);
+    job.push(terminal, true);
+}
+
+/// The body of a job: simulate (streaming per-chip events) and decide
+/// the terminal response. Counters are the caller's business.
+fn job_terminal(inner: &SchedInner, job: &Job) -> Response {
+    let config = config_for(&job.spec);
+    let runner = match FleetRunner::try_new(config.clone(), inner.config.job_workers.max(1)) {
+        Ok(r) => r,
+        Err(e) => {
+            return Response::Failed {
+                job: job.id,
+                error: e.to_string(),
+            };
+        }
+    };
+    let mut runner = runner
+        .with_checkpoint(inner.store.checkpoint_path(&config))
+        .with_journal(inner.store.journal_path(&config))
+        .with_cancel(job.cancel.child());
+    if let Some(deadline) = inner.config.deadline {
+        runner = runner.with_deadline(deadline);
+    }
+    if job.spec.sentinel {
+        runner = runner.with_sentinel(config.sentinel_config());
+    }
+    let total = job.spec.chips;
+    let mut streamed = 0u64;
+    let result = runner.run_streaming(|summary| {
+        streamed += 1;
+        let mut event = String::new();
+        TelemetryEvent::JobFinished {
+            chip: summary.chip,
+            sim_time: config.run_duration,
+            correctable: summary.correctable,
+            emergencies: summary.emergencies,
+            crashes: summary.crashes,
+        }
+        .write_json(&mut event);
+        job.push(
+            Response::Chip {
+                job: job.id,
+                chip: summary.chip.0,
+                completed: streamed,
+                total,
+                event,
+            },
+            false,
+        );
+    });
+    match result {
+        Ok(res) if res.degradation.interrupted || job.cancel.is_cancelled() => {
+            Response::Cancelled {
+                job: job.id,
+                chips: res.summaries.len() as u64,
+            }
+        }
+        Ok(res) => {
+            let mean = if res.summaries.is_empty() {
+                0.0
+            } else {
+                res.stats(&config).mean_vdd_reduction()
+            };
+            Response::Done {
+                job: job.id,
+                chips: res.summaries.len() as u64,
+                resumed: res.resumed,
+                mean_vdd_reduction: mean,
+                violations: res.violations.len() as u64,
+            }
+        }
+        Err(e) => Response::Failed {
+            job: job.id,
+            error: e.to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+    use vs_fleet::ControllerVariant;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("vs-fleetd-sched-tests")
+            .join(name);
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn spec(chips: u64) -> SweepSpec {
+        SweepSpec {
+            seed: 7,
+            chips,
+            variant: ControllerVariant::Hardware,
+            quick: true,
+            run_ms: 0,
+            sentinel: false,
+        }
+    }
+
+    fn drain(sched: &Scheduler, job: u64) -> Vec<Response> {
+        let mut events = Vec::new();
+        let mut cursor = 0;
+        loop {
+            let chunk = sched
+                .watch(job, cursor, Duration::from_millis(200))
+                .expect("job known");
+            cursor += chunk.events.len();
+            events.extend(chunk.events);
+            if chunk.terminal && cursor == events.len() {
+                if let Some(last) = events.last() {
+                    if matches!(
+                        last,
+                        Response::Done { .. }
+                            | Response::Cancelled { .. }
+                            | Response::Failed { .. }
+                    ) {
+                        return events;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn job_streams_chips_then_done() {
+        let store = FleetStore::open(&scratch("stream")).unwrap();
+        let sched = Scheduler::start(SchedulerConfig::default(), store);
+        let id = sched.submit(spec(3)).unwrap().unwrap();
+        let events = drain(&sched, id);
+        let chips = events
+            .iter()
+            .filter(|e| matches!(e, Response::Chip { .. }))
+            .count();
+        assert_eq!(chips, 3);
+        match events.last().unwrap() {
+            Response::Done { chips, resumed, .. } => {
+                assert_eq!(*chips, 3);
+                assert_eq!(*resumed, 0);
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+        sched.shutdown();
+        sched.join();
+    }
+
+    #[test]
+    fn resubmitted_config_resumes_from_the_store() {
+        let store = FleetStore::open(&scratch("resume")).unwrap();
+        let sched = Scheduler::start(SchedulerConfig::default(), store.clone());
+        let first = sched.submit(spec(3)).unwrap().unwrap();
+        drain(&sched, first);
+        let second = sched.submit(spec(3)).unwrap().unwrap();
+        let events = drain(&sched, second);
+        match events.last().unwrap() {
+            Response::Done { chips, resumed, .. } => {
+                assert_eq!(*chips, 3);
+                assert_eq!(*resumed, 3, "every chip restored, none recomputed");
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+        sched.shutdown();
+        sched.join();
+    }
+
+    #[test]
+    fn admission_control_rejects_past_the_cap() {
+        let store = FleetStore::open(&scratch("busy")).unwrap();
+        let sched = Scheduler::start(
+            SchedulerConfig {
+                workers: 1,
+                queue_cap: 1,
+                job_workers: 1,
+                deadline: None,
+            },
+            store,
+        );
+        // Saturate: several long jobs; with one worker and one queue
+        // slot, some submission must be rejected.
+        let mut admitted = Vec::new();
+        let mut busy = None;
+        for _ in 0..8 {
+            match sched.submit(spec(32)).unwrap() {
+                Ok(id) => admitted.push(id),
+                Err(info) => {
+                    busy = Some(info);
+                    break;
+                }
+            }
+        }
+        let busy = busy.expect("cap must reject");
+        assert_eq!(busy.cap, 1);
+        assert!(sched.stats().rejected >= 1);
+        for id in admitted {
+            assert!(sched.cancel(id));
+        }
+        sched.shutdown();
+        sched.join();
+    }
+
+    #[test]
+    fn invalid_specs_fail_before_admission() {
+        let store = FleetStore::open(&scratch("invalid")).unwrap();
+        let sched = Scheduler::start(SchedulerConfig::default(), store);
+        assert!(sched.submit(spec(0)).is_err());
+        assert!(!sched.cancel(42), "unknown job");
+        assert!(sched.watch(42, 0, Duration::ZERO).is_none());
+        sched.shutdown();
+        sched.join();
+    }
+}

@@ -1,0 +1,227 @@
+//! The daemon's transports: a Unix-socket frame server and a
+//! JSONL-over-stdio fallback.
+//!
+//! Both transports decode the same messages and drive the same handler;
+//! the only difference is how message bytes are delimited (binary
+//! frames vs. lines). A malformed message never kills the daemon: the
+//! connection gets a typed `Error` response where possible and is then
+//! dropped, exactly once.
+//!
+//! `Shutdown` answers `Bye`, then cancels the scheduler's root token:
+//! running jobs stop cooperatively (their durable progress kept), the
+//! accept loop notices the token and returns, and the daemon exits 0.
+
+use crate::protocol::{
+    decode_request, encode_response, read_frame, write_frame, ProtocolError, Request, Response,
+};
+use crate::scheduler::Scheduler;
+use std::io::{self, BufRead, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+use vs_guard::CancelToken;
+
+/// How long a watch poll blocks before re-checking for shutdown.
+const WATCH_POLL: Duration = Duration::from_millis(100);
+
+/// What a handled request means for the connection.
+enum Flow {
+    /// Keep serving this connection.
+    Continue,
+    /// The daemon was asked to shut down; stop everything.
+    Shutdown,
+}
+
+/// Serves one decoded request, emitting responses through `emit` (one
+/// for most requests; a stream ending in a terminal event for `Watch`).
+fn handle(
+    scheduler: &Scheduler,
+    shutdown: &CancelToken,
+    req: Request,
+    emit: &mut dyn FnMut(&Response) -> io::Result<()>,
+) -> io::Result<Flow> {
+    match req {
+        Request::Submit(spec) => {
+            let resp = match scheduler.submit(spec) {
+                Ok(Ok(job)) => Response::Submitted { job },
+                Ok(Err(busy)) => Response::Busy {
+                    running: busy.running,
+                    queued: busy.queued,
+                    cap: busy.cap,
+                },
+                Err(msg) => Response::Error { msg },
+            };
+            emit(&resp)?;
+        }
+        Request::Stats => emit(&Response::Stats(scheduler.stats()))?,
+        Request::Cancel { job } => {
+            if scheduler.cancel(job) {
+                emit(&Response::Cancelled { job, chips: 0 })?;
+            } else {
+                emit(&Response::Error {
+                    msg: format!("unknown job {job}"),
+                })?;
+            }
+        }
+        Request::Watch { job } => {
+            let mut cursor = 0;
+            loop {
+                let Some(chunk) = scheduler.watch(job, cursor, WATCH_POLL) else {
+                    emit(&Response::Error {
+                        msg: format!("unknown job {job}"),
+                    })?;
+                    break;
+                };
+                cursor += chunk.events.len();
+                let mut saw_terminal = false;
+                for event in &chunk.events {
+                    saw_terminal = matches!(
+                        event,
+                        Response::Done { .. }
+                            | Response::Cancelled { .. }
+                            | Response::Failed { .. }
+                    );
+                    emit(event)?;
+                }
+                if saw_terminal {
+                    break;
+                }
+                if shutdown.is_cancelled() && chunk.events.is_empty() {
+                    // Draining: the job's own terminal event is coming,
+                    // but don't wedge a watcher if it already passed.
+                    if chunk.terminal {
+                        break;
+                    }
+                }
+            }
+        }
+        Request::Shutdown => {
+            emit(&Response::Bye)?;
+            scheduler.shutdown();
+            return Ok(Flow::Shutdown);
+        }
+    }
+    Ok(Flow::Continue)
+}
+
+/// Serves one framed-socket connection until EOF, error, or shutdown.
+fn serve_connection(
+    scheduler: &Scheduler,
+    shutdown: &CancelToken,
+    mut stream: UnixStream,
+) -> io::Result<()> {
+    let mut reader = stream.try_clone()?;
+    loop {
+        let text = match read_frame(&mut reader) {
+            Ok(Some(text)) => text,
+            Ok(None) => return Ok(()),
+            Err(ProtocolError::Io(e)) => return Err(e),
+            Err(e) => {
+                // A malformed frame: answer typed, then drop the
+                // connection — resynchronizing a byte stream after a
+                // framing error is guesswork.
+                let resp = Response::Error { msg: e.to_string() };
+                let _ = write_frame(&mut stream, &encode_response(&resp));
+                return Ok(());
+            }
+        };
+        let req = match decode_request(&text) {
+            Ok(req) => req,
+            Err(e) => {
+                let resp = Response::Error { msg: e.to_string() };
+                write_frame(&mut stream, &encode_response(&resp))?;
+                continue;
+            }
+        };
+        let mut emit = |resp: &Response| -> io::Result<()> {
+            write_frame(&mut stream, &encode_response(resp))
+        };
+        match handle(scheduler, shutdown, req, &mut emit)? {
+            Flow::Continue => {}
+            Flow::Shutdown => return Ok(()),
+        }
+    }
+}
+
+/// Binds `socket` and serves connections until a `Shutdown` request (or
+/// the scheduler's root token) stops the daemon. Each connection gets
+/// its own thread. A stale socket file from a dead daemon is replaced.
+pub fn serve_unix(socket: &Path, scheduler: Arc<Scheduler>) -> io::Result<()> {
+    let shutdown = scheduler.shutdown_token();
+    if socket.exists() {
+        std::fs::remove_file(socket)?;
+    }
+    let listener = UnixListener::bind(socket)?;
+    listener.set_nonblocking(true)?;
+    // Each connection's thread blocks in a read; keep a second handle to
+    // the stream so draining can shut the socket down under it — joining
+    // must never wait on a client that simply went quiet.
+    let mut connections: Vec<(thread::JoinHandle<()>, UnixStream)> = Vec::new();
+    while !shutdown.is_cancelled() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                let unblock = stream.try_clone()?;
+                let scheduler = Arc::clone(&scheduler);
+                let shutdown = shutdown.child();
+                let handle = thread::spawn(move || {
+                    let _ = serve_connection(&scheduler, &shutdown, stream);
+                });
+                connections.push((handle, unblock));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+        connections.retain(|(h, _)| !h.is_finished());
+    }
+    for (handle, stream) in connections {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        let _ = handle.join();
+    }
+    let _ = std::fs::remove_file(socket);
+    Ok(())
+}
+
+/// Serves JSONL over an arbitrary reader/writer pair — the stdio
+/// fallback transport, and the seam tests drive with in-memory buffers.
+/// One request per line in, one response per line out; `Watch` streams
+/// multiple lines. Returns on EOF or `Shutdown`.
+pub fn serve_jsonl(
+    scheduler: &Scheduler,
+    reader: &mut dyn BufRead,
+    writer: &mut dyn Write,
+) -> io::Result<()> {
+    let shutdown = scheduler.shutdown_token();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        let text = line.trim_end_matches(['\n', '\r']);
+        if text.is_empty() {
+            continue;
+        }
+        let mut emit = |resp: &Response| -> io::Result<()> {
+            writer.write_all(encode_response(resp).as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()
+        };
+        let req = match decode_request(text) {
+            Ok(req) => req,
+            Err(e) => {
+                emit(&Response::Error { msg: e.to_string() })?;
+                continue;
+            }
+        };
+        match handle(scheduler, &shutdown, req, &mut emit)? {
+            Flow::Continue => {}
+            Flow::Shutdown => return Ok(()),
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! The daemon's persistent fleet store.
+//!
+//! One directory holds the durable results of every configuration the
+//! daemon has ever run, keyed by [`FleetConfig::fingerprint`]: each
+//! config owns a `<fingerprint>.ckpt` checkpoint and a
+//! `<fingerprint>.journal` write-ahead journal, both in the formats
+//! `vs-fleet` already speaks. A job for a config the store has seen
+//! before resumes where the last one stopped — that falls out of the
+//! runner's own checkpoint/journal replay; the store just pins the
+//! paths.
+//!
+//! On startup [`FleetStore::recover`] runs the streaming compaction
+//! pass ([`vs_fleet::compact_streaming`]) over every pair, absorbing
+//! whatever a SIGKILL'd predecessor left in the journals without ever
+//! loading a whole fleet into memory.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use vs_fleet::{
+    checkpoint_chips, compact_streaming, CheckpointError, CompactionReport, FleetConfig,
+};
+
+/// A directory of per-configuration checkpoint/journal pairs.
+#[derive(Debug, Clone)]
+pub struct FleetStore {
+    dir: PathBuf,
+}
+
+impl FleetStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: &Path) -> io::Result<FleetStore> {
+        fs::create_dir_all(dir)?;
+        Ok(FleetStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The checkpoint path owned by `config`.
+    pub fn checkpoint_path(&self, config: &FleetConfig) -> PathBuf {
+        self.dir.join(format!("{:016x}.ckpt", config.fingerprint()))
+    }
+
+    /// The journal path owned by `config`.
+    pub fn journal_path(&self, config: &FleetConfig) -> PathBuf {
+        self.dir
+            .join(format!("{:016x}.journal", config.fingerprint()))
+    }
+
+    /// Folds every journal into its checkpoint (streaming, O(journal
+    /// window) memory). Call once at startup, before workers run: a
+    /// SIGKILL'd predecessor's journals become checkpoint records, and
+    /// every pair is left with an empty journal. Returns one report per
+    /// configuration that had a journal.
+    pub fn recover(&self) -> Result<Vec<CompactionReport>, CheckpointError> {
+        let mut reports = Vec::new();
+        let mut journals: Vec<PathBuf> = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "journal") {
+                journals.push(path);
+            }
+        }
+        journals.sort();
+        for journal in journals {
+            let ckpt = journal.with_extension("ckpt");
+            reports.push(compact_streaming(&ckpt, &journal)?);
+        }
+        Ok(reports)
+    }
+
+    /// Total chip records across every checkpoint in the store, counted
+    /// streaming. Journal records not yet compacted are not included;
+    /// after [`recover`](FleetStore::recover) there are none.
+    pub fn stored_chips(&self) -> u64 {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        let mut total = 0;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "ckpt") {
+                total += checkpoint_chips(&path).unwrap_or(0);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_fleet::FleetRunner;
+    use vs_types::FleetSeed;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("vs-fleetd-store-tests")
+            .join(name);
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn recover_absorbs_journals_and_counts_chips() {
+        let dir = scratch("recover");
+        let store = FleetStore::open(&dir).unwrap();
+        let config = FleetConfig::small(FleetSeed(99), 3);
+        // A run that journals but is "killed" before compacting: simulate
+        // by running with a journal and no checkpoint saves mid-run, then
+        // deleting the checkpoint the runner compacted into.
+        let ckpt = store.checkpoint_path(&config);
+        let journal = store.journal_path(&config);
+        let runner = FleetRunner::new(config.clone(), 2)
+            .with_checkpoint(ckpt.clone())
+            .with_journal(journal.clone());
+        let result = runner.run().unwrap();
+        assert_eq!(result.summaries.len(), 3);
+        assert_eq!(store.stored_chips(), 3);
+
+        // Startup recovery over an already-compacted pair is a no-op.
+        let reports = store.recover().unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].chips, 3);
+        assert_eq!(reports[0].merged, 0);
+        assert_eq!(store.stored_chips(), 3);
+    }
+}

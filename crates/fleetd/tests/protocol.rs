@@ -1,0 +1,310 @@
+//! Property-style robustness of the fleetd wire protocol: every message
+//! round-trips exactly, and decoding corrupt input must **never panic**,
+//! whatever the damage — the same contract `crates/fleet/tests/hardening.rs`
+//! holds the on-disk formats to.
+//!
+//! Damage is generated with the repo's own deterministic [`CounterRng`]
+//! (no external fuzzing crate): random truncations (a peer dying
+//! mid-write), random byte flips, corrupted length prefixes (the reason
+//! [`MAX_FRAME`] exists), whole-buffer garbage including invalid UTF-8,
+//! and structurally valid JSON with hostile field values. Every case
+//! must come back as a typed [`ProtocolError`] or a valid message — a
+//! panic fails the test by unwinding.
+
+use std::io::Cursor;
+use vs_fleet::ControllerVariant;
+use vs_fleetd::protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    ProtocolError, FRAME_MAGIC, MAX_FRAME, PROTOCOL_VERSION,
+};
+use vs_fleetd::{DaemonStats, Request, Response, SweepSpec};
+use vs_types::rng::CounterRng;
+
+fn all_requests() -> Vec<Request> {
+    vec![
+        Request::Submit(SweepSpec {
+            seed: u64::MAX,
+            chips: 4096,
+            variant: ControllerVariant::Hardware,
+            quick: false,
+            run_ms: 0,
+            sentinel: false,
+        }),
+        Request::Submit(SweepSpec {
+            seed: 0,
+            chips: 1,
+            variant: ControllerVariant::Software,
+            quick: true,
+            run_ms: 250,
+            sentinel: true,
+        }),
+        Request::Submit(SweepSpec {
+            seed: 0x2014_CAFE,
+            chips: 128,
+            variant: ControllerVariant::Baseline,
+            quick: true,
+            run_ms: 1,
+            sentinel: false,
+        }),
+        Request::Stats,
+        Request::Watch { job: u64::MAX },
+        Request::Cancel { job: 1 },
+        Request::Shutdown,
+    ]
+}
+
+fn all_responses() -> Vec<Response> {
+    vec![
+        Response::Submitted { job: 17 },
+        Response::Busy {
+            running: 2,
+            queued: 4,
+            cap: 4,
+        },
+        Response::Stats(DaemonStats {
+            running: 1,
+            queued: 2,
+            completed: 3,
+            cancelled: 4,
+            failed: 5,
+            rejected: 6,
+            stored_chips: u64::MAX,
+            workers: 8,
+            queue_cap: 9,
+        }),
+        Response::Chip {
+            job: 1,
+            chip: 41,
+            completed: 7,
+            total: 64,
+            event: r#"{"event":"job_finished","chip":41,"correctable":1987}"#.into(),
+        },
+        Response::Done {
+            job: 1,
+            chips: 64,
+            resumed: 12,
+            mean_vdd_reduction: 0.0823645833333333,
+            violations: 0,
+        },
+        Response::Cancelled { job: 3, chips: 9 },
+        Response::Failed {
+            job: 4,
+            error: "chip 7 failed 3 attempts: panic \"boom\\n\"".into(),
+        },
+        Response::Error {
+            msg: "tab\there quote\" backslash\\ control\u{1} unicode\u{2603}".into(),
+        },
+        Response::Bye,
+    ]
+}
+
+#[test]
+fn every_request_round_trips() {
+    for req in all_requests() {
+        let text = encode_request(&req);
+        assert_eq!(decode_request(&text).unwrap(), req, "text: {text}");
+    }
+}
+
+#[test]
+fn every_response_round_trips() {
+    for resp in all_responses() {
+        let text = encode_response(&resp);
+        assert_eq!(decode_response(&text).unwrap(), resp, "text: {text}");
+    }
+}
+
+#[test]
+fn every_message_round_trips_through_frames() {
+    let mut buf = Vec::new();
+    for req in all_requests() {
+        write_frame(&mut buf, &encode_request(&req)).unwrap();
+    }
+    for resp in all_responses() {
+        write_frame(&mut buf, &encode_response(&resp)).unwrap();
+    }
+    let mut cursor = Cursor::new(buf);
+    for req in all_requests() {
+        let text = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(decode_request(&text).unwrap(), req);
+    }
+    for resp in all_responses() {
+        let text = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(decode_response(&text).unwrap(), resp);
+    }
+    assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+}
+
+/// Pristine frame bytes to mutate: every message, concatenated.
+fn seed_frames() -> Vec<u8> {
+    let mut buf = Vec::new();
+    for req in all_requests() {
+        write_frame(&mut buf, &encode_request(&req)).unwrap();
+    }
+    for resp in all_responses() {
+        write_frame(&mut buf, &encode_response(&resp)).unwrap();
+    }
+    buf
+}
+
+/// Drains a byte buffer through the frame reader until EOF or error;
+/// every decodable payload is also pushed through both message decoders.
+/// The only acceptable outcomes are values — any panic unwinds and fails
+/// the test.
+fn drain(bytes: &[u8]) {
+    let mut cursor = Cursor::new(bytes);
+    loop {
+        match read_frame(&mut cursor) {
+            Ok(Some(text)) => {
+                let _ = decode_request(&text);
+                let _ = decode_response(&text);
+            }
+            Ok(None) => return,
+            Err(_) => return, // typed error: the contract held
+        }
+    }
+}
+
+#[test]
+fn truncated_frames_never_panic() {
+    let seed = seed_frames();
+    let mut rng = CounterRng::from_key(0xF1EE_7D01, &[]);
+    for _ in 0..300 {
+        let cut = rng.next_below(seed.len() as u64) as usize;
+        drain(&seed[..cut]);
+    }
+}
+
+#[test]
+fn flipped_bytes_never_panic() {
+    let seed = seed_frames();
+    let mut rng = CounterRng::from_key(0xF1EE_7D02, &[]);
+    for _ in 0..300 {
+        let mut bytes = seed.clone();
+        let flips = 1 + rng.next_below(8) as usize;
+        for _ in 0..flips {
+            let at = rng.next_below(bytes.len() as u64) as usize;
+            bytes[at] ^= (1 + rng.next_below(255)) as u8;
+        }
+        drain(&bytes);
+    }
+}
+
+#[test]
+fn whole_buffer_garbage_never_panics() {
+    let mut rng = CounterRng::from_key(0xF1EE_7D03, &[]);
+    for _ in 0..300 {
+        let len = rng.next_below(512) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_below(256) as u8).collect();
+        drain(&bytes);
+    }
+}
+
+#[test]
+fn corrupt_length_prefixes_are_rejected_cheaply() {
+    // A frame claiming an absurd payload must fail typed before any
+    // allocation of that size.
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.push(PROTOCOL_VERSION);
+    frame.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+    frame.extend_from_slice(b"tiny");
+    assert!(matches!(
+        read_frame(&mut Cursor::new(frame)),
+        Err(ProtocolError::Oversized(_))
+    ));
+
+    // An in-bounds claim with missing bytes is Truncated, not a hang or
+    // panic.
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.push(PROTOCOL_VERSION);
+    frame.extend_from_slice(&1000u32.to_be_bytes());
+    frame.extend_from_slice(b"only this");
+    assert!(matches!(
+        read_frame(&mut Cursor::new(frame)),
+        Err(ProtocolError::Truncated)
+    ));
+}
+
+#[test]
+fn foreign_versions_and_magic_are_typed_errors() {
+    let text = encode_request(&Request::Stats);
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &text).unwrap();
+
+    let mut wrong_version = buf.clone();
+    wrong_version[2] = PROTOCOL_VERSION + 1;
+    assert!(matches!(
+        read_frame(&mut Cursor::new(wrong_version)),
+        Err(ProtocolError::UnsupportedVersion(_))
+    ));
+
+    let mut wrong_magic = buf;
+    wrong_magic[0] = b'X';
+    assert!(matches!(
+        read_frame(&mut Cursor::new(wrong_magic)),
+        Err(ProtocolError::BadMagic(_))
+    ));
+}
+
+#[test]
+fn mutated_json_text_never_panics() {
+    let seeds: Vec<String> = all_requests()
+        .iter()
+        .map(encode_request)
+        .chain(all_responses().iter().map(encode_response))
+        .collect();
+    let mut rng = CounterRng::from_key(0xF1EE_7D04, &[]);
+    for _ in 0..500 {
+        let base = &seeds[rng.next_below(seeds.len() as u64) as usize];
+        let mut bytes = base.clone().into_bytes();
+        match rng.next_below(3) {
+            0 => {
+                let cut = rng.next_below(bytes.len() as u64) as usize;
+                bytes.truncate(cut);
+            }
+            1 => {
+                let at = rng.next_below(bytes.len() as u64) as usize;
+                bytes[at] = rng.next_below(256) as u8;
+            }
+            _ => {
+                let at = rng.next_below(bytes.len() as u64) as usize;
+                bytes.insert(at, rng.next_below(256) as u8);
+            }
+        }
+        if let Ok(text) = String::from_utf8(bytes) {
+            let _ = decode_request(&text);
+            let _ = decode_response(&text);
+        }
+    }
+}
+
+#[test]
+fn hostile_but_wellformed_json_is_typed() {
+    let cases = [
+        "",
+        "{}",
+        "null",
+        "[1,2,3]",
+        r#"{"type":"submit"}"#,
+        r#"{"type":"submit","seed":"not a number","chips":1,"variant":"hw","quick":true,"run_ms":0,"sentinel":false}"#,
+        r#"{"type":"submit","seed":1e999,"chips":1,"variant":"hw","quick":true,"run_ms":0,"sentinel":false}"#,
+        r#"{"type":"submit","seed":-1,"chips":1,"variant":"hw","quick":true,"run_ms":0,"sentinel":false}"#,
+        r#"{"type":"submit","seed":1.5,"chips":1,"variant":"warp","quick":true,"run_ms":0,"sentinel":false}"#,
+        r#"{"type":"no-such-message"}"#,
+        r#"{"type":42}"#,
+        r#"{"type":"watch","job":null}"#,
+        r#"{"type":"watch","job":18446744073709551616}"#,
+        r#"{"type":"done","job":1,"chips":1,"resumed":0,"mean_vdd_reduction":null,"violations":0}"#,
+        r#"{"type":"stats","running":1}"#,
+        "{\"type\":\"watch\",\"job\":1}trailing",
+        r#"{"type":"watch","job":1,"job":2}"#,
+        r#"{"a":"\ud800"}"#,
+    ];
+    for case in cases {
+        // Either a message or a typed error — a panic fails the test.
+        let _ = decode_request(case);
+        let _ = decode_response(case);
+    }
+}

@@ -162,8 +162,9 @@ impl Chip {
     /// Panics if `config` is invalid; use [`ChipConfig::validate`] first
     /// to handle bad configurations as data.
     pub fn new(config: ChipConfig) -> Chip {
-        #[allow(deprecated)]
-        config.validate_or_panic();
+        if let Err(e) = config.validate() {
+            panic!("{e}");
+        }
         let variation = ChipVariation::new(config.seed, config.sram.clone());
         let (lo, hi) = config.regulator_range();
         let nominal = config.mode.nominal_vdd();

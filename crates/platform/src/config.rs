@@ -163,21 +163,6 @@ impl ChipConfig {
         }
         Ok(())
     }
-
-    /// Validates the configuration, panicking on failure.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a description of the first violated constraint.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `validate()` and handle the `ConfigError`"
-    )]
-    pub fn validate_or_panic(&self) {
-        if let Err(e) = self.validate() {
-            panic!("{e}");
-        }
-    }
 }
 
 #[cfg(test)]

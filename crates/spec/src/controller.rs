@@ -78,21 +78,6 @@ impl ControllerConfig {
         }
         Ok(())
     }
-
-    /// Validates the configuration, panicking on failure.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a description of the first violated constraint.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `validate()` and handle the `ConfigError`"
-    )]
-    pub fn validate_or_panic(&self) {
-        if let Err(e) = self.validate() {
-            panic!("{e}");
-        }
-    }
 }
 
 /// What the controller did at a control-period boundary.
@@ -148,8 +133,9 @@ impl DomainController {
         monitor: EccMonitor,
         config: ControllerConfig,
     ) -> DomainController {
-        #[allow(deprecated)]
-        config.validate_or_panic();
+        if let Err(e) = config.validate() {
+            panic!("{e}");
+        }
         DomainController {
             domain,
             monitor,
@@ -193,8 +179,9 @@ impl DomainController {
     ///
     /// Panics if the new configuration is invalid.
     pub fn set_config(&mut self, config: ControllerConfig) {
-        #[allow(deprecated)]
-        config.validate_or_panic();
+        if let Err(e) = config.validate() {
+            panic!("{e}");
+        }
         self.config = config;
     }
 
@@ -316,14 +303,17 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     #[should_panic(expected = "control_period")]
-    fn deprecated_shim_still_panics() {
-        ControllerConfig {
-            control_period: SimTime::ZERO,
-            ..ControllerConfig::default()
-        }
-        .validate_or_panic();
+    fn invalid_config_panics_at_construction() {
+        let (_, monitor) = chip_and_monitor();
+        DomainController::new(
+            DomainId(0),
+            monitor,
+            ControllerConfig {
+                control_period: SimTime::ZERO,
+                ..ControllerConfig::default()
+            },
+        );
     }
 
     #[test]

@@ -341,8 +341,9 @@ impl SpeculationSystem {
     ///
     /// [`SystemBuilder::build`]: crate::SystemBuilder::build
     pub fn new(chip_config: ChipConfig, config: ControllerConfig) -> SpeculationSystem {
-        #[allow(deprecated)]
-        config.validate_or_panic();
+        if let Err(e) = config.validate() {
+            panic!("{e}");
+        }
         SpeculationSystem {
             chip: Chip::new(chip_config),
             controllers: Vec::new(),
