@@ -19,8 +19,9 @@
 
 use std::io::Write as _;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 use vs_fleet::{FleetConfig, FleetRunner};
+use vs_telemetry::{EventFilter, SilentProgress};
 use vs_types::{FleetSeed, SimTime};
 
 fn sweep_config(num_chips: u64) -> FleetConfig {
@@ -43,11 +44,13 @@ fn main() {
 
     let mut baseline_rate = None;
     let mut reference = None;
-    let mut measurements: Vec<(usize, f64, f64)> = Vec::new();
+    let mut measurements: Vec<Measurement> = Vec::new();
     for &workers in worker_counts {
         let runner = FleetRunner::new(sweep_config(num_chips), workers);
         let start = Instant::now();
-        let result = runner.run().expect("fleet run failed");
+        let (result, trace) = runner
+            .run_reporting(EventFilter::none(), &mut SilentProgress)
+            .expect("fleet run failed");
         let wall = start.elapsed().as_secs_f64();
         let rate = num_chips as f64 / wall;
         let speedup = baseline_rate.map_or(1.0, |base: f64| rate / base);
@@ -55,7 +58,16 @@ fn main() {
             baseline_rate = Some(rate);
         }
         println!("{workers:>8} {wall:>12.2} {rate:>12.1} {speedup:>8.2}x");
-        measurements.push((workers, wall, rate));
+        measurements.push(Measurement {
+            workers,
+            wall,
+            rate,
+            // Per-chip wall latency from the run's profiling histogram —
+            // the tail tells whether a slow sweep is one straggler chip
+            // or uniform slowdown.
+            chip_p50_ns: trace.profile.job_latency.percentile_ns(50.0),
+            chip_p99_ns: trace.profile.job_latency.percentile_ns(99.0),
+        });
 
         // Scaling must never come at the cost of determinism.
         match &reference {
@@ -74,6 +86,15 @@ fn main() {
     }
 }
 
+/// One worker-count sweep's numbers.
+struct Measurement {
+    workers: usize,
+    wall: f64,
+    rate: f64,
+    chip_p50_ns: Option<u64>,
+    chip_p99_ns: Option<u64>,
+}
+
 /// `BENCH_fleet.json` at the repo root, wherever the bench is run from.
 fn bench_json_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -82,16 +103,19 @@ fn bench_json_path() -> PathBuf {
 }
 
 /// Hand-rolled JSON (the workspace is dependency-free): machine-readable
-/// fleet throughput, keyed to the exact sweep via the config fingerprint.
+/// fleet throughput, keyed to the exact sweep via the config fingerprint
+/// and to the moment and commit it was measured at.
 fn write_bench_json(
     path: &std::path::Path,
     num_chips: u64,
-    measurements: &[(usize, f64, f64)],
+    measurements: &[Measurement],
 ) -> std::io::Result<()> {
     let fingerprint = sweep_config(num_chips).fingerprint();
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"fleet-throughput\",\n");
+    out.push_str(&format!("  \"timestamp\": {},\n", unix_timestamp()));
+    out.push_str(&format!("  \"git_commit\": \"{}\",\n", git_commit()));
     out.push_str(&format!("  \"chips\": {num_chips},\n"));
     out.push_str(&format!(
         "  \"config_fingerprint\": \"{fingerprint:016x}\",\n"
@@ -100,16 +124,52 @@ fn write_bench_json(
         "  \"available_parallelism\": {},\n",
         available_cores()
     ));
+    // With available_parallelism 1 the OS timeslices every worker onto
+    // one core, so adding workers adds scheduling overhead but no
+    // compute: the chips/s curve is flat (or slightly declining) by
+    // construction, not because sharding failed to scale.
+    out.push_str(
+        "  \"note\": \"speedup is bounded by available_parallelism; \
+         on a 1-core host all worker counts share one core and the \
+         workers curve is expected to be flat\",\n",
+    );
     out.push_str("  \"runs\": [\n");
-    for (i, (workers, wall, rate)) in measurements.iter().enumerate() {
+    for (i, m) in measurements.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"workers\": {workers}, \"wall_s\": {wall:.4}, \"chips_per_s\": {rate:.2}}}{}\n",
+            "    {{\"workers\": {}, \"wall_s\": {:.4}, \"chips_per_s\": {:.2}, \
+             \"chip_wall_p50_ns\": {}, \"chip_wall_p99_ns\": {}}}{}\n",
+            m.workers,
+            m.wall,
+            m.rate,
+            m.chip_p50_ns.map_or("null".into(), |v| v.to_string()),
+            m.chip_p99_ns.map_or("null".into(), |v| v.to_string()),
             if i + 1 < measurements.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
     let mut file = std::fs::File::create(path)?;
     file.write_all(out.as_bytes())
+}
+
+/// Seconds since the Unix epoch, 0 if the clock is before it.
+fn unix_timestamp() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
+
+/// The short hash of HEAD, or `"unknown"` outside a git checkout.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 fn available_cores() -> usize {

@@ -12,13 +12,16 @@
 //!       [--inject SPEC] [--max-retries N] [--fail-fast] \
 //!       [--sentinel | --sentinel-fail-fast] \
 //!       [--trace FILE] [--trace-filter LIST] [--metrics] \
+//!       [--spans] [--postmortem DIR] \
 //!       [--quiet] [--progress-jsonl]
 //! repro --chaos N [--seed S] [--workers W] [--quiet]
 //! repro fleetd submit --socket PATH --chips N [--seed S] [--variant V]
-//!        [--quick] [--run-ms M] [--sentinel] [--watch]
+//!        [--quick] [--run-ms M] [--sentinel] [--inject SPEC] [--watch]
 //! repro fleetd watch --socket PATH --job J
 //! repro fleetd cancel --socket PATH --job J
 //! repro fleetd stats --socket PATH
+//! repro fleetd metrics --socket PATH
+//! repro fleetd top --socket PATH [--interval DUR] [--iterations N]
 //! repro fleetd shutdown --socket PATH
 //! ```
 //!
@@ -71,6 +74,15 @@
 //!   (comma-separated from `ecc,monitor,controller,calibration,fleet,fault`).
 //! * `--metrics` prints a deterministic metrics summary (counters and
 //!   histograms derived from the event stream) on stdout.
+//! * `--spans` adds causal span events (job → lane → chip → tick-batch,
+//!   linked by id/parent) to the trace, rooted at the run's seed. Spans
+//!   ride alongside the existing categories without changing their
+//!   bytes; `vs_obs::SpanTree` reconstructs the causal tree from the
+//!   merged trace, identically for any `--workers` count.
+//! * `--postmortem DIR` arms the flight recorder: each chip keeps a ring
+//!   of its last telemetry events, and a sentinel violation, worker
+//!   panic, or watchdog cancel dumps a crash-safe postmortem bundle
+//!   (events + config fingerprint + violation context) into `DIR`.
 //! * `--quiet` silences progress; `--progress-jsonl` switches the stderr
 //!   progress ticker to machine-readable JSONL records.
 //!
@@ -91,8 +103,10 @@
 //!
 //! `repro fleetd ...` is the thin client for a running `vs-fleetd`
 //! daemon: submit a sweep (`--watch` follows its chip stream to the
-//! terminal event), watch or cancel a job by id, fetch a stats
-//! snapshot, or ask the daemon to drain and exit.
+//! terminal event; `--inject SPEC` plants deterministic faults), watch
+//! or cancel a job by id, fetch a stats snapshot or a Prometheus-text
+//! metrics snapshot (`metrics`), follow a live plain-ANSI dashboard
+//! (`top`), or ask the daemon to drain and exit.
 //!
 //! Exit codes: `0` success; `2` usage or configuration error (for
 //! `fleetd`, also a connection or protocol failure); `3` the sentinel
@@ -206,6 +220,8 @@ fn main() {
     let mut trace: Option<String> = None;
     let mut trace_filter: Option<EventFilter> = None;
     let mut metrics = false;
+    let mut spans = false;
+    let mut postmortem: Option<String> = None;
     let mut quiet = false;
     let mut progress_jsonl = false;
 
@@ -315,11 +331,20 @@ fn main() {
                         .and_then(|s| EventFilter::parse(s))
                         .unwrap_or_else(|| {
                             die("--trace-filter needs a comma-separated list from \
-                                 ecc,monitor,controller,calibration,fleet,fault,guard")
+                                 ecc,monitor,controller,calibration,fleet,fault,guard,span")
                         }),
                 );
             }
             "--metrics" => metrics = true,
+            "--spans" => spans = true,
+            "--postmortem" => {
+                i += 1;
+                postmortem = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--postmortem needs a directory")),
+                );
+            }
             "--quiet" => quiet = true,
             "--progress-jsonl" => progress_jsonl = true,
             "list" => {
@@ -338,9 +363,10 @@ fn main() {
                      [--inject SPEC] [--max-retries N] [--fail-fast]\n\
                      \x20      [--sentinel | --sentinel-fail-fast] \
                      [--trace FILE] [--trace-filter LIST] [--metrics]\n\
-                     \x20      [--quiet] [--progress-jsonl]\n\
+                     \x20      [--spans] [--postmortem DIR] \
+                     [--quiet] [--progress-jsonl]\n\
                             repro --chaos N [--seed S] [--workers W] [--quiet]\n\
-                            repro fleetd submit|watch|cancel|stats|shutdown \
+                            repro fleetd submit|watch|cancel|stats|metrics|top|shutdown \
                      --socket PATH [options]\n\
                      \n\
                      exit codes: 0 success; 2 usage/config error; \
@@ -367,6 +393,8 @@ fn main() {
             trace,
             filter: trace_filter,
             metrics,
+            spans,
+            postmortem,
             quiet,
             progress_jsonl,
         };
@@ -453,6 +481,8 @@ struct FleetObs {
     trace: Option<String>,
     filter: Option<EventFilter>,
     metrics: bool,
+    spans: bool,
+    postmortem: Option<String>,
     quiet: bool,
     progress_jsonl: bool,
 }
@@ -501,6 +531,14 @@ fn run_fleet(
     }
     if let Some(budget) = guard.deadline {
         runner = runner.with_deadline(budget);
+    }
+    if obs.spans {
+        // A local run is its own "job"; the seed names its span tree so
+        // traces from different sweeps stay distinguishable when merged.
+        runner = runner.with_spans(seed);
+    }
+    if let Some(dir) = &obs.postmortem {
+        runner = runner.with_flight_recorder(dir.into());
     }
     // Ctrl-C cancels cooperatively: workers wind down, progress is
     // flushed, partial results are printed. A second Ctrl-C kills.
@@ -585,6 +623,12 @@ fn run_fleet(
             "{}",
             EventMetrics::from_events(&trace.events).registry().render()
         );
+    }
+    if !result.postmortems.is_empty() {
+        // Bundle paths are diagnostic pointers, not results: stderr.
+        for path in &result.postmortems {
+            eprintln!("postmortem: {}", path.display());
+        }
     }
     if !obs.quiet {
         // Wall-clock numbers are diagnostic only: stderr, never stdout.
@@ -697,9 +741,11 @@ fn run_fleetd(args: &[String]) -> ! {
         eprintln!("repro fleetd: {msg}");
         eprintln!(
             "usage: repro fleetd submit --socket PATH --chips N [--seed S] \
-             [--variant hw|sw|baseline] [--quick] [--run-ms M] [--sentinel] [--watch]\n\
+             [--variant hw|sw|baseline] [--quick] [--run-ms M] [--sentinel] \
+             [--inject SPEC] [--watch]\n\
              \x20      repro fleetd watch|cancel --socket PATH --job J\n\
-             \x20      repro fleetd stats|shutdown --socket PATH"
+             \x20      repro fleetd stats|metrics|shutdown --socket PATH\n\
+             \x20      repro fleetd top --socket PATH [--interval DUR] [--iterations N]"
         );
         std::process::exit(2);
     }
@@ -716,8 +762,11 @@ fn run_fleetd(args: &[String]) -> ! {
         quick: false,
         run_ms: 0,
         sentinel: false,
+        inject: String::new(),
     };
     let mut watch_after_submit = false;
+    let mut interval = std::time::Duration::from_secs(2);
+    let mut iterations: u64 = 0;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -766,7 +815,28 @@ fn run_fleetd(args: &[String]) -> ! {
                     .unwrap_or_else(|| fleetd_die("--run-ms needs milliseconds"));
             }
             "--sentinel" => spec.sentinel = true,
+            "--inject" => {
+                i += 1;
+                spec.inject = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| fleetd_die("--inject needs a fault spec (e.g. seeded:42)"));
+            }
             "--watch" => watch_after_submit = true,
+            "--interval" => {
+                i += 1;
+                interval = args
+                    .get(i)
+                    .and_then(|s| parse_duration(s))
+                    .unwrap_or_else(|| fleetd_die("--interval needs a duration like 2s or 500ms"));
+            }
+            "--iterations" => {
+                i += 1;
+                iterations = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| fleetd_die("--iterations needs an integer"));
+            }
             other => fleetd_die(&format!("unknown argument {other:?}")),
         }
         i += 1;
@@ -853,6 +923,45 @@ fn run_fleetd(args: &[String]) -> ! {
             }
             Err(e) => fleetd_die(&format!("stats failed: {e}")),
         },
+        "metrics" => match client.metrics() {
+            Ok(text) => {
+                print!("{text}");
+                std::process::exit(0);
+            }
+            Err(e) => fleetd_die(&format!("metrics failed: {e}")),
+        },
+        "top" => {
+            // A plain-ANSI live dashboard: poll the metrics snapshot and
+            // render rates from consecutive frames. `--iterations 0`
+            // (the default) polls until the connection drops or Ctrl-C.
+            let mut prev: Option<vs_obs::PromSnapshot> = None;
+            let mut frame: u64 = 0;
+            loop {
+                let text = match client.metrics() {
+                    Ok(text) => text,
+                    Err(e) => fleetd_die(&format!("metrics poll failed: {e}")),
+                };
+                let snap = match vs_obs::PromSnapshot::parse(&text) {
+                    Ok(snap) => snap,
+                    Err(e) => fleetd_die(&format!("bad metrics snapshot: {e}")),
+                };
+                let dt = if prev.is_some() {
+                    interval.as_secs_f64()
+                } else {
+                    0.0
+                };
+                print!("\x1b[2J\x1b[H");
+                print!("{}", vs_obs::render_top(prev.as_ref(), &snap, dt));
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+                prev = Some(snap);
+                frame += 1;
+                if iterations > 0 && frame >= iterations {
+                    std::process::exit(0);
+                }
+                std::thread::sleep(interval);
+            }
+        }
         "shutdown" => match client.shutdown() {
             Ok(()) => {
                 eprintln!("repro fleetd: daemon draining");

@@ -9,10 +9,11 @@
 use crate::config::{ControllerVariant, FleetConfig, MarginsMode};
 use crate::summary::{ChipSummary, CoreMarginSummary};
 use vs_guard::CancelToken;
+use vs_obs::span::{batch_span, chip_span, lane_of, lane_span};
 use vs_platform::characterize::{all_analytic_core_margins, all_core_margins};
 use vs_platform::{Chip, ChipConfig};
 use vs_spec::{SoftwareSpeculation, SpecRun, SpeculationSystem};
-use vs_telemetry::{EventCategory, EventFilter, Recorder, TelemetryEvent};
+use vs_telemetry::{EventCategory, EventFilter, Recorder, SpanLevel, TelemetryEvent};
 use vs_types::rng::CounterRng;
 use vs_types::{CacheKind, ChipId, CoreId, Millivolts};
 
@@ -67,6 +68,20 @@ pub fn simulate_chip_guarded(
         return None;
     }
     let mut events = Vec::new();
+    // Chip span: opened before the job-lifecycle bracket, closed after
+    // it, parented to the chip's *virtual* lane (`chip mod LANES`) so the
+    // span tree is a pure function of the chip id, never of which
+    // physical worker ran it.
+    let spans = filter.accepts(EventCategory::Span);
+    if spans {
+        events.push(TelemetryEvent::SpanOpen {
+            at: vs_types::SimTime::ZERO,
+            id: chip_span(chip),
+            parent: lane_span(lane_of(chip)),
+            level: SpanLevel::Chip,
+            ident: chip.0,
+        });
+    }
     if filter.accepts(EventCategory::Fleet) {
         events.push(TelemetryEvent::JobStarted { chip });
     }
@@ -95,6 +110,15 @@ pub fn simulate_chip_guarded(
             correctable: out.correctable,
             emergencies: out.emergencies,
             crashes: out.crashes,
+        });
+    }
+    if spans {
+        // Everything pushed since the chip's SpanOpen (including batch
+        // span events) is enclosed by it.
+        events.push(TelemetryEvent::SpanClose {
+            at: config.run_duration,
+            id: chip_span(chip),
+            events: events.len() as u64 - 1,
         });
     }
     let summary = ChipSummary {
@@ -195,8 +219,41 @@ fn run_hardware(
     sys.calibrate_fast();
     assign_workloads(config, chip, sys.chip_mut());
     let mut session = SpecRun::new(&sys, config.run_duration);
-    while session.advance_guarded(&mut sys, config.slice_ticks, cancel)? > 0 {
-        beat();
+    if filter.accepts(EventCategory::Span) {
+        // Tick-batch spans: each slice's recorder output is drained
+        // eagerly and sandwiched between the batch's open/close, so the
+        // span encloses exactly the events its slice produced. Batch
+        // boundaries are tick counts — identical for every worker count.
+        let tick_us = sys.chip().config().tick.as_micros();
+        let mut batch = 0u64;
+        loop {
+            let opened = vs_types::SimTime::from_micros(session.progress().0 * tick_us);
+            if session.advance_guarded(&mut sys, config.slice_ticks, cancel)? == 0 {
+                break;
+            }
+            let id = batch_span(chip, batch);
+            events.push(TelemetryEvent::SpanOpen {
+                at: opened,
+                id,
+                parent: chip_span(chip),
+                level: SpanLevel::Batch,
+                ident: batch,
+            });
+            let drained = sys.take_events();
+            let enclosed = drained.len() as u64;
+            events.extend(drained);
+            events.push(TelemetryEvent::SpanClose {
+                at: vs_types::SimTime::from_micros(session.progress().0 * tick_us),
+                id,
+                events: enclosed,
+            });
+            batch += 1;
+            beat();
+        }
+    } else {
+        while session.advance_guarded(&mut sys, config.slice_ticks, cancel)? > 0 {
+            beat();
+        }
     }
     let stats = session.finish(&sys);
     events.extend(sys.take_events());

@@ -60,12 +60,15 @@ use std::sync::mpsc;
 use std::sync::Once;
 use std::time::Duration;
 use vs_guard::{CancelToken, Watchdog};
+use vs_obs::flight::{write_bundle, PostmortemBundle, PostmortemTrigger, DEFAULT_FLIGHT_CAPACITY};
+use vs_obs::span::{job_span, lane_of, lane_span, ROOT};
 use vs_sentinel::{SentinelConfig, SentinelMode, SentinelMonitor, Violation};
 use vs_telemetry::{
-    to_jsonl, EventCategory, EventFilter, FleetProfile, LatencyHistogram, ProgressReport,
-    ProgressSink, SilentProgress, Stopwatch, TelemetryEvent, WorkerProfile,
+    to_jsonl, EventCategory, EventFilter, EventRing, FleetProfile, LatencyHistogram,
+    ProgressReport, ProgressSink, SilentProgress, SpanLevel, Stopwatch, TelemetryEvent,
+    WorkerProfile,
 };
-use vs_types::ChipId;
+use vs_types::{ChipId, SimTime};
 
 /// Why a fleet run could not produce a (possibly degraded) result.
 #[derive(Debug)]
@@ -150,6 +153,10 @@ pub struct FleetResult {
     /// [`SentinelMode::FailFast`] the run aborts with
     /// [`FleetError::InvariantViolation`] instead of filling this.
     pub violations: Vec<Violation>,
+    /// Postmortem flight-recorder bundles written this run, sorted by
+    /// path. Always empty unless the runner was armed with
+    /// [`FleetRunner::with_flight_recorder`].
+    pub postmortems: Vec<PathBuf>,
 }
 
 impl FleetResult {
@@ -271,6 +278,13 @@ pub struct FleetRunner {
     journal: Option<PathBuf>,
     /// Online safety-invariant monitoring of every chip's event stream.
     sentinel: Option<SentinelConfig>,
+    /// Causal span tracing: `Some(job)` threads job → lane → chip →
+    /// tick-batch spans through the trace under this job id.
+    spans: Option<u64>,
+    /// Crash flight recorder: postmortem bundles are written into this
+    /// directory on sentinel violations, worker panics, and watchdog
+    /// cancellations.
+    flight: Option<PathBuf>,
 }
 
 impl FleetRunner {
@@ -295,6 +309,8 @@ impl FleetRunner {
             deadline: None,
             journal: None,
             sentinel: None,
+            spans: None,
+            flight: None,
         }
     }
 
@@ -390,6 +406,41 @@ impl FleetRunner {
         self
     }
 
+    /// Arms causal span tracing under job id `job` (a daemon job number;
+    /// 0 for standalone runs). A [`run_reporting`](FleetRunner::run_reporting)
+    /// trace then carries the job → lane → chip → tick-batch span
+    /// hierarchy: span ids are pure functions of position in the
+    /// hierarchy (the "lane" is `chip mod LANES`, never the physical
+    /// worker), and causality rides in explicit `id`/`parent` links, so
+    /// the same tree reconstructs from the merged trace under any worker
+    /// count. Span events live in their own
+    /// [`EventCategory::Span`] category, which
+    /// [`EventFilter::all`] deliberately excludes — arming spans never
+    /// changes the bytes of a trace that did not ask for them, and
+    /// stripping `span` events from a span-armed trace yields the plain
+    /// trace byte for byte.
+    pub fn with_spans(mut self, job: u64) -> FleetRunner {
+        self.spans = Some(job);
+        self
+    }
+
+    /// Arms the crash flight recorder: every chip records the full event
+    /// taxonomy internally, and when a chip trips a sentinel violation,
+    /// exhausts its retries (panic or hang), or needs a watchdog cancel
+    /// on the way to success, the last
+    /// [`DEFAULT_FLIGHT_CAPACITY`] of its events are dumped into `dir`
+    /// as a postmortem bundle together with the config fingerprint and
+    /// the violation context. Bundles are written with the vs-guard
+    /// journal discipline (per-line CRC frames, temp + fsync + rename)
+    /// and their bytes are a pure function of the config — identical for
+    /// any worker count. The widened internal recording is stripped
+    /// before events reach the returned trace, so arming the recorder
+    /// changes no trace bytes.
+    pub fn with_flight_recorder(mut self, dir: PathBuf) -> FleetRunner {
+        self.flight = Some(dir);
+        self
+    }
+
     /// The runner's configuration.
     pub fn config(&self) -> &FleetConfig {
         &self.config
@@ -443,15 +494,27 @@ impl FleetRunner {
         // plan; consumed by `save_with_retry` in (deterministic) save
         // order.
         let mut injected_io = self.config.faults.checkpoint_io_errors();
-        // The sentinel must *see* its input categories even when the
-        // caller records a narrower trace: jobs record the widened
-        // filter, and the extra events are stripped again before they
-        // reach the returned trace.
-        let job_filter = match &self.sentinel {
-            Some(_) => filter.union(SentinelConfig::required_categories()),
+        // Three filter layers. `emit_filter` is what the returned trace
+        // keeps: the caller's filter, widened by the span category when
+        // span tracing is armed (spans are additive — stripping them
+        // yields the caller's exact trace). `job_filter` is what jobs
+        // *record*: the sentinel must see its input categories and the
+        // flight recorder must see everything, so both widen it further;
+        // the extra events are stripped back down to `emit_filter`
+        // before they reach the returned trace.
+        let emit_filter = match self.spans {
+            Some(_) => filter.union(EventFilter::of(&[EventCategory::Span])),
             None => filter,
         };
+        let mut job_filter = emit_filter;
+        if self.sentinel.is_some() {
+            job_filter = job_filter.union(SentinelConfig::required_categories());
+        }
+        if self.flight.is_some() {
+            job_filter = job_filter.union(EventFilter::all());
+        }
         let mut violations: Vec<Violation> = Vec::new();
+        let mut postmortems: Vec<PathBuf> = Vec::new();
 
         // Restore prior progress, dropping chips beyond the current fleet
         // size (a shrunk re-run) — the fingerprint pins everything else.
@@ -734,6 +797,7 @@ impl FleetRunner {
                         failed_attempts,
                         fired_attempts,
                     } => {
+                        let watchdog_fires = fired_attempts.len();
                         if !fired_attempts.is_empty() {
                             degradation
                                 .watchdog_fired
@@ -755,21 +819,66 @@ impl FleetRunner {
                         // filter. Violations are re-sorted by chip id at
                         // the end of the run, so completion order (and
                         // therefore worker count) cannot leak into them.
+                        let mut chip_violations: Vec<Violation> = Vec::new();
                         if let Some(scfg) = &self.sentinel {
                             let mut monitor = SentinelMonitor::for_chip(*scfg, summary.chip);
                             for e in &events {
                                 monitor.observe(e);
                             }
                             monitor.finish();
-                            let mut found = monitor.into_violations();
-                            if !found.is_empty() && scfg.mode == SentinelMode::FailFast {
+                            chip_violations = monitor.into_violations();
+                        }
+                        // Flight recorder: dump the postmortem *before*
+                        // stream stripping and before a fail-fast abort,
+                        // so the bundle always holds the full-taxonomy
+                        // event window of the trigger.
+                        if let Some(dir) = &self.flight {
+                            let trigger = if !chip_violations.is_empty() {
+                                Some((PostmortemTrigger::Violation, chip_violations[0].to_string()))
+                            } else if watchdog_fires > 0 {
+                                Some((
+                                    PostmortemTrigger::Watchdog,
+                                    format!(
+                                        "watchdog cancelled {watchdog_fires} attempt(s) \
+                                         before success"
+                                    ),
+                                ))
+                            } else {
+                                None
+                            };
+                            if let Some((trigger, detail)) = trigger {
+                                let mut bundle =
+                                    PostmortemBundle::new(trigger, summary.chip.0, fingerprint);
+                                bundle.detail = detail;
+                                bundle.violations =
+                                    chip_violations.iter().map(|v| v.to_string()).collect();
+                                let mut ring = EventRing::new(DEFAULT_FLIGHT_CAPACITY);
+                                for e in &events {
+                                    ring.push(*e);
+                                }
+                                bundle.dropped = ring.dropped();
+                                for e in ring.drain() {
+                                    bundle.push_event(&e);
+                                }
+                                match write_bundle(dir, &bundle) {
+                                    Ok(p) => postmortems.push(p),
+                                    Err(e) => degradation
+                                        .checkpoint_failures
+                                        .push(format!("postmortem write failed: {e}")),
+                                }
+                            }
+                        }
+                        if let Some(scfg) = &self.sentinel {
+                            if !chip_violations.is_empty() && scfg.mode == SentinelMode::FailFast {
                                 fatal = Some(FleetError::InvariantViolation {
-                                    violation: found.remove(0),
+                                    violation: chip_violations.remove(0),
                                 });
                                 break;
                             }
-                            violations.append(&mut found);
-                            events.retain(|e| filter.accepts(e.category()));
+                        }
+                        violations.append(&mut chip_violations);
+                        if job_filter != emit_filter {
+                            events.retain(|e| emit_filter.accepts(e.category()));
                         }
                         completed += 1;
                         on_chip(&summary);
@@ -827,6 +936,26 @@ impl FleetRunner {
                                     guard_events
                                         .push(TelemetryEvent::WatchdogFired { chip, attempt });
                                 }
+                            }
+                        }
+                        // A quarantined chip gets a metadata-only bundle:
+                        // the attempt's recorder died with it, and
+                        // inventing a partial stream would break bundle
+                        // determinism.
+                        if let Some(dir) = &self.flight {
+                            let trigger = if error.starts_with("watchdog") {
+                                PostmortemTrigger::Watchdog
+                            } else {
+                                PostmortemTrigger::Panic
+                            };
+                            let mut bundle = PostmortemBundle::new(trigger, chip.0, fingerprint);
+                            bundle.detail =
+                                format!("chip quarantined after {attempts} attempts: {error}");
+                            match write_bundle(dir, &bundle) {
+                                Ok(p) => postmortems.push(p),
+                                Err(e) => degradation
+                                    .checkpoint_failures
+                                    .push(format!("postmortem write failed: {e}")),
                             }
                         }
                         if self.fail_fast {
@@ -894,12 +1023,62 @@ impl FleetRunner {
             TelemetryEvent::WatchdogFired { chip, attempt } => (1u8, chip.0, *attempt),
             _ => (0, 0, 0),
         });
+        // Lane spans cover the virtual lanes that own at least one traced
+        // chip; counts are per-lane event totals. Both are functions of
+        // the (sorted) traces, never of scheduling.
+        let mut lane_counts: std::collections::BTreeMap<u64, u64> =
+            std::collections::BTreeMap::new();
+        if self.spans.is_some() {
+            for (chip, ev) in &traces {
+                *lane_counts.entry(lane_of(*chip)).or_insert(0) += ev.len() as u64;
+            }
+        }
         let mut events: Vec<TelemetryEvent> = traces.into_iter().flat_map(|(_, e)| e).collect();
         events.extend(guard_events);
         events.extend(compactions);
+        if let Some(job) = self.spans {
+            // The job span brackets the whole merged stream (guard events
+            // included); lane spans bracket their chips' streams. All of
+            // it is emitted at merge time in lane order, so the trace
+            // stays byte-identical for any worker count.
+            let jid = job_span(job);
+            let mut wrapped = Vec::with_capacity(events.len() + 2 + 2 * lane_counts.len());
+            wrapped.push(TelemetryEvent::SpanOpen {
+                at: SimTime::ZERO,
+                id: jid,
+                parent: ROOT,
+                level: SpanLevel::Job,
+                ident: job,
+            });
+            for &lane in lane_counts.keys() {
+                wrapped.push(TelemetryEvent::SpanOpen {
+                    at: SimTime::ZERO,
+                    id: lane_span(lane),
+                    parent: jid,
+                    level: SpanLevel::Lane,
+                    ident: lane,
+                });
+            }
+            wrapped.extend(events);
+            for (&lane, &count) in &lane_counts {
+                wrapped.push(TelemetryEvent::SpanClose {
+                    at: self.config.run_duration,
+                    id: lane_span(lane),
+                    events: count,
+                });
+            }
+            let enclosed = wrapped.len() as u64 - 1;
+            wrapped.push(TelemetryEvent::SpanClose {
+                at: self.config.run_duration,
+                id: jid,
+                events: enclosed,
+            });
+            events = wrapped;
+        }
         // Stable sort: violations keep stream order within a chip, and
         // the overall list is independent of completion order.
         violations.sort_by_key(|v| v.chip.map_or(u64::MAX, |c| c.0));
+        postmortems.sort();
         Ok((
             FleetResult {
                 summaries: done,
@@ -907,6 +1086,7 @@ impl FleetRunner {
                 resumed,
                 degradation,
                 violations,
+                postmortems,
             },
             FleetTrace { events, profile },
         ))

@@ -131,6 +131,17 @@ impl Client {
         }
     }
 
+    /// Fetches a Prometheus-text metrics snapshot.
+    pub fn metrics(&mut self) -> Result<String, ProtocolError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            Response::Error { msg } => Err(ProtocolError::Json(msg)),
+            other => Err(ProtocolError::Json(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
     /// Asks the daemon to drain and exit.
     pub fn shutdown(&mut self) -> Result<(), ProtocolError> {
         match self.request(&Request::Shutdown)? {

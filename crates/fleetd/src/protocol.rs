@@ -108,6 +108,11 @@ pub struct SweepSpec {
     pub run_ms: u64,
     /// Arm the safety-invariant sentinel for this job.
     pub sentinel: bool,
+    /// Fault-injection directives in the [`vs_faults::FaultSpec`] grammar
+    /// (e.g. `"due@500ms:d0,panic:chip3x2"`); empty injects nothing.
+    /// Decoded leniently — a client that never sends the field gets an
+    /// empty spec, so old clients keep working against new daemons.
+    pub inject: String,
 }
 
 /// A snapshot of the daemon, answered to `Stats`.
@@ -140,6 +145,8 @@ pub enum Request {
     Submit(SweepSpec),
     /// Ask for a [`DaemonStats`] snapshot.
     Stats,
+    /// Ask for a Prometheus-text metrics snapshot; answered `Metrics`.
+    Metrics,
     /// Follow a job's event stream from the beginning: buffered events
     /// replay first, then live ones, ending with a terminal event.
     Watch {
@@ -174,6 +181,12 @@ pub enum Response {
     },
     /// The stats snapshot.
     Stats(DaemonStats),
+    /// The metrics snapshot, answered to `Metrics`.
+    Metrics {
+        /// The full Prometheus text exposition, newlines and all — the
+        /// codec's string escaping keeps it one flat JSON field.
+        text: String,
+    },
     /// One chip finished (streamed while watching).
     Chip {
         /// The job it belongs to.
@@ -539,8 +552,10 @@ pub fn encode_request(req: &Request) -> String {
             .bool("quick", spec.quick)
             .u64("run_ms", spec.run_ms)
             .bool("sentinel", spec.sentinel)
+            .str("inject", &spec.inject)
             .finish(),
         Request::Stats => MessageBuilder::new("stats").finish(),
+        Request::Metrics => MessageBuilder::new("metrics").finish(),
         Request::Watch { job } => MessageBuilder::new("watch").u64("job", *job).finish(),
         Request::Cancel { job } => MessageBuilder::new("cancel").u64("job", *job).finish(),
         Request::Shutdown => MessageBuilder::new("shutdown").finish(),
@@ -561,9 +576,12 @@ pub fn decode_request(text: &str) -> Result<Request, ProtocolError> {
                 quick: fields.bool("quick")?,
                 run_ms: fields.u64("run_ms")?,
                 sentinel: fields.bool("sentinel")?,
+                // Lenient: absent on old clients means "inject nothing".
+                inject: fields.str("inject").map(str::to_string).unwrap_or_default(),
             }))
         }
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "watch" => Ok(Request::Watch {
             job: fields.u64("job")?,
         }),
@@ -599,6 +617,7 @@ pub fn encode_response(resp: &Response) -> String {
             .u64("workers", s.workers)
             .u64("queue_cap", s.queue_cap)
             .finish(),
+        Response::Metrics { text } => MessageBuilder::new("metrics").str("text", text).finish(),
         Response::Chip {
             job,
             chip,
@@ -661,6 +680,9 @@ pub fn decode_response(text: &str) -> Result<Response, ProtocolError> {
             workers: fields.u64("workers")?,
             queue_cap: fields.u64("queue_cap")?,
         })),
+        "metrics" => Ok(Response::Metrics {
+            text: fields.str("text")?.to_string(),
+        }),
         "chip" => Ok(Response::Chip {
             job: fields.u64("job")?,
             chip: fields.u64("chip")?,
@@ -756,9 +778,33 @@ mod tests {
             quick: true,
             run_ms: 250,
             sentinel: true,
+            inject: "due@500ms:d0,panic:chip3x2".into(),
         };
         let req = Request::Submit(spec);
         assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+    }
+
+    #[test]
+    fn submit_without_inject_decodes_to_empty_spec() {
+        // An old client's submit message has no "inject" field; the
+        // lenient decoder must treat that as "inject nothing" rather
+        // than reject the message.
+        let text = "{\"type\":\"submit\",\"seed\":7,\"chips\":4,\"variant\":\"hw\",\
+                    \"quick\":true,\"run_ms\":0,\"sentinel\":false}";
+        match decode_request(text).unwrap() {
+            Request::Submit(spec) => assert_eq!(spec.inject, ""),
+            other => panic!("expected submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_messages_round_trip() {
+        let req = Request::Metrics;
+        assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        let resp = Response::Metrics {
+            text: "# TYPE voltspec_jobs_running gauge\nvoltspec_jobs_running 2\n".into(),
+        };
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
     }
 
     #[test]

@@ -24,10 +24,12 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use vs_faults::FaultSpec;
 use vs_fleet::{FleetConfig, FleetRunner};
 use vs_guard::CancelToken;
-use vs_telemetry::TelemetryEvent;
+use vs_obs::{names, render_prometheus};
+use vs_telemetry::{MetricsRegistry, TelemetryEvent};
 use vs_types::{FleetSeed, SimTime};
 
 /// Scheduler tunables, set once at daemon startup.
@@ -118,6 +120,18 @@ struct SchedInner {
     cancelled: AtomicU64,
     failed: AtomicU64,
     rejected: AtomicU64,
+    // Observability plane. `submitted` counts admissions only, so at any
+    // quiescent point submitted == running + queued + completed +
+    // cancelled + failed — the gauge-consistency invariant the metrics
+    // snapshot inherits from run_job's settle-before-terminal ordering.
+    submitted: AtomicU64,
+    chips_completed: AtomicU64,
+    rollbacks: AtomicU64,
+    violations: AtomicU64,
+    postmortems: AtomicU64,
+    /// Cumulative nanoseconds each worker spent inside a job.
+    busy_ns: Vec<AtomicU64>,
+    started: Instant,
 }
 
 /// The daemon's job scheduler: admission, dispatch, event streams.
@@ -139,6 +153,16 @@ pub fn config_for(spec: &SweepSpec) -> FleetConfig {
     if spec.run_ms > 0 {
         config.run_duration = SimTime::from_millis(spec.run_ms);
     }
+    // The fault plan is part of the config fingerprint, so an injected
+    // sweep reads and writes a different store slot than a clean one.
+    // `submit` validates the directive string before admission; an
+    // unparseable spec here (reachable only by calling `config_for`
+    // directly) injects nothing rather than panicking.
+    if !spec.inject.is_empty() {
+        if let Ok(faults) = FaultSpec::parse(&spec.inject) {
+            config.faults = faults.materialize(spec.chips);
+        }
+    }
     config
 }
 
@@ -158,13 +182,22 @@ impl Scheduler {
             cancelled: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            chips_completed: AtomicU64::new(0),
+            rollbacks: AtomicU64::new(0),
+            violations: AtomicU64::new(0),
+            postmortems: AtomicU64::new(0),
+            busy_ns: (0..config.workers.max(1))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            started: Instant::now(),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 thread::Builder::new()
                     .name(format!("fleetd-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || worker_loop(&inner, i))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -176,6 +209,9 @@ impl Scheduler {
     pub fn submit(&self, spec: SweepSpec) -> Result<Result<u64, BusyInfo>, String> {
         if spec.chips == 0 {
             return Err("a sweep needs at least one chip".into());
+        }
+        if !spec.inject.is_empty() {
+            FaultSpec::parse(&spec.inject).map_err(|e| format!("bad inject spec: {e}"))?;
         }
         let config = config_for(&spec);
         config.validate().map_err(|e| e.to_string())?;
@@ -201,6 +237,7 @@ impl Scheduler {
         });
         self.inner.jobs.lock().unwrap().insert(id, Arc::clone(&job));
         queue.push_back(job);
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
         drop(queue);
         self.inner.available.notify_one();
         Ok(Ok(id))
@@ -246,6 +283,61 @@ impl Scheduler {
         }
     }
 
+    /// Renders a Prometheus-text metrics snapshot of the whole daemon.
+    ///
+    /// Job counters and the running/queued gauges read the *same*
+    /// atomics as [`stats`](Scheduler::stats), so the snapshot inherits
+    /// `run_job`'s settle-before-terminal discipline: once a watcher has
+    /// seen a job's terminal event, a scrape accounts for that job in
+    /// exactly one bucket, and
+    /// `running + queued + completed + cancelled + failed == submitted`
+    /// holds at every quiescent point.
+    pub fn metrics(&self) -> String {
+        let inner = &self.inner;
+        let mut reg = MetricsRegistry::new();
+        let counters = [
+            (
+                names::JOBS_SUBMITTED,
+                inner.submitted.load(Ordering::Relaxed),
+            ),
+            (
+                names::JOBS_COMPLETED,
+                inner.completed.load(Ordering::Relaxed),
+            ),
+            (
+                names::JOBS_CANCELLED,
+                inner.cancelled.load(Ordering::Relaxed),
+            ),
+            (names::JOBS_FAILED, inner.failed.load(Ordering::Relaxed)),
+            (names::JOBS_REJECTED, inner.rejected.load(Ordering::Relaxed)),
+            (
+                names::CHIPS_COMPLETED,
+                inner.chips_completed.load(Ordering::Relaxed),
+            ),
+            (names::ROLLBACKS, inner.rollbacks.load(Ordering::Relaxed)),
+            (names::VIOLATIONS, inner.violations.load(Ordering::Relaxed)),
+            (
+                names::POSTMORTEMS,
+                inner.postmortems.load(Ordering::Relaxed),
+            ),
+        ];
+        for (name, v) in counters {
+            let id = reg.counter(name);
+            reg.inc(id, v);
+        }
+        let running = reg.gauge(names::JOBS_RUNNING);
+        reg.set(running, inner.running.load(Ordering::Relaxed) as f64);
+        let queued = reg.gauge(names::JOBS_QUEUED);
+        reg.set(queued, inner.queue.lock().unwrap().len() as f64);
+        let uptime = reg.gauge(names::UPTIME_SECONDS);
+        reg.set(uptime, inner.started.elapsed().as_secs_f64());
+        for (i, busy) in inner.busy_ns.iter().enumerate() {
+            let id = reg.gauge(&names::worker_busy(i));
+            reg.set(id, busy.load(Ordering::Relaxed) as f64 / 1e9);
+        }
+        render_prometheus(&reg, names::PROM_PREFIX)
+    }
+
     /// The root token; server transports watch it to stop accepting.
     pub fn shutdown_token(&self) -> CancelToken {
         self.inner.shutdown.child()
@@ -269,7 +361,7 @@ impl Scheduler {
     }
 }
 
-fn worker_loop(inner: &SchedInner) {
+fn worker_loop(inner: &SchedInner, worker: usize) {
     loop {
         let job = {
             let mut queue = inner.queue.lock().unwrap();
@@ -300,7 +392,9 @@ fn worker_loop(inner: &SchedInner) {
             );
             continue;
         }
+        let busy = Instant::now();
         run_job(inner, &job);
+        inner.busy_ns[worker].fetch_add(busy.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 }
 
@@ -337,7 +431,13 @@ fn job_terminal(inner: &SchedInner, job: &Job) -> Response {
     let mut runner = runner
         .with_checkpoint(inner.store.checkpoint_path(&config))
         .with_journal(inner.store.journal_path(&config))
-        .with_cancel(job.cancel.child());
+        .with_cancel(job.cancel.child())
+        // Span tracing rooted at the job id and a flight recorder under
+        // the store: both byte-neutral for the trace a client watches,
+        // both always on — a postmortem is most valuable for the job
+        // nobody thought to instrument.
+        .with_spans(job.id)
+        .with_flight_recorder(inner.store.dir().join("postmortem"));
     if let Some(deadline) = inner.config.deadline {
         runner = runner.with_deadline(deadline);
     }
@@ -348,6 +448,10 @@ fn job_terminal(inner: &SchedInner, job: &Job) -> Response {
     let mut streamed = 0u64;
     let result = runner.run_streaming(|summary| {
         streamed += 1;
+        inner.chips_completed.fetch_add(1, Ordering::Relaxed);
+        inner
+            .rollbacks
+            .fetch_add(summary.dues + summary.rollbacks, Ordering::Relaxed);
         let mut event = String::new();
         TelemetryEvent::JobFinished {
             chip: summary.chip,
@@ -368,6 +472,14 @@ fn job_terminal(inner: &SchedInner, job: &Job) -> Response {
             false,
         );
     });
+    if let Ok(res) = &result {
+        inner
+            .violations
+            .fetch_add(res.violations.len() as u64, Ordering::Relaxed);
+        inner
+            .postmortems
+            .fetch_add(res.postmortems.len() as u64, Ordering::Relaxed);
+    }
     match result {
         Ok(res) if res.degradation.interrupted || job.cancel.is_cancelled() => {
             Response::Cancelled {
@@ -420,6 +532,7 @@ mod tests {
             quick: true,
             run_ms: 0,
             sentinel: false,
+            inject: String::new(),
         }
     }
 
@@ -519,6 +632,40 @@ mod tests {
         for id in admitted {
             assert!(sched.cancel(id));
         }
+        sched.shutdown();
+        sched.join();
+    }
+
+    #[test]
+    fn metrics_snapshot_settles_with_the_terminal_event() {
+        let store = FleetStore::open(&scratch("metrics")).unwrap();
+        let sched = Scheduler::start(SchedulerConfig::default(), store);
+        let id = sched.submit(spec(2)).unwrap().unwrap();
+        drain(&sched, id);
+        let text = sched.metrics();
+        let snap = vs_obs::PromSnapshot::parse(&text).unwrap();
+        let v = |name: &str| snap.value(name).unwrap_or_else(|| panic!("missing {name}"));
+        assert_eq!(v("voltspec_fleetd_jobs_submitted"), 1.0);
+        assert_eq!(v("voltspec_fleetd_jobs_completed"), 1.0);
+        assert_eq!(v("voltspec_fleetd_jobs_running"), 0.0);
+        assert_eq!(v("voltspec_fleetd_jobs_queued"), 0.0);
+        assert_eq!(v("voltspec_fleet_chips_completed"), 2.0);
+        assert!(v("voltspec_fleetd_uptime_seconds") >= 0.0);
+        assert!(
+            snap.value("voltspec_fleetd_worker0_busy_seconds").is_some(),
+            "per-worker busy gauges are exposed"
+        );
+        sched.shutdown();
+        sched.join();
+    }
+
+    #[test]
+    fn bad_inject_specs_fail_before_admission() {
+        let store = FleetStore::open(&scratch("inject")).unwrap();
+        let sched = Scheduler::start(SchedulerConfig::default(), store);
+        let mut bad = spec(2);
+        bad.inject = "gibberish~~directive".into();
+        assert!(sched.submit(bad).is_err());
         sched.shutdown();
         sched.join();
     }

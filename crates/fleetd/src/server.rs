@@ -56,6 +56,9 @@ fn handle(
             emit(&resp)?;
         }
         Request::Stats => emit(&Response::Stats(scheduler.stats()))?,
+        Request::Metrics => emit(&Response::Metrics {
+            text: scheduler.metrics(),
+        })?,
         Request::Cancel { job } => {
             if scheduler.cancel(job) {
                 emit(&Response::Cancelled { job, chips: 0 })?;

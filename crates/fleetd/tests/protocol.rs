@@ -29,6 +29,7 @@ fn all_requests() -> Vec<Request> {
             quick: false,
             run_ms: 0,
             sentinel: false,
+            inject: String::new(),
         }),
         Request::Submit(SweepSpec {
             seed: 0,
@@ -37,6 +38,7 @@ fn all_requests() -> Vec<Request> {
             quick: true,
             run_ms: 250,
             sentinel: true,
+            inject: "due@500ms:d0".into(),
         }),
         Request::Submit(SweepSpec {
             seed: 0x2014_CAFE,
@@ -45,6 +47,7 @@ fn all_requests() -> Vec<Request> {
             quick: true,
             run_ms: 1,
             sentinel: false,
+            inject: String::new(),
         }),
         Request::Stats,
         Request::Watch { job: u64::MAX },

@@ -1,0 +1,46 @@
+//! The daemon's instrument names, shared between the producer (the
+//! vs-fleetd scheduler registering into its [`MetricsRegistry`]) and the
+//! consumers (`repro fleetd top`, the golden tests) so neither side
+//! hard-codes strings the other might drift from.
+//!
+//! Dotted registry names map onto exposition names via
+//! [`crate::metric_name`] under [`PROM_PREFIX`]:
+//! `"fleetd.jobs_running"` → `voltspec_fleetd_jobs_running`.
+//!
+//! [`MetricsRegistry`]: vs_telemetry::MetricsRegistry
+
+/// Exposition-name prefix for every voltspec metric.
+pub const PROM_PREFIX: &str = "voltspec";
+
+/// Counter: jobs accepted for execution (running or queued at least
+/// once).
+pub const JOBS_SUBMITTED: &str = "fleetd.jobs_submitted";
+/// Counter: jobs that reached `Finished`.
+pub const JOBS_COMPLETED: &str = "fleetd.jobs_completed";
+/// Counter: jobs that reached `Cancelled`.
+pub const JOBS_CANCELLED: &str = "fleetd.jobs_cancelled";
+/// Counter: jobs that reached `Failed`.
+pub const JOBS_FAILED: &str = "fleetd.jobs_failed";
+/// Counter: submissions bounced by admission control.
+pub const JOBS_REJECTED: &str = "fleetd.jobs_rejected";
+/// Gauge: jobs executing right now.
+pub const JOBS_RUNNING: &str = "fleetd.jobs_running";
+/// Gauge: jobs admitted but waiting for a worker.
+pub const JOBS_QUEUED: &str = "fleetd.jobs_queued";
+/// Gauge: seconds since the daemon started serving.
+pub const UPTIME_SECONDS: &str = "fleetd.uptime_seconds";
+
+/// Counter: chips fully simulated across all jobs.
+pub const CHIPS_COMPLETED: &str = "fleet.chips_completed";
+/// Counter: voltage rollbacks observed across all jobs (DUE-triggered
+/// plus crash recoveries).
+pub const ROLLBACKS: &str = "fleet.rollbacks";
+/// Counter: sentinel safety-invariant violations across all jobs.
+pub const VIOLATIONS: &str = "sentinel.violations";
+/// Counter: postmortem flight-recorder bundles written.
+pub const POSTMORTEMS: &str = "obs.postmortems_written";
+
+/// Gauge name for job-worker `worker`'s cumulative busy seconds.
+pub fn worker_busy(worker: usize) -> String {
+    format!("fleetd.worker{worker}.busy_seconds")
+}

@@ -1,0 +1,174 @@
+//! The terminal dashboard renderer behind `repro fleetd top`.
+//!
+//! Pure function of two metrics snapshots: the caller polls the daemon,
+//! parses each scrape into a [`PromSnapshot`], and hands consecutive
+//! pairs here. Rates (chips/s, rollbacks/s, per-worker busy%) come from
+//! counter/gauge deltas over the poll interval; on the first frame there
+//! is no previous snapshot and rates render as `-`. The renderer emits
+//! plain text — the CLI owns the ANSI clear-screen framing — so it is
+//! trivially testable.
+
+use crate::names;
+use crate::prom::{metric_name, PromSnapshot};
+
+/// Width of the ASCII busy-bar.
+const BAR_WIDTH: usize = 10;
+
+fn prom(name: &str) -> String {
+    metric_name(names::PROM_PREFIX, name)
+}
+
+fn int(snapshot: &PromSnapshot, name: &str) -> String {
+    match snapshot.value(&prom(name)) {
+        Some(v) => format!("{}", v as u64),
+        None => "-".to_owned(),
+    }
+}
+
+/// Per-second delta of `name` between snapshots, clamped non-negative
+/// (a daemon restart resets counters; a negative rate is noise).
+fn rate(prev: Option<&PromSnapshot>, cur: &PromSnapshot, name: &str, dt_s: f64) -> Option<f64> {
+    let prev = prev?;
+    if dt_s <= 0.0 {
+        return None;
+    }
+    let name = prom(name);
+    let delta = cur.value(&name)? - prev.value(&name)?;
+    Some((delta / dt_s).max(0.0))
+}
+
+fn fmt_rate(r: Option<f64>) -> String {
+    match r {
+        Some(r) => format!("{r:.1}"),
+        None => "-".to_owned(),
+    }
+}
+
+fn busy_bar(fraction: f64) -> String {
+    let filled = ((fraction * BAR_WIDTH as f64).round() as usize).min(BAR_WIDTH);
+    let mut bar = String::with_capacity(BAR_WIDTH);
+    for i in 0..BAR_WIDTH {
+        bar.push(if i < filled { '#' } else { '.' });
+    }
+    bar
+}
+
+/// Renders one dashboard frame from the current scrape `cur`, the
+/// previous scrape `prev` (if any), and the seconds `dt_s` between them.
+pub fn render_top(prev: Option<&PromSnapshot>, cur: &PromSnapshot, dt_s: f64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+
+    let uptime = cur.value(&prom(names::UPTIME_SECONDS)).unwrap_or(0.0);
+    let _ = writeln!(out, "vs-fleetd  up {uptime:.0}s  (poll {dt_s:.1}s)");
+    let _ = writeln!(
+        out,
+        "jobs     running {:>3}  queued {:>3}  submitted {:>5}  done {:>5}  \
+         failed {:>3}  cancelled {:>3}  rejected {:>3}",
+        int(cur, names::JOBS_RUNNING),
+        int(cur, names::JOBS_QUEUED),
+        int(cur, names::JOBS_SUBMITTED),
+        int(cur, names::JOBS_COMPLETED),
+        int(cur, names::JOBS_FAILED),
+        int(cur, names::JOBS_CANCELLED),
+        int(cur, names::JOBS_REJECTED),
+    );
+    let _ = writeln!(
+        out,
+        "rate     chips/s {:>6}  rollbacks/s {:>6}  violations {:>4}  postmortems {:>3}",
+        fmt_rate(rate(prev, cur, names::CHIPS_COMPLETED, dt_s)),
+        fmt_rate(rate(prev, cur, names::ROLLBACKS, dt_s)),
+        int(cur, names::VIOLATIONS),
+        int(cur, names::POSTMORTEMS),
+    );
+
+    // Per-worker busy%: cumulative busy-seconds gauges, differentiated
+    // over the poll window.
+    let busy_prefix = prom("fleetd.worker");
+    let mut workers: Vec<(String, f64)> = cur
+        .with_prefix(&busy_prefix)
+        .filter(|(n, _)| n.ends_with("_busy_seconds"))
+        .map(|(n, v)| (n.to_owned(), v))
+        .collect();
+    workers.sort_by(|a, b| a.0.cmp(&b.0));
+    if !workers.is_empty() {
+        let _ = write!(out, "workers ");
+        for (i, (name, cur_busy)) in workers.iter().enumerate() {
+            let pct = match (prev.and_then(|p| p.value(name)), dt_s > 0.0) {
+                (Some(prev_busy), true) => Some(((cur_busy - prev_busy) / dt_s).clamp(0.0, 1.0)),
+                _ => None,
+            };
+            match pct {
+                Some(f) => {
+                    let _ = write!(out, "  w{i} {} {:>3.0}%", busy_bar(f), f * 100.0);
+                }
+                None => {
+                    let _ = write!(out, "  w{i} {} {:>4}", busy_bar(0.0), "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prom::render_prometheus;
+    use vs_telemetry::MetricsRegistry;
+
+    fn snapshot(chips: u64, busy0: f64) -> PromSnapshot {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter(names::CHIPS_COMPLETED);
+        r.inc(c, chips);
+        let rb = r.counter(names::ROLLBACKS);
+        r.inc(rb, chips / 2);
+        let sub = r.counter(names::JOBS_SUBMITTED);
+        r.inc(sub, 3);
+        let run = r.gauge(names::JOBS_RUNNING);
+        r.set(run, 2.0);
+        let q = r.gauge(names::JOBS_QUEUED);
+        r.set(q, 1.0);
+        let up = r.gauge(names::UPTIME_SECONDS);
+        r.set(up, 12.0);
+        let b0 = r.gauge(&names::worker_busy(0));
+        r.set(b0, busy0);
+        let b1 = r.gauge(&names::worker_busy(1));
+        r.set(b1, 0.0);
+        PromSnapshot::parse(&render_prometheus(&r, names::PROM_PREFIX)).unwrap()
+    }
+
+    #[test]
+    fn first_frame_renders_dashes_for_rates() {
+        let frame = render_top(None, &snapshot(10, 1.0), 2.0);
+        assert!(frame.contains("running   2"));
+        assert!(frame.contains("queued   1"));
+        assert!(frame.contains("chips/s      -"));
+        assert!(frame.contains("w0"));
+        assert!(frame.contains("w1"));
+    }
+
+    #[test]
+    fn rates_and_busy_come_from_deltas() {
+        let prev = snapshot(10, 1.0);
+        let cur = snapshot(20, 2.0);
+        let frame = render_top(Some(&prev), &cur, 2.0);
+        // 10 chips over 2 s.
+        assert!(frame.contains("chips/s    5.0"), "frame:\n{frame}");
+        // worker 0 gained 1 busy-second over a 2 s window → 50%.
+        assert!(frame.contains("w0 #####.....  50%"), "frame:\n{frame}");
+        // worker 1 idle.
+        assert!(frame.contains("w1 ..........   0%"), "frame:\n{frame}");
+    }
+
+    #[test]
+    fn rendering_is_pure() {
+        let prev = snapshot(10, 1.0);
+        let cur = snapshot(20, 2.0);
+        assert_eq!(
+            render_top(Some(&prev), &cur, 2.0),
+            render_top(Some(&prev), &cur, 2.0)
+        );
+    }
+}

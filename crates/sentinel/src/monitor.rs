@@ -244,7 +244,9 @@ impl SentinelMonitor {
             | TelemetryEvent::WatchdogFired { .. }
             | TelemetryEvent::RunInterrupted { .. }
             | TelemetryEvent::JournalReplayed { .. }
-            | TelemetryEvent::JournalCompacted { .. } => {}
+            | TelemetryEvent::JournalCompacted { .. }
+            | TelemetryEvent::SpanOpen { .. }
+            | TelemetryEvent::SpanClose { .. } => {}
         }
     }
 

@@ -31,11 +31,16 @@ pub enum EventCategory {
     /// Run supervision decisions: watchdog firings, cooperative
     /// cancellation, journal replay and compaction.
     Guard,
+    /// Causal span markers (job → lane → chip → tick-batch open/close).
+    /// Deliberately **excluded from [`EventFilter::all`]**: spans are
+    /// opt-in structure, and keeping them out of `all()` is what lets a
+    /// span-armed build leave every pre-existing trace byte untouched.
+    Span,
 }
 
 impl EventCategory {
     /// All categories, in serialization order.
-    pub const ALL: [EventCategory; 7] = [
+    pub const ALL: [EventCategory; 8] = [
         EventCategory::Ecc,
         EventCategory::Monitor,
         EventCategory::Controller,
@@ -43,6 +48,7 @@ impl EventCategory {
         EventCategory::Fleet,
         EventCategory::Fault,
         EventCategory::Guard,
+        EventCategory::Span,
     ];
 
     /// Stable lowercase label (used by `--trace-filter` and JSONL output).
@@ -55,6 +61,7 @@ impl EventCategory {
             EventCategory::Fleet => "fleet",
             EventCategory::Fault => "fault",
             EventCategory::Guard => "guard",
+            EventCategory::Span => "span",
         }
     }
 
@@ -72,6 +79,7 @@ impl EventCategory {
             EventCategory::Fleet => 1 << 4,
             EventCategory::Fault => 1 << 5,
             EventCategory::Guard => 1 << 6,
+            EventCategory::Span => 1 << 7,
         }
     }
 }
@@ -93,7 +101,10 @@ impl EventFilter {
         EventFilter(0)
     }
 
-    /// Keeps every category.
+    /// Keeps every *observation* category. [`EventCategory::Span`] is
+    /// deliberately not included: span markers are opt-in structure
+    /// (`EventFilter::parse("span")` or an explicit
+    /// [`EventFilter::of`]), so pre-span traces keep their exact bytes.
     pub const fn all() -> EventFilter {
         EventFilter(0b111_1111)
     }
@@ -148,6 +159,56 @@ impl StepDirection {
             StepDirection::Down => "down",
             StepDirection::Up => "up",
         }
+    }
+}
+
+/// The level of a causal span within one fleet run's hierarchy.
+///
+/// Spans nest strictly: a run has one `Job` span, a job has a fixed set
+/// of `Lane` spans (virtual lanes — *not* physical worker threads, whose
+/// assignment is scheduling-dependent), each lane owns its chips' `Chip`
+/// spans, and a chip's simulation is divided into `Batch` spans, one per
+/// tick-batch slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanLevel {
+    /// The whole fleet run (one per trace).
+    Job,
+    /// A deterministic virtual lane (`chip mod lane-count`).
+    Lane,
+    /// One chip's simulation.
+    Chip,
+    /// One tick-batch slice of a chip's simulation.
+    Batch,
+}
+
+impl SpanLevel {
+    /// All levels, outermost first.
+    pub const ALL: [SpanLevel; 4] = [
+        SpanLevel::Job,
+        SpanLevel::Lane,
+        SpanLevel::Chip,
+        SpanLevel::Batch,
+    ];
+
+    /// Stable lowercase label (the JSONL `"level"` field).
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanLevel::Job => "job",
+            SpanLevel::Lane => "lane",
+            SpanLevel::Chip => "chip",
+            SpanLevel::Batch => "batch",
+        }
+    }
+
+    /// Parses a label produced by [`SpanLevel::label`].
+    pub fn parse(s: &str) -> Option<SpanLevel> {
+        SpanLevel::ALL.into_iter().find(|l| l.label() == s)
+    }
+}
+
+impl fmt::Display for SpanLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -344,6 +405,34 @@ pub enum TelemetryEvent {
         /// Chips carried by the checkpoint after compaction.
         chips: u64,
     },
+    /// A causal span opened. The `id`/`parent` pair encodes the causal
+    /// tree explicitly, so a job's hierarchy reconstructs from a merged
+    /// trace by link-chasing — stream position carries no meaning, which
+    /// is what keeps span traces byte-identical under any worker count.
+    SpanOpen {
+        /// Simulated time the span opened (`ZERO` for process-level
+        /// spans, which have no simulated clock).
+        at: SimTime,
+        /// The span's id (unique within one trace; a pure function of
+        /// the span's position in the hierarchy).
+        id: u64,
+        /// The parent span's id (0 for the root job span).
+        parent: u64,
+        /// Where in the hierarchy this span sits.
+        level: SpanLevel,
+        /// The level-specific identity: job number, lane index, chip id,
+        /// or batch index.
+        ident: u64,
+    },
+    /// A causal span closed.
+    SpanClose {
+        /// Simulated time the span closed.
+        at: SimTime,
+        /// The id given by the matching [`TelemetryEvent::SpanOpen`].
+        id: u64,
+        /// Observation events enclosed by the span (direct and nested).
+        events: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -370,6 +459,9 @@ impl TelemetryEvent {
             | TelemetryEvent::RunInterrupted { .. }
             | TelemetryEvent::JournalReplayed { .. }
             | TelemetryEvent::JournalCompacted { .. } => EventCategory::Guard,
+            TelemetryEvent::SpanOpen { .. } | TelemetryEvent::SpanClose { .. } => {
+                EventCategory::Span
+            }
         }
     }
 
@@ -392,6 +484,8 @@ impl TelemetryEvent {
             TelemetryEvent::RunInterrupted { .. } => "run_interrupted",
             TelemetryEvent::JournalReplayed { .. } => "journal_replayed",
             TelemetryEvent::JournalCompacted { .. } => "journal_compacted",
+            TelemetryEvent::SpanOpen { .. } => "span_open",
+            TelemetryEvent::SpanClose { .. } => "span_close",
         }
     }
 
@@ -409,7 +503,9 @@ impl TelemetryEvent {
             | TelemetryEvent::Recalibrated { at, .. }
             | TelemetryEvent::DueConsumed { at, .. }
             | TelemetryEvent::CrashRollback { at, .. }
-            | TelemetryEvent::Quarantine { at, .. } => at,
+            | TelemetryEvent::Quarantine { at, .. }
+            | TelemetryEvent::SpanOpen { at, .. }
+            | TelemetryEvent::SpanClose { at, .. } => at,
             TelemetryEvent::JobStarted { .. } => SimTime::ZERO,
             TelemetryEvent::JobFinished { sim_time, .. } => sim_time,
             // Guard events are process-level: no simulated clock applies,
@@ -590,6 +686,25 @@ impl TelemetryEvent {
             TelemetryEvent::JournalCompacted { chips } => {
                 let _ = write!(out, ",\"chips\":{chips}");
             }
+            TelemetryEvent::SpanOpen {
+                id,
+                parent,
+                level,
+                ident,
+                ..
+            } => {
+                // Span ids are bit-packed u64s; hex keeps the level tag in
+                // the top bits legible and sidesteps the 2^53 precision
+                // cliff of numeric JSON consumers.
+                let _ = write!(
+                    out,
+                    ",\"id\":\"{id:016x}\",\"parent\":\"{parent:016x}\",\"level\":\"{}\",\"ident\":{ident}",
+                    level.label()
+                );
+            }
+            TelemetryEvent::SpanClose { id, events, .. } => {
+                let _ = write!(out, ",\"id\":\"{id:016x}\",\"events\":{events}");
+            }
         }
         out.push('}');
     }
@@ -636,9 +751,19 @@ mod tests {
             EventFilter::all()
         );
         for c in EventCategory::ALL {
-            assert!(EventFilter::all().accepts(c));
+            // `all()` covers every observation category; Span alone is
+            // opt-in, so armed span tracing never perturbs `all()` traces.
+            assert_eq!(
+                EventFilter::all().accepts(c),
+                c != EventCategory::Span,
+                "all() must accept {c} iff it is not the span category"
+            );
             assert_eq!(EventCategory::parse(c.label()), Some(c));
         }
+        let spans = EventFilter::parse("span").unwrap();
+        assert!(spans.accepts(EventCategory::Span));
+        assert!(!spans.accepts(EventCategory::Ecc));
+        assert!(EventFilter::all().union(spans).accepts(EventCategory::Span));
     }
 
     #[test]
@@ -780,6 +905,45 @@ mod tests {
         assert!(!EventFilter::parse("fleet,fault")
             .unwrap()
             .accepts(EventCategory::Guard));
+    }
+
+    #[test]
+    fn span_events_have_stable_shape() {
+        let open = TelemetryEvent::SpanOpen {
+            at: SimTime::ZERO,
+            id: 0x8000_0000_0000_0003,
+            parent: 0x4000_0000_0000_0001,
+            level: SpanLevel::Chip,
+            ident: 3,
+        };
+        assert_eq!(open.category(), EventCategory::Span);
+        assert_eq!(open.at(), SimTime::ZERO);
+        let mut out = String::new();
+        open.write_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"event\":\"span_open\",\"category\":\"span\",\
+             \"at_us\":0,\"id\":\"8000000000000003\",\
+             \"parent\":\"4000000000000001\",\"level\":\"chip\",\"ident\":3}"
+        );
+
+        out.clear();
+        TelemetryEvent::SpanClose {
+            at: SimTime::from_millis(500),
+            id: 0x8000_0000_0000_0003,
+            events: 42,
+        }
+        .write_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"event\":\"span_close\",\"category\":\"span\",\
+             \"at_us\":500000,\"id\":\"8000000000000003\",\"events\":42}"
+        );
+
+        for level in SpanLevel::ALL {
+            assert_eq!(SpanLevel::parse(level.label()), Some(level));
+        }
+        assert_eq!(SpanLevel::parse("bogus"), None);
     }
 
     #[test]

@@ -44,7 +44,7 @@ mod recorder;
 mod ring;
 mod sink;
 
-pub use event::{EventCategory, EventFilter, StepDirection, TelemetryEvent};
+pub use event::{EventCategory, EventFilter, SpanLevel, StepDirection, TelemetryEvent};
 pub use metrics::{CounterId, EventMetrics, FixedHistogram, GaugeId, HistogramId, MetricsRegistry};
 pub use profile::{
     format_ns, scale_ns, FleetProfile, LatencyHistogram, Profiler, SpanStats, Stopwatch,

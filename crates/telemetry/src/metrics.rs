@@ -184,6 +184,23 @@ impl MetricsRegistry {
         self.histograms[id.0].1.observe(value);
     }
 
+    /// Every counter as `(name, value)`, in registration order. Snapshot
+    /// encoders (the Prometheus-style text exposition in `vs-obs`) walk
+    /// these rather than knowing instrument names up front.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Every gauge as `(name, value)`, in registration order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Every histogram as `(name, histogram)`, in registration order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &FixedHistogram)> {
+        self.histograms.iter().map(|(n, h)| (n.as_str(), h))
+    }
+
     /// Reads a counter by name (`None` if unregistered).
     pub fn counter_value(&self, name: &str) -> Option<u64> {
         self.counters
@@ -293,6 +310,8 @@ pub struct EventMetrics {
     interrupts: CounterId,
     journal_replayed: CounterId,
     journal_compactions: CounterId,
+    span_opens: CounterId,
+    span_closes: CounterId,
     set_point: GaugeId,
     error_rate: HistogramId,
     step_mv: HistogramId,
@@ -329,6 +348,8 @@ impl EventMetrics {
             interrupts: r.counter("guard.run_interrupted"),
             journal_replayed: r.counter("guard.journal_chips_replayed"),
             journal_compactions: r.counter("guard.journal_compactions"),
+            span_opens: r.counter("span.opens"),
+            span_closes: r.counter("span.closes"),
             set_point: r.gauge("controller.last_set_point_mv"),
             error_rate: r.histogram("monitor.error_rate", 0.0, 1.0, 20),
             step_mv: r.histogram("controller.step_mv", -25.0, 30.0, 11),
@@ -410,6 +431,12 @@ impl EventMetrics {
             }
             TelemetryEvent::JournalCompacted { .. } => {
                 self.registry.inc(self.journal_compactions, 1);
+            }
+            TelemetryEvent::SpanOpen { .. } => {
+                self.registry.inc(self.span_opens, 1);
+            }
+            TelemetryEvent::SpanClose { .. } => {
+                self.registry.inc(self.span_closes, 1);
             }
         }
     }

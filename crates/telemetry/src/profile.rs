@@ -221,6 +221,35 @@ impl LatencyHistogram {
         self.total_ns += other.total_ns;
     }
 
+    /// Approximate percentile in nanoseconds (`None` when empty).
+    ///
+    /// `p` is in `[0, 100]`. Resolution is bounded by the log2 bucket
+    /// layout: the rank is located in its bucket and interpolated
+    /// linearly across the bucket's span, with the observed min/max
+    /// clamping the first and last occupied buckets. Good enough for
+    /// bench trajectories (p50/p99 across thousands of chips); not a
+    /// substitute for exact order statistics.
+    pub fn percentile_ns(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (p.clamp(0.0, 100.0) / 100.0) * self.count as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let lo = (1024u64 << i).max(self.min_ns.min(self.max_ns));
+            let hi = (1024u64 << (i + 1)).min(self.max_ns).max(lo);
+            if (seen + c) as f64 >= rank {
+                let within = ((rank - seen as f64) / c as f64).clamp(0.0, 1.0);
+                return Some(lo + ((hi - lo) as f64 * within) as u64);
+            }
+            seen += c;
+        }
+        Some(self.max_ns)
+    }
+
     /// Non-empty buckets as `(bucket_floor_ns, count)`.
     pub fn bins(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets
@@ -354,6 +383,29 @@ mod tests {
         h.merge(&other);
         assert_eq!(h.count(), 4);
         assert_eq!(h.range_ns(), Some((100, 2_000_000)));
+    }
+
+    #[test]
+    fn percentiles_are_monotonic_and_bounded() {
+        assert_eq!(LatencyHistogram::new().percentile_ns(50.0), None);
+
+        let mut h = LatencyHistogram::new();
+        for ns in [2_000u64, 3_000, 5_000, 80_000, 2_000_000] {
+            h.observe_ns(ns);
+        }
+        let p50 = h.percentile_ns(50.0).unwrap();
+        let p99 = h.percentile_ns(99.0).unwrap();
+        assert!(p50 <= p99, "percentiles must be monotonic: {p50} > {p99}");
+        let (min, max) = h.range_ns().unwrap();
+        assert!(p50 >= min && p50 <= max);
+        assert!(p99 >= min && p99 <= max);
+        assert_eq!(h.percentile_ns(100.0), Some(max));
+
+        // A single sample pins every percentile to the bucket holding it.
+        let mut one = LatencyHistogram::new();
+        one.observe_ns(10_000);
+        let p = one.percentile_ns(50.0).unwrap();
+        assert!((10_000..=20_000).contains(&p), "got {p}");
     }
 
     #[test]

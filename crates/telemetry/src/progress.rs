@@ -99,6 +99,10 @@ impl<W: Write> ProgressSink for JsonlProgress<W> {
             "{{\"progress\":{{\"chip\":{},\"completed\":{},\"total\":{}}}}}",
             report.chip.0, report.completed, report.total
         );
+        // Each record must reach the consumer as the chip finishes —
+        // live followers (a `fleetd watch`-style pipe) would otherwise
+        // see progress arrive in BufWriter-sized bursts.
+        let _ = self.out.flush();
     }
 
     fn finished(&mut self, _total: u64) {

@@ -40,6 +40,7 @@ fn spec(seed: u64, chips: u64) -> SweepSpec {
         quick: true,
         run_ms: 0,
         sentinel: false,
+        inject: String::new(),
     }
 }
 
