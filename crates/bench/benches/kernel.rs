@@ -1,0 +1,276 @@
+//! Batched failure-kernel microbenchmark: LUT-sampled words/second and
+//! end-to-end chips/second, with a regression gate.
+//!
+//! Two numbers matter for the speculation loop's hot path:
+//!
+//! * **words/s** — raw throughput of [`FailureLut::sample_word`] (one
+//!   uniform draw + CDF walk per read) against the retained exact
+//!   sampler [`CellBank::sample_word_exact`] (one Bernoulli draw per
+//!   tracked cell). The ratio shows what the CDF trade buys.
+//! * **chips/s** — a single-worker fleet sweep, the same end-to-end
+//!   metric as `BENCH_fleet.json`, re-measured here so the kernel bench
+//!   is self-contained for the regression gate.
+//!
+//! The run writes `BENCH_kernel.json` at the repo root. If a previous
+//! `BENCH_kernel.json` exists (the committed baseline) and the fresh
+//! chips/s falls more than 25 % below it, the bench exits non-zero —
+//! that is the CI tripwire for kernel-path regressions. Pass `--no-gate`
+//! (or set `VS_BENCH_NO_GATE=1`) to measure without enforcing, e.g. on
+//! a machine class different from the one the baseline was blessed on.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use vs_fleet::{FleetConfig, FleetRunner};
+use vs_sram::{CellBank, ChipVariation, FailureLut, SramParams};
+use vs_telemetry::{EventFilter, SilentProgress};
+use vs_types::{CacheKind, Celsius, CoreId, CounterRng, FleetSeed, SimTime, VddMode};
+
+/// Fraction of baseline chips/s below which the gate trips.
+const GATE_FLOOR: f64 = 0.75;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let gate_off = args.iter().any(|a| a == "--no-gate")
+        || std::env::var("VS_BENCH_NO_GATE").is_ok_and(|v| v == "1");
+
+    println!(
+        "failure-kernel microbenchmark{}",
+        if quick { " (quick)" } else { "" }
+    );
+
+    // --- words/s: LUT sampler vs retained exact sampler ----------------
+    let bank = build_bank();
+    let reps: u64 = if quick { 200 } else { 2_000 };
+    let (lut_words_per_s, lut_samples) = measure_lut_words(&bank, reps);
+    let (exact_words_per_s, _) = measure_exact_words(&bank, reps);
+    println!(
+        "{:>22} {:>14.0} words/s  ({} samples)",
+        "lut sampler", lut_words_per_s, lut_samples
+    );
+    println!(
+        "{:>22} {:>14.0} words/s",
+        "exact sampler", exact_words_per_s
+    );
+    println!(
+        "{:>22} {:>13.2}x  (>1 means the one-draw path wins; below 1 the \
+         hash lookup dominates and the envelope fast path is the real win)",
+        "lut/exact",
+        lut_words_per_s / exact_words_per_s
+    );
+
+    // --- chips/s: single-worker end-to-end sweep ------------------------
+    let num_chips: u64 = if quick { 8 } else { 24 };
+    let runner = FleetRunner::new(sweep_config(num_chips), 1);
+    let start = Instant::now();
+    runner
+        .run_reporting(EventFilter::none(), &mut SilentProgress)
+        .expect("fleet run failed");
+    let wall = start.elapsed().as_secs_f64();
+    let chips_per_s = num_chips as f64 / wall;
+    println!(
+        "{:>22} {:>14.2} chips/s  ({num_chips} chips, {wall:.2} s, 1 worker)",
+        "fleet sweep", chips_per_s
+    );
+
+    // --- regression gate against the committed baseline -----------------
+    let json_path = bench_json_path();
+    let baseline = read_baseline_chips_per_s(&json_path);
+    let mut gate_failed = false;
+    match baseline {
+        Some(base) if !gate_off => {
+            let floor = base * GATE_FLOOR;
+            if chips_per_s < floor {
+                eprintln!(
+                    "REGRESSION: {chips_per_s:.2} chips/s is more than 25% below \
+                     the committed baseline {base:.2} (floor {floor:.2})"
+                );
+                gate_failed = true;
+            } else {
+                println!(
+                    "gate ok: {chips_per_s:.2} chips/s vs baseline {base:.2} (floor {floor:.2})"
+                );
+            }
+        }
+        Some(base) => println!("gate skipped (--no-gate); baseline was {base:.2} chips/s"),
+        None => println!("no committed baseline; writing the first one"),
+    }
+
+    match write_bench_json(
+        &json_path,
+        quick,
+        num_chips,
+        lut_words_per_s,
+        exact_words_per_s,
+        chips_per_s,
+    ) {
+        Ok(()) => println!("wrote {}", json_path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", json_path.display()),
+    }
+
+    if gate_failed {
+        std::process::exit(1);
+    }
+}
+
+/// A representative low-voltage L2 bank: 64 sets x 8 ways, 8 words per
+/// line, 64 tracked lines — the same shape `Chip::cell_bank` builds for
+/// the monitor hot path.
+fn build_bank() -> CellBank {
+    let variation = ChipVariation::new(2014, SramParams::default());
+    CellBank::build(
+        &variation,
+        CoreId(0),
+        CacheKind::L2Data,
+        VddMode::LowVoltage,
+        64,
+        8,
+        8,
+        64,
+    )
+}
+
+/// Operating points for the word sweeps: a ladder of voltages around the
+/// bank's weakest Vc (where flips actually happen) at two temperatures,
+/// mirroring a speculation descent through the danger zone.
+fn operating_points(bank: &CellBank) -> Vec<(f64, Celsius)> {
+    let anchor = bank.lines()[0].weakest_vc_mv;
+    let mut points = Vec::new();
+    for dv in [-10.0, 0.0, 10.0, 20.0, 40.0] {
+        for t in [45.0, 60.0] {
+            points.push((anchor + dv, Celsius(t)));
+        }
+    }
+    points
+}
+
+/// Times `reps` full sweeps of every tracked word at every operating
+/// point through the LUT sampler. Returns (words/s, total samples).
+fn measure_lut_words(bank: &CellBank, reps: u64) -> (f64, u64) {
+    let points = operating_points(bank);
+    let mut lut = FailureLut::new();
+    let mut rng = CounterRng::new(0x6b65726e);
+    let words = bank.words_per_line() as u32;
+    let mut sink = 0u64;
+    let start = Instant::now();
+    for _ in 0..reps {
+        for &(v, t) in &points {
+            for line in 0..bank.lines().len() {
+                for word in 0..words {
+                    sink +=
+                        u64::from(!lut.sample_word(bank, line, word, v, t, &mut rng).is_empty());
+                }
+            }
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let samples = reps * points.len() as u64 * bank.lines().len() as u64 * u64::from(words);
+    // Keep the flip count observable so the sampling loop cannot be
+    // optimized away.
+    println!("{:>22} {:>14} flipped reads", "(lut sweep)", sink);
+    (samples as f64 / wall, samples)
+}
+
+/// Same sweep through the retained per-cell Bernoulli sampler.
+fn measure_exact_words(bank: &CellBank, reps: u64) -> (f64, u64) {
+    let points = operating_points(bank);
+    let mut rng = CounterRng::new(0x6b65726e);
+    let words = bank.words_per_line() as u32;
+    let mut sink = 0u64;
+    let start = Instant::now();
+    for _ in 0..reps {
+        for &(v, t) in &points {
+            for line in 0..bank.lines().len() {
+                let ctx = bank.context(line, v, t);
+                for word in 0..words {
+                    sink += u64::from(
+                        !bank
+                            .sample_word_exact(line, word, &ctx, &mut rng)
+                            .is_empty(),
+                    );
+                }
+            }
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let samples = reps * points.len() as u64 * bank.lines().len() as u64 * u64::from(words);
+    println!("{:>22} {:>14} flipped reads", "(exact sweep)", sink);
+    (samples as f64 / wall, samples)
+}
+
+fn sweep_config(num_chips: u64) -> FleetConfig {
+    let mut config = FleetConfig::small(FleetSeed(2014), num_chips);
+    config.run_duration = SimTime::from_millis(250);
+    config
+}
+
+/// `BENCH_kernel.json` at the repo root, wherever the bench is run from.
+fn bench_json_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_kernel.json")
+}
+
+/// Pulls `"chips_per_s": <num>` out of the committed baseline without a
+/// JSON dependency. Returns `None` if the file is absent or unparseable.
+fn read_baseline_chips_per_s(path: &std::path::Path) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let tail = &text[text.find("\"chips_per_s\":")? + "\"chips_per_s\":".len()..];
+    let tail = tail.trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// Hand-rolled JSON, matching the `BENCH_fleet.json` idiom.
+fn write_bench_json(
+    path: &std::path::Path,
+    quick: bool,
+    num_chips: u64,
+    lut_words_per_s: f64,
+    exact_words_per_s: f64,
+    chips_per_s: f64,
+) -> std::io::Result<()> {
+    let fingerprint = sweep_config(num_chips).fingerprint();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"failure-kernel\",\n");
+    out.push_str(&format!("  \"timestamp\": {},\n", unix_timestamp()));
+    out.push_str(&format!("  \"git_commit\": \"{}\",\n", git_commit()));
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"chips\": {num_chips},\n"));
+    out.push_str(&format!(
+        "  \"config_fingerprint\": \"{fingerprint:016x}\",\n"
+    ));
+    out.push_str(&format!("  \"lut_words_per_s\": {lut_words_per_s:.0},\n"));
+    out.push_str(&format!(
+        "  \"exact_words_per_s\": {exact_words_per_s:.0},\n"
+    ));
+    out.push_str(&format!("  \"chips_per_s\": {chips_per_s:.2}\n"));
+    out.push_str("}\n");
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())
+}
+
+/// Seconds since the Unix epoch, 0 if the clock is before it.
+fn unix_timestamp() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
+
+/// The short hash of HEAD, or `"unknown"` outside a git checkout.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}

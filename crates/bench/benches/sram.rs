@@ -52,7 +52,7 @@ fn main() {
         temp_coeff_mv_per_c: 0.04,
     };
     let mut rng = CounterRng::from_key(7, &[]);
-    r.bench("sram_sample_word_read_at_vc", || {
-        black_box(ctx.sample_word_read(black_box(&cells), &mut rng))
+    r.bench("sram_sample_word_flips_at_vc", || {
+        black_box(ctx.sample_word_flips(black_box(&cells), &mut rng))
     });
 }

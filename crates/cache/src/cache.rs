@@ -286,12 +286,15 @@ impl Cache {
         let mut data = Vec::with_capacity(line.words.len());
         let mut events = Vec::new();
         for (w, &stored) in line.words.iter().enumerate() {
-            let flips = injector.flips(kind, location, w as u32);
-            let observed = if flips.is_empty() {
-                stored
-            } else {
-                code.inject(stored, &flips)
-            };
+            let flips = injector.flip_mask(kind, location, w as u32);
+            if flips.is_empty() {
+                // Stored words are always freshly encoded codewords, so a
+                // read with no injected flips decodes clean by
+                // construction — skip the syndrome computation.
+                data.push(code.data_of(stored));
+                continue;
+            }
+            let observed = code.inject_mask(stored, flips);
             let outcome = code.decode(observed);
             match outcome {
                 DecodeOutcome::Clean { data: d } => data.push(d),
@@ -353,6 +356,7 @@ impl Cache {
 mod tests {
     use super::*;
     use crate::fault::NoFaults;
+    use vs_types::FlipMask;
 
     fn small_cache() -> Cache {
         Cache::new(CacheKind::L2Data, CacheGeometry::new(4, 2, 64, 9))
@@ -465,16 +469,16 @@ mod tests {
 
     /// A scripted injector for deterministic fault tests.
     struct ScriptedInjector {
-        flips: Vec<u32>,
+        flips: FlipMask,
         on_word: u32,
     }
 
     impl Injector for ScriptedInjector {
-        fn flips(&mut self, _k: CacheKind, _l: SetWay, word: u32) -> Vec<u32> {
+        fn flip_mask(&mut self, _k: CacheKind, _l: SetWay, word: u32) -> FlipMask {
             if word == self.on_word {
-                self.flips.clone()
+                self.flips
             } else {
-                Vec::new()
+                FlipMask::EMPTY
             }
         }
     }
@@ -485,7 +489,7 @@ mod tests {
         let data = line_data(5);
         c.fill(0x80, &data);
         let mut inj = ScriptedInjector {
-            flips: vec![13],
+            flips: FlipMask::from_bits(&[13]),
             on_word: 2,
         };
         let r = c.read(0x80, &mut inj).unwrap();
@@ -500,7 +504,7 @@ mod tests {
         let mut c = small_cache();
         c.fill(0x80, &line_data(5));
         let mut inj = ScriptedInjector {
-            flips: vec![3, 40],
+            flips: FlipMask::from_bits(&[3, 40]),
             on_word: 0,
         };
         let r = c.read(0x80, &mut inj).unwrap();
@@ -516,7 +520,7 @@ mod tests {
         let data = line_data(6);
         c.fill(0x80, &data);
         let mut inj = ScriptedInjector {
-            flips: vec![1, 2],
+            flips: FlipMask::from_bits(&[1, 2]),
             on_word: 0,
         };
         let _ = c.read(0x80, &mut inj).unwrap();

@@ -4,16 +4,25 @@
 use std::fmt;
 use vs_sram::{AccessContext, ChipVariation};
 use vs_types::rng::CounterRng;
-use vs_types::{CacheKind, Celsius, CoreId, SetWay, VddMode};
+use vs_types::{CacheKind, Celsius, CoreId, FlipMask, SetWay, VddMode};
 
 /// Decides which codeword bits are observed flipped on one word read.
 ///
 /// Implemented by [`NoFaults`] (functional testing: a perfect array) and by
 /// [`FaultInjector`] (the variation-driven physical model).
 pub trait Injector {
-    /// Bits observed flipped when reading `word` of the line at `location`
-    /// in a structure of kind `kind`.
-    fn flips(&mut self, kind: CacheKind, location: SetWay, word: u32) -> Vec<u32>;
+    /// Mask of bits observed flipped when reading `word` of the line at
+    /// `location` in a structure of kind `kind`.
+    fn flip_mask(&mut self, kind: CacheKind, location: SetWay, word: u32) -> FlipMask;
+
+    /// Bits observed flipped, as an allocated list.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `flip_mask`, which returns an alloc-free `FlipMask`"
+    )]
+    fn flips(&mut self, kind: CacheKind, location: SetWay, word: u32) -> Vec<u32> {
+        self.flip_mask(kind, location, word).to_bits_vec()
+    }
 }
 
 /// An injector that never flips anything: an ideal SRAM array.
@@ -21,8 +30,8 @@ pub trait Injector {
 pub struct NoFaults;
 
 impl Injector for NoFaults {
-    fn flips(&mut self, _kind: CacheKind, _location: SetWay, _word: u32) -> Vec<u32> {
-        Vec::new()
+    fn flip_mask(&mut self, _kind: CacheKind, _location: SetWay, _word: u32) -> FlipMask {
+        FlipMask::EMPTY
     }
 }
 
@@ -105,7 +114,7 @@ impl<'a> FaultInjector<'a> {
 }
 
 impl Injector for FaultInjector<'_> {
-    fn flips(&mut self, kind: CacheKind, location: SetWay, word: u32) -> Vec<u32> {
+    fn flip_mask(&mut self, kind: CacheKind, location: SetWay, word: u32) -> FlipMask {
         let mut cells = self
             .chip
             .word_cells(self.core, kind, location, word, self.mode);
@@ -124,7 +133,7 @@ impl Injector for FaultInjector<'_> {
             cells = vs_sram::WordCells::new(shifted);
         }
         let ctx = self.context(kind, location);
-        ctx.sample_word_read(&cells, self.rng)
+        ctx.sample_word_flips(&cells, self.rng)
     }
 }
 
@@ -137,7 +146,7 @@ mod tests {
     fn no_faults_is_silent() {
         let mut inj = NoFaults;
         assert!(inj
-            .flips(CacheKind::L2Data, SetWay::new(0, 0), 0)
+            .flip_mask(CacheKind::L2Data, SetWay::new(0, 0), 0)
             .is_empty());
     }
 
@@ -147,8 +156,11 @@ mod tests {
         let mut rng = CounterRng::from_key(1, &[]);
         let mut inj = FaultInjector::new(&chip, CoreId(0), VddMode::LowVoltage, 300.0, &mut rng);
         // At 300 mV every tracked weak cell is far above the rail: all flip.
-        let flips = inj.flips(CacheKind::L2Data, SetWay::new(3, 1), 0);
-        assert_eq!(flips.len(), SramParams::default().weak_bits_per_word);
+        let flips = inj.flip_mask(CacheKind::L2Data, SetWay::new(3, 1), 0);
+        assert_eq!(
+            flips.count() as usize,
+            SramParams::default().weak_bits_per_word
+        );
     }
 
     #[test]
@@ -158,11 +170,27 @@ mod tests {
         let mut inj = FaultInjector::new(&chip, CoreId(0), VddMode::LowVoltage, 800.0, &mut rng);
         for set in 0..32 {
             assert!(
-                inj.flips(CacheKind::L2Data, SetWay::new(set, 0), 0)
+                inj.flip_mask(CacheKind::L2Data, SetWay::new(set, 0), 0)
                     .is_empty(),
                 "no flips expected at nominal voltage"
             );
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_flips_shim_matches_mask() {
+        let chip = ChipVariation::new(7, SramParams::default());
+        let loc = SetWay::new(3, 1);
+        let mut rng_a = CounterRng::from_key(8, &[]);
+        let mut rng_b = CounterRng::from_key(8, &[]);
+        let mut mask_inj =
+            FaultInjector::new(&chip, CoreId(0), VddMode::LowVoltage, 300.0, &mut rng_a);
+        let mask = mask_inj.flip_mask(CacheKind::L2Data, loc, 0);
+        let mut vec_inj =
+            FaultInjector::new(&chip, CoreId(0), VddMode::LowVoltage, 300.0, &mut rng_b);
+        let list = vec_inj.flips(CacheKind::L2Data, loc, 0);
+        assert_eq!(mask, FlipMask::from_bits(&list));
     }
 
     #[test]
@@ -180,7 +208,7 @@ mod tests {
                 let mut inj =
                     FaultInjector::new(&chip, CoreId(0), VddMode::LowVoltage, v, &mut rng)
                         .with_aging_hours(aging);
-                total += usize::from(!inj.flips(CacheKind::L2Data, loc, 0).is_empty());
+                total += usize::from(!inj.flip_mask(CacheKind::L2Data, loc, 0).is_empty());
             }
             total
         };

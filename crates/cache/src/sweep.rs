@@ -126,7 +126,7 @@ pub fn sweep_both(
 mod tests {
     use super::*;
     use crate::fault::NoFaults;
-    use vs_types::CacheKind;
+    use vs_types::{CacheKind, FlipMask};
 
     #[test]
     fn template_chain_covers_whole_l2i() {
@@ -163,11 +163,11 @@ mod tests {
     }
 
     impl Injector for OneWeakLine {
-        fn flips(&mut self, kind: CacheKind, location: SetWay, word: u32) -> Vec<u32> {
+        fn flip_mask(&mut self, kind: CacheKind, location: SetWay, word: u32) -> FlipMask {
             if kind == self.kind && location == self.line && word == 0 {
-                vec![5]
+                FlipMask::from_bits(&[5])
             } else {
-                Vec::new()
+                FlipMask::EMPTY
             }
         }
     }
@@ -206,11 +206,11 @@ mod tests {
     }
 
     impl Injector for DoubleFlipLine {
-        fn flips(&mut self, kind: CacheKind, location: SetWay, word: u32) -> Vec<u32> {
+        fn flip_mask(&mut self, kind: CacheKind, location: SetWay, word: u32) -> FlipMask {
             if kind == CacheKind::L2Data && location == self.line && word == 3 {
-                vec![1, 2]
+                FlipMask::from_bits(&[1, 2])
             } else {
-                Vec::new()
+                FlipMask::EMPTY
             }
         }
     }

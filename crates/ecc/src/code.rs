@@ -9,6 +9,7 @@
 
 use std::fmt;
 use std::sync::OnceLock;
+use vs_types::FlipMask;
 
 /// Result of decoding one codeword.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -174,6 +175,21 @@ impl SecDed {
         self.data_bits + self.check_bits
     }
 
+    /// Extracts the data bits of a codeword without decoding.
+    ///
+    /// Only meaningful for words known to be valid codewords (e.g. freshly
+    /// encoded storage read with no injected flips); it skips the syndrome
+    /// computation that [`SecDed::decode`] would spend on them.
+    #[inline]
+    pub fn data_of(&self, word: u128) -> u64 {
+        let data_mask: u64 = if self.data_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.data_bits) - 1
+        };
+        (word as u64) & data_mask
+    }
+
     /// Encodes `data` into a codeword.
     ///
     /// # Panics
@@ -253,6 +269,22 @@ impl SecDed {
             out ^= 1u128 << b;
         }
         out
+    }
+
+    /// Flips the codeword bits named by a [`FlipMask`]: the alloc-free
+    /// fault-injection primitive (one XOR, no per-bit loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask names a bit at or above the codeword width.
+    #[inline]
+    pub fn inject_mask(&self, word: u128, mask: FlipMask) -> u128 {
+        assert!(
+            mask.0 >> self.codeword_bits() == 0,
+            "flip mask {mask:?} exceeds the {}-bit codeword",
+            self.codeword_bits()
+        );
+        word ^ mask.0
     }
 }
 

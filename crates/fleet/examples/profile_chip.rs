@@ -1,0 +1,58 @@
+//! Dev tool: wall-time breakdown of one fleet chip job by phase
+//! (characterize, calibrate, speculation run, baseline), so a fleet
+//! throughput regression can be localized to a phase before reaching
+//! for a full profiler. This is how the weak-table rebuild cost that
+//! motivated the shared `CellBank` (DESIGN.md §6i) was found.
+//!
+//! Run with `cargo run --release -p vs-fleet --example profile_chip`.
+
+use std::time::Instant;
+use vs_fleet::{simulate_chip, FleetConfig};
+use vs_platform::characterize::all_analytic_core_margins;
+use vs_platform::Chip;
+use vs_spec::{SpecRun, SpeculationSystem};
+use vs_types::{ChipId, FleetSeed, SimTime};
+
+fn main() {
+    let mut config = FleetConfig::small(FleetSeed(2014), 32);
+    config.run_duration = SimTime::from_millis(250);
+
+    for chip in 0..2u64 {
+        let chip_config = config.chip_config(ChipId(chip));
+
+        let t0 = Instant::now();
+        let mut scratch = Chip::new(chip_config.clone());
+        let _margins = all_analytic_core_margins(&mut scratch);
+        let t_char = t0.elapsed();
+
+        let t0 = Instant::now();
+        let mut sys = SpeculationSystem::new(chip_config.clone(), config.controller);
+        sys.calibrate_fast();
+        let t_cal = t0.elapsed();
+
+        let t0 = Instant::now();
+        let mut session = SpecRun::new(&sys, config.run_duration);
+        while session.advance(&mut sys, config.slice_ticks) > 0 {}
+        let _stats = session.finish(&sys);
+        let t_run = t0.elapsed();
+
+        let t0 = Instant::now();
+        let mut base = SpeculationSystem::new(chip_config.clone(), config.controller);
+        let _b = base.run_baseline(config.run_duration);
+        let t_base = t0.elapsed();
+
+        println!(
+            "chip {chip}: characterize={:.1}ms calibrate={:.1}ms run={:.1}ms baseline={:.1}ms",
+            t_char.as_secs_f64() * 1e3,
+            t_cal.as_secs_f64() * 1e3,
+            t_run.as_secs_f64() * 1e3,
+            t_base.as_secs_f64() * 1e3,
+        );
+    }
+
+    let t0 = Instant::now();
+    for chip in 0..4 {
+        let _ = simulate_chip(&config, ChipId(chip));
+    }
+    println!("whole jobs: {:.3} s / 4", t0.elapsed().as_secs_f64());
+}

@@ -11,7 +11,7 @@ use crate::summary::{ChipSummary, CoreMarginSummary};
 use vs_guard::CancelToken;
 use vs_obs::span::{batch_span, chip_span, lane_of, lane_span};
 use vs_platform::characterize::{all_analytic_core_margins, all_core_margins};
-use vs_platform::{Chip, ChipConfig};
+use vs_platform::{BankMap, Chip, ChipConfig};
 use vs_spec::{SoftwareSpeculation, SpecRun, SpeculationSystem};
 use vs_telemetry::{EventCategory, EventFilter, Recorder, SpanLevel, TelemetryEvent};
 use vs_types::rng::CounterRng;
@@ -62,7 +62,7 @@ pub fn simulate_chip_guarded(
     }
     let chip_config = config.chip_config(chip);
     let die_seed = chip_config.seed;
-    let margins = characterize(config, &chip_config);
+    let (margins, banks) = characterize(config, &chip_config);
     beat();
     if cancel.is_cancelled() {
         return None;
@@ -91,6 +91,7 @@ pub fn simulate_chip_guarded(
             config,
             chip,
             &chip_config,
+            &banks,
             filter,
             &mut events,
             cancel,
@@ -99,8 +100,8 @@ pub fn simulate_chip_guarded(
         // The firmware and no-speculation baselines run monolithically
         // (no slice loop to poll inside); the entry check above still
         // bounds how late a cancelled claim can start.
-        ControllerVariant::Software => run_software(config, chip, &chip_config),
-        ControllerVariant::Baseline => run_baseline_only(config, chip, &chip_config),
+        ControllerVariant::Software => run_software(config, chip, &chip_config, &banks),
+        ControllerVariant::Baseline => run_baseline_only(config, chip, &chip_config, &banks),
     };
 
     if filter.accepts(EventCategory::Fleet) {
@@ -140,20 +141,28 @@ pub fn simulate_chip_guarded(
 
 /// Characterizes the die's per-core margins on a scratch chip (stress
 /// sweeps perturb chip state, so the run below starts from fresh silicon).
-fn characterize(config: &FleetConfig, chip_config: &ChipConfig) -> Vec<CoreMarginSummary> {
+///
+/// Also returns the scratch chip's cell banks: the ranking scans it paid
+/// for are pure functions of the die, so every later chip of this job
+/// (hardware run, baselines) adopts them instead of rescanning.
+fn characterize(
+    config: &FleetConfig,
+    chip_config: &ChipConfig,
+) -> (Vec<CoreMarginSummary>, BankMap) {
     let mut scratch = Chip::new(chip_config.clone());
     let measured = match &config.margins {
         MarginsMode::Analytic => all_analytic_core_margins(&mut scratch),
         MarginsMode::Measured(opts) => all_core_margins(&mut scratch, opts),
     };
-    measured
+    let margins = measured
         .into_iter()
         .map(|m| CoreMarginSummary {
             core: m.core.0,
             first_error_mv: m.first_error_vdd.0,
             min_safe_mv: m.min_safe_vdd.0,
         })
-        .collect()
+        .collect();
+    (margins, scratch.export_banks())
 }
 
 /// The chip's workload-assignment RNG. Recreating it from the key yields
@@ -188,8 +197,14 @@ struct RunOutcome {
 
 /// Runs the fixed-nominal baseline on fresh silicon with the same
 /// workloads; returns its core-rail energy (the savings denominator).
-fn baseline_rail_energy(config: &FleetConfig, chip: ChipId, chip_config: &ChipConfig) -> f64 {
+fn baseline_rail_energy(
+    config: &FleetConfig,
+    chip: ChipId,
+    chip_config: &ChipConfig,
+    banks: &BankMap,
+) -> f64 {
     let mut sys = SpeculationSystem::new(chip_config.clone(), config.controller);
+    sys.chip_mut().preload_banks(banks);
     assign_workloads(config, chip, sys.chip_mut());
     let base = sys.run_baseline(config.run_duration);
     base.core_rail_energy_j
@@ -197,16 +212,19 @@ fn baseline_rail_energy(config: &FleetConfig, chip: ChipId, chip_config: &ChipCo
 
 /// The paper's hardware controller (§III), normalized against the
 /// fixed-nominal baseline.
+#[allow(clippy::too_many_arguments)]
 fn run_hardware(
     config: &FleetConfig,
     chip: ChipId,
     chip_config: &ChipConfig,
+    banks: &BankMap,
     filter: EventFilter,
     events: &mut Vec<TelemetryEvent>,
     cancel: &CancelToken,
     beat: &mut dyn FnMut(),
 ) -> Option<RunOutcome> {
     let mut sys = SpeculationSystem::new(chip_config.clone(), config.controller);
+    sys.chip_mut().preload_banks(banks);
     if !filter.is_empty() {
         sys.set_recorder(Recorder::enabled(filter));
     }
@@ -260,7 +278,7 @@ fn run_hardware(
 
     let nominal = sys.chip().mode().nominal_vdd();
     let reduction = SpeculationSystem::voltage_reduction(&stats, nominal);
-    let base_energy = baseline_rail_energy(config, chip, chip_config);
+    let base_energy = baseline_rail_energy(config, chip, chip_config, banks);
     let savings = if base_energy > 0.0 {
         1.0 - stats.core_rail_energy_j / base_energy
     } else {
@@ -281,8 +299,14 @@ fn run_hardware(
 
 /// The firmware-speculation baseline (§V-F): workload-triggered errors
 /// only, guard margin above the off-line onsets, per-error handling stall.
-fn run_software(config: &FleetConfig, chip: ChipId, chip_config: &ChipConfig) -> RunOutcome {
+fn run_software(
+    config: &FleetConfig,
+    chip: ChipId,
+    chip_config: &ChipConfig,
+    banks: &BankMap,
+) -> RunOutcome {
     let mut die = Chip::new(chip_config.clone());
+    die.preload_banks(banks);
     assign_workloads(config, chip, &mut die);
 
     // The off-line calibration the prior-work system ran at boot: the
@@ -313,7 +337,7 @@ fn run_software(config: &FleetConfig, chip: ChipId, chip_config: &ChipConfig) ->
     // effective energy is the measured rail energy scaled by the stall
     // fraction (the software_energy_j model applied to the whole rail).
     let effective = rail_energy * (1.0 + overhead);
-    let base_energy = baseline_rail_energy(config, chip, chip_config);
+    let base_energy = baseline_rail_energy(config, chip, chip_config, banks);
     let savings = if base_energy > 0.0 {
         1.0 - effective / base_energy
     } else {
@@ -338,8 +362,14 @@ fn run_software(config: &FleetConfig, chip: ChipId, chip_config: &ChipConfig) ->
 }
 
 /// No speculation at all: the fleet-wide energy/Vdd denominator.
-fn run_baseline_only(config: &FleetConfig, chip: ChipId, chip_config: &ChipConfig) -> RunOutcome {
+fn run_baseline_only(
+    config: &FleetConfig,
+    chip: ChipId,
+    chip_config: &ChipConfig,
+    banks: &BankMap,
+) -> RunOutcome {
     let mut sys = SpeculationSystem::new(chip_config.clone(), config.controller);
+    sys.chip_mut().preload_banks(banks);
     assign_workloads(config, chip, sys.chip_mut());
     let stats = sys.run_baseline(config.run_duration);
     let n_domains = chip_config.num_domains();

@@ -4,17 +4,27 @@ use crate::config::ChipConfig;
 use crate::weakline::{WeakLine, WeakLineTable};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 use vs_cache::hierarchy::CoreCaches;
-use vs_cache::{CacheGeometry, FaultInjector};
+use vs_cache::{CacheGeometry, FaultInjector, Injector};
 use vs_ecc::{CorrectableError, EccEventLog, SecDed, UncorrectableError};
 use vs_pdn::{DomainSupply, LoadCurrent, Pdn, VoltageRegulator};
 use vs_power::{EnergyMeter, FanSpeed, PowerModel, ThermalParams, ThermalState};
-use vs_sram::ChipVariation;
+use vs_sram::{CellBank, ChipVariation, FailureLut};
 use vs_types::rng::CounterRng;
 use vs_types::{
-    CacheKind, CoreId, DomainId, LineAddress, Millivolts, SetWay, SimTime, VddMode, Watts,
+    CacheKind, Celsius, CoreId, DomainId, FlipMask, LineAddress, Millivolts, SetWay, SimTime,
+    VddMode, Watts,
 };
 use vs_workload::{Demand, Workload};
+
+/// Shared cell banks, keyed by `(core, structure)`.
+///
+/// Banks are pure functions of the chip seed and mode, so chips modelling
+/// the *same silicon* (characterization scratch chip, hardware-feedback
+/// run, baseline run) can share one set via [`Chip::export_banks`] /
+/// [`Chip::preload_banks`] instead of each paying the ranking scan.
+pub type BankMap = HashMap<(CoreId, CacheKind), Arc<CellBank>>;
 
 /// Why a core stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -130,6 +140,11 @@ pub struct Chip {
     domain_v_eff_mv: Vec<f64>,
     cores: Vec<CoreState>,
     weak_tables: HashMap<(CoreId, CacheKind), WeakLineTable>,
+    /// Structure-of-arrays cell banks (the batched failure kernel's view
+    /// of the weak lines), shared across chips of the same die.
+    banks: BankMap,
+    /// Per-voltage-step failure LUTs derived from the banks.
+    luts: HashMap<(CoreId, CacheKind), FailureLut>,
     log: EccEventLog,
     now: SimTime,
     energy: EnergyMeter,
@@ -192,6 +207,8 @@ impl Chip {
             domains,
             domain_v_eff_mv: vec![nominal_mv; n_domains],
             weak_tables: HashMap::new(),
+            banks: BankMap::new(),
+            luts: HashMap::new(),
             log: EccEventLog::new(),
             now: SimTime::ZERO,
             energy: EnergyMeter::new(),
@@ -241,6 +258,23 @@ impl Chip {
     pub fn set_age_hours(&mut self, hours: f64) {
         assert!(hours >= 0.0, "age cannot be negative");
         self.age_hours = hours;
+        // Aging moves the query voltage, not the bank, so cached LUT
+        // entries stay *correct* — but the working set of operating
+        // points shifts, so drop the old ones to keep the tables small.
+        self.invalidate_failure_luts();
+    }
+
+    /// Drops every cached failure-LUT entry and bumps the LUT epochs.
+    ///
+    /// Entries are pure functions of the immutable cell banks and the
+    /// quantized `(voltage, temperature)` query point, so this is a
+    /// boundedness hook, not a correctness requirement: recalibration and
+    /// aging transitions call it so stale operating points do not pin
+    /// memory.
+    pub fn invalidate_failure_luts(&mut self) {
+        for lut in self.luts.values_mut() {
+            lut.invalidate();
+        }
     }
 
     /// The accumulated silicon age, in hours.
@@ -387,22 +421,57 @@ impl Chip {
         }
     }
 
-    // ----- weak-line tables ---------------------------------------------
+    // ----- weak-line tables and cell banks ------------------------------
 
-    /// The weak-line table of one structure (built lazily, cached).
-    pub fn weak_table(&mut self, core: CoreId, kind: CacheKind) -> &WeakLineTable {
+    /// The SoA cell bank of one structure (built lazily, cached, shared
+    /// across same-die chips via [`Chip::preload_banks`]).
+    pub fn cell_bank(&mut self, core: CoreId, kind: CacheKind) -> Arc<CellBank> {
         let key = (core, kind);
-        if !self.weak_tables.contains_key(&key) {
+        if !self.banks.contains_key(&key) {
             let geometry = CacheGeometry::for_kind(kind);
-            let table = WeakLineTable::build(
+            let bank = CellBank::build(
                 &self.variation,
                 core,
                 kind,
-                &geometry,
                 self.config.mode,
+                geometry.sets,
+                geometry.ways,
+                geometry.words_per_line(),
                 self.config.weak_lines_tracked,
             );
-            self.weak_tables.insert(key, table);
+            self.banks.insert(key, Arc::new(bank));
+        }
+        Arc::clone(&self.banks[&key])
+    }
+
+    /// Snapshot of this chip's cell banks, for sharing with other chips
+    /// modelling the same die (cheap: the banks themselves are behind
+    /// `Arc`s).
+    pub fn export_banks(&self) -> BankMap {
+        self.banks.clone()
+    }
+
+    /// Adopts pre-built cell banks from another chip of the same die.
+    ///
+    /// Banks built for a different operating mode are ignored (their cell
+    /// voltages would be wrong for this chip); matching ones replace any
+    /// lazily-built local copies.
+    pub fn preload_banks(&mut self, banks: &BankMap) {
+        for (key, bank) in banks {
+            if bank.mode() == self.config.mode {
+                self.banks.insert(*key, Arc::clone(bank));
+            }
+        }
+    }
+
+    /// The weak-line table of one structure (built lazily from the cell
+    /// bank, cached).
+    pub fn weak_table(&mut self, core: CoreId, kind: CacheKind) -> &WeakLineTable {
+        let key = (core, kind);
+        if !self.weak_tables.contains_key(&key) {
+            let bank = self.cell_bank(core, kind);
+            self.weak_tables
+                .insert(key, WeakLineTable::from_bank(&bank));
         }
         &self.weak_tables[&key]
     }
@@ -468,69 +537,131 @@ impl Chip {
         let mode = self.config.mode;
         let temperature = self.temperature();
         let v_eff = self.domain_v_eff_mv[self.config.domain_of(core).0];
-        let state = &mut self.cores[core.0];
-        assert!(
-            state.monitor_lines.contains(&(kind, location)),
-            "line {location} of {kind} is not designated for monitoring"
-        );
-        if state.crash.is_some() {
+        {
+            let state = &self.cores[core.0];
+            assert!(
+                state.monitor_lines.contains(&(kind, location)),
+                "line {location} of {kind} is not designated for monitoring"
+            );
+            if state.crash.is_some() {
+                return ProbeOutcome::default();
+            }
+        }
+        if accesses == 0 {
             return ProbeOutcome::default();
         }
-        let cache = match kind {
-            CacheKind::L2Data => &mut state.caches.l2d,
-            CacheKind::L2Instruction => &mut state.caches.l2i,
-            _ => unreachable!("designation enforces L2"),
+
+        let bank = self.cell_bank(core, kind);
+        let line_idx = bank.find(location);
+        let age_hours = self.age_hours;
+        let aging = if age_hours > 0.0 {
+            self.line_aging_shift_mv(core, kind, location)
+        } else {
+            0.0
         };
+        // Shifting every cell up by the aging delta is equivalent to
+        // querying at `v_eff − aging` (see `line_aging_shift_mv`).
+        let v_query = v_eff - aging;
+
+        // Envelope fast path: when even the whole burst cannot produce a
+        // statistically visible event (evaluated at the conservative
+        // quantized corner), skip sampling entirely. The probe still
+        // counts its accesses, so telemetry matches the slow path.
+        if let Some(li) = line_idx {
+            let lut = self.luts.entry((core, kind)).or_default();
+            if lut.negligible(&bank, li, v_query, temperature, accesses as f64) {
+                return ProbeOutcome {
+                    accesses,
+                    correctable: 0,
+                    uncorrectable: 0,
+                };
+            }
+        }
 
         let mut outcome = ProbeOutcome::default();
         let n_real = accesses.min(self.config.monitor_real_reads);
 
-        // Real data-path reads.
-        let age_hours = self.age_hours;
-        for _ in 0..n_real {
-            let mut injector =
-                FaultInjector::new(&self.variation, core, mode, v_eff, &mut state.rng)
-                    .with_temperature(temperature)
-                    .with_aging_hours(age_hours);
-            let read = cache
-                .read_at(location, &mut injector)
+        // Real data-path reads: the banked LUT sampler when the line is
+        // tracked, the scalar injector otherwise (monitor lines normally
+        // come from the weak-line table, so the fallback is rare).
+        {
+            let state = &mut self.cores[core.0];
+            let cache = match kind {
+                CacheKind::L2Data => &mut state.caches.l2d,
+                CacheKind::L2Instruction => &mut state.caches.l2i,
+                _ => unreachable!("designation enforces L2"),
+            };
+            for _ in 0..n_real {
+                let read = match line_idx {
+                    Some(li) => {
+                        let lut = self.luts.entry((core, kind)).or_default();
+                        let mut injector = BankLineInjector {
+                            bank: &bank,
+                            lut,
+                            line: li,
+                            v_query_mv: v_query,
+                            temperature,
+                            rng: &mut state.rng,
+                        };
+                        cache.read_at(location, &mut injector)
+                    }
+                    None => {
+                        let mut injector =
+                            FaultInjector::new(&self.variation, core, mode, v_eff, &mut state.rng)
+                                .with_temperature(temperature)
+                                .with_aging_hours(age_hours);
+                        cache.read_at(location, &mut injector)
+                    }
+                }
                 .expect("designated line is always resident");
-            outcome.accesses += 1;
-            outcome.correctable += read.correctable_count() as u64;
-            if read.has_uncorrectable() {
-                outcome.uncorrectable += 1;
-            }
-            for event in &read.events {
-                let line = LineAddress::new(core, kind, location);
-                match event.outcome {
-                    vs_ecc::DecodeOutcome::Corrected { bit, syndrome, .. } => {
-                        self.log.record_correctable(CorrectableError {
-                            at: self.now,
-                            line,
-                            word: event.word,
-                            bit,
-                            syndrome,
-                        });
+                outcome.accesses += 1;
+                outcome.correctable += read.correctable_count() as u64;
+                if read.has_uncorrectable() {
+                    outcome.uncorrectable += 1;
+                }
+                for event in &read.events {
+                    let line = LineAddress::new(core, kind, location);
+                    match event.outcome {
+                        vs_ecc::DecodeOutcome::Corrected { bit, syndrome, .. } => {
+                            self.log.record_correctable(CorrectableError {
+                                at: self.now,
+                                line,
+                                word: event.word,
+                                bit,
+                                syndrome,
+                            });
+                        }
+                        vs_ecc::DecodeOutcome::Uncorrectable { syndrome } => {
+                            self.log.record_uncorrectable(UncorrectableError {
+                                at: self.now,
+                                line,
+                                word: event.word,
+                                syndrome,
+                            });
+                        }
+                        vs_ecc::DecodeOutcome::Clean { .. } => {}
                     }
-                    vs_ecc::DecodeOutcome::Uncorrectable { syndrome } => {
-                        self.log.record_uncorrectable(UncorrectableError {
-                            at: self.now,
-                            line,
-                            word: event.word,
-                            syndrome,
-                        });
-                    }
-                    vs_ecc::DecodeOutcome::Clean { .. } => {}
                 }
             }
         }
 
-        // Analytic remainder, sampled from the same distribution.
+        // Analytic remainder, sampled from the same distribution (the
+        // LUT triple when tracked, the allocating path otherwise).
         let n_analytic = accesses - n_real;
         if n_analytic > 0 {
-            let line = self.monitor_weak_line(core, kind, location);
-            let aging = self.line_aging_shift_mv(core, kind, location);
-            let (_, p_ce, p_ue) = line.read_probabilities(v_eff - aging, temperature);
+            let (p_ce, p_ue, representative) = match line_idx {
+                Some(li) => {
+                    let lut = self.luts.entry((core, kind)).or_default();
+                    let (_, p_ce, p_ue) = lut.line_probabilities(&bank, li, v_query, temperature);
+                    (p_ce, p_ue, bank_weakest_word(&bank, li))
+                }
+                None => {
+                    let line = self.monitor_weak_line(core, kind, location);
+                    let (_, p_ce, p_ue) = line.read_probabilities(v_query, temperature);
+                    let (word, cells) = line.weakest_word();
+                    (p_ce, p_ue, (word, cells.weakest().bit))
+                }
+            };
             let state = &mut self.cores[core.0];
             let ce = state.rng.binomial(n_analytic, p_ce);
             let ue = state.rng.binomial(n_analytic, p_ue);
@@ -538,8 +669,7 @@ impl Chip {
             outcome.correctable += ce;
             outcome.uncorrectable += ue;
             if ce > 0 {
-                let (word, cells) = line.weakest_word();
-                let bit = cells.weakest().bit;
+                let (word, bit) = representative;
                 let syndrome = single_bit_syndrome(bit);
                 // Record a representative subsample (one log entry per
                 // probe burst at most) to keep the log bounded; counters
@@ -789,12 +919,10 @@ impl Chip {
         let mut total_ce = 0u64;
         let mut any_ue = false;
         for (kind, rate_per_ms, footprint) in kinds {
-            // Ensure the table exists, then snapshot what we need.
-            let total_lines = self.weak_table(core, kind).total_lines();
-            let n_lines = self.weak_table(core, kind).lines().len();
-            for li in 0..n_lines {
-                let table = &self.weak_tables[&(core, kind)];
-                let line = &table.lines()[li];
+            let bank = self.cell_bank(core, kind);
+            let total_lines = bank.total_lines();
+            for li in 0..bank.lines().len() {
+                let line = bank.lines()[li];
                 let location = line.location;
                 if self.cores[core.0].monitor_lines.contains(&(kind, location)) {
                     continue; // monitor-owned: holds no workload data
@@ -828,13 +956,23 @@ impl Chip {
                 } else {
                     0.0
                 };
-                let table = &self.weak_tables[&(core, kind)];
-                let line = &table.lines()[li];
-                let (_, p_ce, p_ue) = line.read_probabilities(v_eff - aging, temperature);
+                let v_query = v_eff - aging;
+                let lut = self.luts.entry((core, kind)).or_default();
+                // Envelope fast path: when the tick's whole expected
+                // traffic cannot produce a statistically visible event
+                // (conservative quantized corner), skip the per-line
+                // draws entirely. The bank is sorted weakest-first, so
+                // once a line is far below the rail nothing beneath it
+                // errs either (generous slack for noise-factor
+                // variation before breaking).
+                if lut.negligible(&bank, li, v_query, temperature, expected + 1.0) {
+                    if line.weakest_vc_mv < v_eff - 60.0 {
+                        break;
+                    }
+                    continue;
+                }
+                let (_, p_ce, p_ue) = lut.line_probabilities(&bank, li, v_query, temperature);
                 if p_ce <= 0.0 && p_ue <= 0.0 {
-                    // Table is sorted weakest-first: nothing below errs
-                    // either (give a generous slack for noise-factor
-                    // variation before breaking).
                     if line.weakest_vc_mv < v_eff - 60.0 {
                         break;
                     }
@@ -850,8 +988,7 @@ impl Chip {
                 let ue = state.rng.binomial(n, p_ue);
                 if ce > 0 {
                     total_ce += ce;
-                    let (word, cells) = line.weakest_word();
-                    let bit = cells.weakest().bit;
+                    let (word, bit) = bank_weakest_word(&bank, li);
                     let line_addr = LineAddress::new(core, kind, location);
                     let event = CorrectableError {
                         at: self.now,
@@ -868,7 +1005,7 @@ impl Chip {
                 }
                 if ue > 0 {
                     any_ue = true;
-                    let (word, _) = line.weakest_word();
+                    let (word, _) = bank_weakest_word(&bank, li);
                     self.log.record_uncorrectable(UncorrectableError {
                         at: self.now,
                         line: LineAddress::new(core, kind, location),
@@ -882,8 +1019,9 @@ impl Chip {
     }
 
     /// Resets time, logs, crashes, caches, and regulators to power-on
-    /// state, keeping the (expensive) weak-line tables. Used between
-    /// characterization runs on the same silicon.
+    /// state, keeping the (expensive) cell banks, failure LUTs, and
+    /// weak-line tables. Used between characterization runs on the same
+    /// silicon.
     pub fn reset(&mut self) {
         let nominal = self.config.mode.nominal_vdd();
         for d in &mut self.domains {
@@ -921,6 +1059,49 @@ pub(crate) fn monitor_pattern(words: usize) -> Vec<u64> {
             }
         })
         .collect()
+}
+
+/// Injector that samples a tracked line's flips from the banked
+/// per-voltage-step LUT: one uniform draw per word against a cached
+/// subset CDF, instead of re-deriving the word's cells and walking
+/// per-cell Bernoulli trials on every read.
+struct BankLineInjector<'a> {
+    bank: &'a CellBank,
+    lut: &'a mut FailureLut,
+    line: usize,
+    /// Aging-adjusted query voltage, in millivolts.
+    v_query_mv: f64,
+    temperature: Celsius,
+    rng: &'a mut CounterRng,
+}
+
+impl Injector for BankLineInjector<'_> {
+    fn flip_mask(&mut self, _kind: CacheKind, _location: SetWay, word: u32) -> FlipMask {
+        self.lut.sample_word(
+            self.bank,
+            self.line,
+            word,
+            self.v_query_mv,
+            self.temperature,
+            self.rng,
+        )
+    }
+}
+
+/// Index and weakest-cell bit of the word holding a tracked line's
+/// weakest cell (mirrors [`WeakLine::weakest_word`], which keeps the
+/// *last* maximal word).
+fn bank_weakest_word(bank: &CellBank, line: usize) -> (u32, u32) {
+    let mut best = (0u32, 0u32);
+    let mut best_vc = f64::NEG_INFINITY;
+    for w in 0..bank.words_per_line() as u32 {
+        let vc = bank.word_vcs(line, w)[0];
+        if vc >= best_vc {
+            best_vc = vc;
+            best = (w, bank.word_bits(line, w)[0]);
+        }
+    }
+    best
 }
 
 /// The Hsiao (72,64) syndrome a single flip of `bit` produces.
@@ -1052,6 +1233,85 @@ mod tests {
             .weakest()
             .location;
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn bank_backed_table_matches_scalar_build() {
+        let mut chip = Chip::new(small_config(5));
+        let from_bank = chip.weak_table(CoreId(0), CacheKind::L2Data).clone();
+        let scalar = WeakLineTable::build(
+            chip.variation(),
+            CoreId(0),
+            CacheKind::L2Data,
+            &CacheGeometry::for_kind(CacheKind::L2Data),
+            VddMode::LowVoltage,
+            8,
+        );
+        assert_eq!(from_bank, scalar);
+    }
+
+    #[test]
+    fn preloaded_banks_are_shared_not_rebuilt() {
+        let mut donor = Chip::new(small_config(5));
+        donor.cell_bank(CoreId(0), CacheKind::L2Data);
+        donor.cell_bank(CoreId(0), CacheKind::L2Instruction);
+        let banks = donor.export_banks();
+
+        let mut chip = Chip::new(small_config(5));
+        chip.preload_banks(&banks);
+        let adopted = chip.cell_bank(CoreId(0), CacheKind::L2Data);
+        assert!(Arc::ptr_eq(
+            &adopted,
+            &banks[&(CoreId(0), CacheKind::L2Data)]
+        ));
+        // And the derived table matches what the donor would build.
+        assert_eq!(
+            chip.weak_table(CoreId(0), CacheKind::L2Data),
+            donor.weak_table(CoreId(0), CacheKind::L2Data)
+        );
+    }
+
+    #[test]
+    fn preload_rejects_wrong_mode_banks() {
+        let mut donor = Chip::new(small_config(5));
+        donor.cell_bank(CoreId(0), CacheKind::L2Data);
+        let banks = donor.export_banks();
+
+        let mut nominal = Chip::new(ChipConfig {
+            num_cores: 2,
+            weak_lines_tracked: 8,
+            ..ChipConfig::nominal(5)
+        });
+        nominal.preload_banks(&banks);
+        let own = nominal.cell_bank(CoreId(0), CacheKind::L2Data);
+        assert!(!Arc::ptr_eq(&own, &banks[&(CoreId(0), CacheKind::L2Data)]));
+        assert_eq!(own.mode(), VddMode::Nominal);
+    }
+
+    #[test]
+    fn aging_change_invalidates_failure_luts() {
+        let mut chip = Chip::new(small_config(5));
+        let weakest = chip
+            .weak_table(CoreId(0), CacheKind::L2Data)
+            .weakest()
+            .clone();
+        chip.designate_monitor_line(CoreId(0), CacheKind::L2Data, weakest.location);
+        chip.request_domain_voltage(
+            DomainId(0),
+            Millivolts(weakest.weakest_vc_mv.round() as i32 + 9),
+        );
+        chip.tick();
+        let before = chip.monitor_probe(CoreId(0), CacheKind::L2Data, weakest.location, 4000);
+        assert!(before.correctable > 0, "probe near Vc must err");
+        // Aging must both clear the cached tables and keep probing sound.
+        chip.set_age_hours(30_000.0);
+        let after = chip.monitor_probe(CoreId(0), CacheKind::L2Data, weakest.location, 4000);
+        assert!(
+            after.error_rate() >= before.error_rate() * 0.5,
+            "aged silicon cannot err dramatically less ({} vs {})",
+            after.error_rate(),
+            before.error_rate()
+        );
     }
 
     #[test]

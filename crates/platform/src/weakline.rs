@@ -11,7 +11,7 @@
 //! silicon it models — never changes between runs (§II-D determinism).
 
 use vs_cache::CacheGeometry;
-use vs_sram::{line_read_probabilities, AccessContext, ChipVariation, WordCells};
+use vs_sram::{line_read_probabilities, AccessContext, CellBank, ChipVariation, WordCells};
 use vs_types::{CacheKind, Celsius, CoreId, SetWay, VddMode};
 
 /// One weak line with everything needed to evaluate its error behaviour.
@@ -145,6 +145,37 @@ impl WeakLineTable {
             kind,
             mode,
             total_lines: (geometry.sets * geometry.ways) as u64,
+            lines,
+        }
+    }
+
+    /// Materializes a table from an already-built [`CellBank`], avoiding a
+    /// second ranking scan over the structure.
+    ///
+    /// The bank stores the same cells the scalar scan would compute, so
+    /// the resulting table is identical to [`WeakLineTable::build`] with
+    /// matching parameters (the banked-kernel property tests assert this).
+    pub fn from_bank(bank: &CellBank) -> WeakLineTable {
+        let words_per_line = bank.words_per_line() as u32;
+        let lines = (0..bank.lines().len())
+            .map(|li| {
+                let meta = &bank.lines()[li];
+                WeakLine {
+                    location: meta.location,
+                    words: (0..words_per_line)
+                        .map(|w| bank.word_cells(li, w))
+                        .collect(),
+                    weakest_vc_mv: meta.weakest_vc_mv,
+                    read_noise_mv: meta.read_noise_mv,
+                    temp_coeff_mv_per_c: bank.temp_coeff_mv_per_c(),
+                }
+            })
+            .collect();
+        WeakLineTable {
+            core: bank.core(),
+            kind: bank.kind(),
+            mode: bank.mode(),
+            total_lines: bank.total_lines(),
             lines,
         }
     }

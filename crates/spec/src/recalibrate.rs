@@ -39,6 +39,9 @@ pub fn recalibrate(system: &mut SpeculationSystem) -> Vec<RecalibrationOutcome> 
         !system.calibration().is_empty(),
         "recalibration needs an initial calibration"
     );
+    // The machine has moved to a new operating regime (typically a new
+    // age); drop stale failure-LUT entries before re-ranking.
+    system.chip_mut().invalidate_failure_luts();
     let n_domains = system.calibration().len();
     let mut outcomes = Vec::with_capacity(n_domains);
 

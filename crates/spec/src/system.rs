@@ -493,11 +493,13 @@ impl SpeculationSystem {
     /// Calibrates with an explicit plan, then activates one monitor per
     /// domain.
     pub fn calibrate_with(&mut self, plan: &CalibrationPlan) -> &[CalibrationOutcome] {
-        // Release any previously designated lines.
+        // Release any previously designated lines, and drop failure-LUT
+        // entries cached for the pre-calibration operating points.
         for ctrl in &mut self.controllers {
             ctrl.monitor_mut().deactivate(&mut self.chip);
         }
         self.controllers.clear();
+        self.chip.invalidate_failure_luts();
         self.calibration = calibrate_all(&mut self.chip, plan);
         let n_domains = self.calibration.len();
         // Until a control window completes safely, the only voltage known

@@ -200,7 +200,14 @@ fn droop_depresses_the_rail_and_restores_it() {
     let before = sys.chip_mut().domain_regulator_mut(DomainId(0)).pending();
     sys.step(); // droop fires
     let during = sys.chip_mut().domain_regulator_mut(DomainId(0)).pending();
-    assert_eq!(during, before - depth);
+    // The droop subtracts its full depth; the controller may take its own
+    // 5 mV descent step in the same control window.
+    let drop = before.0 - during.0;
+    assert!(
+        drop == depth.0 || drop == depth.0 + 5,
+        "droop must depress pending by its depth (+ at most one controller \
+         step): {before:?} -> {during:?}"
+    );
 }
 
 #[test]

@@ -15,7 +15,7 @@
 use crate::variation::WordCells;
 use vs_types::rng::CounterRng;
 use vs_types::stats::logistic;
-use vs_types::{Celsius, Millivolts};
+use vs_types::{Celsius, FlipMask, Millivolts};
 
 /// Conditions under which an access happens: the effective voltage at the
 /// cell array and the silicon temperature.
@@ -59,11 +59,18 @@ impl AccessContext {
         logistic((vc_mv + temp_shift - self.v_eff_mv) / self.read_noise_mv)
     }
 
-    /// Samples one read of a word: returns the codeword bit positions that
-    /// flipped (possibly empty, almost always at most one at operating
-    /// voltages).
-    pub fn sample_word_read(&self, cells: &WordCells, rng: &mut CounterRng) -> Vec<u32> {
-        let mut flipped = Vec::new();
+    /// Samples one read of a word: returns the mask of codeword bit
+    /// positions that flipped (usually empty, almost always at most one
+    /// bit at operating voltages).
+    ///
+    /// This is the alloc-free successor of [`sample_word_read`]
+    /// (now deprecated): it consumes the identical RNG draw sequence and
+    /// flips the identical bits, but returns a `Copy` [`FlipMask`] instead
+    /// of heap-allocating a `Vec<u32>`.
+    ///
+    /// [`sample_word_read`]: AccessContext::sample_word_read
+    pub fn sample_word_flips(&self, cells: &WordCells, rng: &mut CounterRng) -> FlipMask {
+        let mut flipped = FlipMask::EMPTY;
         for cell in cells.cells() {
             let p = self.flip_probability(cell.vc_mv);
             // Cells are sorted weakest-first; once probabilities are
@@ -72,10 +79,20 @@ impl AccessContext {
                 break;
             }
             if rng.bernoulli(p) {
-                flipped.push(cell.bit);
+                flipped.set(cell.bit);
             }
         }
         flipped
+    }
+
+    /// Samples one read of a word: returns the codeword bit positions that
+    /// flipped as an allocated list.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `sample_word_flips`, which returns an alloc-free `FlipMask`"
+    )]
+    pub fn sample_word_read(&self, cells: &WordCells, rng: &mut CounterRng) -> Vec<u32> {
+        self.sample_word_flips(cells, rng).to_bits_vec()
     }
 }
 
@@ -215,7 +232,7 @@ mod tests {
         let mut ones = 0;
         let mut multis = 0;
         for _ in 0..trials {
-            match ctx.sample_word_read(&w, &mut rng).len() {
+            match ctx.sample_word_flips(&w, &mut rng).count() {
                 0 => {}
                 1 => ones += 1,
                 _ => multis += 1,
@@ -244,6 +261,20 @@ mod tests {
         let ctx = AccessContext::new(700.0, 4.5);
         let (pc, pe, pu) = line_read_probabilities(&[], &ctx);
         assert_eq!((pc, pe, pu), (1.0, 0.0, 0.0));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_vec_shim_matches_mask_sampler() {
+        let w = word(&[700.0, 688.0, 671.0]);
+        let ctx = AccessContext::new(695.0, 4.5);
+        let mut rng_a = CounterRng::from_key(77, &[1]);
+        let mut rng_b = CounterRng::from_key(77, &[1]);
+        for _ in 0..10_000 {
+            let mask = ctx.sample_word_flips(&w, &mut rng_a);
+            let list = ctx.sample_word_read(&w, &mut rng_b);
+            assert_eq!(mask, FlipMask::from_bits(&list));
+        }
     }
 
     #[test]

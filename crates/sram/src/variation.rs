@@ -143,11 +143,48 @@ impl ChipVariation {
         word: u32,
         mode: VddMode,
     ) -> WordCells {
-        let sp = self.params.structure(cache, mode);
-        let mu = sp.mu_vc_mv
-            + self.core_offset_mv(core, mode)
-            + self.line_offset_mv(core, cache, location, mode);
+        let mu = self.word_mu_mv(core, cache, location, mode);
+        let mut cells = Vec::with_capacity(self.params.weak_bits_per_word.max(1));
+        self.word_cells_into(mu, core, cache, location, word, mode, &mut cells);
+        WordCells::new(cells)
+    }
 
+    /// The Gaussian mean critical voltage of one line's cells: structure
+    /// mean plus the core and line systematic offsets. Hoisting this out
+    /// of the per-word loop is what lets batched scans
+    /// ([`CellBank::build`](crate::CellBank::build)) avoid recomputing two
+    /// keyed Gaussian draws for every word of a line.
+    pub fn word_mu_mv(
+        &self,
+        core: CoreId,
+        cache: CacheKind,
+        location: SetWay,
+        mode: VddMode,
+    ) -> f64 {
+        self.params.structure(cache, mode).mu_vc_mv
+            + self.core_offset_mv(core, mode)
+            + self.line_offset_mv(core, cache, location, mode)
+    }
+
+    /// Computes one word's tracked cells into a caller-provided buffer
+    /// (cleared first), given the precomputed line mean `mu_mv` — the
+    /// single source of truth shared by [`ChipVariation::word_cells`] and
+    /// the batched bank builder, so both produce bit-identical values.
+    ///
+    /// The buffer ends sorted weakest (highest `vc_mv`) first.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn word_cells_into(
+        &self,
+        mu_mv: f64,
+        core: CoreId,
+        cache: CacheKind,
+        location: SetWay,
+        word: u32,
+        mode: VddMode,
+        out: &mut Vec<WeakCell>,
+    ) {
+        out.clear();
+        let sp = self.params.structure(cache, mode);
         let mut rng = CounterRng::from_key(
             self.seed,
             &[
@@ -162,12 +199,11 @@ impl ChipVariation {
 
         let k = self.params.weak_bits_per_word.max(1);
         let n = BITS_PER_WORD;
-        let mut cells = Vec::with_capacity(k);
         // Descending uniform order statistics: U_(n) ~ max of n uniforms is
         // u^(1/n); conditionally, the next one down scales the previous.
         let mut u_top = 1.0_f64;
         let mut remaining = n;
-        let mut used_bits = Vec::with_capacity(k);
+        let mut used_bits: u128 = 0;
         let screen = self.params.screen_mv(mode);
         for _ in 0..k {
             if remaining == 0 {
@@ -182,12 +218,12 @@ impl ChipVariation {
             // Pick a distinct bit position for this cell.
             let bit = loop {
                 let b = rng.next_below(n) as u32;
-                if !used_bits.contains(&b) {
-                    used_bits.push(b);
+                if used_bits & (1u128 << b) == 0 {
+                    used_bits |= 1u128 << b;
                     break b;
                 }
             };
-            let natural = mu + z * sp.sigma_cell_mv;
+            let natural = mu_mv + z * sp.sigma_cell_mv;
             // Manufacturing screen: cells that would fail inside the
             // factory guardband were replaced with redundant (typical-tail)
             // cells at test. The replacement lands a little below the
@@ -197,10 +233,59 @@ impl ChipVariation {
             } else {
                 natural
             };
-            cells.push(WeakCell { bit, vc_mv });
+            out.push(WeakCell { bit, vc_mv });
         }
-        cells.sort_by(|a, b| b.vc_mv.partial_cmp(&a.vc_mv).expect("finite voltages"));
-        WordCells::new(cells)
+        out.sort_by(|a, b| b.vc_mv.partial_cmp(&a.vc_mv).expect("finite voltages"));
+    }
+
+    /// The critical voltage of one word's single weakest cell, without
+    /// materializing the other tracked cells.
+    ///
+    /// The first order-statistic draw is the word's highest *natural*
+    /// critical voltage; when it clears the manufacturing screen no cell
+    /// of the word was replaced at test, so it is exactly
+    /// `word_cells(..).weakest().vc_mv` at a third of the cost. When the
+    /// draw lands above the screen the replacement reshuffles the
+    /// ordering, so the full per-cell computation is used. Ranking scans
+    /// over whole structures spend almost all their time in the cheap
+    /// branch.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn word_weakest_vc_mv(
+        &self,
+        mu_mv: f64,
+        core: CoreId,
+        cache: CacheKind,
+        location: SetWay,
+        word: u32,
+        mode: VddMode,
+        scratch: &mut Vec<WeakCell>,
+    ) -> f64 {
+        let sp = self.params.structure(cache, mode);
+        let mut rng = CounterRng::from_key(
+            self.seed,
+            &[
+                tag::WORD_CELLS,
+                core.0 as u64,
+                cache.stream_id(),
+                location.set as u64,
+                location.way as u64,
+                u64::from(word),
+            ],
+        );
+        let u = rng.next_f64().max(1.0e-12);
+        let u_top = u.powf(1.0 / BITS_PER_WORD as f64);
+        let q = u_top.clamp(1.0e-12, 1.0 - 1.0e-12);
+        let natural = mu_mv + normal_quantile(q) * sp.sigma_cell_mv;
+        if natural <= self.params.screen_mv(mode) {
+            // No replacement anywhere in this word: later order statistics
+            // are strictly lower, so the first one is the weakest cell.
+            return natural;
+        }
+        self.word_cells_into(mu_mv, core, cache, location, word, mode, scratch);
+        scratch
+            .first()
+            .expect("a word tracks at least one cell")
+            .vc_mv
     }
 
     /// The voltage below which this core's *logic* (not SRAM) fails

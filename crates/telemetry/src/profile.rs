@@ -223,26 +223,35 @@ impl LatencyHistogram {
 
     /// Approximate percentile in nanoseconds (`None` when empty).
     ///
-    /// `p` is in `[0, 100]`. Resolution is bounded by the log2 bucket
-    /// layout: the rank is located in its bucket and interpolated
-    /// linearly across the bucket's span, with the observed min/max
-    /// clamping the first and last occupied buckets. Good enough for
-    /// bench trajectories (p50/p99 across thousands of chips); not a
-    /// substitute for exact order statistics.
+    /// `p` is in `[0, 100]`. Nearest-rank: the percentile is the `k`-th
+    /// smallest sample, located in its bucket and interpolated at the
+    /// midpoint convention; the observed min/max clamp the bucket span.
+    /// The estimate always stays inside the bucket that actually holds
+    /// the `k`-th sample — a rank landing exactly on a cumulative-count
+    /// boundary used to come back as the next bucket's raw power-of-two
+    /// edge (e.g. exactly `2^31` ns for ~2 s chip walls), which read
+    /// like an integer-overflow artifact in exported benches. Good
+    /// enough for bench trajectories (p50/p99 across thousands of
+    /// chips); not a substitute for exact order statistics.
     pub fn percentile_ns(&self, p: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
         }
         let rank = (p.clamp(0.0, 100.0) / 100.0) * self.count as f64;
+        let k = (rank.ceil() as u64).clamp(1, self.count);
+        if k == self.count {
+            // The highest-ranked sample is the observed maximum exactly.
+            return Some(self.max_ns);
+        }
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             if c == 0 {
                 continue;
             }
-            let lo = (1024u64 << i).max(self.min_ns.min(self.max_ns));
-            let hi = (1024u64 << (i + 1)).min(self.max_ns).max(lo);
-            if (seen + c) as f64 >= rank {
-                let within = ((rank - seen as f64) / c as f64).clamp(0.0, 1.0);
+            if seen + c >= k {
+                let lo = (1024u64 << i).max(self.min_ns).min(self.max_ns);
+                let hi = (1024u64 << (i + 1)).min(self.max_ns).max(lo);
+                let within = (((k - seen) as f64 - 0.5) / c as f64).clamp(0.0, 1.0);
                 return Some(lo + ((hi - lo) as f64 * within) as u64);
             }
             seen += c;
@@ -406,6 +415,43 @@ mod tests {
         one.observe_ns(10_000);
         let p = one.percentile_ns(50.0).unwrap();
         assert!((10_000..=20_000).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn percentile_boundary_rank_is_not_a_raw_bucket_edge() {
+        // Regression: 32 chip walls straddling the 2^31 ns bucket edge
+        // reported p50 = 2147483648 exactly (the raw edge, landing in
+        // BENCH_fleet.json looking like an i32 overflow) whenever the
+        // rank fell on a cumulative-count boundary.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..16 {
+            h.observe_ns(1_900_000_000);
+        }
+        for _ in 0..16 {
+            h.observe_ns(2_500_000_000);
+        }
+        let p50 = h.percentile_ns(50.0).unwrap();
+        assert_ne!(
+            p50,
+            1u64 << 31,
+            "boundary rank must not snap to the raw bucket edge"
+        );
+        let (min, max) = h.range_ns().unwrap();
+        assert!(p50 >= min && p50 <= max, "p50 {p50} outside [{min}, {max}]");
+    }
+
+    #[test]
+    fn percentiles_keep_full_u64_precision_for_long_walls() {
+        // Chip walls beyond 2.1 s (i32-nanosecond territory) and beyond
+        // 4.3 s (u32 territory) must survive end to end.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..8 {
+            h.observe_ns(5_000_000_000);
+        }
+        let p50 = h.percentile_ns(50.0).unwrap();
+        assert_eq!(p50, 5_000_000_000, "identical samples pin the estimate");
+        assert!(p50 > u64::from(u32::MAX));
+        assert_eq!(h.percentile_ns(99.0), Some(5_000_000_000));
     }
 
     #[test]

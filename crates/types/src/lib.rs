@@ -39,6 +39,7 @@
 pub mod config;
 pub mod fleet;
 pub mod ids;
+pub mod mask;
 pub mod mode;
 pub mod rng;
 pub mod stats;
@@ -48,6 +49,7 @@ pub mod units;
 pub use config::ConfigError;
 pub use fleet::{ChipId, FleetSeed};
 pub use ids::{CacheKind, CoreId, DomainId, LineAddress, SetWay};
+pub use mask::{FlipBits, FlipMask};
 pub use mode::VddMode;
 pub use rng::CounterRng;
 pub use time::SimTime;
