@@ -15,8 +15,11 @@
 //!       [--spans] [--postmortem DIR] \
 //!       [--quiet] [--progress-jsonl]
 //! repro --chaos N [--seed S] [--workers W] [--quiet]
+//! repro --chaos-daemon N [--seed S] [--workers W] [--break-dedup]
+//!       [--inject SPEC] [--quiet]
 //! repro fleetd submit --socket PATH --chips N [--seed S] [--variant V]
 //!        [--quick] [--run-ms M] [--sentinel] [--inject SPEC] [--watch]
+//!        [--key K] [--retries N] [--deadline DUR] [--torture SPEC]
 //! repro fleetd watch --socket PATH --job J
 //! repro fleetd cancel --socket PATH --job J
 //! repro fleetd stats --socket PATH
@@ -100,20 +103,44 @@
 //!   plan down to a minimal `--inject` reproducer. The shrinking oracle
 //!   is a pure function of the plan, so the reproducer string is
 //!   byte-identical for any `--workers` count.
+//! * `--chaos-daemon N` soaks the *daemon tier* instead: draw `N` seeded
+//!   compositions of the `daemon:` fault-atom family (torn frames,
+//!   disconnects, stalled reads, ENOSPC, short writes, fsync failures,
+//!   overload floods), run each against a live in-process daemon with a
+//!   retrying client, and compare against a fault-free baseline. A case
+//!   diverges if the terminal outcome or per-chip results differ or any
+//!   duplicate sweep was admitted; the first divergent case is
+//!   delta-debugged to a minimal `daemon:` reproducer, byte-identical
+//!   for any `--workers` count. `--break-dedup` plants the recovery bug
+//!   (the client forgets its idempotency key across transport retries)
+//!   so CI can check the oracle catches it and shrinks it stably.
 //!
 //! `repro fleetd ...` is the thin client for a running `vs-fleetd`
 //! daemon: submit a sweep (`--watch` follows its chip stream to the
 //! terminal event; `--inject SPEC` plants deterministic faults), watch
 //! or cancel a job by id, fetch a stats snapshot or a Prometheus-text
 //! metrics snapshot (`metrics`), follow a live plain-ANSI dashboard
-//! (`top`), or ask the daemon to drain and exit.
+//! (`top`), or ask the daemon to drain and exit. `submit` grows the
+//! torture-layer client machinery: `--key K` sets the idempotency key
+//! (resubmitting the same key maps onto the already-admitted job),
+//! `--retries N` arms the typed retry loop (capped exponential backoff
+//! with deterministic jitter, honoring the daemon's Retry-After hint),
+//! `--deadline DUR` bounds the whole exchange and propagates the
+//! remaining budget to the daemon, and `--torture SPEC` wraps the
+//! client's own socket in the fault-injecting transport (the `daemon:`
+//! transport atoms of SPEC: torn frames, disconnects, stalls) so a
+//! seeded schedule of wire faults can be replayed against a live
+//! daemon. `--retries`/`--torture` imply `--watch`.
 //!
 //! Exit codes: `0` success; `2` usage or configuration error (for
-//! `fleetd`, also a connection or protocol failure); `3` the sentinel
+//! `fleetd`, also a typed rejection from the daemon); `3` the sentinel
 //! found a safety-invariant violation (immediately under
-//! `--sentinel-fail-fast`, after the run completes otherwise); `4` the
-//! daemon's admission control rejected a submission (`busy`); `130`
-//! interrupted by Ctrl-C after flushing progress.
+//! `--sentinel-fail-fast`, after the run completes otherwise; also a
+//! divergent `--chaos-daemon` case); `4` the daemon's admission control
+//! rejected a submission (`busy`); `5` a fleetd transport failure —
+//! connect refused, torn frame, truncated or garbled response, or a
+//! retry/deadline budget exhausted without reaching a terminal event;
+//! `130` interrupted by Ctrl-C after flushing progress.
 //!
 //! Wall-clock profiling (per-worker busy/steal/idle, chip latency) goes to
 //! stderr, clearly separated from the deterministic stdout report.
@@ -135,6 +162,11 @@ use vs_types::{FleetSeed, SimTime};
 const EXIT_VIOLATION: i32 = 3;
 /// Exit status when the daemon's admission control rejected a job.
 const EXIT_BUSY: i32 = 4;
+/// Exit status when the fleetd transport failed: connect refused, a torn
+/// or truncated frame, or a retry/deadline budget exhausted without a
+/// terminal event. Distinct from `2` (bad spec, typed daemon rejection)
+/// so scripts can tell "retry later" from "fix the invocation".
+const EXIT_TRANSPORT: i32 = 5;
 /// Exit status after a graceful Ctrl-C (128 + SIGINT).
 const EXIT_INTERRUPTED: i32 = 130;
 
@@ -217,6 +249,8 @@ fn main() {
     let mut fail_fast = false;
     let mut sentinel: Option<SentinelMode> = None;
     let mut chaos_cases: Option<u64> = None;
+    let mut chaos_daemon_cases: Option<u64> = None;
+    let mut break_dedup = false;
     let mut trace: Option<String> = None;
     let mut trace_filter: Option<EventFilter> = None;
     let mut metrics = false;
@@ -316,6 +350,15 @@ fn main() {
                         .unwrap_or_else(|| die("--chaos needs a case count")),
                 );
             }
+            "--chaos-daemon" => {
+                i += 1;
+                chaos_daemon_cases = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--chaos-daemon needs a case count")),
+                );
+            }
+            "--break-dedup" => break_dedup = true,
             "--trace" => {
                 i += 1;
                 trace = Some(
@@ -366,14 +409,18 @@ fn main() {
                      \x20      [--spans] [--postmortem DIR] \
                      [--quiet] [--progress-jsonl]\n\
                             repro --chaos N [--seed S] [--workers W] [--quiet]\n\
+                            repro --chaos-daemon N [--seed S] [--workers W] \
+                     [--break-dedup] [--quiet]\n\
                             repro fleetd submit|watch|cancel|stats|metrics|top|shutdown \
                      --socket PATH [options]\n\
                      \n\
                      exit codes: 0 success; 2 usage/config error; \
                      3 safety-invariant violation\n\
                      \x20           (immediate under --sentinel-fail-fast, \
-                     after the run otherwise);\n\
-                     \x20           4 daemon busy (admission control); \
+                     after the run otherwise,\n\
+                     \x20           or a divergent --chaos-daemon case); \
+                     4 daemon busy (admission control);\n\
+                     \x20           5 fleetd transport failure; \
                      130 interrupted by Ctrl-C after flushing progress"
                 );
                 return;
@@ -385,6 +432,12 @@ fn main() {
 
     if let Some(cases) = chaos_cases {
         run_chaos(cases, seed, workers, quiet);
+        return;
+    }
+
+    if let Some(cases) = chaos_daemon_cases {
+        let replay = inject.map(|spec| spec.materialize(1));
+        run_chaos_daemon(cases, seed, workers, break_dedup, quiet, replay);
         return;
     }
 
@@ -725,6 +778,91 @@ fn run_chaos(cases: u64, seed: u64, workers: usize, quiet: bool) {
     }
 }
 
+/// Daemon-tier chaos soak: draw `cases` seeded compositions of the
+/// `daemon:` fault-atom family, run each against a live in-process
+/// daemon with a retrying client, and delta-debug the first divergent
+/// case to a minimal reproducer.
+///
+/// The oracle ([`vs_fleetd::torture::torture_diverges`]) compares the
+/// tortured run against a fault-free baseline: a different terminal
+/// outcome, different per-chip results, or any duplicate admission is a
+/// divergence. It is pure in the plan — wall clock, `--workers`, and
+/// scheduling cannot change the verdict — so the minimized reproducer
+/// string is byte-identical for any `--workers` count.
+fn run_chaos_daemon(
+    cases: u64,
+    seed: u64,
+    job_workers: usize,
+    break_dedup: bool,
+    quiet: bool,
+    replay: Option<FaultPlan>,
+) {
+    use vs_faults::daemon_chaos_plan;
+    use vs_fleetd::torture::torture_diverges;
+    const CHIPS: u64 = 3;
+    let scratch_root = std::env::temp_dir().join(format!("repro-chaos-daemon-{seed}"));
+    println!(
+        "# voltspec daemon chaos soak — {cases} cases, seed {seed}, {CHIPS} chips/case{}\n",
+        if break_dedup {
+            " (idempotency bug planted)"
+        } else {
+            ""
+        }
+    );
+    let start = Instant::now();
+    for case in 0..cases {
+        // `--inject` replays one fixed schedule (the minimized
+        // reproducer path); otherwise each case draws its own.
+        let plan = replay
+            .clone()
+            .unwrap_or_else(|| daemon_chaos_plan(seed, case));
+        let spec = plan.to_spec_string();
+        let scratch = scratch_root.join(format!("case-{case}"));
+        let diverged = torture_diverges(&plan, seed, CHIPS, job_workers, break_dedup, &scratch);
+        let _ = std::fs::remove_dir_all(&scratch);
+        if !diverged {
+            println!("case {case:>3}: ok        ({spec})");
+            continue;
+        }
+        println!("case {case:>3}: DIVERGED  ({spec})");
+        // Delta-debug the failing schedule down to a 1-minimal plan:
+        // removing any single remaining fault atom makes the daemon tier
+        // recover correctly again.
+        let shrink_scratch = scratch_root.join("shrink");
+        let minimal = minimize(&plan, |candidate| {
+            torture_diverges(
+                candidate,
+                seed,
+                CHIPS,
+                job_workers,
+                break_dedup,
+                &shrink_scratch,
+            )
+        });
+        let _ = std::fs::remove_dir_all(&shrink_scratch);
+        println!("\nminimal reproducer:");
+        println!(
+            "  repro --chaos-daemon 1 --seed {seed}{} --inject {}",
+            if break_dedup { " --break-dedup" } else { "" },
+            minimal.to_spec_string()
+        );
+        println!(
+            "  (replay the store surface with `vs-fleetd --torture {0}` and the wire \
+             surface with `repro fleetd submit --torture {0}`)",
+            minimal.to_spec_string()
+        );
+        eprintln!("repro: daemon chaos case {case} diverged from the fault-free baseline");
+        std::process::exit(EXIT_VIOLATION);
+    }
+    println!("\n{cases} cases, 0 divergences");
+    if !quiet {
+        eprintln!(
+            "chaos-daemon: {cases} cases clean in {:.1}s",
+            start.elapsed().as_secs_f64()
+        );
+    }
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     std::process::exit(2);
@@ -735,7 +873,7 @@ fn die(msg: &str) -> ! {
 /// Streams and reports go to stdout as the daemon's own JSONL messages,
 /// so the output is machine-checkable; human summaries go to stderr.
 fn run_fleetd(args: &[String]) -> ! {
-    use vs_fleetd::{Client, JobOutcome, Response, SweepSpec};
+    use vs_fleetd::{Client, JobOutcome, ProtocolError, Response, RetryError, SweepSpec};
 
     fn fleetd_die(msg: &str) -> ! {
         eprintln!("repro fleetd: {msg}");
@@ -743,11 +881,31 @@ fn run_fleetd(args: &[String]) -> ! {
             "usage: repro fleetd submit --socket PATH --chips N [--seed S] \
              [--variant hw|sw|baseline] [--quick] [--run-ms M] [--sentinel] \
              [--inject SPEC] [--watch]\n\
+             \x20      \x20 [--key K] [--retries N] [--deadline DUR] [--torture SPEC]\n\
              \x20      repro fleetd watch|cancel --socket PATH --job J\n\
              \x20      repro fleetd stats|metrics|shutdown --socket PATH\n\
              \x20      repro fleetd top --socket PATH [--interval DUR] [--iterations N]"
         );
         std::process::exit(2);
+    }
+
+    /// The wire broke (as opposed to the daemon answering with a typed
+    /// rejection): exit 5 so scripts can tell "retry later" from "fix
+    /// the invocation".
+    fn transport_die(msg: &str) -> ! {
+        eprintln!("repro fleetd: transport failure: {msg}");
+        std::process::exit(EXIT_TRANSPORT);
+    }
+
+    /// Classifies a protocol-level failure: a decodable daemon `error`
+    /// response is a configuration problem (exit 2); everything else —
+    /// I/O errors, torn or truncated frames, garbage — is the transport
+    /// (exit 5).
+    fn protocol_die(context: &str, err: ProtocolError) -> ! {
+        match err {
+            ProtocolError::Json(msg) => fleetd_die(&format!("{context}: {msg}")),
+            other => transport_die(&format!("{context}: {other}")),
+        }
     }
 
     let Some(command) = args.first().map(String::as_str) else {
@@ -763,8 +921,13 @@ fn run_fleetd(args: &[String]) -> ! {
         run_ms: 0,
         sentinel: false,
         inject: String::new(),
+        key: String::new(),
+        deadline_ms: 0,
     };
     let mut watch_after_submit = false;
+    let mut retries: u32 = 0;
+    let mut client_deadline: Option<std::time::Duration> = None;
+    let mut torture: Option<String> = None;
     let mut interval = std::time::Duration::from_secs(2);
     let mut iterations: u64 = 0;
     let mut i = 1;
@@ -823,6 +986,34 @@ fn run_fleetd(args: &[String]) -> ! {
                     .unwrap_or_else(|| fleetd_die("--inject needs a fault spec (e.g. seeded:42)"));
             }
             "--watch" => watch_after_submit = true,
+            "--key" => {
+                i += 1;
+                spec.key = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| fleetd_die("--key needs an idempotency key"));
+            }
+            "--retries" => {
+                i += 1;
+                retries = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| fleetd_die("--retries needs an integer"));
+            }
+            "--deadline" => {
+                i += 1;
+                client_deadline = Some(args.get(i).and_then(|s| parse_duration(s)).unwrap_or_else(
+                    || fleetd_die("--deadline needs a duration like 30s or 500ms"),
+                ));
+            }
+            "--torture" => {
+                i += 1;
+                torture = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| fleetd_die("--torture needs a fault spec")),
+                );
+            }
             "--interval" => {
                 i += 1;
                 interval = args
@@ -843,10 +1034,6 @@ fn run_fleetd(args: &[String]) -> ! {
     }
     let Some(socket) = socket else {
         fleetd_die("--socket is required");
-    };
-    let mut client = match Client::connect(&socket) {
-        Ok(client) => client,
-        Err(e) => fleetd_die(&format!("cannot connect to {}: {e}", socket.display())),
     };
 
     // Each streamed response is echoed to stdout as the daemon's own
@@ -871,18 +1058,83 @@ fn run_fleetd(args: &[String]) -> ! {
         }
     }
 
+    // `--retries`/`--torture` arm the typed retry loop, which owns its
+    // connections (a fault poisons the old one, so each attempt
+    // reconnects) and always follows the stream to its terminal event.
+    if command == "submit" && (retries > 0 || torture.is_some()) {
+        if spec.chips == 0 {
+            fleetd_die("submit needs --chips N");
+        }
+        let budget = torture.as_deref().map(|s| {
+            let plan = FaultSpec::parse(s)
+                .unwrap_or_else(|e| fleetd_die(&e))
+                .materialize(1);
+            vs_fleetd::torture::TransportFaultBudget::from_plan(&plan)
+        });
+        let policy = vs_fleetd::RetryPolicy {
+            max_retries: retries,
+            jitter_seed: spec.seed,
+            deadline: client_deadline,
+            ..Default::default()
+        };
+        let connect = {
+            let socket = socket.clone();
+            move || -> std::io::Result<Client> {
+                let stream = std::os::unix::net::UnixStream::connect(&socket)?;
+                Ok(match &budget {
+                    Some(b) => Client::from_stream(vs_fleetd::torture::FaultyTransport::new(
+                        stream,
+                        b.clone(),
+                    )),
+                    None => Client::from_stream(stream),
+                })
+            }
+        };
+        match vs_fleetd::submit_and_watch(connect, spec, &policy, echo) {
+            Ok(report) => {
+                eprintln!(
+                    "repro fleetd: job {} reached its terminal event in {} attempt(s) \
+                     ({} transport retries, {} busy waits, {} store retries{})",
+                    report.job,
+                    report.attempts,
+                    report.transport_retries,
+                    report.busy_waits,
+                    report.store_retries,
+                    if report.deduped { ", deduped" } else { "" }
+                );
+                finish(report.outcome);
+            }
+            Err(RetryError::Rejected(msg)) => fleetd_die(&format!("daemon rejected: {msg}")),
+            Err(gave_up) => transport_die(&gave_up.to_string()),
+        }
+    }
+
+    let mut client = match Client::connect(&socket) {
+        Ok(client) => client,
+        Err(e) => transport_die(&format!("cannot connect to {}: {e}", socket.display())),
+    };
+
     match command {
         "submit" => {
             if spec.chips == 0 {
                 fleetd_die("submit needs --chips N");
             }
             match client.submit(spec) {
-                Ok(Ok(id)) => {
-                    echo(&Response::Submitted { job: id });
+                Ok(Ok(sub)) => {
+                    echo(&Response::Submitted {
+                        job: sub.job,
+                        deduped: sub.deduped,
+                    });
+                    if sub.deduped {
+                        eprintln!(
+                            "repro fleetd: idempotency key matched job {}; not resubmitted",
+                            sub.job
+                        );
+                    }
                     if watch_after_submit {
-                        match client.watch(id, echo) {
+                        match client.watch(sub.job, echo) {
                             Ok(outcome) => finish(outcome),
-                            Err(e) => fleetd_die(&format!("watch failed: {e}")),
+                            Err(e) => protocol_die("watch failed", e),
                         }
                     }
                     std::process::exit(0);
@@ -892,7 +1144,7 @@ fn run_fleetd(args: &[String]) -> ! {
                     eprintln!("repro fleetd: daemon busy, job rejected");
                     std::process::exit(EXIT_BUSY);
                 }
-                Err(e) => fleetd_die(&format!("submit failed: {e}")),
+                Err(e) => protocol_die("submit failed", e),
             }
         }
         "watch" => {
@@ -901,7 +1153,7 @@ fn run_fleetd(args: &[String]) -> ! {
             };
             match client.watch(id, echo) {
                 Ok(outcome) => finish(outcome),
-                Err(e) => fleetd_die(&format!("watch failed: {e}")),
+                Err(e) => protocol_die("watch failed", e),
             }
         }
         "cancel" => {
@@ -913,7 +1165,7 @@ fn run_fleetd(args: &[String]) -> ! {
                     eprintln!("repro fleetd: cancel requested for job {id}");
                     std::process::exit(0);
                 }
-                Err(e) => fleetd_die(&format!("cancel failed: {e}")),
+                Err(e) => protocol_die("cancel failed", e),
             }
         }
         "stats" => match client.stats() {
@@ -921,14 +1173,14 @@ fn run_fleetd(args: &[String]) -> ! {
                 echo(&Response::Stats(stats));
                 std::process::exit(0);
             }
-            Err(e) => fleetd_die(&format!("stats failed: {e}")),
+            Err(e) => protocol_die("stats failed", e),
         },
         "metrics" => match client.metrics() {
             Ok(text) => {
                 print!("{text}");
                 std::process::exit(0);
             }
-            Err(e) => fleetd_die(&format!("metrics failed: {e}")),
+            Err(e) => protocol_die("metrics failed", e),
         },
         "top" => {
             // A plain-ANSI live dashboard: poll the metrics snapshot and
@@ -939,7 +1191,7 @@ fn run_fleetd(args: &[String]) -> ! {
             loop {
                 let text = match client.metrics() {
                     Ok(text) => text,
-                    Err(e) => fleetd_die(&format!("metrics poll failed: {e}")),
+                    Err(e) => protocol_die("metrics poll failed", e),
                 };
                 let snap = match vs_obs::PromSnapshot::parse(&text) {
                     Ok(snap) => snap,
@@ -967,7 +1219,7 @@ fn run_fleetd(args: &[String]) -> ! {
                 eprintln!("repro fleetd: daemon draining");
                 std::process::exit(0);
             }
-            Err(e) => fleetd_die(&format!("shutdown failed: {e}")),
+            Err(e) => protocol_die("shutdown failed", e),
         },
         other => fleetd_die(&format!("unknown subcommand {other:?}")),
     }

@@ -14,15 +14,6 @@ pub trait Injector {
     /// Mask of bits observed flipped when reading `word` of the line at
     /// `location` in a structure of kind `kind`.
     fn flip_mask(&mut self, kind: CacheKind, location: SetWay, word: u32) -> FlipMask;
-
-    /// Bits observed flipped, as an allocated list.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use `flip_mask`, which returns an alloc-free `FlipMask`"
-    )]
-    fn flips(&mut self, kind: CacheKind, location: SetWay, word: u32) -> Vec<u32> {
-        self.flip_mask(kind, location, word).to_bits_vec()
-    }
 }
 
 /// An injector that never flips anything: an ideal SRAM array.
@@ -175,22 +166,6 @@ mod tests {
                 "no flips expected at nominal voltage"
             );
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_flips_shim_matches_mask() {
-        let chip = ChipVariation::new(7, SramParams::default());
-        let loc = SetWay::new(3, 1);
-        let mut rng_a = CounterRng::from_key(8, &[]);
-        let mut rng_b = CounterRng::from_key(8, &[]);
-        let mut mask_inj =
-            FaultInjector::new(&chip, CoreId(0), VddMode::LowVoltage, 300.0, &mut rng_a);
-        let mask = mask_inj.flip_mask(CacheKind::L2Data, loc, 0);
-        let mut vec_inj =
-            FaultInjector::new(&chip, CoreId(0), VddMode::LowVoltage, 300.0, &mut rng_b);
-        let list = vec_inj.flips(CacheKind::L2Data, loc, 0);
-        assert_eq!(mask, FlipMask::from_bits(&list));
     }
 
     #[test]

@@ -9,13 +9,13 @@
 //! the same string, which is what makes minimized reproducers
 //! byte-comparable across worker counts.
 
-use crate::plan::{FaultKind, FaultPlan, FaultTrigger, ScheduledFault};
+use crate::plan::{DaemonFaultKind, FaultKind, FaultPlan, FaultTrigger, ScheduledFault};
 use std::fmt::Write as _;
 use vs_types::{ChipId, SimTime};
 
 /// One independently removable piece of a [`FaultPlan`]: a scheduled
-/// chip-level fault, a worker panic/hang schedule, or the checkpoint
-/// I/O-error count.
+/// chip-level fault, a worker panic/hang schedule, the checkpoint
+/// I/O-error count, or a daemon-tier fault budget.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultAtom {
     /// One scheduled chip-level fault.
@@ -28,6 +28,8 @@ pub enum FaultAtom {
     WorkerHang(ChipId, u32),
     /// The first `n` checkpoint saves fail.
     CheckpointIoErrors(u32),
+    /// `(kind, count)`: a counted daemon-tier fault budget.
+    Daemon(DaemonFaultKind, u32),
 }
 
 impl FaultAtom {
@@ -50,6 +52,9 @@ impl FaultAtom {
             }
             FaultAtom::CheckpointIoErrors(n) => {
                 let _ = write!(out, "io-error:{n}");
+            }
+            FaultAtom::Daemon(kind, n) => {
+                let _ = write!(out, "daemon:{}:{n}", kind.label());
             }
         }
         out
@@ -144,6 +149,11 @@ impl FaultPlan {
         if self.checkpoint_io_errors() > 0 {
             atoms.push(FaultAtom::CheckpointIoErrors(self.checkpoint_io_errors()));
         }
+        atoms.extend(
+            self.daemon_faults()
+                .iter()
+                .map(|&(k, n)| FaultAtom::Daemon(k, n)),
+        );
         atoms
     }
 
@@ -162,6 +172,9 @@ impl FaultPlan {
                 }
                 FaultAtom::CheckpointIoErrors(n) => {
                     plan = plan.checkpoint_io_error(n);
+                }
+                FaultAtom::Daemon(kind, n) => {
+                    plan = plan.daemon_fault(kind, n);
                 }
             }
         }
@@ -207,13 +220,15 @@ mod tests {
             .worker_panic(ChipId(3), 2)
             .worker_hang(ChipId(5), 1)
             .checkpoint_io_error(2)
+            .daemon_fault(DaemonFaultKind::TornFrame, 2)
+            .daemon_fault(DaemonFaultKind::Enospc, 1)
     }
 
     #[test]
     fn atoms_round_trip_through_from_atoms() {
         let plan = full_plan();
         let atoms = plan.atoms();
-        assert_eq!(atoms.len(), 8);
+        assert_eq!(atoms.len(), 10);
         assert_eq!(FaultPlan::from_atoms(&atoms), plan);
         assert_eq!(FaultPlan::from_atoms(&[]), FaultPlan::new());
     }
@@ -254,6 +269,21 @@ mod tests {
         let reparsed = FaultSpec::parse(&plan.to_spec_string())
             .unwrap()
             .materialize(8);
+        assert_eq!(reparsed, plan);
+    }
+
+    #[test]
+    fn daemon_atoms_unparse_canonically() {
+        let plan = FaultPlan::new()
+            .daemon_fault(DaemonFaultKind::Disconnect, 1)
+            .daemon_fault(DaemonFaultKind::Overload, 3);
+        assert_eq!(
+            plan.to_spec_string(),
+            "daemon:disconnect:1,daemon:overload:3"
+        );
+        let reparsed = FaultSpec::parse(&plan.to_spec_string())
+            .unwrap()
+            .materialize(4);
         assert_eq!(reparsed, plan);
     }
 

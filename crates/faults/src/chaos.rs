@@ -5,7 +5,7 @@
 //! `(seed, case, profile)` via `CounterRng`, so a soak is reproducible and
 //! any failing case can be regenerated from its case number alone.
 
-use crate::plan::{FaultKind, FaultPlan, FaultTrigger, ScheduledFault};
+use crate::plan::{DaemonFaultKind, FaultKind, FaultPlan, FaultTrigger, ScheduledFault};
 use vs_types::rng::CounterRng;
 use vs_types::{ChipId, CoreId, DomainId, Millivolts, SimTime};
 
@@ -121,6 +121,32 @@ pub fn chaos_plan(seed: u64, case: u64, profile: &ChaosProfile) -> FaultPlan {
     plan
 }
 
+/// Draws one random composition of *daemon-tier* fault budgets.
+///
+/// Pure in `(seed, case)`. Every plan carries 1–3 daemon fault atoms with
+/// small counts, covering the transport (torn frames, stalls,
+/// disconnects), the store (ENOSPC, short writes, fsync failures), and
+/// admission control (overload) — the surfaces `vs-fleetd`'s torture
+/// harness injects into. Chip-level faults are deliberately absent: a
+/// daemon chaos case must compute the same results as its fault-free
+/// baseline, so any divergence indicts the daemon tier alone.
+pub fn daemon_chaos_plan(seed: u64, case: u64) -> FaultPlan {
+    let mut rng = CounterRng::from_key(seed, &[0x00DA_E404_u64, case]);
+    let mut plan = FaultPlan::new();
+    let atoms = 1 + rng.next_below(3);
+    for _ in 0..atoms {
+        let kind = DaemonFaultKind::ALL[rng.next_below(DaemonFaultKind::ALL.len() as u64) as usize];
+        let count = match kind {
+            // Overload floods a handful of extra submissions; the rest
+            // stay at 1–2 occurrences so cases finish fast.
+            DaemonFaultKind::Overload => 2 + rng.next_below(4) as u32,
+            _ => 1 + rng.next_below(2) as u32,
+        };
+        plan = plan.daemon_fault(kind, count);
+    }
+    plan
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +195,31 @@ mod tests {
                 .materialize(p.num_chips);
             assert_eq!(reparsed, plan, "case {case}, spec {spec}");
         }
+    }
+
+    #[test]
+    fn daemon_chaos_plans_are_deterministic_daemon_only_and_round_trip() {
+        let mut distinct = 0;
+        for case in 0..50 {
+            let plan = daemon_chaos_plan(7, case);
+            assert_eq!(plan, daemon_chaos_plan(7, case));
+            assert!(!plan.is_empty());
+            assert!(
+                plan.events().is_empty(),
+                "daemon plans carry no chip faults"
+            );
+            assert!(plan.worker_panics().is_empty());
+            assert!((1..=3).contains(&plan.daemon_faults().len()));
+            let spec = plan.to_spec_string();
+            let reparsed = FaultSpec::parse(&spec)
+                .unwrap_or_else(|e| panic!("case {case}: {e}"))
+                .materialize(4);
+            assert_eq!(reparsed, plan, "case {case}, spec {spec}");
+            if daemon_chaos_plan(7, case) != daemon_chaos_plan(7, (case + 1) % 50) {
+                distinct += 1;
+            }
+        }
+        assert!(distinct > 40, "cases should rarely collide: {distinct}");
+        assert_ne!(daemon_chaos_plan(7, 0), daemon_chaos_plan(8, 0));
     }
 }

@@ -65,9 +65,11 @@ mod shrink;
 mod spec;
 
 pub use atom::FaultAtom;
-pub use chaos::{chaos_plan, ChaosProfile};
+pub use chaos::{chaos_plan, daemon_chaos_plan, ChaosProfile};
 pub use injector::{FaultAction, FaultInjector};
-pub use plan::{FaultKind, FaultPlan, FaultTrigger, InjectionProfile, ScheduledFault};
+pub use plan::{
+    DaemonFaultKind, FaultKind, FaultPlan, FaultTrigger, InjectionProfile, ScheduledFault,
+};
 pub use recovery::RecoveryPolicy;
 pub use shrink::minimize;
 pub use spec::FaultSpec;

@@ -56,6 +56,71 @@ pub enum FaultKind {
     },
 }
 
+/// A daemon-tier fault class: faults injected into vs-fleetd's transport,
+/// store, or admission path rather than into the chip simulation. Counted
+/// (each carries a budget of occurrences), consumed by the torture
+/// harness, and invisible to the simulation engine — daemon faults never
+/// change *what* a sweep computes, only how rough the road there is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DaemonFaultKind {
+    /// A client-side frame write is torn mid-frame (a short write followed
+    /// by a failed connection); the server sees a truncated frame.
+    TornFrame,
+    /// A read stalls (slow-loris) for a bounded pause before completing.
+    StalledRead,
+    /// The connection drops mid-exchange with a reset.
+    Disconnect,
+    /// A durable store write fails up front with ENOSPC.
+    Enospc,
+    /// A durable store write persists only a prefix (power-loss
+    /// truncation).
+    ShortWrite,
+    /// A durability barrier (fsync) fails after the data is written.
+    FsyncFail,
+    /// Extra filler jobs flood the scheduler past admission control.
+    Overload,
+}
+
+impl DaemonFaultKind {
+    /// Every kind, in canonical (spec-string and digest) order.
+    pub const ALL: [DaemonFaultKind; 7] = [
+        DaemonFaultKind::TornFrame,
+        DaemonFaultKind::StalledRead,
+        DaemonFaultKind::Disconnect,
+        DaemonFaultKind::Enospc,
+        DaemonFaultKind::ShortWrite,
+        DaemonFaultKind::FsyncFail,
+        DaemonFaultKind::Overload,
+    ];
+
+    /// The spec-grammar label (`daemon:<label>:<count>`).
+    pub fn label(self) -> &'static str {
+        match self {
+            DaemonFaultKind::TornFrame => "torn",
+            DaemonFaultKind::StalledRead => "stall",
+            DaemonFaultKind::Disconnect => "disconnect",
+            DaemonFaultKind::Enospc => "enospc",
+            DaemonFaultKind::ShortWrite => "short-write",
+            DaemonFaultKind::FsyncFail => "fsync",
+            DaemonFaultKind::Overload => "overload",
+        }
+    }
+
+    /// Parses a spec-grammar label back to a kind.
+    pub fn parse(label: &str) -> Option<DaemonFaultKind> {
+        DaemonFaultKind::ALL
+            .into_iter()
+            .find(|k| k.label() == label)
+    }
+
+    fn index(self) -> u64 {
+        DaemonFaultKind::ALL
+            .iter()
+            .position(|k| *k == self)
+            .expect("kind present in ALL") as u64
+    }
+}
+
 /// One fault in a plan: what, when, and (for fleet plans) on which chip.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScheduledFault {
@@ -121,6 +186,10 @@ pub struct FaultPlan {
     /// The first `n` checkpoint saves of a fleet run fail with an injected
     /// I/O error, exercising the save retry/backoff path deterministically.
     checkpoint_io_errors: u32,
+    /// Daemon-tier fault budgets, `(kind, count)` with at most one entry
+    /// per kind. Consumed by the vs-fleetd torture harness, never by the
+    /// chip simulation.
+    daemon: Vec<(DaemonFaultKind, u32)>,
 }
 
 impl FaultPlan {
@@ -135,6 +204,7 @@ impl FaultPlan {
             && self.panics.is_empty()
             && self.hangs.is_empty()
             && self.checkpoint_io_errors == 0
+            && self.daemon.is_empty()
     }
 
     /// The scheduled chip-level faults.
@@ -284,6 +354,33 @@ impl FaultPlan {
         self
     }
 
+    /// Budgets `n` occurrences of the daemon-tier fault `kind` (builder
+    /// form). Max-merge like panics: combining plans keeps the larger
+    /// budget. A zero count is dropped (it injects nothing).
+    pub fn daemon_fault(mut self, kind: DaemonFaultKind, n: u32) -> FaultPlan {
+        if n == 0 {
+            return self;
+        }
+        match self.daemon.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, have)) => *have = (*have).max(n),
+            None => self.daemon.push((kind, n)),
+        }
+        self
+    }
+
+    /// The daemon-tier fault budgets, `(kind, count)` in insertion order.
+    pub fn daemon_faults(&self) -> &[(DaemonFaultKind, u32)] {
+        &self.daemon
+    }
+
+    /// The budget for one daemon-tier fault kind (0 when absent).
+    pub fn daemon_fault_count(&self, kind: DaemonFaultKind) -> u32 {
+        self.daemon
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map_or(0, |(_, n)| *n)
+    }
+
     /// The plan scoped to one chip: events targeting other chips are
     /// dropped and surviving events lose their chip tag (worker panics are
     /// kept as-is; they are consumed at the fleet layer).
@@ -298,6 +395,7 @@ impl FaultPlan {
             panics: self.panics.clone(),
             hangs: self.hangs.clone(),
             checkpoint_io_errors: self.checkpoint_io_errors,
+            daemon: self.daemon.clone(),
         }
     }
 
@@ -413,6 +511,11 @@ impl FaultPlan {
             mix(7);
             mix(u64::from(self.checkpoint_io_errors));
         }
+        for &(kind, n) in &self.daemon {
+            mix(8);
+            mix(kind.index());
+            mix(u64::from(n));
+        }
         h
     }
 }
@@ -512,6 +615,52 @@ mod tests {
             assert!(t >= SimTime::from_millis(100) && t < SimTime::from_millis(1600));
             assert!(f.chip.is_some());
         }
+    }
+
+    #[test]
+    fn daemon_faults_count_as_content_and_max_merge() {
+        let plan = FaultPlan::new().daemon_fault(DaemonFaultKind::TornFrame, 2);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.daemon_fault_count(DaemonFaultKind::TornFrame), 2);
+        assert_eq!(plan.daemon_fault_count(DaemonFaultKind::Enospc), 0);
+        // Max-merge like panics; zero counts are dropped.
+        let plan = plan
+            .daemon_fault(DaemonFaultKind::TornFrame, 1)
+            .daemon_fault(DaemonFaultKind::TornFrame, 5)
+            .daemon_fault(DaemonFaultKind::Overload, 0);
+        assert_eq!(plan.daemon_fault_count(DaemonFaultKind::TornFrame), 5);
+        assert_eq!(plan.daemon_faults().len(), 1);
+        // Scoping keeps daemon faults (they are process-level).
+        assert_eq!(
+            plan.for_chip(ChipId(3))
+                .daemon_fault_count(DaemonFaultKind::TornFrame),
+            5
+        );
+        // Label round-trip for every kind.
+        for kind in DaemonFaultKind::ALL {
+            assert_eq!(DaemonFaultKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(DaemonFaultKind::parse("not-a-kind"), None);
+    }
+
+    #[test]
+    fn digest_distinguishes_daemon_kinds_and_counts() {
+        let torn = FaultPlan::new().daemon_fault(DaemonFaultKind::TornFrame, 1);
+        let stall = FaultPlan::new().daemon_fault(DaemonFaultKind::StalledRead, 1);
+        let torn2 = FaultPlan::new().daemon_fault(DaemonFaultKind::TornFrame, 2);
+        assert_ne!(torn.digest(), 0);
+        assert_ne!(torn.digest(), stall.digest());
+        assert_ne!(torn.digest(), torn2.digest());
+        assert_ne!(
+            torn.digest(),
+            FaultPlan::new().checkpoint_io_error(1).digest()
+        );
+        assert_eq!(
+            torn.digest(),
+            FaultPlan::new()
+                .daemon_fault(DaemonFaultKind::TornFrame, 1)
+                .digest()
+        );
     }
 
     #[test]

@@ -76,6 +76,7 @@ pub fn minimize(plan: &FaultPlan, mut fails: impl FnMut(&FaultPlan) -> bool) -> 
             FaultAtom::WorkerPanic(chip, n) if n > 1 => Some(FaultAtom::WorkerPanic(chip, 1)),
             FaultAtom::WorkerHang(chip, n) if n > 1 => Some(FaultAtom::WorkerHang(chip, 1)),
             FaultAtom::CheckpointIoErrors(n) if n > 1 => Some(FaultAtom::CheckpointIoErrors(1)),
+            FaultAtom::Daemon(kind, n) if n > 1 => Some(FaultAtom::Daemon(kind, 1)),
             _ => None,
         };
         if let Some(atom) = simpler {
@@ -165,6 +166,17 @@ mod tests {
         let has_panic = |p: &FaultPlan| !p.worker_panics().is_empty();
         let minimal = minimize(&big_plan(), has_panic);
         assert_eq!(minimal.to_spec_string(), "panic:chip1");
+    }
+
+    #[test]
+    fn daemon_atoms_shrink_like_other_counted_atoms() {
+        use crate::plan::DaemonFaultKind;
+        let plan = big_plan()
+            .daemon_fault(DaemonFaultKind::TornFrame, 3)
+            .daemon_fault(DaemonFaultKind::Enospc, 2);
+        let has_torn = |p: &FaultPlan| p.daemon_fault_count(DaemonFaultKind::TornFrame) > 0;
+        let minimal = minimize(&plan, has_torn);
+        assert_eq!(minimal.to_spec_string(), "daemon:torn:1");
     }
 
     #[test]

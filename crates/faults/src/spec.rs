@@ -1,6 +1,8 @@
 //! The compact `--inject` command-line grammar.
 
-use crate::plan::{FaultKind, FaultPlan, FaultTrigger, InjectionProfile, ScheduledFault};
+use crate::plan::{
+    DaemonFaultKind, FaultKind, FaultPlan, FaultTrigger, InjectionProfile, ScheduledFault,
+};
 use vs_types::{ChipId, CoreId, DomainId, Millivolts, SimTime};
 
 /// A parsed `--inject` specification.
@@ -13,6 +15,7 @@ use vs_types::{ChipId, CoreId, DomainId, Millivolts, SimTime};
 /// | `panic:chipN` | chip `N`'s worker job panics once (`xM` suffix: `M` times) |
 /// | `hang:chipN` | chip `N`'s worker job hangs once until the watchdog cancels it (`xM` suffix: `M` times) |
 /// | `io-error:N` | the first `N` checkpoint saves fail with an injected I/O error |
+/// | `daemon:KIND:N` | budget `N` daemon-tier faults of `KIND` (`torn`, `stall`, `disconnect`, `enospc`, `short-write`, `fsync`, `overload`) |
 /// | `due@TIME:dD` | a DUE on domain `D` at `TIME` |
 /// | `crash@TIME:cC` | core `C` crashes at `TIME` |
 /// | `crash<MVmv:dD:cC` | core `C` crashes when domain `D` drops below `MV` mV |
@@ -74,6 +77,9 @@ impl FaultSpec {
         for &(chip, attempts) in self.explicit.worker_hangs() {
             plan = plan.worker_hang(chip, attempts);
         }
+        for &(kind, n) in self.explicit.daemon_faults() {
+            plan = plan.daemon_fault(kind, n);
+        }
         plan.checkpoint_io_error(self.explicit.checkpoint_io_errors())
     }
 
@@ -109,6 +115,22 @@ impl FaultSpec {
                 .parse::<u32>()
                 .map_err(|_| "io-error count must be a u32")?;
             self.explicit = std::mem::take(&mut self.explicit).checkpoint_io_error(n);
+            return Ok(());
+        }
+        if let Some(rest) = item.strip_prefix("daemon:") {
+            let (kind_part, count_part) = rest
+                .split_once(':')
+                .ok_or("daemon faults are `daemon:KIND:N`")?;
+            let kind = DaemonFaultKind::parse(kind_part).ok_or_else(|| {
+                format!(
+                    "unknown daemon fault kind {kind_part:?} (expected one of {})",
+                    DaemonFaultKind::ALL.map(|k| k.label()).join(", ")
+                )
+            })?;
+            let n = count_part
+                .parse::<u32>()
+                .map_err(|_| "daemon fault count must be a u32")?;
+            self.explicit = std::mem::take(&mut self.explicit).daemon_fault(kind, n);
             return Ok(());
         }
 
@@ -291,6 +313,19 @@ mod tests {
         assert!(FaultSpec::parse("hang:3").is_err());
         assert!(FaultSpec::parse("hang:chip1xZ").is_err());
         assert!(FaultSpec::parse("io-error:many").is_err());
+        assert!(FaultSpec::parse("daemon:torn").is_err());
+        assert!(FaultSpec::parse("daemon:meteor:1").is_err());
+        assert!(FaultSpec::parse("daemon:torn:lots").is_err());
+    }
+
+    #[test]
+    fn daemon_directives_parse_and_merge() {
+        let spec = FaultSpec::parse("daemon:torn:2,daemon:enospc:1,daemon:torn:1").unwrap();
+        let plan = spec.materialize(4);
+        assert_eq!(plan.daemon_fault_count(DaemonFaultKind::TornFrame), 2);
+        assert_eq!(plan.daemon_fault_count(DaemonFaultKind::Enospc), 1);
+        assert_eq!(plan.daemon_fault_count(DaemonFaultKind::Overload), 0);
+        assert!(plan.events().is_empty());
     }
 
     #[test]

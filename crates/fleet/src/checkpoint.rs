@@ -369,8 +369,21 @@ pub fn save(
     let tmp = unique_temp(path);
     let result = (|| {
         use std::io::Write as _;
+        // FaultyFs consultation keys on the *final* path so torture
+        // scopes match the store directory, not the temp name. A torn
+        // write here only loses the temp file — the rename never
+        // happens, so the previous checkpoint stays intact.
+        let fault = vs_guard::fsfault::write_fault(path, text.len())?;
         let mut file = fs::File::create(&tmp)?;
-        file.write_all(text.as_bytes())?;
+        match fault {
+            vs_guard::fsfault::WriteFault::Intact => file.write_all(text.as_bytes())?,
+            vs_guard::fsfault::WriteFault::Short(n) => {
+                file.write_all(&text.as_bytes()[..n])?;
+                let _ = file.sync_all();
+                return Err(vs_guard::fsfault::short_write_error().into());
+            }
+        }
+        vs_guard::fsfault::sync_fault(path)?;
         file.sync_all()?;
         fs::rename(&tmp, path)?;
         Ok(())

@@ -3,8 +3,16 @@
 //! ```text
 //! vs-fleetd --socket /run/fleetd.sock [--store DIR] [--workers N]
 //!           [--queue-cap N] [--job-workers N] [--deadline 30s] [--quiet]
+//!           [--torture SPEC]
 //! vs-fleetd --stdio [--store DIR] ...
 //! ```
+//!
+//! `--torture` takes an `--inject`-grammar spec and installs the
+//! *store-surface* counts of its `daemon:` atoms (`enospc`,
+//! `short-write`, `fsync`) as a counted fault plan over the store
+//! directory — the CI daemon-torture smoke runs a live daemon whose
+//! checkpoint and journal writes fail on schedule. Transport atoms are
+//! the client's side of the bargain (`repro fleetd … --torture`).
 //!
 //! Exit codes: 0 clean shutdown (drained after a `shutdown` request or
 //! stdio EOF), 2 usage or startup error.
@@ -21,7 +29,8 @@ fn die(msg: &str) -> ! {
     eprintln!("vs-fleetd: {msg}");
     eprintln!(
         "usage: vs-fleetd (--socket PATH | --stdio) [--store DIR] [--workers N] \
-         [--queue-cap N] [--job-workers N] [--deadline 30s|500ms] [--quiet]"
+         [--queue-cap N] [--job-workers N] [--deadline 30s|500ms] [--quiet] \
+         [--torture SPEC]"
     );
     std::process::exit(2);
 }
@@ -43,6 +52,7 @@ fn main() -> ExitCode {
     let mut store_dir = PathBuf::from("fleetd-store");
     let mut config = SchedulerConfig::default();
     let mut quiet = false;
+    let mut torture: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -91,6 +101,14 @@ fn main() -> ExitCode {
                 );
             }
             "--quiet" => quiet = true,
+            "--torture" => {
+                i += 1;
+                torture = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--torture needs an inject spec"))
+                        .clone(),
+                );
+            }
             other => die(&format!("unknown argument {other:?}")),
         }
         i += 1;
@@ -118,6 +136,49 @@ fn main() -> ExitCode {
         }
         Err(e) => die(&format!("store recovery failed: {e}")),
     }
+
+    // The flight recorder writes postmortem bundles under the store. An
+    // unwritable bundle directory must not abort boot — per-job bundle
+    // failures already degrade gracefully — but it deserves one loud
+    // warning instead of a silent surprise at the first crash.
+    let postmortem = store_dir.join("postmortem");
+    let probe = postmortem.join(".boot-probe");
+    let writable = std::fs::create_dir_all(&postmortem)
+        .and_then(|()| std::fs::write(&probe, b"ok"))
+        .and_then(|()| std::fs::remove_file(&probe));
+    if let Err(e) = writable {
+        eprintln!(
+            "vs-fleetd: warning: postmortem directory {} is not writable ({e}); \
+             crash bundles will be skipped",
+            postmortem.display()
+        );
+    }
+
+    // Torture mode: the store-surface counts of the spec's daemon
+    // atoms become a counted fault plan over the store directory. The
+    // guard uninstalls on exit.
+    let _torture_guard = torture.map(|spec| {
+        let plan = match vs_faults::FaultSpec::parse(&spec) {
+            Ok(parsed) => parsed.materialize(1),
+            Err(e) => die(&format!("bad --torture spec: {e}")),
+        };
+        let fs_plan = vs_guard::fsfault::FsFaultPlan {
+            enospc: plan.daemon_fault_count(vs_faults::DaemonFaultKind::Enospc),
+            short_writes: plan.daemon_fault_count(vs_faults::DaemonFaultKind::ShortWrite),
+            fsync_failures: plan.daemon_fault_count(vs_faults::DaemonFaultKind::FsyncFail),
+        };
+        if !quiet {
+            eprintln!(
+                "vs-fleetd: torture mode: {} enospc, {} short writes, {} fsync failures \
+                 scheduled over {}",
+                fs_plan.enospc,
+                fs_plan.short_writes,
+                fs_plan.fsync_failures,
+                store_dir.display()
+            );
+        }
+        vs_guard::fsfault::install(&store_dir, fs_plan)
+    });
 
     let scheduler = Arc::new(Scheduler::start(config, store));
     if !quiet {

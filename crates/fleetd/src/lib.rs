@@ -36,12 +36,20 @@
 
 pub mod protocol;
 pub mod server;
+pub mod torture;
 
 mod client;
 mod scheduler;
 mod store;
 
-pub use client::{Client, JobOutcome};
+pub use client::{
+    submit_and_watch, Client, JobOutcome, RetryError, RetryPolicy, RetryReport, Transport,
+};
 pub use protocol::{DaemonStats, ProtocolError, Request, Response, SweepSpec};
-pub use scheduler::{config_for, BusyInfo, Scheduler, SchedulerConfig, WatchChunk};
+pub use scheduler::{config_for, BusyInfo, Scheduler, SchedulerConfig, Submission, WatchChunk};
 pub use store::FleetStore;
+
+/// Serializes tests that install a process-global [`vs_guard::fsfault`]
+/// plan, so parallel test threads never see each other's fault budgets.
+#[cfg(test)]
+pub(crate) static FSFAULT_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());

@@ -113,6 +113,18 @@ pub struct SweepSpec {
     /// Decoded leniently — a client that never sends the field gets an
     /// empty spec, so old clients keep working against new daemons.
     pub inject: String,
+    /// Client-generated idempotency key; empty means none. Resubmitting a
+    /// spec under a key the daemon has already admitted returns the
+    /// *existing* job's id (with `deduped` set) instead of starting a
+    /// duplicate sweep — the retry contract that makes at-least-once
+    /// submission safe. Not part of the store fingerprint. Decoded
+    /// leniently, like `inject`.
+    pub key: String,
+    /// Per-job wall-clock deadline in milliseconds; 0 means "use the
+    /// daemon's configured default". The effective deadline is the
+    /// *minimum* of this and the daemon's own, so a client can tighten
+    /// but never loosen the budget. Decoded leniently.
+    pub deadline_ms: u64,
 }
 
 /// A snapshot of the daemon, answered to `Stats`.
@@ -169,8 +181,13 @@ pub enum Response {
     Submitted {
         /// Its id, for `Watch`/`Cancel`.
         job: u64,
+        /// True when the submission's idempotency key matched a job the
+        /// daemon already admitted: `job` is that existing job and no new
+        /// sweep was started. Decoded leniently (absent means `false`).
+        deduped: bool,
     },
-    /// Admission control rejected the submission: the queue is at cap.
+    /// Admission control rejected (shed) the submission: the queue is at
+    /// cap, or the store is parked on ENOSPC.
     Busy {
         /// Jobs currently executing.
         running: u64,
@@ -178,6 +195,13 @@ pub enum Response {
         queued: u64,
         /// The queue depth cap that was hit.
         cap: u64,
+        /// `Retry-After`-style hint: how long the client should wait
+        /// before retrying, derived deterministically from queue state.
+        /// Decoded leniently (absent means 0: retry at will).
+        retry_after_ms: u64,
+        /// True when the shed was due to the store being parked (ENOSPC
+        /// drain mode), not queue depth. Decoded leniently.
+        parked: bool,
     },
     /// The stats snapshot.
     Stats(DaemonStats),
@@ -553,6 +577,8 @@ pub fn encode_request(req: &Request) -> String {
             .u64("run_ms", spec.run_ms)
             .bool("sentinel", spec.sentinel)
             .str("inject", &spec.inject)
+            .str("key", &spec.key)
+            .u64("deadline_ms", spec.deadline_ms)
             .finish(),
         Request::Stats => MessageBuilder::new("stats").finish(),
         Request::Metrics => MessageBuilder::new("metrics").finish(),
@@ -578,6 +604,10 @@ pub fn decode_request(text: &str) -> Result<Request, ProtocolError> {
                 sentinel: fields.bool("sentinel")?,
                 // Lenient: absent on old clients means "inject nothing".
                 inject: fields.str("inject").map(str::to_string).unwrap_or_default(),
+                // Lenient: absent means "no idempotency key".
+                key: fields.str("key").map(str::to_string).unwrap_or_default(),
+                // Lenient: absent means "daemon default deadline".
+                deadline_ms: fields.u64("deadline_ms").unwrap_or(0),
             }))
         }
         "stats" => Ok(Request::Stats),
@@ -596,15 +626,22 @@ pub fn decode_request(text: &str) -> Result<Request, ProtocolError> {
 /// Renders a response as its one-line JSON message.
 pub fn encode_response(resp: &Response) -> String {
     match resp {
-        Response::Submitted { job } => MessageBuilder::new("submitted").u64("job", *job).finish(),
+        Response::Submitted { job, deduped } => MessageBuilder::new("submitted")
+            .u64("job", *job)
+            .bool("deduped", *deduped)
+            .finish(),
         Response::Busy {
             running,
             queued,
             cap,
+            retry_after_ms,
+            parked,
         } => MessageBuilder::new("busy")
             .u64("running", *running)
             .u64("queued", *queued)
             .u64("cap", *cap)
+            .u64("retry_after_ms", *retry_after_ms)
+            .bool("parked", *parked)
             .finish(),
         Response::Stats(s) => MessageBuilder::new("stats")
             .u64("running", s.running)
@@ -663,11 +700,16 @@ pub fn decode_response(text: &str) -> Result<Response, ProtocolError> {
     match fields.msg_type()? {
         "submitted" => Ok(Response::Submitted {
             job: fields.u64("job")?,
+            // Lenient: an old daemon never dedupes.
+            deduped: fields.bool("deduped").unwrap_or(false),
         }),
         "busy" => Ok(Response::Busy {
             running: fields.u64("running")?,
             queued: fields.u64("queued")?,
             cap: fields.u64("cap")?,
+            // Lenient: an old daemon offers no hint and never parks.
+            retry_after_ms: fields.u64("retry_after_ms").unwrap_or(0),
+            parked: fields.bool("parked").unwrap_or(false),
         }),
         "stats" => Ok(Response::Stats(DaemonStats {
             running: fields.u64("running")?,
@@ -779,6 +821,8 @@ mod tests {
             run_ms: 250,
             sentinel: true,
             inject: "due@500ms:d0,panic:chip3x2".into(),
+            key: "client-77-submit-0".into(),
+            deadline_ms: 1500,
         };
         let req = Request::Submit(spec);
         assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
@@ -786,15 +830,58 @@ mod tests {
 
     #[test]
     fn submit_without_inject_decodes_to_empty_spec() {
-        // An old client's submit message has no "inject" field; the
-        // lenient decoder must treat that as "inject nothing" rather
-        // than reject the message.
+        // An old client's submit message has no "inject", "key", or
+        // "deadline_ms" field; the lenient decoder must treat those as
+        // absent rather than reject the message.
         let text = "{\"type\":\"submit\",\"seed\":7,\"chips\":4,\"variant\":\"hw\",\
                     \"quick\":true,\"run_ms\":0,\"sentinel\":false}";
         match decode_request(text).unwrap() {
-            Request::Submit(spec) => assert_eq!(spec.inject, ""),
+            Request::Submit(spec) => {
+                assert_eq!(spec.inject, "");
+                assert_eq!(spec.key, "");
+                assert_eq!(spec.deadline_ms, 0);
+            }
             other => panic!("expected submit, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn old_daemon_responses_decode_leniently() {
+        // Pre-torture daemons answer without deduped / retry_after_ms /
+        // parked; new clients must default them rather than error.
+        let submitted = "{\"type\":\"submitted\",\"job\":3}";
+        assert_eq!(
+            decode_response(submitted).unwrap(),
+            Response::Submitted {
+                job: 3,
+                deduped: false
+            }
+        );
+        let busy = "{\"type\":\"busy\",\"running\":1,\"queued\":2,\"cap\":2}";
+        assert_eq!(
+            decode_response(busy).unwrap(),
+            Response::Busy {
+                running: 1,
+                queued: 2,
+                cap: 2,
+                retry_after_ms: 0,
+                parked: false,
+            }
+        );
+        // And the new fields round-trip when present.
+        let resp = Response::Busy {
+            running: 4,
+            queued: 2,
+            cap: 2,
+            retry_after_ms: 350,
+            parked: true,
+        };
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        let resp = Response::Submitted {
+            job: 9,
+            deduped: true,
+        };
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use crate::protocol::{DaemonStats, Response, SweepSpec};
 use crate::store::FleetStore;
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -57,7 +57,7 @@ impl Default for SchedulerConfig {
     }
 }
 
-/// Queue state a rejected submission reports back.
+/// Queue state a shed submission reports back.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BusyInfo {
     /// Jobs currently executing.
@@ -66,6 +66,23 @@ pub struct BusyInfo {
     pub queued: u64,
     /// The cap that was hit.
     pub cap: u64,
+    /// `Retry-After`-style hint: a deterministic function of queue
+    /// state, so a well-behaved client backs off instead of hammering.
+    pub retry_after_ms: u64,
+    /// The shed was due to ENOSPC drain mode, not queue depth: the
+    /// daemon is finishing running jobs but parking new admissions
+    /// until the store is writable again.
+    pub parked: bool,
+}
+
+/// An accepted submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Submission {
+    /// The job id, for `Watch`/`Cancel`.
+    pub job: u64,
+    /// The spec's idempotency key matched a job already admitted:
+    /// `job` is that existing job and no new sweep was started.
+    pub deduped: bool,
 }
 
 #[derive(Debug)]
@@ -120,6 +137,18 @@ struct SchedInner {
     cancelled: AtomicU64,
     failed: AtomicU64,
     rejected: AtomicU64,
+    /// Idempotency keys → job ids. A resubmission carrying a known key
+    /// maps back to its existing job, so client retries after a torn
+    /// frame or dropped response never start a duplicate sweep.
+    keys: Mutex<BTreeMap<String, u64>>,
+    deduped: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_parked: AtomicU64,
+    /// ENOSPC drain mode: a job failed with "no space left", so new
+    /// admissions park until a probe write to the store succeeds again.
+    /// Running jobs keep going — the graceful-degradation half of the
+    /// torture contract.
+    parked: AtomicBool,
     // Observability plane. `submitted` counts admissions only, so at any
     // quiescent point submitted == running + queued + completed +
     // cancelled + failed — the gauge-consistency invariant the metrics
@@ -182,6 +211,11 @@ impl Scheduler {
             cancelled: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            keys: Mutex::new(BTreeMap::new()),
+            deduped: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+            shed_parked: AtomicU64::new(0),
+            parked: AtomicBool::new(false),
             submitted: AtomicU64::new(0),
             chips_completed: AtomicU64::new(0),
             rollbacks: AtomicU64::new(0),
@@ -204,9 +238,15 @@ impl Scheduler {
         Scheduler { inner, workers }
     }
 
-    /// Admits a job or rejects it with the queue state. An invalid spec
+    /// Admits a job or sheds it with the queue state. An invalid spec
     /// is an `Err(String)` before admission is even considered.
-    pub fn submit(&self, spec: SweepSpec) -> Result<Result<u64, BusyInfo>, String> {
+    ///
+    /// A spec carrying a non-empty idempotency `key` that matches an
+    /// earlier admission returns that job's id with `deduped` set —
+    /// `Watch` then replays the existing stream from the start, so a
+    /// client that lost a `submitted` response to a torn frame retries
+    /// safely without starting a duplicate sweep.
+    pub fn submit(&self, spec: SweepSpec) -> Result<Result<Submission, BusyInfo>, String> {
         if spec.chips == 0 {
             return Err("a sweep needs at least one chip".into());
         }
@@ -215,16 +255,39 @@ impl Scheduler {
         }
         let config = config_for(&spec);
         config.validate().map_err(|e| e.to_string())?;
+        if !spec.key.is_empty() {
+            if let Some(&job) = self.inner.keys.lock().unwrap().get(&spec.key) {
+                self.inner.deduped.fetch_add(1, Ordering::Relaxed);
+                return Ok(Ok(Submission { job, deduped: true }));
+            }
+        }
+        if self.inner.parked.load(Ordering::Relaxed) {
+            if store_writable(&self.inner.store) {
+                self.inner.parked.store(false, Ordering::Relaxed);
+            } else {
+                self.inner.shed_parked.fetch_add(1, Ordering::Relaxed);
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                return Ok(Err(self.busy_info(true)));
+            }
+        }
         let mut queue = self.inner.queue.lock().unwrap();
         if queue.len() >= self.inner.config.queue_cap {
+            self.inner.shed_queue_full.fetch_add(1, Ordering::Relaxed);
             self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+            let running = self.inner.running.load(Ordering::Relaxed);
+            let queued = queue.len() as u64;
             return Ok(Err(BusyInfo {
-                running: self.inner.running.load(Ordering::Relaxed),
-                queued: queue.len() as u64,
+                running,
+                queued,
                 cap: self.inner.config.queue_cap as u64,
+                retry_after_ms: retry_after_hint(running, queued),
+                parked: false,
             }));
         }
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        if !spec.key.is_empty() {
+            self.inner.keys.lock().unwrap().insert(spec.key.clone(), id);
+        }
         let job = Arc::new(Job {
             id,
             spec,
@@ -240,7 +303,24 @@ impl Scheduler {
         self.inner.submitted.fetch_add(1, Ordering::Relaxed);
         drop(queue);
         self.inner.available.notify_one();
-        Ok(Ok(id))
+        Ok(Ok(Submission {
+            job: id,
+            deduped: false,
+        }))
+    }
+
+    /// Queue state for a shed, with a deterministic backoff hint scaled
+    /// to the load. Must not be called with the queue lock held.
+    fn busy_info(&self, parked: bool) -> BusyInfo {
+        let running = self.inner.running.load(Ordering::Relaxed);
+        let queued = self.inner.queue.lock().unwrap().len() as u64;
+        BusyInfo {
+            running,
+            queued,
+            cap: self.inner.config.queue_cap as u64,
+            retry_after_ms: retry_after_hint(running, queued),
+            parked,
+        }
     }
 
     /// Cooperatively cancels a job. `false` if the id is unknown.
@@ -294,6 +374,7 @@ impl Scheduler {
     /// holds at every quiescent point.
     pub fn metrics(&self) -> String {
         let inner = &self.inner;
+        let fs_faults = vs_guard::fsfault::counters();
         let mut reg = MetricsRegistry::new();
         let counters = [
             (
@@ -310,6 +391,18 @@ impl Scheduler {
             ),
             (names::JOBS_FAILED, inner.failed.load(Ordering::Relaxed)),
             (names::JOBS_REJECTED, inner.rejected.load(Ordering::Relaxed)),
+            (names::JOBS_DEDUPED, inner.deduped.load(Ordering::Relaxed)),
+            (
+                names::SHED_QUEUE_FULL,
+                inner.shed_queue_full.load(Ordering::Relaxed),
+            ),
+            (
+                names::SHED_PARKED,
+                inner.shed_parked.load(Ordering::Relaxed),
+            ),
+            (names::FS_ENOSPC_INJECTED, fs_faults.enospc),
+            (names::FS_SHORT_WRITES_INJECTED, fs_faults.short_writes),
+            (names::FS_FSYNC_FAILURES_INJECTED, fs_faults.fsync_failures),
             (
                 names::CHIPS_COMPLETED,
                 inner.chips_completed.load(Ordering::Relaxed),
@@ -329,6 +422,15 @@ impl Scheduler {
         reg.set(running, inner.running.load(Ordering::Relaxed) as f64);
         let queued = reg.gauge(names::JOBS_QUEUED);
         reg.set(queued, inner.queue.lock().unwrap().len() as f64);
+        let parked = reg.gauge(names::STORE_PARKED);
+        reg.set(
+            parked,
+            if inner.parked.load(Ordering::Relaxed) {
+                1.0
+            } else {
+                0.0
+            },
+        );
         let uptime = reg.gauge(names::UPTIME_SECONDS);
         reg.set(uptime, inner.started.elapsed().as_secs_f64());
         for (i, busy) in inner.busy_ns.iter().enumerate() {
@@ -359,6 +461,27 @@ impl Scheduler {
             let _ = handle.join();
         }
     }
+}
+
+/// Deterministic `Retry-After` hint in milliseconds: load-proportional
+/// so retrying clients spread out, capped so nobody waits forever.
+fn retry_after_hint(running: u64, queued: u64) -> u64 {
+    ((running + queued + 1) * 100).min(2_000)
+}
+
+/// Probes whether the store directory accepts writes again, routing the
+/// attempt through the fault-injection hook so a torture schedule with
+/// remaining ENOSPC budget keeps the daemon parked deterministically.
+fn store_writable(store: &FleetStore) -> bool {
+    let probe = store.dir().join(".admission-probe");
+    let ok = (|| -> std::io::Result<()> {
+        match vs_guard::fsfault::write_fault(&probe, 2)? {
+            vs_guard::fsfault::WriteFault::Intact => std::fs::write(&probe, b"ok"),
+            vs_guard::fsfault::WriteFault::Short(_) => Err(vs_guard::fsfault::short_write_error()),
+        }
+    })();
+    let _ = std::fs::remove_file(&probe);
+    ok.is_ok()
 }
 
 fn worker_loop(inner: &SchedInner, worker: usize) {
@@ -410,6 +533,21 @@ fn run_job(inner: &SchedInner, job: &Job) {
         Response::Cancelled { .. } => &inner.cancelled,
         _ => &inner.failed,
     };
+    if let Response::Failed { error, .. } = &terminal {
+        // ENOSPC drain mode: the store stopped accepting writes, so
+        // park new admissions (submit un-parks once a probe write
+        // succeeds) while running jobs finish on their own terms.
+        if error.to_ascii_lowercase().contains("no space left") {
+            inner.parked.store(true, Ordering::Relaxed);
+        }
+        // A failed job releases its idempotency key: the key protects
+        // against *duplicate* work, not against retrying work that
+        // never finished — a resubmission starts fresh (and resumes
+        // whatever the failed run made durable).
+        if !job.spec.key.is_empty() {
+            inner.keys.lock().unwrap().remove(&job.spec.key);
+        }
+    }
     tally.fetch_add(1, Ordering::Relaxed);
     inner.running.fetch_sub(1, Ordering::Relaxed);
     job.push(terminal, true);
@@ -438,7 +576,14 @@ fn job_terminal(inner: &SchedInner, job: &Job) -> Response {
         // nobody thought to instrument.
         .with_spans(job.id)
         .with_flight_recorder(inner.store.dir().join("postmortem"));
-    if let Some(deadline) = inner.config.deadline {
+    // The effective deadline is the tighter of the daemon's configured
+    // one and the deadline the client propagated with the spec.
+    let mut deadline = inner.config.deadline;
+    if job.spec.deadline_ms > 0 {
+        let client = Duration::from_millis(job.spec.deadline_ms);
+        deadline = Some(deadline.map_or(client, |d| d.min(client)));
+    }
+    if let Some(deadline) = deadline {
         runner = runner.with_deadline(deadline);
     }
     if job.spec.sentinel {
@@ -533,6 +678,8 @@ mod tests {
             run_ms: 0,
             sentinel: false,
             inject: String::new(),
+            key: String::new(),
+            deadline_ms: 0,
         }
     }
 
@@ -564,8 +711,9 @@ mod tests {
     fn job_streams_chips_then_done() {
         let store = FleetStore::open(&scratch("stream")).unwrap();
         let sched = Scheduler::start(SchedulerConfig::default(), store);
-        let id = sched.submit(spec(3)).unwrap().unwrap();
-        let events = drain(&sched, id);
+        let sub = sched.submit(spec(3)).unwrap().unwrap();
+        assert!(!sub.deduped);
+        let events = drain(&sched, sub.job);
         let chips = events
             .iter()
             .filter(|e| matches!(e, Response::Chip { .. }))
@@ -587,9 +735,10 @@ mod tests {
         let store = FleetStore::open(&scratch("resume")).unwrap();
         let sched = Scheduler::start(SchedulerConfig::default(), store.clone());
         let first = sched.submit(spec(3)).unwrap().unwrap();
-        drain(&sched, first);
+        drain(&sched, first.job);
         let second = sched.submit(spec(3)).unwrap().unwrap();
-        let events = drain(&sched, second);
+        assert!(!second.deduped, "distinct keys (empty) never dedup");
+        let events = drain(&sched, second.job);
         match events.last().unwrap() {
             Response::Done { chips, resumed, .. } => {
                 assert_eq!(*chips, 3);
@@ -619,7 +768,7 @@ mod tests {
         let mut busy = None;
         for _ in 0..8 {
             match sched.submit(spec(32)).unwrap() {
-                Ok(id) => admitted.push(id),
+                Ok(sub) => admitted.push(sub.job),
                 Err(info) => {
                     busy = Some(info);
                     break;
@@ -628,6 +777,12 @@ mod tests {
         }
         let busy = busy.expect("cap must reject");
         assert_eq!(busy.cap, 1);
+        assert!(!busy.parked, "queue-depth shed, not ENOSPC drain");
+        assert!(
+            (100..=2_000).contains(&busy.retry_after_ms),
+            "load-scaled hint: {}",
+            busy.retry_after_ms
+        );
         assert!(sched.stats().rejected >= 1);
         for id in admitted {
             assert!(sched.cancel(id));
@@ -640,7 +795,7 @@ mod tests {
     fn metrics_snapshot_settles_with_the_terminal_event() {
         let store = FleetStore::open(&scratch("metrics")).unwrap();
         let sched = Scheduler::start(SchedulerConfig::default(), store);
-        let id = sched.submit(spec(2)).unwrap().unwrap();
+        let id = sched.submit(spec(2)).unwrap().unwrap().job;
         drain(&sched, id);
         let text = sched.metrics();
         let snap = vs_obs::PromSnapshot::parse(&text).unwrap();
@@ -655,6 +810,79 @@ mod tests {
             snap.value("voltspec_fleetd_worker0_busy_seconds").is_some(),
             "per-worker busy gauges are exposed"
         );
+        sched.shutdown();
+        sched.join();
+    }
+
+    #[test]
+    fn idempotency_keys_dedup_resubmissions() {
+        let store = FleetStore::open(&scratch("dedup")).unwrap();
+        let sched = Scheduler::start(SchedulerConfig::default(), store);
+        let mut keyed = spec(2);
+        keyed.key = "client-1-submit-0".into();
+        let first = sched.submit(keyed.clone()).unwrap().unwrap();
+        assert!(!first.deduped);
+        drain(&sched, first.job);
+        // A retry of the same key — even after the job finished — maps
+        // back to the same job instead of starting a duplicate sweep.
+        let retry = sched.submit(keyed).unwrap().unwrap();
+        assert!(retry.deduped);
+        assert_eq!(retry.job, first.job);
+        // The replayed stream is watchable and ends in the same Done.
+        let events = drain(&sched, retry.job);
+        assert!(matches!(events.last().unwrap(), Response::Done { .. }));
+        let snap = vs_obs::PromSnapshot::parse(&sched.metrics()).unwrap();
+        assert_eq!(snap.value("voltspec_fleetd_jobs_deduped"), Some(1.0));
+        assert_eq!(snap.value("voltspec_fleetd_jobs_submitted"), Some(1.0));
+        sched.shutdown();
+        sched.join();
+    }
+
+    #[test]
+    fn enospc_parks_admissions_until_the_store_recovers() {
+        let _serial = crate::FSFAULT_TEST_LOCK.lock().unwrap();
+        let dir = scratch("park");
+        let store = FleetStore::open(&dir).unwrap();
+        let _guard = vs_guard::fsfault::install(
+            &dir,
+            vs_guard::fsfault::FsFaultPlan {
+                enospc: 12,
+                short_writes: 0,
+                fsync_failures: 0,
+            },
+        );
+        let sched = Scheduler::start(SchedulerConfig::default(), store);
+        let sub = sched.submit(spec(2)).unwrap().unwrap();
+        let events = drain(&sched, sub.job);
+        match events.last().unwrap() {
+            Response::Failed { error, .. } => {
+                assert!(error.contains("no space left"), "{error}");
+            }
+            other => panic!("expected Failed on injected ENOSPC, got {other:?}"),
+        }
+        // The failure parked admissions: sheds now carry the parked flag
+        // while the remaining fault budget keeps the probe write failing.
+        let shed = sched.submit(spec(2)).unwrap().unwrap_err();
+        assert!(shed.parked, "ENOSPC drain mode, not queue depth");
+        // Each parked submit burns one probe; once the budget is spent
+        // the store is writable again and admission resumes.
+        let mut resumed = None;
+        for _ in 0..16 {
+            match sched.submit(spec(2)).unwrap() {
+                Ok(sub) => {
+                    resumed = Some(sub);
+                    break;
+                }
+                Err(info) => assert!(info.parked),
+            }
+        }
+        let resumed = resumed.expect("admission resumes once the budget drains");
+        let events = drain(&sched, resumed.job);
+        assert!(matches!(events.last().unwrap(), Response::Done { .. }));
+        let snap = vs_obs::PromSnapshot::parse(&sched.metrics()).unwrap();
+        assert!(snap.value("voltspec_fleetd_shed_parked").unwrap() >= 1.0);
+        assert_eq!(snap.value("voltspec_fleetd_store_parked"), Some(0.0));
+        assert!(snap.value("voltspec_guard_fs_enospc_injected").unwrap() >= 1.0);
         sched.shutdown();
         sched.join();
     }

@@ -45,11 +45,16 @@ fn handle(
     match req {
         Request::Submit(spec) => {
             let resp = match scheduler.submit(spec) {
-                Ok(Ok(job)) => Response::Submitted { job },
+                Ok(Ok(sub)) => Response::Submitted {
+                    job: sub.job,
+                    deduped: sub.deduped,
+                },
                 Ok(Err(busy)) => Response::Busy {
                     running: busy.running,
                     queued: busy.queued,
                     cap: busy.cap,
+                    retry_after_ms: busy.retry_after_ms,
+                    parked: busy.parked,
                 },
                 Err(msg) => Response::Error { msg },
             };

@@ -1,0 +1,74 @@
+//! Boot-time robustness of the real `vs-fleetd` binary.
+//!
+//! The flight recorder drops postmortem bundles under the store; an
+//! operator who fat-fingers permissions (or, here, a stray *file* where
+//! the bundle directory belongs) must get a daemon that warns once and
+//! serves normally — never one that refuses to boot over an optional
+//! diagnostic surface.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+use vs_fleet::ControllerVariant;
+use vs_fleetd::{protocol, Request, SweepSpec};
+
+#[test]
+fn unwritable_postmortem_dir_warns_but_does_not_abort_boot() {
+    let dir = std::env::temp_dir().join("voltspec-fleetd-boot-postmortem");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = dir.join("store");
+    std::fs::create_dir_all(&store).unwrap();
+    // A file squatting on the bundle directory's name: `create_dir_all`
+    // fails, and so would every bundle write after a crash.
+    std::fs::write(store.join("postmortem"), b"not a directory").unwrap();
+
+    // One full session over stdio: submit a tiny sweep, follow it to its
+    // terminal event, drain. The first admitted job has id 1.
+    let submit = protocol::encode_request(&Request::Submit(SweepSpec {
+        seed: 11,
+        chips: 2,
+        variant: ControllerVariant::Hardware,
+        quick: true,
+        run_ms: 0,
+        sentinel: false,
+        inject: String::new(),
+        key: String::new(),
+        deadline_ms: 0,
+    }));
+    let watch = protocol::encode_request(&Request::Watch { job: 1 });
+    let shutdown = protocol::encode_request(&Request::Shutdown);
+    let script = format!("{submit}\n{watch}\n{shutdown}\n");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_vs-fleetd"))
+        .arg("--stdio")
+        .arg("--store")
+        .arg(&store)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "daemon must boot and drain cleanly, got {:?}\nstderr: {stderr}",
+        out.status
+    );
+    assert!(
+        stderr.contains("postmortem directory") && stderr.contains("not writable"),
+        "boot must warn about the unusable bundle directory, got:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("\"type\":\"done\""),
+        "the sweep must still complete normally, got:\n{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

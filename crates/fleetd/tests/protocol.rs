@@ -30,6 +30,8 @@ fn all_requests() -> Vec<Request> {
             run_ms: 0,
             sentinel: false,
             inject: String::new(),
+            key: String::new(),
+            deadline_ms: 0,
         }),
         Request::Submit(SweepSpec {
             seed: 0,
@@ -39,6 +41,8 @@ fn all_requests() -> Vec<Request> {
             run_ms: 250,
             sentinel: true,
             inject: "due@500ms:d0".into(),
+            key: "sweep-2014".into(),
+            deadline_ms: 30_000,
         }),
         Request::Submit(SweepSpec {
             seed: 0x2014_CAFE,
@@ -48,6 +52,8 @@ fn all_requests() -> Vec<Request> {
             run_ms: 1,
             sentinel: false,
             inject: String::new(),
+            key: String::new(),
+            deadline_ms: u64::MAX,
         }),
         Request::Stats,
         Request::Watch { job: u64::MAX },
@@ -58,11 +64,20 @@ fn all_requests() -> Vec<Request> {
 
 fn all_responses() -> Vec<Response> {
     vec![
-        Response::Submitted { job: 17 },
+        Response::Submitted {
+            job: 17,
+            deduped: false,
+        },
+        Response::Submitted {
+            job: 17,
+            deduped: true,
+        },
         Response::Busy {
             running: 2,
             queued: 4,
             cap: 4,
+            retry_after_ms: 700,
+            parked: true,
         },
         Response::Stats(DaemonStats {
             running: 1,

@@ -1,0 +1,305 @@
+//! Deterministic filesystem fault injection ("FaultyFs") for torture
+//! testing the daemon tier.
+//!
+//! The durable-write paths guarded by this crate (journal appends,
+//! checkpoint saves, postmortem bundles) consult this module before
+//! touching the disk. When no plan is installed the consultation is a
+//! single relaxed atomic load — the production fast path. A torture
+//! harness installs an [`FsFaultPlan`] scoped to a directory prefix, and
+//! writes under that prefix then consume the plan's fault budget in a
+//! fixed, deterministic order:
+//!
+//! 1. **ENOSPC** — the write fails up front with a "no space left on
+//!    device" error; nothing reaches the file. Callers classify this by
+//!    the error text and can park new work until space returns.
+//! 2. **Short writes** — only a prefix of the payload reaches the file
+//!    before the write fails, simulating a power-loss truncation point:
+//!    the torn prefix *is* durable, exactly what a crash mid-`write(2)`
+//!    leaves behind, so replay-side truncation detection gets exercised.
+//! 3. **Fsync failures** — the data may be in the page cache but the
+//!    durability barrier fails; acknowledgement must not be sent.
+//!
+//! Injected faults are tallied in process-wide monotone counters
+//! ([`counters`]) so the observability plane can prove every injected
+//! fault was accounted for. Only one plan can be installed at a time;
+//! [`install`] returns a guard that uninstalls on drop, and tests that
+//! install plans must serialize (the scope prefix keeps unrelated
+//! concurrent writes unaffected, but the budget itself is global).
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A counted budget of filesystem faults to inject, consumed in the
+/// fixed order ENOSPC → short writes → fsync failures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsFaultPlan {
+    /// Writes that fail up front with "no space left on device".
+    pub enospc: u32,
+    /// Writes that persist only a prefix (power-loss truncation).
+    pub short_writes: u32,
+    /// Durability barriers (fsync) that fail after the data is written.
+    pub fsync_failures: u32,
+}
+
+impl FsFaultPlan {
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.enospc == 0 && self.short_writes == 0 && self.fsync_failures == 0
+    }
+}
+
+/// Process-wide tallies of faults injected since startup (monotone, never
+/// reset — suitable for Prometheus counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsFaultCounters {
+    /// ENOSPC errors injected.
+    pub enospc: u64,
+    /// Short (torn) writes injected.
+    pub short_writes: u64,
+    /// Fsync failures injected.
+    pub fsync_failures: u64,
+}
+
+impl FsFaultCounters {
+    /// Total faults injected across all classes.
+    pub fn total(&self) -> u64 {
+        self.enospc + self.short_writes + self.fsync_failures
+    }
+}
+
+/// What a hooked write should do, as decided by the installed plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// No fault: perform the write normally.
+    Intact,
+    /// Write only the first `n` bytes of the payload, then fail with
+    /// [`short_write_error`]. The prefix should be made durable first —
+    /// that is what a real power loss leaves behind.
+    Short(usize),
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<Scope>> = Mutex::new(None);
+static INJECTED_ENOSPC: AtomicU64 = AtomicU64::new(0);
+static INJECTED_SHORT: AtomicU64 = AtomicU64::new(0);
+static INJECTED_FSYNC: AtomicU64 = AtomicU64::new(0);
+
+#[derive(Debug)]
+struct Scope {
+    prefix: PathBuf,
+    remaining: FsFaultPlan,
+}
+
+/// Uninstalls the plan when dropped, so a panicking test cannot leak
+/// faults into its neighbours.
+#[derive(Debug)]
+pub struct FsFaultGuard(());
+
+impl Drop for FsFaultGuard {
+    fn drop(&mut self) {
+        uninstall();
+    }
+}
+
+/// Installs `plan` for every durable write whose target path starts with
+/// `prefix`. Replaces any previously installed plan.
+pub fn install(prefix: &Path, plan: FsFaultPlan) -> FsFaultGuard {
+    let mut state = STATE.lock().unwrap();
+    *state = Some(Scope {
+        prefix: prefix.to_path_buf(),
+        remaining: plan,
+    });
+    ACTIVE.store(!plan.is_empty(), Ordering::Release);
+    FsFaultGuard(())
+}
+
+/// Removes the installed plan (idempotent).
+pub fn uninstall() {
+    let mut state = STATE.lock().unwrap();
+    *state = None;
+    ACTIVE.store(false, Ordering::Release);
+}
+
+/// The fault budget still unconsumed, if a plan is installed.
+pub fn remaining() -> Option<FsFaultPlan> {
+    STATE.lock().unwrap().as_ref().map(|s| s.remaining)
+}
+
+/// Process-wide injected-fault tallies.
+pub fn counters() -> FsFaultCounters {
+    FsFaultCounters {
+        enospc: INJECTED_ENOSPC.load(Ordering::Relaxed),
+        short_writes: INJECTED_SHORT.load(Ordering::Relaxed),
+        fsync_failures: INJECTED_FSYNC.load(Ordering::Relaxed),
+    }
+}
+
+/// The error an injected ENOSPC surfaces as. The text deliberately
+/// matches the kernel's, so classification by message ("no space left")
+/// treats injected and real exhaustion identically.
+pub fn enospc_error() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::StorageFull,
+        "injected fault: no space left on device",
+    )
+}
+
+/// The error a short (torn) write surfaces as after its durable prefix.
+pub fn short_write_error() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::WriteZero,
+        "injected fault: short write (power-loss truncation)",
+    )
+}
+
+/// The error an injected fsync failure surfaces as.
+pub fn fsync_error() -> io::Error {
+    io::Error::other("injected fault: fsync failed")
+}
+
+/// Consults the plan before a durable write of `len` bytes to `path`.
+///
+/// Returns `Err` for an injected ENOSPC (nothing must be written),
+/// `Ok(WriteFault::Short(n))` when only the first `n` bytes should land,
+/// and `Ok(WriteFault::Intact)` otherwise.
+pub fn write_fault(path: &Path, len: usize) -> io::Result<WriteFault> {
+    if !ACTIVE.load(Ordering::Acquire) {
+        return Ok(WriteFault::Intact);
+    }
+    let mut state = STATE.lock().unwrap();
+    let Some(scope) = state.as_mut() else {
+        return Ok(WriteFault::Intact);
+    };
+    if !path.starts_with(&scope.prefix) {
+        return Ok(WriteFault::Intact);
+    }
+    if scope.remaining.enospc > 0 {
+        scope.remaining.enospc -= 1;
+        INJECTED_ENOSPC.fetch_add(1, Ordering::Relaxed);
+        return Err(enospc_error());
+    }
+    if scope.remaining.short_writes > 0 {
+        scope.remaining.short_writes -= 1;
+        INJECTED_SHORT.fetch_add(1, Ordering::Relaxed);
+        return Ok(WriteFault::Short(len / 2));
+    }
+    Ok(WriteFault::Intact)
+}
+
+/// Consults the plan before an fsync of `path`; `Err` means the barrier
+/// failed and the caller must not acknowledge durability.
+pub fn sync_fault(path: &Path) -> io::Result<()> {
+    if !ACTIVE.load(Ordering::Acquire) {
+        return Ok(());
+    }
+    let mut state = STATE.lock().unwrap();
+    let Some(scope) = state.as_mut() else {
+        return Ok(());
+    };
+    if !path.starts_with(&scope.prefix) {
+        return Ok(());
+    }
+    if scope.remaining.fsync_failures > 0 {
+        scope.remaining.fsync_failures -= 1;
+        INJECTED_FSYNC.fetch_add(1, Ordering::Relaxed);
+        return Err(fsync_error());
+    }
+    Ok(())
+}
+
+/// Serializes unit tests that install plans (the slot is process-global).
+#[cfg(test)]
+pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The plan slot is process-global; serialize the tests that use it.
+    use super::TEST_LOCK as LOCK;
+
+    #[test]
+    fn inactive_hooks_are_transparent() {
+        let _l = LOCK.lock().unwrap();
+        uninstall();
+        let p = Path::new("/tmp/anywhere");
+        assert_eq!(write_fault(p, 100).unwrap(), WriteFault::Intact);
+        assert!(sync_fault(p).is_ok());
+    }
+
+    #[test]
+    fn budget_is_consumed_in_order_and_counted() {
+        let _l = LOCK.lock().unwrap();
+        let before = counters();
+        let scope = Path::new("/tmp/vs-fsfault-scope");
+        let _g = install(
+            scope,
+            FsFaultPlan {
+                enospc: 1,
+                short_writes: 1,
+                fsync_failures: 1,
+            },
+        );
+        let target = scope.join("store/x.journal");
+        // ENOSPC first…
+        let err = write_fault(&target, 10).unwrap_err();
+        assert!(err.to_string().contains("no space left"));
+        // …then the short write…
+        assert_eq!(write_fault(&target, 10).unwrap(), WriteFault::Short(5));
+        // …then the budget is dry.
+        assert_eq!(write_fault(&target, 10).unwrap(), WriteFault::Intact);
+        // Fsync budget is independent of the write budget.
+        assert!(sync_fault(&target).is_err());
+        assert!(sync_fault(&target).is_ok());
+        let after = counters();
+        assert_eq!(after.enospc - before.enospc, 1);
+        assert_eq!(after.short_writes - before.short_writes, 1);
+        assert_eq!(after.fsync_failures - before.fsync_failures, 1);
+        assert_eq!(remaining(), Some(FsFaultPlan::default()));
+    }
+
+    #[test]
+    fn paths_outside_the_scope_are_untouched() {
+        let _l = LOCK.lock().unwrap();
+        let _g = install(
+            Path::new("/tmp/vs-fsfault-only-here"),
+            FsFaultPlan {
+                enospc: 1,
+                ..Default::default()
+            },
+        );
+        let outside = Path::new("/tmp/elsewhere/file");
+        assert_eq!(write_fault(outside, 10).unwrap(), WriteFault::Intact);
+        assert!(sync_fault(outside).is_ok());
+        // The budget was not consumed by the out-of-scope write.
+        assert_eq!(
+            remaining().unwrap(),
+            FsFaultPlan {
+                enospc: 1,
+                ..Default::default()
+            }
+        );
+    }
+
+    #[test]
+    fn guard_uninstalls_on_drop() {
+        let _l = LOCK.lock().unwrap();
+        let scope = Path::new("/tmp/vs-fsfault-dropped");
+        {
+            let _g = install(
+                scope,
+                FsFaultPlan {
+                    enospc: 5,
+                    ..Default::default()
+                },
+            );
+        }
+        assert_eq!(remaining(), None);
+        assert_eq!(
+            write_fault(&scope.join("f"), 4).unwrap(),
+            WriteFault::Intact
+        );
+    }
+}

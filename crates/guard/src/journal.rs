@@ -80,8 +80,18 @@ pub struct JournalWriter {
 
 impl JournalWriter {
     /// Creates (truncating) a journal at `path` and durably writes the
-    /// given raw header lines.
+    /// given raw header lines. Under an installed [`crate::fsfault`]
+    /// plan, creation consumes ENOSPC budget *before* touching the
+    /// file — a store that is out of space cannot start a new journal,
+    /// and the caller sees the failure up front rather than mid-run.
     pub fn create(path: &Path, header: &[&str]) -> io::Result<JournalWriter> {
+        let header_len: usize = header.iter().map(|l| l.len() + 1).sum();
+        if let crate::fsfault::WriteFault::Short(_) = crate::fsfault::write_fault(path, header_len)?
+        {
+            // A torn header leaves no usable journal; surface it as the
+            // creation failing outright.
+            return Err(crate::fsfault::short_write_error());
+        }
         let file = File::create(path)?;
         let mut writer = JournalWriter {
             path: path.to_path_buf(),
@@ -96,8 +106,12 @@ impl JournalWriter {
     }
 
     /// Opens an existing journal for appending (records go after whatever
-    /// is already there).
+    /// is already there). Consumes injected ENOSPC budget like
+    /// [`create`](JournalWriter::create); reopening on a full disk fails.
     pub fn open_append(path: &Path) -> io::Result<JournalWriter> {
+        if let crate::fsfault::WriteFault::Short(_) = crate::fsfault::write_fault(path, 1)? {
+            return Err(crate::fsfault::short_write_error());
+        }
         let file = OpenOptions::new().append(true).open(path)?;
         Ok(JournalWriter {
             path: path.to_path_buf(),
@@ -106,16 +120,31 @@ impl JournalWriter {
     }
 
     /// Appends one framed record and fsyncs. When this returns `Ok`, the
-    /// record is durable.
+    /// record is durable. Under an installed [`crate::fsfault`] plan the
+    /// append can fail with injected ENOSPC (nothing written), a torn
+    /// write (a durable prefix of the record — exactly what a power loss
+    /// mid-write leaves), or an fsync failure (record written but not
+    /// acknowledged durable).
     pub fn append(&mut self, payload: &str) -> io::Result<()> {
         let mut line = frame(payload);
         line.push('\n');
-        self.file.write_all(line.as_bytes())?;
+        let bytes = line.as_bytes();
+        match crate::fsfault::write_fault(&self.path, bytes.len())? {
+            crate::fsfault::WriteFault::Intact => self.file.write_all(bytes)?,
+            crate::fsfault::WriteFault::Short(n) => {
+                self.file.write_all(&bytes[..n])?;
+                // Make the torn prefix durable, as a real crash would.
+                self.file.flush()?;
+                let _ = self.file.sync_data();
+                return Err(crate::fsfault::short_write_error());
+            }
+        }
         self.sync()
     }
 
     /// Flushes and fsyncs the underlying file.
     fn sync(&mut self) -> io::Result<()> {
+        crate::fsfault::sync_fault(&self.path)?;
         self.file.flush()?;
         self.file.sync_data()
     }
@@ -181,5 +210,35 @@ mod tests {
         assert_eq!(unframe(lines[2]), Ok("record one"));
         assert_eq!(unframe(lines[3]), Ok("record two"));
         assert_eq!(unframe(lines[4]), Ok("record three"));
+    }
+
+    #[test]
+    fn injected_torn_append_is_durable_prefix_and_detected_on_replay() {
+        let _l = crate::fsfault::TEST_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("vs-guard-journal-fsfault");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.journal");
+        let mut w = JournalWriter::create(&path, &["magic v1"]).unwrap();
+        w.append("record one").unwrap();
+
+        let _g = crate::fsfault::install(
+            &dir,
+            crate::fsfault::FsFaultPlan {
+                short_writes: 1,
+                ..Default::default()
+            },
+        );
+        let err = w.append("record two").unwrap_err();
+        assert!(err.to_string().contains("short write"));
+        drop(w);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "header, good record, torn prefix");
+        assert_eq!(unframe(lines[1]), Ok("record one"));
+        assert!(
+            unframe(lines[2]).is_err(),
+            "the torn record must be detected, not silently parsed"
+        );
     }
 }

@@ -27,6 +27,11 @@
 //!   records, flushed and fsynced per append, so a SIGKILL at any instant
 //!   loses at most the record being written (and that record is *detected*
 //!   as truncated or corrupt on replay, never silently mis-parsed).
+//! * **Filesystem fault injection** — the [`fsfault`] module ("FaultyFs"):
+//!   every durable write path above consults a deterministic, counted
+//!   fault budget (ENOSPC, short/torn writes, fsync failures) scoped to a
+//!   directory prefix, so torture harnesses can prove the recovery story
+//!   end to end. With no plan installed the hook is one atomic load.
 //!
 //! Everything is std-only (the workspace builds offline) and wall-clock
 //! state never feeds into simulated results: supervision decides *whether*
@@ -60,6 +65,7 @@
 
 mod cancel;
 mod crc32;
+pub mod fsfault;
 mod journal;
 mod watchdog;
 

@@ -277,8 +277,22 @@ pub fn write_bundle(dir: &Path, bundle: &PostmortemBundle) -> io::Result<PathBuf
         text.push_str(&frame(&line));
         text.push('\n');
     }
+    // FaultyFs consultation (keyed on the final path): a failed bundle
+    // write degrades gracefully upstream — the runner records the loss
+    // in the degradation report instead of failing the job.
+    let fault = vs_guard::fsfault::write_fault(&path, text.len())?;
     let mut file = File::create(&tmp)?;
-    file.write_all(text.as_bytes())?;
+    match fault {
+        vs_guard::fsfault::WriteFault::Intact => file.write_all(text.as_bytes())?,
+        vs_guard::fsfault::WriteFault::Short(n) => {
+            file.write_all(&text.as_bytes()[..n])?;
+            let _ = file.sync_data();
+            drop(file);
+            let _ = fs::remove_file(&tmp);
+            return Err(vs_guard::fsfault::short_write_error());
+        }
+    }
+    vs_guard::fsfault::sync_fault(&path)?;
     file.flush()?;
     file.sync_data()?;
     drop(file);

@@ -30,6 +30,23 @@ pub const JOBS_QUEUED: &str = "fleetd.jobs_queued";
 /// Gauge: seconds since the daemon started serving.
 pub const UPTIME_SECONDS: &str = "fleetd.uptime_seconds";
 
+/// Counter: submissions whose idempotency key matched an existing job
+/// (no duplicate sweep started).
+pub const JOBS_DEDUPED: &str = "fleetd.jobs_deduped";
+/// Counter: submissions shed because the admission queue was at cap.
+pub const SHED_QUEUE_FULL: &str = "fleetd.shed_queue_full";
+/// Counter: submissions shed while the store was parked on ENOSPC.
+pub const SHED_PARKED: &str = "fleetd.shed_parked";
+/// Gauge: 1 while the store is parked (ENOSPC drain mode), else 0.
+pub const STORE_PARKED: &str = "fleetd.store_parked";
+
+/// Counter: injected ENOSPC faults (FaultyFs torture layer).
+pub const FS_ENOSPC_INJECTED: &str = "guard.fs_enospc_injected";
+/// Counter: injected short/torn writes (FaultyFs torture layer).
+pub const FS_SHORT_WRITES_INJECTED: &str = "guard.fs_short_writes_injected";
+/// Counter: injected fsync failures (FaultyFs torture layer).
+pub const FS_FSYNC_FAILURES_INJECTED: &str = "guard.fs_fsync_failures_injected";
+
 /// Counter: chips fully simulated across all jobs.
 pub const CHIPS_COMPLETED: &str = "fleet.chips_completed";
 /// Counter: voltage rollbacks observed across all jobs (DUE-triggered

@@ -4,7 +4,7 @@
 //! voltage `Vc` with probability `logistic((Vc − V)/s)`. This module turns
 //! the per-cell model into word- and line-level outcomes:
 //!
-//! * [`AccessContext::sample_word_read`] — draws which bits of a word flip
+//! * [`AccessContext::sample_word_flips`] — draws which bits of a word flip
 //!   on one concrete read (used by the real encoded data path);
 //! * [`word_failure_probabilities`] — the exact probabilities that a word
 //!   read yields zero / exactly one / two-or-more flipped bits (used by the
@@ -61,14 +61,7 @@ impl AccessContext {
 
     /// Samples one read of a word: returns the mask of codeword bit
     /// positions that flipped (usually empty, almost always at most one
-    /// bit at operating voltages).
-    ///
-    /// This is the alloc-free successor of [`sample_word_read`]
-    /// (now deprecated): it consumes the identical RNG draw sequence and
-    /// flips the identical bits, but returns a `Copy` [`FlipMask`] instead
-    /// of heap-allocating a `Vec<u32>`.
-    ///
-    /// [`sample_word_read`]: AccessContext::sample_word_read
+    /// bit at operating voltages) as a `Copy`, alloc-free [`FlipMask`].
     pub fn sample_word_flips(&self, cells: &WordCells, rng: &mut CounterRng) -> FlipMask {
         let mut flipped = FlipMask::EMPTY;
         for cell in cells.cells() {
@@ -83,16 +76,6 @@ impl AccessContext {
             }
         }
         flipped
-    }
-
-    /// Samples one read of a word: returns the codeword bit positions that
-    /// flipped as an allocated list.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use `sample_word_flips`, which returns an alloc-free `FlipMask`"
-    )]
-    pub fn sample_word_read(&self, cells: &WordCells, rng: &mut CounterRng) -> Vec<u32> {
-        self.sample_word_flips(cells, rng).to_bits_vec()
     }
 }
 
@@ -261,20 +244,6 @@ mod tests {
         let ctx = AccessContext::new(700.0, 4.5);
         let (pc, pe, pu) = line_read_probabilities(&[], &ctx);
         assert_eq!((pc, pe, pu), (1.0, 0.0, 0.0));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_vec_shim_matches_mask_sampler() {
-        let w = word(&[700.0, 688.0, 671.0]);
-        let ctx = AccessContext::new(695.0, 4.5);
-        let mut rng_a = CounterRng::from_key(77, &[1]);
-        let mut rng_b = CounterRng::from_key(77, &[1]);
-        for _ in 0..10_000 {
-            let mask = ctx.sample_word_flips(&w, &mut rng_a);
-            let list = ctx.sample_word_read(&w, &mut rng_b);
-            assert_eq!(mask, FlipMask::from_bits(&list));
-        }
     }
 
     #[test]

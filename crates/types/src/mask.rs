@@ -77,8 +77,8 @@ impl FlipMask {
         FlipBits(self.0)
     }
 
-    /// The flip positions as a `Vec<u32>` (compatibility with the
-    /// deprecated list-returning APIs; allocates).
+    /// The flip positions as an allocated `Vec<u32>`; convenient in tests
+    /// and diagnostics, avoid on the hot read path.
     pub fn to_bits_vec(self) -> Vec<u32> {
         self.bits().collect()
     }

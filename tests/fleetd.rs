@@ -41,6 +41,8 @@ fn spec(seed: u64, chips: u64) -> SweepSpec {
         run_ms: 0,
         sentinel: false,
         inject: String::new(),
+        key: String::new(),
+        deadline_ms: 0,
     }
 }
 
@@ -73,8 +75,8 @@ fn socket_session_full_lifecycle() {
     let mut client = Client::connect(&socket).unwrap();
     // One worker, one queue slot: the first job runs, the second queues,
     // and everything past that must be a typed Busy.
-    let running = client.submit(spec(1, 6)).unwrap().expect("admitted");
-    let queued = client.submit(spec(2, 6)).unwrap().expect("queued");
+    let running = client.submit(spec(1, 6)).unwrap().expect("admitted").job;
+    let queued = client.submit(spec(2, 6)).unwrap().expect("queued").job;
     match client.submit(spec(3, 6)).unwrap() {
         Err(Response::Busy { queued: q, cap, .. }) => {
             assert_eq!(cap, 1);
@@ -169,7 +171,7 @@ fn stdio_session_full_lifecycle() {
         .lines()
         .map(|l| vs_fleetd::protocol::decode_response(l).unwrap())
         .collect();
-    assert!(matches!(responses[0], Response::Submitted { job: 1 }));
+    assert!(matches!(responses[0], Response::Submitted { job: 1, .. }));
     let chips = responses
         .iter()
         .filter(|r| matches!(r, Response::Chip { .. }))
@@ -274,7 +276,7 @@ fn killed_daemon_recovers_the_journal_and_matches_an_uninterrupted_run() {
 /// Submits a sweep and follows its event stream to the terminal event,
 /// without a transport — the scheduler is the system under test here.
 fn run_to_end(scheduler: &Scheduler, sweep: SweepSpec) -> JobOutcome {
-    let job = scheduler.submit(sweep).unwrap().expect("admitted");
+    let job = scheduler.submit(sweep).unwrap().expect("admitted").job;
     let mut cursor = 0;
     loop {
         let chunk = scheduler
@@ -309,4 +311,123 @@ fn run_to_end(scheduler: &Scheduler, sweep: SweepSpec) -> JobOutcome {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Daemon-tier torture: seeded fault schedules against a live daemon.
+// ---------------------------------------------------------------------------
+
+use std::sync::Mutex;
+use vs_faults::{minimize, FaultPlan, FaultSpec};
+use vs_fleetd::torture::{run_torture_case, torture_diverges, TortureCase};
+
+/// The injected store-fault plan is process-global (one slot), so
+/// torture cases from different test threads must never overlap.
+static TORTURE_LOCK: Mutex<()> = Mutex::new(());
+
+/// The acceptance gate of the torture layer: a seeded schedule mixing
+/// every injection surface — torn frames, a dropped connection, a
+/// stalled read, store ENOSPC, and an overload flood past admission
+/// control — must leave a retrying client with results byte-identical
+/// to a fault-free run, zero duplicate sweeps, and every fault visible
+/// in the scraped metrics snapshot.
+#[test]
+fn seeded_torture_schedule_is_survived_byte_identically() {
+    let _l = TORTURE_LOCK.lock().unwrap();
+    let plan = FaultSpec::parse(
+        "daemon:torn:2,daemon:disconnect:1,daemon:stall:1,daemon:enospc:2,daemon:overload:3",
+    )
+    .unwrap()
+    .materialize(1);
+    let clean_plan = FaultPlan::new();
+    let fault_dir = scratch("torture-fault");
+    let clean_dir = scratch("torture-clean");
+    let fault = run_torture_case(&TortureCase {
+        plan: &plan,
+        seed: 99,
+        chips: 4,
+        job_workers: 2,
+        break_dedup: false,
+        dir: &fault_dir,
+    })
+    .unwrap();
+    let clean = run_torture_case(&TortureCase {
+        plan: &clean_plan,
+        seed: 99,
+        chips: 4,
+        job_workers: 2,
+        break_dedup: false,
+        dir: &clean_dir,
+    })
+    .unwrap();
+
+    // Identical results despite the schedule...
+    assert!(
+        matches!(fault.outcome, JobOutcome::Done { .. }),
+        "tortured run must complete, got {:?}",
+        fault.outcome
+    );
+    assert_eq!(fault.outcome, clean.outcome, "terminal outcomes diverged");
+    assert_eq!(
+        fault.done_lines, clean.done_lines,
+        "per-chip results diverged under faults"
+    );
+    assert_eq!(fault.done_lines.len(), 4, "every chip exactly once");
+    // ...with no duplicate admissions (the idempotency key held)...
+    assert_eq!(fault.duplicate_sweeps, 0);
+    // ...every scheduled wire fault actually fired...
+    assert_eq!(fault.transport.torn_frames, 2);
+    assert_eq!(fault.transport.disconnects, 1);
+    assert_eq!(fault.transport.stalls, 1);
+    assert!(fault.report.transport_retries >= 1, "faults forced retries");
+    // ...the overload flood was shed by admission control...
+    assert!(fault.shed_fillers >= 1, "overload past the cap must shed");
+    // ...and every injection surface shows up in the Prometheus snapshot.
+    let snap = vs_obs::PromSnapshot::parse(&fault.metrics).unwrap();
+    assert!(
+        snap.value("voltspec_guard_fs_enospc_injected")
+            .unwrap_or(0.0)
+            >= 1.0,
+        "injected ENOSPC must be visible in metrics:\n{}",
+        fault.metrics
+    );
+    assert!(
+        snap.value("voltspec_fleetd_shed_queue_full").unwrap_or(0.0) >= 1.0,
+        "queue-full sheds must be visible in metrics:\n{}",
+        fault.metrics
+    );
+    let _ = fs::remove_dir_all(&fault_dir);
+    let _ = fs::remove_dir_all(&clean_dir);
+}
+
+/// The planted recovery bug (a client that forgets its idempotency key
+/// across transport retries) must be caught by the divergence oracle and
+/// delta-debugged to the same minimal reproducer whatever the worker
+/// count: one dropped connection, which loses the `submitted` response
+/// after the daemon admitted the job — exactly the window idempotency
+/// keys exist for.
+#[test]
+fn planted_idempotency_bug_shrinks_to_the_same_reproducer_for_any_worker_count() {
+    let _l = TORTURE_LOCK.lock().unwrap();
+    let plan = FaultSpec::parse("daemon:torn:1,daemon:disconnect:2,daemon:stall:1")
+        .unwrap()
+        .materialize(1);
+    let mut reproducers = Vec::new();
+    for job_workers in [1usize, 4] {
+        let dir = scratch(&format!("torture-ddmin-{job_workers}"));
+        assert!(
+            torture_diverges(&plan, 7, 3, job_workers, true, &dir),
+            "the planted bug must make the full schedule diverge ({job_workers} workers)"
+        );
+        let minimal = minimize(&plan, |cand| {
+            torture_diverges(cand, 7, 3, job_workers, true, &dir)
+        });
+        reproducers.push(minimal.to_spec_string());
+        let _ = fs::remove_dir_all(&dir);
+    }
+    assert_eq!(
+        reproducers[0], reproducers[1],
+        "the reproducer must not depend on the worker count"
+    );
+    assert_eq!(reproducers[0], "daemon:disconnect:1");
 }

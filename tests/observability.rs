@@ -95,10 +95,12 @@ fn job_gauges_reconcile_once_terminals_are_seen() {
         run_ms: 0,
         sentinel: false,
         inject: String::new(),
+        key: String::new(),
+        deadline_ms: 0,
     };
     let mut ids = Vec::new();
     for n in 0..5u64 {
-        ids.push(sched.submit(spec(40 + n, 1 + n % 3)).unwrap().unwrap());
+        ids.push(sched.submit(spec(40 + n, 1 + n % 3)).unwrap().unwrap().job);
     }
     // Cancel one immediately — it must land in the cancelled bucket
     // whether it was caught queued or running.
