@@ -17,6 +17,9 @@
 //! repro --chaos N [--seed S] [--workers W] [--quiet]
 //! repro --chaos-daemon N [--seed S] [--workers W] [--break-dedup]
 //!       [--inject SPEC] [--quiet]
+//! repro --crash-matrix [CHIPS] [--seed S] [--workers W] [--quiet]
+//! repro fleetd fsck STORE [--repair]
+//! repro fleetd seed-store DIR --chips N [--seed S] [--torn-tail]
 //! repro fleetd submit --socket PATH --chips N [--seed S] [--variant V]
 //!        [--quick] [--run-ms M] [--sentinel] [--inject SPEC] [--watch]
 //!        [--key K] [--retries N] [--deadline DUR] [--torture SPEC]
@@ -114,9 +117,36 @@
 //!   for any `--workers` count. `--break-dedup` plants the recovery bug
 //!   (the client forgets its idempotency key across transport retries)
 //!   so CI can check the oracle catches it and shrinks it stably.
+//! * `--crash-matrix [CHIPS]` is the crash-consistency model checker
+//!   (see `vs_bench::crashmatrix`): record the store protocol of a
+//!   `CHIPS`-chip sweep (default 16) on a simulated filesystem that
+//!   numbers every mutation, enumerate every crash point — each
+//!   operation under dropped/retained pending data plus torn-prefix
+//!   variants of every write — and at each point reboot the exact
+//!   `vs-fleetd` recovery (fsck scrub in repair mode, then streaming
+//!   compaction) and check the durability invariants: no panic,
+//!   journal-acked chips survive byte-equal, compacted recovery equals
+//!   the lenient journal merge, a second boot is a no-op, fingerprints
+//!   agree with filenames. A violation is delta-debugged to a minimal
+//!   chip subset and its earliest violating crash point; stdout is
+//!   byte-identical for any `--workers` count. The `planted-crash`
+//!   cargo feature skips the fsync-before-rename in checkpoint saves so
+//!   CI can prove the checker catches exactly that bug.
 //!
-//! `repro fleetd ...` is the thin client for a running `vs-fleetd`
-//! daemon: submit a sweep (`--watch` follows its chip stream to the
+//! `repro fleetd fsck STORE` is the offline store doctor: walk a store
+//! directory (CRC every checkpoint and journal record, spot orphan
+//! temps, torn journal tails, headerless journals, fingerprint
+//! divergence) and report. `--repair` applies the same policy the
+//! daemon's boot scrub applies: orphan temps removed, torn tails
+//! truncated to the last whole record, headerless journals rebuilt from
+//! their filename fingerprint, unrecoverable files quarantined into
+//! `STORE/quarantine/`. Exit `0` when the store is clean (or fully
+//! repaired), `3` when issues remain. `repro fleetd seed-store DIR`
+//! writes a small valid store (optionally `--torn-tail` mutilates the
+//! journal's final record) so CI can exercise the fsck path end to end.
+//!
+//! `repro fleetd ...` is otherwise the thin client for a running
+//! `vs-fleetd` daemon: submit a sweep (`--watch` follows its chip stream to the
 //! terminal event; `--inject SPEC` plants deterministic faults), watch
 //! or cancel a job by id, fetch a stats snapshot or a Prometheus-text
 //! metrics snapshot (`metrics`), follow a live plain-ANSI dashboard
@@ -136,7 +166,9 @@
 //! `fleetd`, also a typed rejection from the daemon); `3` the sentinel
 //! found a safety-invariant violation (immediately under
 //! `--sentinel-fail-fast`, after the run completes otherwise; also a
-//! divergent `--chaos-daemon` case); `4` the daemon's admission control
+//! divergent `--chaos-daemon` case, a `--crash-matrix` durability
+//! violation, or a store `fsck` with unresolved issues); `4` the
+//! daemon's admission control
 //! rejected a submission (`busy`); `5` a fleetd transport failure —
 //! connect refused, torn frame, truncated or garbled response, or a
 //! retry/deadline budget exhausted without reaching a terminal event;
@@ -251,6 +283,7 @@ fn main() {
     let mut chaos_cases: Option<u64> = None;
     let mut chaos_daemon_cases: Option<u64> = None;
     let mut break_dedup = false;
+    let mut crash_matrix: Option<u64> = None;
     let mut trace: Option<String> = None;
     let mut trace_filter: Option<EventFilter> = None;
     let mut metrics = false;
@@ -359,6 +392,17 @@ fn main() {
                 );
             }
             "--break-dedup" => break_dedup = true,
+            "--crash-matrix" => {
+                // The chip count is optional: `--crash-matrix 6` records
+                // a 6-chip sweep, bare `--crash-matrix` the default 16.
+                crash_matrix = Some(match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(chips) => {
+                        i += 1;
+                        chips
+                    }
+                    None => 16,
+                });
+            }
             "--trace" => {
                 i += 1;
                 trace = Some(
@@ -411,14 +455,19 @@ fn main() {
                             repro --chaos N [--seed S] [--workers W] [--quiet]\n\
                             repro --chaos-daemon N [--seed S] [--workers W] \
                      [--break-dedup] [--quiet]\n\
+                            repro --crash-matrix [CHIPS] [--seed S] [--workers W] [--quiet]\n\
                             repro fleetd submit|watch|cancel|stats|metrics|top|shutdown \
                      --socket PATH [options]\n\
+                            repro fleetd fsck STORE [--repair]\n\
+                            repro fleetd seed-store DIR --chips N [--seed S] [--torn-tail]\n\
                      \n\
                      exit codes: 0 success; 2 usage/config error; \
                      3 safety-invariant violation\n\
                      \x20           (immediate under --sentinel-fail-fast, \
                      after the run otherwise,\n\
-                     \x20           or a divergent --chaos-daemon case); \
+                     \x20           a divergent --chaos-daemon case, a --crash-matrix \
+                     violation,\n\
+                     \x20           or unresolved fsck issues); \
                      4 daemon busy (admission control);\n\
                      \x20           5 fleetd transport failure; \
                      130 interrupted by Ctrl-C after flushing progress"
@@ -428,6 +477,11 @@ fn main() {
             other => targets.push(other.to_owned()),
         }
         i += 1;
+    }
+
+    if let Some(chips) = crash_matrix {
+        run_crash_matrix(chips, seed, workers, quiet);
+        return;
     }
 
     if let Some(cases) = chaos_cases {
@@ -863,6 +917,79 @@ fn run_chaos_daemon(
     }
 }
 
+/// Crash-consistency model checking of the fleet store (see
+/// [`vs_bench::crashmatrix`]): record the store protocol of a sweep on
+/// a simulated filesystem, enumerate every crash point, and check that
+/// the daemon's boot recovery holds every durability invariant at each
+/// one. A violation is delta-debugged to a minimal chip subset and its
+/// earliest violating point.
+///
+/// Everything on stdout is deterministic in `(chips, seed)` —
+/// byte-identical for any `--workers` count. Timings go to stderr.
+fn run_crash_matrix(chips: u64, seed: u64, workers: usize, quiet: bool) {
+    use vs_bench::crashmatrix;
+
+    let config = crashmatrix::matrix_config(seed, chips);
+    let summaries: Vec<_> = (0..chips)
+        .map(|c| vs_fleet::simulate_chip(&config, vs_types::ChipId(c)))
+        .collect();
+    let start = Instant::now();
+    let rec = crashmatrix::record(&config, &summaries);
+    println!(
+        "# voltspec crash matrix — {chips} chips, seed {seed}, {} recorded mutations \
+         ({} write barriers)\n",
+        rec.sim.mutations(),
+        crashmatrix::sync_ops(&rec)
+    );
+    let (points, findings) = crashmatrix::explore_recording(&rec, workers);
+    if findings.is_empty() {
+        println!("{points} crash points explored, 0 violations");
+        if !quiet {
+            eprintln!(
+                "crash-matrix: {points} points clean in {:.1}s",
+                start.elapsed().as_secs_f64()
+            );
+        }
+        return;
+    }
+
+    println!(
+        "{points} crash points explored, {} violated\n",
+        findings.len()
+    );
+    const SHOWN: usize = 10;
+    for finding in findings.iter().take(SHOWN) {
+        println!(
+            "  [{}] {}{}: {}",
+            finding.index,
+            finding.point,
+            rec.op_suffix(&finding.point),
+            finding.violation
+        );
+    }
+    if findings.len() > SHOWN {
+        println!("  … and {} more", findings.len() - SHOWN);
+    }
+
+    // Delta-debug to a 1-minimal chip subset, then its earliest
+    // violating crash point: the smallest workload that still breaks.
+    let (min_chips, min_rec, first) = crashmatrix::shrink(&config, &summaries, workers);
+    println!("\nminimal reproducer:");
+    println!("  chips: {min_chips:?} (seed {seed})");
+    println!(
+        "  crash point: {}{}",
+        first.point,
+        min_rec.op_suffix(&first.point)
+    );
+    println!("  violation: {}", first.violation);
+    println!("  rerun: repro --crash-matrix {chips} --seed {seed}");
+    eprintln!(
+        "repro: crash matrix found {} durability violation(s)",
+        findings.len()
+    );
+    std::process::exit(EXIT_VIOLATION);
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     std::process::exit(2);
@@ -884,7 +1011,9 @@ fn run_fleetd(args: &[String]) -> ! {
              \x20      \x20 [--key K] [--retries N] [--deadline DUR] [--torture SPEC]\n\
              \x20      repro fleetd watch|cancel --socket PATH --job J\n\
              \x20      repro fleetd stats|metrics|shutdown --socket PATH\n\
-             \x20      repro fleetd top --socket PATH [--interval DUR] [--iterations N]"
+             \x20      repro fleetd top --socket PATH [--interval DUR] [--iterations N]\n\
+             \x20      repro fleetd fsck STORE [--repair]\n\
+             \x20      repro fleetd seed-store DIR --chips N [--seed S] [--torn-tail]"
         );
         std::process::exit(2);
     }
@@ -911,6 +1040,14 @@ fn run_fleetd(args: &[String]) -> ! {
     let Some(command) = args.first().map(String::as_str) else {
         fleetd_die("missing subcommand");
     };
+    // The offline store tools need no socket: they act on a store
+    // directory directly, daemon running or not.
+    if command == "fsck" {
+        run_fsck(&args[1..]);
+    }
+    if command == "seed-store" {
+        run_seed_store(&args[1..]);
+    }
     let mut socket: Option<std::path::PathBuf> = None;
     let mut job: Option<u64> = None;
     let mut spec = SweepSpec {
@@ -1223,4 +1360,159 @@ fn run_fleetd(args: &[String]) -> ! {
         },
         other => fleetd_die(&format!("unknown subcommand {other:?}")),
     }
+}
+
+/// `repro fleetd fsck STORE [--repair]`: the offline store doctor.
+///
+/// Walks the store with the same scrub the daemon runs at boot
+/// ([`vs_fleetd::fsck`]): CRC every checkpoint and journal record, spot
+/// orphan temp files, torn journal tails, headerless journals, and
+/// fingerprint divergence. With `--repair`, fixes what is safe and
+/// quarantines what is not into `STORE/quarantine/`. Exit `0` when the
+/// store is clean or fully repaired, `3` when issues remain.
+fn run_fsck(args: &[String]) -> ! {
+    fn fsck_die(msg: &str) -> ! {
+        eprintln!("repro fleetd fsck: {msg}");
+        eprintln!("usage: repro fleetd fsck STORE [--repair]");
+        std::process::exit(2);
+    }
+    let mut dir: Option<std::path::PathBuf> = None;
+    let mut repair = false;
+    for arg in args {
+        match arg.as_str() {
+            "--repair" => repair = true,
+            other if !other.starts_with('-') && dir.is_none() => dir = Some(other.into()),
+            other => fsck_die(&format!("unknown argument {other:?}")),
+        }
+    }
+    let Some(dir) = dir else {
+        fsck_die("fsck needs a store directory");
+    };
+    if !dir.is_dir() {
+        fsck_die(&format!("{} is not a directory", dir.display()));
+    }
+    let store = match vs_fleetd::FleetStore::open(&dir) {
+        Ok(store) => store,
+        Err(e) => fsck_die(&format!("cannot open store {}: {e}", dir.display())),
+    };
+    let report = match store.scrub(repair) {
+        Ok(report) => report,
+        Err(e) => fsck_die(&format!("scrub failed: {e}")),
+    };
+    print!("{report}");
+    if report.unresolved() == 0 {
+        std::process::exit(0);
+    }
+    eprintln!(
+        "repro fleetd fsck: {} unresolved issue(s) in {}{}",
+        report.unresolved(),
+        dir.display(),
+        if repair { "" } else { " (rerun with --repair)" }
+    );
+    std::process::exit(EXIT_VIOLATION);
+}
+
+/// `repro fleetd seed-store DIR --chips N [--seed S] [--torn-tail]`:
+/// writes a small valid store — a checkpoint holding the first half of
+/// the chips and a journal holding the rest — so CI and operators can
+/// exercise the fsck path end to end. `--torn-tail` then truncates the
+/// journal's final record mid-frame, planting exactly the damage a
+/// crash mid-append leaves behind.
+fn run_seed_store(args: &[String]) -> ! {
+    use vs_bench::crashmatrix::matrix_config;
+    use vs_fleet::{save_checkpoint_on, simulate_chip, ChipJournal};
+
+    fn seed_die(msg: &str) -> ! {
+        eprintln!("repro fleetd seed-store: {msg}");
+        eprintln!("usage: repro fleetd seed-store DIR --chips N [--seed S] [--torn-tail]");
+        std::process::exit(2);
+    }
+    let mut dir: Option<std::path::PathBuf> = None;
+    let mut chips: u64 = 0;
+    let mut seed: u64 = Scale::REFERENCE_SEED;
+    let mut torn_tail = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--chips" => {
+                i += 1;
+                chips = args[i..]
+                    .first()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| seed_die("--chips needs a chip count"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i..]
+                    .first()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| seed_die("--seed needs an integer"));
+            }
+            "--torn-tail" => torn_tail = true,
+            other if !other.starts_with('-') && dir.is_none() => dir = Some(other.into()),
+            other => seed_die(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    let Some(dir) = dir else {
+        seed_die("seed-store needs a directory");
+    };
+    if chips == 0 {
+        seed_die("seed-store needs --chips N (at least 1)");
+    }
+
+    let config = matrix_config(seed, chips);
+    let fingerprint = config.fingerprint();
+    let vfs = vs_guard::vfs::std_fs();
+    if let Err(e) = vfs.create_dir_all(&dir) {
+        seed_die(&format!("cannot create {}: {e}", dir.display()));
+    }
+    let ckpt = dir.join(format!("{fingerprint:016x}.ckpt"));
+    let jpath = dir.join(format!("{fingerprint:016x}.journal"));
+    let summaries: Vec<_> = (0..chips)
+        .map(|c| simulate_chip(&config, vs_types::ChipId(c)))
+        .collect();
+    let half = summaries.len() / 2;
+    if let Err(e) = save_checkpoint_on(&vfs, &ckpt, fingerprint, &summaries[..half]) {
+        seed_die(&format!("cannot write {}: {e}", ckpt.display()));
+    }
+    let written = (|| -> std::io::Result<()> {
+        let mut journal = ChipJournal::create_on(&vfs, &jpath, fingerprint)?;
+        for summary in &summaries[half..] {
+            journal.append(summary)?;
+        }
+        Ok(())
+    })();
+    if let Err(e) = written {
+        seed_die(&format!("cannot write {}: {e}", jpath.display()));
+    }
+    if torn_tail {
+        // Cut the final record line in half — the exact bytes a crash
+        // mid-append leaves. This is deliberate damage to a file we just
+        // wrote, so plain std::fs is the honest tool.
+        let mutilated = (|| -> std::io::Result<()> {
+            let text = std::fs::read_to_string(&jpath)?;
+            let trimmed = text.trim_end();
+            let last_start = trimmed.rfind('\n').map(|i| i + 1).unwrap_or(0);
+            let keep = last_start + (trimmed.len() - last_start) / 2;
+            std::fs::write(&jpath, &text.as_bytes()[..keep])
+        })();
+        if let Err(e) = mutilated {
+            seed_die(&format!("cannot tear {}: {e}", jpath.display()));
+        }
+    }
+    eprintln!(
+        "repro fleetd seed-store: {} chips (seed {seed}) in {} — {} in checkpoint, \
+         {} in journal{}",
+        chips,
+        dir.display(),
+        half,
+        summaries.len() - half,
+        if torn_tail {
+            ", final journal record torn"
+        } else {
+            ""
+        }
+    );
+    std::process::exit(0);
 }

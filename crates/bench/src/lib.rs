@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod crashmatrix;
 pub mod figures;
 pub mod report;
 pub mod timing;

@@ -71,5 +71,5 @@ pub use plan::{
     DaemonFaultKind, FaultKind, FaultPlan, FaultTrigger, InjectionProfile, ScheduledFault,
 };
 pub use recovery::RecoveryPolicy;
-pub use shrink::minimize;
+pub use shrink::{ddmin, minimize};
 pub use spec::FaultSpec;

@@ -17,29 +17,31 @@
 use crate::atom::FaultAtom;
 use crate::plan::FaultPlan;
 
-/// Shrinks `plan` to a 1-minimal failing plan under `fails`.
+/// Shrinks an arbitrary failing item set to a 1-minimal subset.
 ///
-/// `fails(candidate)` must return `true` when the candidate still
-/// reproduces the failure. The input plan is expected to fail; if it does
-/// not, it is returned unchanged. The oracle is invoked O(n²) times in
-/// the worst case for n atoms — chaos plans are small (≤ ~7 atoms), so
-/// this stays cheap.
-pub fn minimize(plan: &FaultPlan, mut fails: impl FnMut(&FaultPlan) -> bool) -> FaultPlan {
-    if !fails(plan) {
-        return plan.clone();
+/// Classic `ddmin` over any clonable item type: `fails(candidate)` must
+/// return `true` when the candidate subset still reproduces the failure.
+/// The input set is expected to fail; if it does not, it is returned
+/// unchanged. Relative item order is preserved, the partition order is
+/// fixed, and the first failing candidate wins, so the result is
+/// deterministic whenever the oracle is a pure function of the subset.
+/// The oracle is invoked O(n²) times in the worst case.
+pub fn ddmin<T: Clone>(items: &[T], mut fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut items = items.to_vec();
+    if !fails(&items) {
+        return items;
     }
-    let mut atoms = plan.atoms();
     let mut granularity = 2usize;
 
-    while atoms.len() >= 2 {
-        let chunk = atoms.len().div_ceil(granularity);
-        let chunks: Vec<Vec<FaultAtom>> = atoms.chunks(chunk).map(|c| c.to_vec()).collect();
+    while items.len() >= 2 {
+        let chunk = items.len().div_ceil(granularity);
+        let chunks: Vec<Vec<T>> = items.chunks(chunk).map(|c| c.to_vec()).collect();
         let mut reduced = false;
 
         // Try each subset alone.
         for part in &chunks {
-            if part.len() < atoms.len() && fails(&FaultPlan::from_atoms(part)) {
-                atoms = part.clone();
+            if part.len() < items.len() && fails(part) {
+                items = part.clone();
                 granularity = 2;
                 reduced = true;
                 break;
@@ -48,14 +50,14 @@ pub fn minimize(plan: &FaultPlan, mut fails: impl FnMut(&FaultPlan) -> bool) -> 
         // Then each complement.
         if !reduced && chunks.len() > 2 {
             for i in 0..chunks.len() {
-                let complement: Vec<FaultAtom> = chunks
+                let complement: Vec<T> = chunks
                     .iter()
                     .enumerate()
                     .filter(|&(j, _)| j != i)
-                    .flat_map(|(_, c)| c.iter().copied())
+                    .flat_map(|(_, c)| c.iter().cloned())
                     .collect();
-                if fails(&FaultPlan::from_atoms(&complement)) {
-                    atoms = complement;
+                if fails(&complement) {
+                    items = complement;
                     granularity = granularity.saturating_sub(1).max(2);
                     reduced = true;
                     break;
@@ -63,12 +65,29 @@ pub fn minimize(plan: &FaultPlan, mut fails: impl FnMut(&FaultPlan) -> bool) -> 
             }
         }
         if !reduced {
-            if granularity >= atoms.len() {
+            if granularity >= items.len() {
                 break;
             }
-            granularity = (granularity * 2).min(atoms.len());
+            granularity = (granularity * 2).min(items.len());
         }
     }
+    items
+}
+
+/// Shrinks `plan` to a 1-minimal failing plan under `fails`.
+///
+/// `fails(candidate)` must return `true` when the candidate still
+/// reproduces the failure. The input plan is expected to fail; if it does
+/// not, it is returned unchanged. Built on [`ddmin`] over the plan's
+/// atoms — chaos plans are small (≤ ~7 atoms), so the O(n²) oracle cost
+/// stays cheap.
+pub fn minimize(plan: &FaultPlan, mut fails: impl FnMut(&FaultPlan) -> bool) -> FaultPlan {
+    if !fails(plan) {
+        return plan.clone();
+    }
+    let mut atoms = ddmin(&plan.atoms(), |subset| {
+        fails(&FaultPlan::from_atoms(subset))
+    });
 
     // The set is 1-minimal; now shrink counts inside the surviving atoms.
     for i in 0..atoms.len() {
@@ -189,5 +208,20 @@ mod tests {
     fn single_atom_plans_minimize_to_themselves() {
         let plan = FaultPlan::new().due_at(SimTime::from_millis(5), DomainId(0));
         assert_eq!(minimize(&plan, |p| !p.is_empty()), plan);
+    }
+
+    #[test]
+    fn generic_ddmin_shrinks_to_the_culprit_pair() {
+        // Fails iff both 3 and 7 are present — ddmin must isolate exactly
+        // that pair, preserving input order.
+        let items: Vec<u32> = (0..10).collect();
+        let fails = |s: &[u32]| s.contains(&3) && s.contains(&7);
+        assert_eq!(ddmin(&items, fails), vec![3, 7]);
+    }
+
+    #[test]
+    fn generic_ddmin_returns_non_failing_input_unchanged() {
+        let items = vec![1u32, 2, 3];
+        assert_eq!(ddmin(&items, |_| false), items);
     }
 }

@@ -23,15 +23,15 @@
 
 use crate::summary::{ChipSummary, CoreMarginSummary};
 use std::fmt;
-use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use vs_guard::crc32;
+use vs_guard::vfs::{self, OpenMode, VfsHandle};
 use vs_types::ChipId;
 
 /// File-format magic: first line of every checkpoint.
-pub(crate) const MAGIC: &str = "voltspec-fleet-checkpoint v1";
+pub const MAGIC: &str = "voltspec-fleet-checkpoint v1";
 
 /// Why a checkpoint could not be loaded.
 #[derive(Debug)]
@@ -331,19 +331,29 @@ pub(crate) fn unique_temp(path: &Path) -> PathBuf {
     path.with_file_name(name)
 }
 
-/// Fsyncs `path`'s parent directory so a just-completed rename survives a
-/// crash. Best-effort and unix-only: directory fsync is not portable, and
-/// a failure here cannot lose record *content* (the data file itself is
-/// already synced), only the rename's durability.
-pub(crate) fn sync_parent_dir(path: &Path) {
-    #[cfg(unix)]
-    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-        if let Ok(dir) = fs::File::open(parent) {
-            let _ = dir.sync_all();
+/// A temp path unique within `vfs`. A backend with a deterministic
+/// [`vs_guard::vfs::Vfs::temp_tag`] (SimFs) names by its own counter so
+/// recorded operation streams are byte-identical across processes; the
+/// production backend falls back to pid-and-serial names.
+pub(crate) fn unique_temp_on(vfs: &VfsHandle, path: &Path) -> PathBuf {
+    match vfs.temp_tag() {
+        Some(tag) => {
+            let mut name = path.file_name().map(|n| n.to_owned()).unwrap_or_default();
+            name.push(format!(".tmp.{tag}"));
+            path.with_file_name(name)
         }
+        None => unique_temp(path),
     }
-    #[cfg(not(unix))]
-    let _ = path;
+}
+
+/// Fsyncs `path`'s parent directory on `vfs` so a just-completed rename
+/// survives a crash. Best-effort: directory fsync is not portable, and a
+/// failure here cannot lose record *content* (the data file itself is
+/// already synced), only the rename's durability.
+pub(crate) fn sync_parent_dir_on(vfs: &VfsHandle, path: &Path) {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        let _ = vfs.sync_dir(parent);
+    }
 }
 
 /// Atomically and durably writes a checkpoint: header, then one line per
@@ -352,6 +362,17 @@ pub(crate) fn sync_parent_dir(path: &Path) {
 /// directory is fsynced — so after `Ok` the new checkpoint survives
 /// SIGKILL, and after any failure the previous one is intact.
 pub fn save(
+    path: &Path,
+    fingerprint: u64,
+    summaries: &[ChipSummary],
+) -> Result<(), CheckpointError> {
+    save_on(&vfs::std_fs(), path, fingerprint, summaries)
+}
+
+/// [`save`] against an explicit filesystem backend — the seam the
+/// crash-consistency checker records through.
+pub fn save_on(
+    vfs: &VfsHandle,
     path: &Path,
     fingerprint: u64,
     summaries: &[ChipSummary],
@@ -366,15 +387,15 @@ pub fn save(
         text.push_str(&encode_chip(s));
         text.push('\n');
     }
-    let tmp = unique_temp(path);
+    let tmp = unique_temp_on(vfs, path);
     let result = (|| {
         use std::io::Write as _;
         // FaultyFs consultation keys on the *final* path so torture
         // scopes match the store directory, not the temp name. A torn
         // write here only loses the temp file — the rename never
         // happens, so the previous checkpoint stays intact.
-        let fault = vs_guard::fsfault::write_fault(path, text.len())?;
-        let mut file = fs::File::create(&tmp)?;
+        let fault = vfs.faults().write_fault(path, text.len())?;
+        let mut file = vfs.open_write(&tmp, OpenMode::Truncate)?;
         match fault {
             vs_guard::fsfault::WriteFault::Intact => file.write_all(text.as_bytes())?,
             vs_guard::fsfault::WriteFault::Short(n) => {
@@ -383,16 +404,22 @@ pub fn save(
                 return Err(vs_guard::fsfault::short_write_error().into());
             }
         }
-        vs_guard::fsfault::sync_fault(path)?;
+        vfs.faults().sync_fault(path)?;
+        // The fsync-before-rename is what makes the rename safe: without
+        // it, a crash after the (metadata-durable) rename can expose a
+        // checkpoint whose *content* never reached the platters. The
+        // `planted-crash` feature removes the barrier so the crash-matrix
+        // CI job can prove the checker catches exactly this bug.
+        #[cfg(not(feature = "planted-crash"))]
         file.sync_all()?;
-        fs::rename(&tmp, path)?;
+        vfs.rename(&tmp, path)?;
         Ok(())
     })();
     if result.is_err() {
         // Never leave a stray temp file behind a failed save.
-        let _ = fs::remove_file(&tmp);
+        let _ = vfs.remove_file(&tmp);
     } else {
-        sync_parent_dir(path);
+        sync_parent_dir_on(vfs, path);
     }
     result
 }
@@ -407,7 +434,16 @@ pub fn save(
 /// their 1-based line numbers, so the caller can report partial damage
 /// without abandoning the resume. Never panics on arbitrary file bytes.
 pub fn load_report(path: &Path, fingerprint: u64) -> Result<CheckpointLoad, CheckpointError> {
-    let text = fs::read_to_string(path)?;
+    load_report_on(&vfs::std_fs(), path, fingerprint)
+}
+
+/// [`load_report`] against an explicit filesystem backend.
+pub fn load_report_on(
+    vfs: &VfsHandle,
+    path: &Path,
+    fingerprint: u64,
+) -> Result<CheckpointLoad, CheckpointError> {
+    let text = vfs.read_to_string(path)?;
     let mut lines = text.lines().enumerate();
     match lines.next() {
         Some((_, MAGIC)) => {}
@@ -461,9 +497,19 @@ pub fn load(path: &Path, fingerprint: u64) -> Result<Vec<ChipSummary>, Checkpoin
     load_report(path, fingerprint).map(|l| l.summaries)
 }
 
+/// [`load`] against an explicit filesystem backend.
+pub fn load_on(
+    vfs: &VfsHandle,
+    path: &Path,
+    fingerprint: u64,
+) -> Result<Vec<ChipSummary>, CheckpointError> {
+    load_report_on(vfs, path, fingerprint).map(|l| l.summaries)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
     use std::path::PathBuf;
 
     fn scratch(name: &str) -> PathBuf {

@@ -19,13 +19,13 @@
 //! leaves harmless duplicates, never a gap.
 
 use crate::checkpoint::{
-    decode_chip, sync_parent_dir, unique_temp, CheckpointError, MAGIC as CKPT_MAGIC,
+    decode_chip, sync_parent_dir_on, unique_temp_on, CheckpointError, MAGIC as CKPT_MAGIC,
 };
-use crate::journal::{replay_journal_streaming, ChipJournal};
+use crate::journal::{replay_journal_streaming_on, ChipJournal};
 use std::collections::BTreeMap;
-use std::fs;
 use std::io::{BufRead, BufReader, BufWriter, Write as _};
 use std::path::Path;
+use vs_guard::vfs::{self, OpenMode, VfsHandle};
 
 /// What one streaming compaction pass did.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,10 +45,15 @@ pub struct CompactionReport {
 /// buffered pass, decoding each line only far enough to accept it.
 /// Returns 0 for a missing file (an empty store, not an error).
 pub fn checkpoint_chips(path: &Path) -> Result<u64, CheckpointError> {
-    if !path.exists() {
+    checkpoint_chips_on(&vfs::std_fs(), path)
+}
+
+/// [`checkpoint_chips`] against an explicit filesystem backend.
+pub fn checkpoint_chips_on(vfs: &VfsHandle, path: &Path) -> Result<u64, CheckpointError> {
+    if !vfs.exists(path) {
         return Ok(0);
     }
-    let reader = BufReader::new(fs::File::open(path)?);
+    let reader = BufReader::new(vfs.open_read(path)?);
     let mut lines = reader.lines();
     match lines.next().transpose()? {
         Some(ref l) if l == CKPT_MAGIC => {}
@@ -78,7 +83,12 @@ pub fn checkpoint_chips(path: &Path) -> Result<u64, CheckpointError> {
 /// Reads the fingerprint a checkpoint or journal is bound to without
 /// loading its records (the two formats share the header shape).
 pub fn read_fingerprint(path: &Path) -> Result<u64, CheckpointError> {
-    let reader = BufReader::new(fs::File::open(path)?);
+    read_fingerprint_on(&vfs::std_fs(), path)
+}
+
+/// [`read_fingerprint`] against an explicit filesystem backend.
+pub fn read_fingerprint_on(vfs: &VfsHandle, path: &Path) -> Result<u64, CheckpointError> {
+    let reader = BufReader::new(vfs.open_read(path)?);
     let mut lines = reader.lines();
     let _magic = lines
         .next()
@@ -114,23 +124,33 @@ pub fn read_fingerprint(path: &Path) -> Result<u64, CheckpointError> {
 /// on a fingerprint is a hard [`CheckpointError::FingerprintMismatch`] —
 /// folding foreign records into a store would corrupt it silently.
 pub fn compact_streaming(ckpt: &Path, journal: &Path) -> Result<CompactionReport, CheckpointError> {
-    if !journal.exists() {
-        let fingerprint = if ckpt.exists() {
-            read_fingerprint(ckpt)?
+    compact_streaming_on(&vfs::std_fs(), ckpt, journal)
+}
+
+/// [`compact_streaming`] against an explicit filesystem backend — the
+/// seam the crash-consistency checker explores compaction through.
+pub fn compact_streaming_on(
+    vfs: &VfsHandle,
+    ckpt: &Path,
+    journal: &Path,
+) -> Result<CompactionReport, CheckpointError> {
+    if !vfs.exists(journal) {
+        let fingerprint = if vfs.exists(ckpt) {
+            read_fingerprint_on(vfs, ckpt)?
         } else {
             0
         };
         return Ok(CompactionReport {
             fingerprint,
-            chips: checkpoint_chips(ckpt)?,
+            chips: checkpoint_chips_on(vfs, ckpt)?,
             merged: 0,
             skipped: 0,
         });
     }
-    let replay = replay_journal_streaming(journal)?;
+    let replay = replay_journal_streaming_on(vfs, journal)?;
     let fingerprint = replay.fingerprint;
-    if ckpt.exists() {
-        let ckpt_fp = read_fingerprint(ckpt)?;
+    if vfs.exists(ckpt) {
+        let ckpt_fp = read_fingerprint_on(vfs, ckpt)?;
         if ckpt_fp != fingerprint {
             return Err(CheckpointError::FingerprintMismatch {
                 expected: ckpt_fp,
@@ -142,7 +162,7 @@ pub fn compact_streaming(ckpt: &Path, journal: &Path) -> Result<CompactionReport
     if replay.records.is_empty() {
         return Ok(CompactionReport {
             fingerprint,
-            chips: checkpoint_chips(ckpt)?,
+            chips: checkpoint_chips_on(vfs, ckpt)?,
             merged: 0,
             skipped,
         });
@@ -153,13 +173,13 @@ pub fn compact_streaming(ckpt: &Path, journal: &Path) -> Result<CompactionReport
     let mut replaced = 0u64;
     let mut chips = 0u64;
 
-    let tmp = unique_temp(ckpt);
+    let tmp = unique_temp_on(vfs, ckpt);
     let result = (|| -> Result<(), CheckpointError> {
-        let mut out = BufWriter::new(fs::File::create(&tmp)?);
+        let mut out = BufWriter::new(vfs.open_write(&tmp, OpenMode::Truncate)?);
         writeln!(out, "{CKPT_MAGIC}")?;
         writeln!(out, "fingerprint {fingerprint:016x}")?;
-        if ckpt.exists() {
-            let reader = BufReader::new(fs::File::open(ckpt)?);
+        if vfs.exists(ckpt) {
+            let reader = BufReader::new(vfs.open_read(ckpt)?);
             for (idx, line) in reader.lines().enumerate() {
                 let line = line?;
                 if idx < 2 || line.trim().is_empty() {
@@ -196,21 +216,21 @@ pub fn compact_streaming(ckpt: &Path, journal: &Path) -> Result<CompactionReport
             writeln!(out, "{record}")?;
             chips += 1;
         }
-        let file = out
+        let mut file = out
             .into_inner()
             .map_err(|e| CheckpointError::Io(e.into_error()))?;
         file.sync_all()?;
-        fs::rename(&tmp, ckpt)?;
+        vfs.rename(&tmp, ckpt)?;
         Ok(())
     })();
     if let Err(e) = result {
-        let _ = fs::remove_file(&tmp);
+        let _ = vfs.remove_file(&tmp);
         return Err(e);
     }
-    sync_parent_dir(ckpt);
+    sync_parent_dir_on(vfs, ckpt);
     // The checkpoint now owns every record; truncating the journal is the
     // second, independent step of the crash-safe pair.
-    ChipJournal::create(journal, fingerprint)?;
+    ChipJournal::create_on(vfs, journal, fingerprint)?;
     Ok(CompactionReport {
         fingerprint,
         chips,
@@ -223,8 +243,9 @@ pub fn compact_streaming(ckpt: &Path, journal: &Path) -> Result<CompactionReport
 mod tests {
     use super::*;
     use crate::checkpoint::{load, save};
-    use crate::journal::replay_journal;
+    use crate::journal::{replay_journal, replay_journal_on};
     use crate::summary::{ChipSummary, CoreMarginSummary};
+    use std::fs;
     use std::path::PathBuf;
     use vs_types::ChipId;
 
@@ -394,5 +415,75 @@ mod tests {
         let missing = scratch("count-missing.ckpt");
         let _ = fs::remove_file(&missing);
         assert_eq!(checkpoint_chips(&missing).unwrap(), 0);
+    }
+
+    /// The crash-consistency property the compaction's two-step design
+    /// promises: interrupted at *every* filesystem mutation, under every
+    /// pending-data fate, a lenient reboot recovers exactly the chip set
+    /// a never-compacted replay would. "Lenient" is the production
+    /// stance: an unreadable half of the pair contributes nothing
+    /// (recovery rebuilds or quarantines it), a readable half is merged
+    /// journal-over-checkpoint.
+    #[test]
+    fn interrupted_compaction_never_loses_or_invents_chips() {
+        use std::sync::Arc;
+        use vs_guard::crashcheck;
+        use vs_guard::vfs::{SimFs, VfsHandle};
+
+        let sim = Arc::new(SimFs::new());
+        let vfs: VfsHandle = Arc::clone(&sim) as VfsHandle;
+        let dir = std::path::Path::new("/vsim/compact");
+        vfs.create_dir_all(dir).unwrap();
+        let ckpt = dir.join("pair.ckpt");
+        let jpath = dir.join("pair.journal");
+        // Checkpoint {0, 1, 5}; journal {1', 3} — chip 1 re-ran with
+        // different bytes, so the journal must win at every crash point.
+        crate::checkpoint::save_on(&vfs, &ckpt, FP, &[summary(0), summary(1), summary(5)]).unwrap();
+        let mut altered = summary(1);
+        altered.correctable += 1;
+        let mut j = ChipJournal::create_on(&vfs, &jpath, FP).unwrap();
+        j.append(&altered).unwrap();
+        j.append(&summary(3)).unwrap();
+        drop(j);
+        let expected = vec![summary(0), altered, summary(3), summary(5)];
+        let setup_ops = sim.mutations();
+
+        compact_streaming_on(&vfs, &ckpt, &jpath).unwrap();
+
+        let recover = |point: &crashcheck::CrashPoint| -> Vec<ChipSummary> {
+            let boot = Arc::new(SimFs::from_image(&sim.crash_image(point)));
+            let bvfs: VfsHandle = Arc::clone(&boot) as VfsHandle;
+            let mut merged = crate::checkpoint::load_report_on(&bvfs, &ckpt, FP)
+                .map(|l| l.summaries)
+                .unwrap_or_default();
+            let tail = replay_journal_on(&bvfs, &jpath, FP)
+                .map(|r| r.summaries)
+                .unwrap_or_default();
+            for s in tail {
+                match merged.iter_mut().find(|m| m.chip == s.chip) {
+                    Some(slot) => *slot = s,
+                    None => merged.push(s),
+                }
+            }
+            merged.sort_by_key(|s| s.chip);
+            merged
+        };
+
+        let mut compaction_points = 0;
+        for point in crashcheck::enumerate(&sim) {
+            if point.op <= setup_ops {
+                continue; // crashes inside the setup workload, not compaction
+            }
+            compaction_points += 1;
+            assert_eq!(
+                recover(&point),
+                expected,
+                "crash at {point} during compaction changed the recovered chip set"
+            );
+        }
+        assert!(
+            compaction_points >= 15,
+            "compaction should expose many crash points, got {compaction_points}"
+        );
     }
 }

@@ -19,14 +19,13 @@
 use crate::checkpoint::{decode_chip, encode_chip, CheckpointError, CheckpointWarning};
 use crate::summary::ChipSummary;
 use std::collections::BTreeMap;
-use std::fs;
 use std::io;
-use std::io::BufRead;
 use std::path::Path;
+use vs_guard::vfs::{self, VfsHandle};
 use vs_guard::{unframe, FrameError, JournalWriter};
 
 /// File-format magic: first line of every progress journal.
-pub(crate) const MAGIC: &str = "voltspec-fleet-journal v1";
+pub const MAGIC: &str = "voltspec-fleet-journal v1";
 
 /// An open progress journal: one durable record per completed chip.
 #[derive(Debug)]
@@ -37,21 +36,40 @@ pub struct ChipJournal {
 impl ChipJournal {
     /// Creates (truncating) a journal bound to a config fingerprint.
     pub fn create(path: &Path, fingerprint: u64) -> io::Result<ChipJournal> {
-        let writer =
-            JournalWriter::create(path, &[MAGIC, &format!("fingerprint {fingerprint:016x}")])?;
+        ChipJournal::create_on(&vfs::std_fs(), path, fingerprint)
+    }
+
+    /// [`ChipJournal::create`] against an explicit filesystem backend.
+    pub fn create_on(vfs: &VfsHandle, path: &Path, fingerprint: u64) -> io::Result<ChipJournal> {
+        let writer = JournalWriter::create_on(
+            vfs,
+            path,
+            &[MAGIC, &format!("fingerprint {fingerprint:016x}")],
+        )?;
         Ok(ChipJournal { writer })
     }
 
     /// Opens an existing journal for appending.
     pub fn open_append(path: &Path) -> io::Result<ChipJournal> {
-        let writer = JournalWriter::open_append(path)?;
+        ChipJournal::open_append_on(&vfs::std_fs(), path)
+    }
+
+    /// [`ChipJournal::open_append`] against an explicit backend.
+    pub fn open_append_on(vfs: &VfsHandle, path: &Path) -> io::Result<ChipJournal> {
+        let writer = JournalWriter::open_append_on(vfs, path)?;
         Ok(ChipJournal { writer })
     }
 
     /// Durably appends one finished chip. When this returns `Ok`, the
-    /// record survives SIGKILL.
+    /// record survives SIGKILL — and the backend's mutation stream is
+    /// marked with the acknowledgement, so a crash-point explorer knows
+    /// exactly which chips were acked before any crash.
     pub fn append(&mut self, summary: &ChipSummary) -> io::Result<()> {
-        self.writer.append(&encode_chip(summary))
+        self.writer.append(&encode_chip(summary))?;
+        self.writer
+            .vfs()
+            .mark(&format!("ack chip={}", summary.chip.0));
+        Ok(())
     }
 
     /// The journal's path.
@@ -79,7 +97,16 @@ pub struct JournalReplay {
 /// one chip — the crash-between-compaction-steps window — dedup to the
 /// last occurrence. Never panics on arbitrary file bytes.
 pub fn replay_journal(path: &Path, fingerprint: u64) -> Result<JournalReplay, CheckpointError> {
-    let text = fs::read_to_string(path)?;
+    replay_journal_on(&vfs::std_fs(), path, fingerprint)
+}
+
+/// [`replay_journal`] against an explicit filesystem backend.
+pub fn replay_journal_on(
+    vfs: &VfsHandle,
+    path: &Path,
+    fingerprint: u64,
+) -> Result<JournalReplay, CheckpointError> {
+    let text = vfs.read_to_string(path)?;
     let mut lines = text.lines().enumerate();
     match lines.next() {
         Some((_, MAGIC)) => {}
@@ -166,9 +193,18 @@ pub(crate) struct StreamingReplay {
 /// what store the records may be folded into. Each record is decoded
 /// just far enough to learn its chip id and prove it parses; the
 /// checkpoint-format payload string is what's kept.
-pub(crate) fn replay_journal_streaming(path: &Path) -> Result<StreamingReplay, CheckpointError> {
-    let reader = io::BufReader::new(fs::File::open(path)?);
-    let mut lines = reader.lines();
+pub(crate) fn replay_journal_streaming_on(
+    vfs: &VfsHandle,
+    path: &Path,
+) -> Result<StreamingReplay, CheckpointError> {
+    use std::io::BufRead as _;
+    let reader = io::BufReader::new(vfs.open_read(path)?);
+    streaming_from_lines(reader.lines())
+}
+
+fn streaming_from_lines(
+    mut lines: impl Iterator<Item = io::Result<String>>,
+) -> Result<StreamingReplay, CheckpointError> {
     match lines.next().transpose()? {
         Some(ref l) if l == MAGIC => {}
         other => {
@@ -223,6 +259,7 @@ pub(crate) fn replay_journal_streaming(path: &Path) -> Result<StreamingReplay, C
 mod tests {
     use super::*;
     use crate::summary::CoreMarginSummary;
+    use std::fs;
     use std::path::PathBuf;
     use vs_types::ChipId;
 

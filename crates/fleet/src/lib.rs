@@ -63,14 +63,20 @@ mod runner;
 mod summary;
 
 pub use aggregate::{Distribution, Histogram, PopulationStats};
+pub use checkpoint::MAGIC as CHECKPOINT_MAGIC;
 pub use checkpoint::{
-    load as load_checkpoint, load_report as load_checkpoint_report, save as save_checkpoint,
-    CheckpointError, CheckpointLoad, CheckpointWarning,
+    load as load_checkpoint, load_on as load_checkpoint_on, load_report as load_checkpoint_report,
+    load_report_on as load_checkpoint_report_on, save as save_checkpoint,
+    save_on as save_checkpoint_on, CheckpointError, CheckpointLoad, CheckpointWarning,
 };
-pub use compact::{checkpoint_chips, compact_streaming, read_fingerprint, CompactionReport};
+pub use compact::{
+    checkpoint_chips, checkpoint_chips_on, compact_streaming, compact_streaming_on,
+    read_fingerprint, read_fingerprint_on, CompactionReport,
+};
 pub use config::{ControllerVariant, FleetConfig, MarginsMode};
 pub use degrade::DegradationReport;
 pub use job::{simulate_chip, simulate_chip_guarded, simulate_chip_traced};
-pub use journal::{replay_journal, ChipJournal, JournalReplay};
+pub use journal::MAGIC as JOURNAL_MAGIC;
+pub use journal::{replay_journal, replay_journal_on, ChipJournal, JournalReplay};
 pub use runner::{FleetError, FleetResult, FleetRunner, FleetTrace};
 pub use summary::{ChipSummary, CoreMarginSummary};

@@ -51,7 +51,7 @@ use crate::checkpoint::{self, CheckpointError};
 use crate::config::FleetConfig;
 use crate::degrade::DegradationReport;
 use crate::job::simulate_chip_guarded;
-use crate::journal::{replay_journal, ChipJournal};
+use crate::journal::{replay_journal_on, ChipJournal};
 use crate::summary::ChipSummary;
 use std::fmt;
 use std::path::PathBuf;
@@ -59,8 +59,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Once;
 use std::time::Duration;
+use vs_guard::vfs::{self, VfsHandle};
 use vs_guard::{CancelToken, Watchdog};
-use vs_obs::flight::{write_bundle, PostmortemBundle, PostmortemTrigger, DEFAULT_FLIGHT_CAPACITY};
+use vs_obs::flight::{
+    write_bundle_on, PostmortemBundle, PostmortemTrigger, DEFAULT_FLIGHT_CAPACITY,
+};
 use vs_obs::span::{job_span, lane_of, lane_span, ROOT};
 use vs_sentinel::{SentinelConfig, SentinelMode, SentinelMonitor, Violation};
 use vs_telemetry::{
@@ -285,6 +288,10 @@ pub struct FleetRunner {
     /// directory on sentinel violations, worker panics, and watchdog
     /// cancellations.
     flight: Option<PathBuf>,
+    /// Filesystem backend for every durability path (checkpoint,
+    /// journal, postmortem bundles). The production default is the real
+    /// filesystem; the crash-consistency checker substitutes a recorder.
+    vfs: VfsHandle,
 }
 
 impl FleetRunner {
@@ -311,6 +318,7 @@ impl FleetRunner {
             sentinel: None,
             spans: None,
             flight: None,
+            vfs: vfs::std_fs(),
         }
     }
 
@@ -441,6 +449,15 @@ impl FleetRunner {
         self
     }
 
+    /// Routes every durability path (checkpoint saves, journal appends,
+    /// postmortem bundles) through `vfs` instead of the real filesystem.
+    /// The crash-consistency checker uses this to record a sweep's
+    /// complete mutation stream on a [`vs_guard::vfs::SimFs`].
+    pub fn with_vfs(mut self, vfs: VfsHandle) -> FleetRunner {
+        self.vfs = vfs;
+        self
+    }
+
     /// The runner's configuration.
     pub fn config(&self) -> &FleetConfig {
         &self.config
@@ -522,8 +539,8 @@ impl FleetRunner {
         // would silently recompute results); damaged *records* only skip
         // that chip, which is then re-simulated.
         let mut done: Vec<ChipSummary> = match &self.checkpoint {
-            Some(path) if path.exists() => {
-                let report = checkpoint::load_report(path, fingerprint)?;
+            Some(path) if self.vfs.exists(path) => {
+                let report = checkpoint::load_report_on(&self.vfs, path, fingerprint)?;
                 for (line, warning) in report.warnings {
                     degradation
                         .corrupt_records
@@ -544,8 +561,8 @@ impl FleetRunner {
         let mut journal: Option<ChipJournal> = None;
         if let Some(jpath) = &self.journal {
             let mut replayed = 0u64;
-            if jpath.exists() {
-                let replay = replay_journal(jpath, fingerprint)?;
+            if self.vfs.exists(jpath) {
+                let replay = replay_journal_on(&self.vfs, jpath, fingerprint)?;
                 for (line, warning) in replay.warnings {
                     degradation
                         .corrupt_records
@@ -596,10 +613,11 @@ impl FleetRunner {
                     }
                 }
             } else {
-                self.checkpoint.is_some() || !jpath.exists()
+                self.checkpoint.is_some() || !self.vfs.exists(jpath)
             };
             journal = Some(if compacted {
-                let j = ChipJournal::create(jpath, fingerprint).map_err(CheckpointError::Io)?;
+                let j = ChipJournal::create_on(&self.vfs, jpath, fingerprint)
+                    .map_err(CheckpointError::Io)?;
                 if !done.is_empty() && filter.accepts(EventCategory::Guard) {
                     compactions.push(TelemetryEvent::JournalCompacted {
                         chips: done.len() as u64,
@@ -610,7 +628,7 @@ impl FleetRunner {
                 // No checkpoint to absorb the records (or the save
                 // failed): keep appending, the journal stays the only
                 // durable copy.
-                ChipJournal::open_append(jpath).map_err(CheckpointError::Io)?
+                ChipJournal::open_append_on(&self.vfs, jpath).map_err(CheckpointError::Io)?
             });
         }
         if let Some(scfg) = &self.sentinel {
@@ -860,7 +878,7 @@ impl FleetRunner {
                                 for e in ring.drain() {
                                     bundle.push_event(&e);
                                 }
-                                match write_bundle(dir, &bundle) {
+                                match write_bundle_on(&self.vfs, dir, &bundle) {
                                     Ok(p) => postmortems.push(p),
                                     Err(e) => degradation
                                         .checkpoint_failures
@@ -951,7 +969,7 @@ impl FleetRunner {
                             let mut bundle = PostmortemBundle::new(trigger, chip.0, fingerprint);
                             bundle.detail =
                                 format!("chip quarantined after {attempts} attempts: {error}");
-                            match write_bundle(dir, &bundle) {
+                            match write_bundle_on(&self.vfs, dir, &bundle) {
                                 Ok(p) => postmortems.push(p),
                                 Err(e) => degradation
                                     .checkpoint_failures
@@ -1114,7 +1132,7 @@ impl FleetRunner {
                     "injected checkpoint I/O error",
                 )))
             } else {
-                checkpoint::save(path, fingerprint, done)
+                checkpoint::save_on(&self.vfs, path, fingerprint, done)
             };
             match result {
                 Ok(()) => return Ok(()),
@@ -1148,7 +1166,7 @@ impl FleetRunner {
             return;
         };
         let path = j.path().to_path_buf();
-        match ChipJournal::create(&path, fingerprint) {
+        match ChipJournal::create_on(&self.vfs, &path, fingerprint) {
             Ok(fresh) => {
                 *j = fresh;
                 if filter.accepts(EventCategory::Guard) {
@@ -1165,6 +1183,7 @@ impl FleetRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::journal::replay_journal;
     use vs_faults::FaultPlan;
     use vs_types::FleetSeed;
 

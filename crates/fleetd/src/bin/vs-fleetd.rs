@@ -121,10 +121,23 @@ fn main() -> ExitCode {
         Ok(store) => store,
         Err(e) => die(&format!("cannot open store {}: {e}", store_dir.display())),
     };
-    match store.recover() {
-        Ok(reports) => {
+    // Boot recovery: fsck scrub in repair mode (orphan temps, torn
+    // journal tails, unrecoverable files quarantined), then streaming
+    // compaction of every surviving pair. Damage the scrub cannot fix
+    // quarantines a sweep instead of killing the boot; only real I/O
+    // errors are fatal.
+    match store.boot_recover() {
+        Ok(recovery) => {
             if !quiet {
-                for report in &reports {
+                for issue in &recovery.scrub.issues {
+                    eprintln!("vs-fleetd: scrub: {issue}");
+                }
+                for fp in &recovery.quarantined {
+                    eprintln!(
+                        "vs-fleetd: quarantined sweep {fp:016x}: compaction failed after repair"
+                    );
+                }
+                for report in &recovery.compactions {
                     if report.merged > 0 || report.skipped > 0 {
                         eprintln!(
                             "vs-fleetd: recovered {:016x}: {} chips ({} from journal, {} damaged records skipped)",
@@ -156,7 +169,10 @@ fn main() -> ExitCode {
 
     // Torture mode: the store-surface counts of the spec's daemon
     // atoms become a counted fault plan over the store directory. The
-    // guard uninstalls on exit.
+    // guard uninstalls on exit. The daemon's store runs on the real
+    // filesystem whose fault state IS the process-global one, so the
+    // deprecated global shim is exactly right here.
+    #[allow(deprecated)]
     let _torture_guard = torture.map(|spec| {
         let plan = match vs_faults::FaultSpec::parse(&spec) {
             Ok(parsed) => parsed.materialize(1),

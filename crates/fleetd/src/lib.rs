@@ -17,9 +17,12 @@
 //!   frames are typed [`ProtocolError`]s, never panics.
 //! * [`FleetStore`] — the persistent state, keyed by
 //!   [`FleetConfig::fingerprint`](vs_fleet::FleetConfig::fingerprint);
-//!   startup recovery folds orphaned journals into their checkpoints with
-//!   the streaming compaction pass, so a SIGKILL'd daemon loses at most
-//!   the record that was mid-append.
+//!   startup recovery scrubs the store with the [`fsck`] pass (orphan
+//!   temps removed, torn journal tails truncated, unrecoverable files
+//!   quarantined), then folds orphaned journals into their checkpoints
+//!   with the streaming compaction pass — so a SIGKILL'd daemon loses at
+//!   most the record that was mid-append, and damage repair cannot fix
+//!   is quarantined instead of blocking the boot.
 //! * [`Scheduler`] — admission control (queue cap → typed `Busy`),
 //!   a fixed worker pool, per-job [`CancelToken`](vs_guard::CancelToken)s
 //!   parented on one shutdown root, buffered per-job event streams.
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fsck;
 pub mod protocol;
 pub mod server;
 pub mod torture;
@@ -45,9 +49,10 @@ mod store;
 pub use client::{
     submit_and_watch, Client, JobOutcome, RetryError, RetryPolicy, RetryReport, Transport,
 };
+pub use fsck::{IssueKind, ScrubAction, ScrubIssue, ScrubReport};
 pub use protocol::{DaemonStats, ProtocolError, Request, Response, SweepSpec};
 pub use scheduler::{config_for, BusyInfo, Scheduler, SchedulerConfig, Submission, WatchChunk};
-pub use store::FleetStore;
+pub use store::{BootRecovery, FleetStore, StoreCounters};
 
 /// Serializes tests that install a process-global [`vs_guard::fsfault`]
 /// plan, so parallel test threads never see each other's fault budgets.

@@ -908,6 +908,34 @@ mod tests {
     }
 
     #[test]
+    fn hostile_numbers_are_typed_errors_not_panics() {
+        // Every number a frame can carry goes through the same scalar
+        // path; none of these may panic or silently wrap.
+        let hostile = [
+            // u64 overflow by one.
+            "{\"type\":\"cancel\",\"job\":18446744073709551616}",
+            // Negative where unsigned is expected.
+            "{\"type\":\"cancel\",\"job\":-1}",
+            // Float syntax in an integer field.
+            "{\"type\":\"cancel\",\"job\":3.5}",
+            // Exponent overflow (parses as f64 inf, not as u64).
+            "{\"type\":\"cancel\",\"job\":1e309}",
+            // JSON null funneled into an integer field.
+            "{\"type\":\"cancel\",\"job\":null}",
+            // Bare sign and dot salad the scalar scanner must reject.
+            "{\"type\":\"cancel\",\"job\":--+..ee}",
+            // Unpaired surrogate escape in a string field.
+            "{\"type\":\"watch\",\"job\":1,\"cursor\":0,\"timeout_ms\":\"\\ud800\"}",
+        ];
+        for text in hostile {
+            assert!(
+                decode_request(text).is_err(),
+                "hostile input must be a typed error: {text}"
+            );
+        }
+    }
+
+    #[test]
     fn oversized_claims_are_rejected_before_allocation() {
         let mut frame = Vec::new();
         frame.extend_from_slice(&FRAME_MAGIC);

@@ -22,7 +22,7 @@ use crate::protocol::{DaemonStats, Response, SweepSpec};
 use crate::store::FleetStore;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 use vs_faults::FaultSpec;
@@ -102,7 +102,7 @@ struct Job {
 
 impl Job {
     fn push(&self, event: Response, terminal: bool) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock(&self.state);
         if state.terminal {
             return; // exactly one terminal event, nothing after it
         }
@@ -256,7 +256,7 @@ impl Scheduler {
         let config = config_for(&spec);
         config.validate().map_err(|e| e.to_string())?;
         if !spec.key.is_empty() {
-            if let Some(&job) = self.inner.keys.lock().unwrap().get(&spec.key) {
+            if let Some(&job) = lock(&self.inner.keys).get(&spec.key) {
                 self.inner.deduped.fetch_add(1, Ordering::Relaxed);
                 return Ok(Ok(Submission { job, deduped: true }));
             }
@@ -270,7 +270,7 @@ impl Scheduler {
                 return Ok(Err(self.busy_info(true)));
             }
         }
-        let mut queue = self.inner.queue.lock().unwrap();
+        let mut queue = lock(&self.inner.queue);
         if queue.len() >= self.inner.config.queue_cap {
             self.inner.shed_queue_full.fetch_add(1, Ordering::Relaxed);
             self.inner.rejected.fetch_add(1, Ordering::Relaxed);
@@ -286,7 +286,7 @@ impl Scheduler {
         }
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         if !spec.key.is_empty() {
-            self.inner.keys.lock().unwrap().insert(spec.key.clone(), id);
+            lock(&self.inner.keys).insert(spec.key.clone(), id);
         }
         let job = Arc::new(Job {
             id,
@@ -298,7 +298,7 @@ impl Scheduler {
             }),
             wake: Condvar::new(),
         });
-        self.inner.jobs.lock().unwrap().insert(id, Arc::clone(&job));
+        lock(&self.inner.jobs).insert(id, Arc::clone(&job));
         queue.push_back(job);
         self.inner.submitted.fetch_add(1, Ordering::Relaxed);
         drop(queue);
@@ -313,7 +313,7 @@ impl Scheduler {
     /// to the load. Must not be called with the queue lock held.
     fn busy_info(&self, parked: bool) -> BusyInfo {
         let running = self.inner.running.load(Ordering::Relaxed);
-        let queued = self.inner.queue.lock().unwrap().len() as u64;
+        let queued = lock(&self.inner.queue).len() as u64;
         BusyInfo {
             running,
             queued,
@@ -325,7 +325,7 @@ impl Scheduler {
 
     /// Cooperatively cancels a job. `false` if the id is unknown.
     pub fn cancel(&self, job: u64) -> bool {
-        let Some(job) = self.inner.jobs.lock().unwrap().get(&job).cloned() else {
+        let Some(job) = lock(&self.inner.jobs).get(&job).cloned() else {
             return false;
         };
         job.cancel.cancel();
@@ -335,10 +335,13 @@ impl Scheduler {
     /// Polls a job's event stream from `cursor`, blocking up to
     /// `timeout` for news. `None` if the id is unknown.
     pub fn watch(&self, job: u64, cursor: usize, timeout: Duration) -> Option<WatchChunk> {
-        let job = self.inner.jobs.lock().unwrap().get(&job).cloned()?;
-        let mut state = job.state.lock().unwrap();
+        let job = lock(&self.inner.jobs).get(&job).cloned()?;
+        let mut state = lock(&job.state);
         if state.events.len() <= cursor && !state.terminal {
-            let (s, _) = job.wake.wait_timeout(state, timeout).unwrap();
+            let (s, _) = job
+                .wake
+                .wait_timeout(state, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
             state = s;
         }
         Some(WatchChunk {
@@ -352,7 +355,7 @@ impl Scheduler {
     pub fn stats(&self) -> DaemonStats {
         DaemonStats {
             running: self.inner.running.load(Ordering::Relaxed),
-            queued: self.inner.queue.lock().unwrap().len() as u64,
+            queued: lock(&self.inner.queue).len() as u64,
             completed: self.inner.completed.load(Ordering::Relaxed),
             cancelled: self.inner.cancelled.load(Ordering::Relaxed),
             failed: self.inner.failed.load(Ordering::Relaxed),
@@ -375,6 +378,7 @@ impl Scheduler {
     pub fn metrics(&self) -> String {
         let inner = &self.inner;
         let fs_faults = vs_guard::fsfault::counters();
+        let store_counters = inner.store.counters();
         let mut reg = MetricsRegistry::new();
         let counters = [
             (
@@ -400,6 +404,22 @@ impl Scheduler {
                 names::SHED_PARKED,
                 inner.shed_parked.load(Ordering::Relaxed),
             ),
+            (
+                names::STORE_SCRUB_RUNS,
+                store_counters.scrub_runs.load(Ordering::Relaxed),
+            ),
+            (
+                names::STORE_SCRUB_ISSUES,
+                store_counters.scrub_issues.load(Ordering::Relaxed),
+            ),
+            (
+                names::STORE_SCRUB_REPAIRS,
+                store_counters.scrub_repairs.load(Ordering::Relaxed),
+            ),
+            (
+                names::STORE_QUARANTINED_SWEEPS,
+                store_counters.quarantined_sweeps.load(Ordering::Relaxed),
+            ),
             (names::FS_ENOSPC_INJECTED, fs_faults.enospc),
             (names::FS_SHORT_WRITES_INJECTED, fs_faults.short_writes),
             (names::FS_FSYNC_FAILURES_INJECTED, fs_faults.fsync_failures),
@@ -421,7 +441,7 @@ impl Scheduler {
         let running = reg.gauge(names::JOBS_RUNNING);
         reg.set(running, inner.running.load(Ordering::Relaxed) as f64);
         let queued = reg.gauge(names::JOBS_QUEUED);
-        reg.set(queued, inner.queue.lock().unwrap().len() as f64);
+        reg.set(queued, lock(&inner.queue).len() as f64);
         let parked = reg.gauge(names::STORE_PARKED);
         reg.set(
             parked,
@@ -463,6 +483,17 @@ impl Scheduler {
     }
 }
 
+/// Locks a mutex, shrugging off poison: a worker that panicked while
+/// holding a scheduler lock must not take the whole daemon's request
+/// plane down with it. Every value these locks guard stays coherent
+/// under panic (queues and maps are only mutated through small,
+/// non-panicking critical sections), so continuing with the inner value
+/// is safe — and strictly better than every later request panicking on
+/// `unwrap`.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Deterministic `Retry-After` hint in milliseconds: load-proportional
 /// so retrying clients spread out, capped so nobody waits forever.
 fn retry_after_hint(running: u64, queued: u64) -> u64 {
@@ -470,24 +501,29 @@ fn retry_after_hint(running: u64, queued: u64) -> u64 {
 }
 
 /// Probes whether the store directory accepts writes again, routing the
-/// attempt through the fault-injection hook so a torture schedule with
-/// remaining ENOSPC budget keeps the daemon parked deterministically.
+/// attempt through the store backend's fault-injection state so a
+/// torture schedule with remaining ENOSPC budget keeps the daemon
+/// parked deterministically.
 fn store_writable(store: &FleetStore) -> bool {
+    use std::io::Write as _;
+    let vfs = store.vfs();
     let probe = store.dir().join(".admission-probe");
     let ok = (|| -> std::io::Result<()> {
-        match vs_guard::fsfault::write_fault(&probe, 2)? {
-            vs_guard::fsfault::WriteFault::Intact => std::fs::write(&probe, b"ok"),
+        match vfs.faults().write_fault(&probe, 2)? {
+            vs_guard::fsfault::WriteFault::Intact => vfs
+                .open_write(&probe, vs_guard::vfs::OpenMode::Truncate)?
+                .write_all(b"ok"),
             vs_guard::fsfault::WriteFault::Short(_) => Err(vs_guard::fsfault::short_write_error()),
         }
     })();
-    let _ = std::fs::remove_file(&probe);
+    let _ = vfs.remove_file(&probe);
     ok.is_ok()
 }
 
 fn worker_loop(inner: &SchedInner, worker: usize) {
     loop {
         let job = {
-            let mut queue = inner.queue.lock().unwrap();
+            let mut queue = lock(&inner.queue);
             loop {
                 if let Some(job) = queue.pop_front() {
                     break job;
@@ -498,7 +534,7 @@ fn worker_loop(inner: &SchedInner, worker: usize) {
                 let (q, _) = inner
                     .available
                     .wait_timeout(queue, Duration::from_millis(100))
-                    .unwrap();
+                    .unwrap_or_else(PoisonError::into_inner);
                 queue = q;
             }
         };
@@ -545,7 +581,7 @@ fn run_job(inner: &SchedInner, job: &Job) {
         // never finished — a resubmission starts fresh (and resumes
         // whatever the failed run made durable).
         if !job.spec.key.is_empty() {
-            inner.keys.lock().unwrap().remove(&job.spec.key);
+            lock(&inner.keys).remove(&job.spec.key);
         }
     }
     tally.fetch_add(1, Ordering::Relaxed);
@@ -843,7 +879,7 @@ mod tests {
         let _serial = crate::FSFAULT_TEST_LOCK.lock().unwrap();
         let dir = scratch("park");
         let store = FleetStore::open(&dir).unwrap();
-        let _guard = vs_guard::fsfault::install(
+        store.vfs().faults().install(
             &dir,
             vs_guard::fsfault::FsFaultPlan {
                 enospc: 12,
@@ -885,6 +921,24 @@ mod tests {
         assert!(snap.value("voltspec_guard_fs_enospc_injected").unwrap() >= 1.0);
         sched.shutdown();
         sched.join();
+    }
+
+    #[test]
+    fn poisoned_locks_do_not_take_down_the_request_plane() {
+        // A worker that panics while holding a scheduler lock poisons
+        // it; every later request used to panic on `.lock().unwrap()`.
+        // The `lock` helper shrugs the poison off and continues with
+        // the (still coherent) inner value.
+        let mutex = Arc::new(Mutex::new(VecDeque::from([1, 2, 3])));
+        let poisoner = Arc::clone(&mutex);
+        let _ = thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("die holding the lock");
+        })
+        .join();
+        assert!(mutex.is_poisoned());
+        assert_eq!(lock(&mutex).pop_front(), Some(1));
+        assert_eq!(lock(&mutex).len(), 2);
     }
 
     #[test]

@@ -242,6 +242,10 @@ pub fn run_torture_case(case: &TortureCase) -> Result<TortureOutcome, String> {
         short_writes: case.plan.daemon_fault_count(DaemonFaultKind::ShortWrite),
         fsync_failures: case.plan.daemon_fault_count(DaemonFaultKind::FsyncFail),
     };
+    // The torture store runs on the real filesystem, whose fault state
+    // is the process-global one — the deprecated shim is the intended
+    // single user.
+    #[allow(deprecated)]
     let _fs_guard = (!fs_plan.is_empty()).then(|| fsfault::install(&store_dir, fs_plan));
 
     let store = FleetStore::open(&store_dir).map_err(|e| format!("open store: {e}"))?;

@@ -2,7 +2,7 @@
 //! testing the daemon tier.
 //!
 //! The durable-write paths guarded by this crate (journal appends,
-//! checkpoint saves, postmortem bundles) consult this module before
+//! checkpoint saves, postmortem bundles) consult a [`FaultState`] before
 //! touching the disk. When no plan is installed the consultation is a
 //! single relaxed atomic load — the production fast path. A torture
 //! harness installs an [`FsFaultPlan`] scoped to a directory prefix, and
@@ -19,12 +19,17 @@
 //! 3. **Fsync failures** — the data may be in the page cache but the
 //!    durability barrier fails; acknowledgement must not be sent.
 //!
+//! Fault state is **per [`crate::vfs::Vfs`] instance**: every backend
+//! owns a [`FaultState`], so plans against a simulated filesystem
+//! compose with plans against the real one (and with each other). The
+//! production [`crate::vfs::StdFs`] backend shares one process-global
+//! state ([`global`]), which the deprecated free functions (kept for the
+//! daemon's `--torture` wiring) also target.
+//!
 //! Injected faults are tallied in process-wide monotone counters
 //! ([`counters`]) so the observability plane can prove every injected
-//! fault was accounted for. Only one plan can be installed at a time;
-//! [`install`] returns a guard that uninstalls on drop, and tests that
-//! install plans must serialize (the scope prefix keeps unrelated
-//! concurrent writes unaffected, but the budget itself is global).
+//! fault was accounted for — tallies are global even though budgets are
+//! per-instance, because Prometheus counters must never go backwards.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -80,8 +85,6 @@ pub enum WriteFault {
     Short(usize),
 }
 
-static ACTIVE: AtomicBool = AtomicBool::new(false);
-static STATE: Mutex<Option<Scope>> = Mutex::new(None);
 static INJECTED_ENOSPC: AtomicU64 = AtomicU64::new(0);
 static INJECTED_SHORT: AtomicU64 = AtomicU64::new(0);
 static INJECTED_FSYNC: AtomicU64 = AtomicU64::new(0);
@@ -92,39 +95,155 @@ struct Scope {
     remaining: FsFaultPlan,
 }
 
-/// Uninstalls the plan when dropped, so a panicking test cannot leak
-/// faults into its neighbours.
+/// Per-filesystem-instance fault-injection state: at most one installed
+/// [`FsFaultPlan`] scoped to a directory prefix.
+///
+/// With no plan installed, [`FaultState::write_fault`] and
+/// [`FaultState::sync_fault`] are a single relaxed atomic load — safe on
+/// the production hot path.
+#[derive(Debug, Default)]
+pub struct FaultState {
+    active: AtomicBool,
+    scope: Mutex<Option<Scope>>,
+}
+
+impl FaultState {
+    /// A fresh state with no plan installed (const: usable in statics).
+    pub const fn new() -> FaultState {
+        FaultState {
+            active: AtomicBool::new(false),
+            scope: Mutex::new(None),
+        }
+    }
+
+    /// Installs `plan` for every durable write whose target path starts
+    /// with `prefix`, replacing any previously installed plan.
+    pub fn install(&self, prefix: &Path, plan: FsFaultPlan) {
+        let mut state = self.scope.lock().unwrap();
+        *state = Some(Scope {
+            prefix: prefix.to_path_buf(),
+            remaining: plan,
+        });
+        self.active.store(!plan.is_empty(), Ordering::Release);
+    }
+
+    /// Removes the installed plan (idempotent).
+    pub fn uninstall(&self) {
+        let mut state = self.scope.lock().unwrap();
+        *state = None;
+        self.active.store(false, Ordering::Release);
+    }
+
+    /// The fault budget still unconsumed, if a plan is installed.
+    pub fn remaining(&self) -> Option<FsFaultPlan> {
+        self.scope.lock().unwrap().as_ref().map(|s| s.remaining)
+    }
+
+    /// Consults the plan before a durable write of `len` bytes to `path`.
+    ///
+    /// Returns `Err` for an injected ENOSPC (nothing must be written),
+    /// `Ok(WriteFault::Short(n))` when only the first `n` bytes should
+    /// land, and `Ok(WriteFault::Intact)` otherwise.
+    pub fn write_fault(&self, path: &Path, len: usize) -> io::Result<WriteFault> {
+        if !self.active.load(Ordering::Acquire) {
+            return Ok(WriteFault::Intact);
+        }
+        let mut state = self.scope.lock().unwrap();
+        let Some(scope) = state.as_mut() else {
+            return Ok(WriteFault::Intact);
+        };
+        if !path.starts_with(&scope.prefix) {
+            return Ok(WriteFault::Intact);
+        }
+        if scope.remaining.enospc > 0 {
+            scope.remaining.enospc -= 1;
+            INJECTED_ENOSPC.fetch_add(1, Ordering::Relaxed);
+            return Err(enospc_error());
+        }
+        if scope.remaining.short_writes > 0 {
+            scope.remaining.short_writes -= 1;
+            INJECTED_SHORT.fetch_add(1, Ordering::Relaxed);
+            return Ok(WriteFault::Short(len / 2));
+        }
+        Ok(WriteFault::Intact)
+    }
+
+    /// Consults the plan before an fsync of `path`; `Err` means the
+    /// barrier failed and the caller must not acknowledge durability.
+    pub fn sync_fault(&self, path: &Path) -> io::Result<()> {
+        if !self.active.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let mut state = self.scope.lock().unwrap();
+        let Some(scope) = state.as_mut() else {
+            return Ok(());
+        };
+        if !path.starts_with(&scope.prefix) {
+            return Ok(());
+        }
+        if scope.remaining.fsync_failures > 0 {
+            scope.remaining.fsync_failures -= 1;
+            INJECTED_FSYNC.fetch_add(1, Ordering::Relaxed);
+            return Err(fsync_error());
+        }
+        Ok(())
+    }
+}
+
+/// The fault state shared by every [`crate::vfs::StdFs`] handle — the
+/// process-global slot the daemon's `--torture` flag installs into.
+pub fn global() -> &'static FaultState {
+    static GLOBAL: FaultState = FaultState::new();
+    &GLOBAL
+}
+
+/// Uninstalls the global plan when dropped, so a panicking test cannot
+/// leak faults into its neighbours.
 #[derive(Debug)]
 pub struct FsFaultGuard(());
 
 impl Drop for FsFaultGuard {
     fn drop(&mut self) {
-        uninstall();
+        global().uninstall();
     }
 }
 
-/// Installs `plan` for every durable write whose target path starts with
-/// `prefix`. Replaces any previously installed plan.
+/// Installs `plan` on the process-global [`FaultState`] (the one
+/// [`crate::vfs::StdFs`] consults).
+#[deprecated(
+    since = "0.1.0",
+    note = "install on a specific `Vfs` instance via `vfs.faults().install(..)`; \
+            the global slot only exists for `--torture` wiring"
+)]
 pub fn install(prefix: &Path, plan: FsFaultPlan) -> FsFaultGuard {
-    let mut state = STATE.lock().unwrap();
-    *state = Some(Scope {
-        prefix: prefix.to_path_buf(),
-        remaining: plan,
-    });
-    ACTIVE.store(!plan.is_empty(), Ordering::Release);
+    global().install(prefix, plan);
     FsFaultGuard(())
 }
 
-/// Removes the installed plan (idempotent).
+/// Removes the global plan (idempotent).
+#[deprecated(since = "0.1.0", note = "use `vfs.faults().uninstall()`")]
 pub fn uninstall() {
-    let mut state = STATE.lock().unwrap();
-    *state = None;
-    ACTIVE.store(false, Ordering::Release);
+    global().uninstall();
 }
 
-/// The fault budget still unconsumed, if a plan is installed.
+/// The global fault budget still unconsumed, if a plan is installed.
+#[deprecated(since = "0.1.0", note = "use `vfs.faults().remaining()`")]
 pub fn remaining() -> Option<FsFaultPlan> {
-    STATE.lock().unwrap().as_ref().map(|s| s.remaining)
+    global().remaining()
+}
+
+/// Consults the global plan before a durable write (see
+/// [`FaultState::write_fault`]).
+#[deprecated(since = "0.1.0", note = "use `vfs.faults().write_fault(..)`")]
+pub fn write_fault(path: &Path, len: usize) -> io::Result<WriteFault> {
+    global().write_fault(path, len)
+}
+
+/// Consults the global plan before an fsync (see
+/// [`FaultState::sync_fault`]).
+#[deprecated(since = "0.1.0", note = "use `vfs.faults().sync_fault(..)`")]
+pub fn sync_fault(path: &Path) -> io::Result<()> {
+    global().sync_fault(path)
 }
 
 /// Process-wide injected-fault tallies.
@@ -159,57 +278,7 @@ pub fn fsync_error() -> io::Error {
     io::Error::other("injected fault: fsync failed")
 }
 
-/// Consults the plan before a durable write of `len` bytes to `path`.
-///
-/// Returns `Err` for an injected ENOSPC (nothing must be written),
-/// `Ok(WriteFault::Short(n))` when only the first `n` bytes should land,
-/// and `Ok(WriteFault::Intact)` otherwise.
-pub fn write_fault(path: &Path, len: usize) -> io::Result<WriteFault> {
-    if !ACTIVE.load(Ordering::Acquire) {
-        return Ok(WriteFault::Intact);
-    }
-    let mut state = STATE.lock().unwrap();
-    let Some(scope) = state.as_mut() else {
-        return Ok(WriteFault::Intact);
-    };
-    if !path.starts_with(&scope.prefix) {
-        return Ok(WriteFault::Intact);
-    }
-    if scope.remaining.enospc > 0 {
-        scope.remaining.enospc -= 1;
-        INJECTED_ENOSPC.fetch_add(1, Ordering::Relaxed);
-        return Err(enospc_error());
-    }
-    if scope.remaining.short_writes > 0 {
-        scope.remaining.short_writes -= 1;
-        INJECTED_SHORT.fetch_add(1, Ordering::Relaxed);
-        return Ok(WriteFault::Short(len / 2));
-    }
-    Ok(WriteFault::Intact)
-}
-
-/// Consults the plan before an fsync of `path`; `Err` means the barrier
-/// failed and the caller must not acknowledge durability.
-pub fn sync_fault(path: &Path) -> io::Result<()> {
-    if !ACTIVE.load(Ordering::Acquire) {
-        return Ok(());
-    }
-    let mut state = STATE.lock().unwrap();
-    let Some(scope) = state.as_mut() else {
-        return Ok(());
-    };
-    if !path.starts_with(&scope.prefix) {
-        return Ok(());
-    }
-    if scope.remaining.fsync_failures > 0 {
-        scope.remaining.fsync_failures -= 1;
-        INJECTED_FSYNC.fetch_add(1, Ordering::Relaxed);
-        return Err(fsync_error());
-    }
-    Ok(())
-}
-
-/// Serializes unit tests that install plans (the slot is process-global).
+/// Serializes unit tests that install plans on the global slot.
 #[cfg(test)]
 pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
 
@@ -217,24 +286,23 @@ pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
 mod tests {
     use super::*;
 
-    // The plan slot is process-global; serialize the tests that use it.
+    // The global slot is process-wide; serialize the tests that use it.
     use super::TEST_LOCK as LOCK;
 
     #[test]
     fn inactive_hooks_are_transparent() {
-        let _l = LOCK.lock().unwrap();
-        uninstall();
+        let state = FaultState::new();
         let p = Path::new("/tmp/anywhere");
-        assert_eq!(write_fault(p, 100).unwrap(), WriteFault::Intact);
-        assert!(sync_fault(p).is_ok());
+        assert_eq!(state.write_fault(p, 100).unwrap(), WriteFault::Intact);
+        assert!(state.sync_fault(p).is_ok());
     }
 
     #[test]
     fn budget_is_consumed_in_order_and_counted() {
-        let _l = LOCK.lock().unwrap();
+        let state = FaultState::new();
         let before = counters();
         let scope = Path::new("/tmp/vs-fsfault-scope");
-        let _g = install(
+        state.install(
             scope,
             FsFaultPlan {
                 enospc: 1,
@@ -244,26 +312,29 @@ mod tests {
         );
         let target = scope.join("store/x.journal");
         // ENOSPC first…
-        let err = write_fault(&target, 10).unwrap_err();
+        let err = state.write_fault(&target, 10).unwrap_err();
         assert!(err.to_string().contains("no space left"));
         // …then the short write…
-        assert_eq!(write_fault(&target, 10).unwrap(), WriteFault::Short(5));
+        assert_eq!(
+            state.write_fault(&target, 10).unwrap(),
+            WriteFault::Short(5)
+        );
         // …then the budget is dry.
-        assert_eq!(write_fault(&target, 10).unwrap(), WriteFault::Intact);
+        assert_eq!(state.write_fault(&target, 10).unwrap(), WriteFault::Intact);
         // Fsync budget is independent of the write budget.
-        assert!(sync_fault(&target).is_err());
-        assert!(sync_fault(&target).is_ok());
+        assert!(state.sync_fault(&target).is_err());
+        assert!(state.sync_fault(&target).is_ok());
         let after = counters();
         assert_eq!(after.enospc - before.enospc, 1);
         assert_eq!(after.short_writes - before.short_writes, 1);
         assert_eq!(after.fsync_failures - before.fsync_failures, 1);
-        assert_eq!(remaining(), Some(FsFaultPlan::default()));
+        assert_eq!(state.remaining(), Some(FsFaultPlan::default()));
     }
 
     #[test]
     fn paths_outside_the_scope_are_untouched() {
-        let _l = LOCK.lock().unwrap();
-        let _g = install(
+        let state = FaultState::new();
+        state.install(
             Path::new("/tmp/vs-fsfault-only-here"),
             FsFaultPlan {
                 enospc: 1,
@@ -271,11 +342,11 @@ mod tests {
             },
         );
         let outside = Path::new("/tmp/elsewhere/file");
-        assert_eq!(write_fault(outside, 10).unwrap(), WriteFault::Intact);
-        assert!(sync_fault(outside).is_ok());
+        assert_eq!(state.write_fault(outside, 10).unwrap(), WriteFault::Intact);
+        assert!(state.sync_fault(outside).is_ok());
         // The budget was not consumed by the out-of-scope write.
         assert_eq!(
-            remaining().unwrap(),
+            state.remaining().unwrap(),
             FsFaultPlan {
                 enospc: 1,
                 ..Default::default()
@@ -284,22 +355,52 @@ mod tests {
     }
 
     #[test]
-    fn guard_uninstalls_on_drop() {
+    fn instances_are_independent() {
+        let a = FaultState::new();
+        let b = FaultState::new();
+        let scope = Path::new("/tmp/vs-fsfault-indep");
+        a.install(
+            scope,
+            FsFaultPlan {
+                enospc: 1,
+                ..Default::default()
+            },
+        );
+        let target = scope.join("f");
+        assert!(b.write_fault(&target, 4).is_ok(), "b has no plan");
+        assert!(a.write_fault(&target, 4).is_err(), "a consumed its own");
+        assert_eq!(b.remaining(), None);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn global_shim_targets_the_stdfs_state_and_uninstalls_on_drop() {
         let _l = LOCK.lock().unwrap();
-        let scope = Path::new("/tmp/vs-fsfault-dropped");
+        let scope = Path::new("/tmp/vs-fsfault-global");
         {
             let _g = install(
                 scope,
                 FsFaultPlan {
-                    enospc: 5,
+                    enospc: 2,
                     ..Default::default()
                 },
             );
+            // The shim and the StdFs-shared state are the same slot.
+            assert!(global().write_fault(&scope.join("f"), 4).is_err());
+            assert_eq!(
+                remaining(),
+                Some(FsFaultPlan {
+                    enospc: 1,
+                    ..Default::default()
+                })
+            );
         }
-        assert_eq!(remaining(), None);
+        assert_eq!(global().remaining(), None, "guard uninstalls on drop");
         assert_eq!(
             write_fault(&scope.join("f"), 4).unwrap(),
             WriteFault::Intact
         );
+        assert!(sync_fault(&scope.join("f")).is_ok());
+        uninstall(); // idempotent
     }
 }

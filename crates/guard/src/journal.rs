@@ -15,8 +15,8 @@
 //! corrupt — rather than silently mis-parsed.
 
 use crate::crc32::crc32;
+use crate::vfs::{self, OpenMode, VfsFile, VfsHandle};
 use std::fmt;
-use std::fs::{File, OpenOptions};
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 
@@ -72,29 +72,45 @@ pub fn unframe(line: &str) -> Result<&str, FrameError> {
 /// An append-only journal file: every append is framed, flushed, and
 /// fsynced before the call returns, so acknowledged records survive
 /// SIGKILL.
-#[derive(Debug)]
 pub struct JournalWriter {
     path: PathBuf,
-    file: File,
+    vfs: VfsHandle,
+    file: Box<dyn VfsFile>,
+}
+
+impl fmt::Debug for JournalWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JournalWriter")
+            .field("path", &self.path)
+            .finish_non_exhaustive()
+    }
 }
 
 impl JournalWriter {
-    /// Creates (truncating) a journal at `path` and durably writes the
-    /// given raw header lines. Under an installed [`crate::fsfault`]
-    /// plan, creation consumes ENOSPC budget *before* touching the
-    /// file — a store that is out of space cannot start a new journal,
-    /// and the caller sees the failure up front rather than mid-run.
+    /// Creates (truncating) a journal at `path` on the real filesystem
+    /// and durably writes the given raw header lines. See
+    /// [`JournalWriter::create_on`].
     pub fn create(path: &Path, header: &[&str]) -> io::Result<JournalWriter> {
+        JournalWriter::create_on(&vfs::std_fs(), path, header)
+    }
+
+    /// Creates (truncating) a journal at `path` on `vfs` and durably
+    /// writes the given raw header lines. Under an installed
+    /// [`crate::fsfault`] plan, creation consumes ENOSPC budget *before*
+    /// touching the file — a store that is out of space cannot start a
+    /// new journal, and the caller sees the failure up front rather than
+    /// mid-run.
+    pub fn create_on(vfs: &VfsHandle, path: &Path, header: &[&str]) -> io::Result<JournalWriter> {
         let header_len: usize = header.iter().map(|l| l.len() + 1).sum();
-        if let crate::fsfault::WriteFault::Short(_) = crate::fsfault::write_fault(path, header_len)?
-        {
+        if let crate::fsfault::WriteFault::Short(_) = vfs.faults().write_fault(path, header_len)? {
             // A torn header leaves no usable journal; surface it as the
             // creation failing outright.
             return Err(crate::fsfault::short_write_error());
         }
-        let file = File::create(path)?;
+        let file = vfs.open_write(path, OpenMode::Truncate)?;
         let mut writer = JournalWriter {
             path: path.to_path_buf(),
+            vfs: VfsHandle::clone(vfs),
             file,
         };
         for line in header {
@@ -105,16 +121,24 @@ impl JournalWriter {
         Ok(writer)
     }
 
-    /// Opens an existing journal for appending (records go after whatever
-    /// is already there). Consumes injected ENOSPC budget like
-    /// [`create`](JournalWriter::create); reopening on a full disk fails.
+    /// Opens an existing journal on the real filesystem for appending.
+    /// See [`JournalWriter::open_append_on`].
     pub fn open_append(path: &Path) -> io::Result<JournalWriter> {
-        if let crate::fsfault::WriteFault::Short(_) = crate::fsfault::write_fault(path, 1)? {
+        JournalWriter::open_append_on(&vfs::std_fs(), path)
+    }
+
+    /// Opens an existing journal on `vfs` for appending (records go
+    /// after whatever is already there). Consumes injected ENOSPC budget
+    /// like [`create_on`](JournalWriter::create_on); reopening on a full
+    /// disk fails.
+    pub fn open_append_on(vfs: &VfsHandle, path: &Path) -> io::Result<JournalWriter> {
+        if let crate::fsfault::WriteFault::Short(_) = vfs.faults().write_fault(path, 1)? {
             return Err(crate::fsfault::short_write_error());
         }
-        let file = OpenOptions::new().append(true).open(path)?;
+        let file = vfs.open_write(path, OpenMode::Append)?;
         Ok(JournalWriter {
             path: path.to_path_buf(),
+            vfs: VfsHandle::clone(vfs),
             file,
         })
     }
@@ -129,13 +153,13 @@ impl JournalWriter {
         let mut line = frame(payload);
         line.push('\n');
         let bytes = line.as_bytes();
-        match crate::fsfault::write_fault(&self.path, bytes.len())? {
+        match self.vfs.faults().write_fault(&self.path, bytes.len())? {
             crate::fsfault::WriteFault::Intact => self.file.write_all(bytes)?,
             crate::fsfault::WriteFault::Short(n) => {
                 self.file.write_all(&bytes[..n])?;
                 // Make the torn prefix durable, as a real crash would.
                 self.file.flush()?;
-                let _ = self.file.sync_data();
+                let _ = self.file.sync();
                 return Err(crate::fsfault::short_write_error());
             }
         }
@@ -144,14 +168,20 @@ impl JournalWriter {
 
     /// Flushes and fsyncs the underlying file.
     fn sync(&mut self) -> io::Result<()> {
-        crate::fsfault::sync_fault(&self.path)?;
+        self.vfs.faults().sync_fault(&self.path)?;
         self.file.flush()?;
-        self.file.sync_data()
+        self.file.sync()
     }
 
     /// The journal's path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The filesystem this journal writes to (used by owners to drop
+    /// acknowledgement [`crate::vfs::Vfs::mark`]s after durable appends).
+    pub fn vfs(&self) -> &VfsHandle {
+        &self.vfs
     }
 }
 
@@ -213,6 +243,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn injected_torn_append_is_durable_prefix_and_detected_on_replay() {
         let _l = crate::fsfault::TEST_LOCK.lock().unwrap();
         let dir = std::env::temp_dir().join("vs-guard-journal-fsfault");

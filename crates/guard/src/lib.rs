@@ -32,6 +32,13 @@
 //!   fault budget (ENOSPC, short/torn writes, fsync failures) scoped to a
 //!   directory prefix, so torture harnesses can prove the recovery story
 //!   end to end. With no plan installed the hook is one atomic load.
+//!   Fault state is per-[`vfs::Vfs`]-instance so plans compose.
+//! * **Crash-consistency checking** — the [`vfs`] module's [`vfs::Vfs`]
+//!   seam routes every durable write through either the real filesystem
+//!   ([`vfs::StdFs`]) or a deterministic recorder ([`vfs::SimFs`]) that
+//!   can materialize the disk image at any crash point, and
+//!   [`crashcheck`] exhaustively explores those points against
+//!   caller-supplied recovery invariants.
 //!
 //! Everything is std-only (the workspace builds offline) and wall-clock
 //! state never feeds into simulated results: supervision decides *whether*
@@ -64,9 +71,11 @@
 #![warn(missing_debug_implementations)]
 
 mod cancel;
+pub mod crashcheck;
 mod crc32;
 pub mod fsfault;
 mod journal;
+pub mod vfs;
 mod watchdog;
 
 pub use cancel::{install_ctrl_c, CancelToken};

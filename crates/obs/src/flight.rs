@@ -16,7 +16,7 @@
 //! bundles under any worker count, which CI checks.
 
 use std::fmt;
-use std::fs::{self, File};
+use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use vs_guard::{frame, unframe, FrameError};
@@ -265,13 +265,23 @@ impl From<io::Error> for BundleError {
 /// path. An existing bundle of the same name is replaced atomically —
 /// re-running the same job re-dumps the identical bytes.
 pub fn write_bundle(dir: &Path, bundle: &PostmortemBundle) -> io::Result<PathBuf> {
-    fs::create_dir_all(dir)?;
+    write_bundle_on(&vs_guard::vfs::std_fs(), dir, bundle)
+}
+
+/// [`write_bundle`] against an explicit filesystem backend — the seam
+/// the crash-consistency checker records through.
+pub fn write_bundle_on(
+    vfs: &vs_guard::vfs::VfsHandle,
+    dir: &Path,
+    bundle: &PostmortemBundle,
+) -> io::Result<PathBuf> {
+    use vs_guard::vfs::OpenMode;
+    vfs.create_dir_all(dir)?;
     let path = dir.join(bundle.file_name());
-    let tmp = dir.join(format!(
-        ".{}.tmp.{}",
-        bundle.file_name(),
-        std::process::id()
-    ));
+    let tag = vfs
+        .temp_tag()
+        .unwrap_or_else(|| std::process::id().to_string());
+    let tmp = dir.join(format!(".{}.tmp.{}", bundle.file_name(), tag));
     let mut text = String::new();
     for line in bundle.to_lines() {
         text.push_str(&frame(&line));
@@ -280,27 +290,25 @@ pub fn write_bundle(dir: &Path, bundle: &PostmortemBundle) -> io::Result<PathBuf
     // FaultyFs consultation (keyed on the final path): a failed bundle
     // write degrades gracefully upstream — the runner records the loss
     // in the degradation report instead of failing the job.
-    let fault = vs_guard::fsfault::write_fault(&path, text.len())?;
-    let mut file = File::create(&tmp)?;
+    let fault = vfs.faults().write_fault(&path, text.len())?;
+    let mut file = vfs.open_write(&tmp, OpenMode::Truncate)?;
     match fault {
         vs_guard::fsfault::WriteFault::Intact => file.write_all(text.as_bytes())?,
         vs_guard::fsfault::WriteFault::Short(n) => {
             file.write_all(&text.as_bytes()[..n])?;
-            let _ = file.sync_data();
+            let _ = file.sync();
             drop(file);
-            let _ = fs::remove_file(&tmp);
+            let _ = vfs.remove_file(&tmp);
             return Err(vs_guard::fsfault::short_write_error());
         }
     }
-    vs_guard::fsfault::sync_fault(&path)?;
+    vfs.faults().sync_fault(&path)?;
     file.flush()?;
-    file.sync_data()?;
+    file.sync()?;
     drop(file);
-    fs::rename(&tmp, &path)?;
+    vfs.rename(&tmp, &path)?;
     // Make the rename itself durable.
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_data();
-    }
+    let _ = vfs.sync_dir(dir);
     Ok(path)
 }
 

@@ -47,6 +47,18 @@ pub const FS_SHORT_WRITES_INJECTED: &str = "guard.fs_short_writes_injected";
 /// Counter: injected fsync failures (FaultyFs torture layer).
 pub const FS_FSYNC_FAILURES_INJECTED: &str = "guard.fs_fsync_failures_injected";
 
+/// Counter: store scrub passes completed (boot-time and on-demand fsck).
+pub const STORE_SCRUB_RUNS: &str = "store.scrub_runs";
+/// Counter: issues found by store scrubs (orphan temps, torn journal
+/// tails, CRC damage, checkpoint/journal divergence).
+pub const STORE_SCRUB_ISSUES: &str = "store.scrub_issues";
+/// Counter: issues repaired in place by store scrubs (temps removed,
+/// torn tails truncated, journal headers rebuilt).
+pub const STORE_SCRUB_REPAIRS: &str = "store.scrub_repairs";
+/// Counter: sweeps moved to `<store>/quarantine/` because recovery
+/// could not make them consistent.
+pub const STORE_QUARANTINED_SWEEPS: &str = "store.quarantined_sweeps";
+
 /// Counter: chips fully simulated across all jobs.
 pub const CHIPS_COMPLETED: &str = "fleet.chips_completed";
 /// Counter: voltage rollbacks observed across all jobs (DUE-triggered

@@ -185,3 +185,54 @@ fn cancellation_scopes_nest_one_way() {
     assert!(job2.is_cancelled(), "run cancel must reach every job");
     assert!(!job2.is_cancelled_directly());
 }
+
+/// The VFS seam is behavior-neutral: the same run, once against the real
+/// filesystem and once against the deterministic in-memory recorder,
+/// leaves byte-identical checkpoint and journal files. This is what
+/// makes the crash-matrix findings (recorded on SimFs) transfer to
+/// production stores (written through StdFs).
+#[test]
+fn simfs_and_stdfs_produce_byte_identical_durability_files() {
+    use std::sync::Arc;
+    use voltspec::guard::vfs::{SimFs, VfsHandle};
+
+    let config = tiny_config();
+
+    // Real filesystem.
+    let std_ckpt = scratch("vfs-parity.ckpt");
+    let std_journal = scratch("vfs-parity.journal");
+    let _ = std::fs::remove_file(&std_ckpt);
+    let _ = std::fs::remove_file(&std_journal);
+    let on_std = FleetRunner::new(config.clone(), 2)
+        .with_checkpoint(std_ckpt.clone())
+        .with_journal(std_journal.clone())
+        .run()
+        .unwrap();
+
+    // Simulated filesystem, same protocol.
+    let sim = Arc::new(SimFs::new());
+    let vfs: VfsHandle = Arc::clone(&sim) as VfsHandle;
+    let dir = std::path::Path::new("/vsim/run");
+    vfs.create_dir_all(dir).unwrap();
+    let sim_ckpt = dir.join("vfs-parity.ckpt");
+    let sim_journal = dir.join("vfs-parity.journal");
+    let on_sim = FleetRunner::new(config, 2)
+        .with_vfs(vfs)
+        .with_checkpoint(sim_ckpt.clone())
+        .with_journal(sim_journal.clone())
+        .run()
+        .unwrap();
+    assert_eq!(on_std.summaries, on_sim.summaries);
+
+    let image = sim.snapshot();
+    assert_eq!(
+        std::fs::read(&std_ckpt).unwrap(),
+        image.files[&sim_ckpt],
+        "checkpoint bytes must not depend on the filesystem backend"
+    );
+    assert_eq!(
+        std::fs::read(&std_journal).unwrap(),
+        image.files[&sim_journal],
+        "journal bytes must not depend on the filesystem backend"
+    );
+}

@@ -147,6 +147,72 @@ fn job_gauges_reconcile_once_terminals_are_seen() {
     sched.join();
 }
 
+/// The boot scrub is visible on the scrape surface: plant a torn
+/// journal tail, boot the store the way `vs-fleetd` does, and the
+/// `store.scrub_*` / `store.quarantined_sweeps` counters reconcile
+/// exactly — with the scrub report the boot returned, and with the
+/// Prometheus text a scheduler over that store serves.
+#[test]
+fn scrub_counters_reconcile_with_boot_recovery() {
+    use std::sync::atomic::Ordering;
+    use vs_fleet::{save_checkpoint_on, simulate_chip, ChipJournal};
+
+    let dir = scratch("scrub-counters");
+    let config = tiny_config(31, 2);
+    let fp = config.fingerprint();
+    let store = FleetStore::open(&dir).unwrap();
+    let vfs = store.vfs().clone();
+    let ckpt = store.checkpoint_path(&config);
+    let jpath = store.journal_path(&config);
+    let chips: Vec<_> = (0..2).map(|c| simulate_chip(&config, ChipId(c))).collect();
+    save_checkpoint_on(&vfs, &ckpt, fp, &chips[..1]).unwrap();
+    let mut journal = ChipJournal::create_on(&vfs, &jpath, fp).unwrap();
+    journal.append(&chips[1]).unwrap();
+    drop(journal);
+    // Tear the final journal record a few bytes into its CRC frame —
+    // exactly what a crash mid-append leaves behind.
+    let text = fs::read_to_string(&jpath).unwrap();
+    let keep = text.trim_end().rfind('\n').unwrap() + 1 + 4;
+    fs::write(&jpath, &text.as_bytes()[..keep]).unwrap();
+
+    let recovery = store.boot_recover().unwrap();
+    assert_eq!(recovery.scrub.repairs(), 1, "the torn tail was truncated");
+    assert!(recovery.quarantined.is_empty());
+
+    let counters = store.counters().clone();
+    assert_eq!(counters.scrub_runs.load(Ordering::Relaxed), 1);
+    assert_eq!(
+        counters.scrub_issues.load(Ordering::Relaxed),
+        recovery.scrub.issues.len() as u64
+    );
+    assert_eq!(
+        counters.scrub_repairs.load(Ordering::Relaxed),
+        recovery.scrub.repairs()
+    );
+    assert_eq!(counters.quarantined_sweeps.load(Ordering::Relaxed), 0);
+
+    let sched = Scheduler::start(
+        SchedulerConfig {
+            workers: 1,
+            queue_cap: 4,
+            job_workers: 1,
+            deadline: None,
+        },
+        store,
+    );
+    let snap = PromSnapshot::parse(&sched.metrics()).unwrap();
+    let v = |name: &str| snap.value(name).unwrap_or_else(|| panic!("missing {name}"));
+    assert_eq!(v("voltspec_store_scrub_runs"), 1.0);
+    assert_eq!(
+        v("voltspec_store_scrub_issues"),
+        recovery.scrub.issues.len() as f64
+    );
+    assert_eq!(v("voltspec_store_scrub_repairs"), 1.0);
+    assert_eq!(v("voltspec_store_quarantined_sweeps"), 0.0);
+    sched.shutdown();
+    sched.join();
+}
+
 // ---------------------------------------------------------------------------
 // Causal span tracing
 // ---------------------------------------------------------------------------
